@@ -1,0 +1,106 @@
+//! A100 GEMM utilization model: tile + wave quantization (Fig 13).
+//!
+//! Following Nvidia's matrix-multiplication background guide (paper ref
+//! [33]): the GEMM is tiled into thread-block tiles; full occupancy needs
+//! the tile count to fill a whole number of "waves" across the 108 SMs.
+//! When `ceil(tiles / 108)` rounds up, the tail wave runs mostly idle —
+//! the sawtooth utilization dips of Fig 13 that the TSP's 320-wide
+//! dataflow does not exhibit.
+
+/// Streaming multiprocessors on an A100.
+pub const SMS: u64 = 108;
+
+/// Dense FP16 tensor-core peak, TFLOPs.
+pub const PEAK_FP16_TFLOPS: f64 = 312.0;
+
+/// Per-GPU NVLink pin bandwidth the paper normalizes against a TSP's pins
+/// (footnote 5: "300 GB/s of NVlink bandwidth per GPU").
+pub const PIN_BANDWIDTH_GBS: f64 = 300.0;
+
+/// Thread-block tile shape used by the model (a typical 256×128 CUTLASS
+/// tile).
+pub const TILE_M: u64 = 256;
+/// Tile N dimension.
+pub const TILE_N: u64 = 128;
+
+/// Utilization of an `[M×K]×[K×N]` FP16 GEMM on the A100 model.
+///
+/// Two quantization losses multiply:
+/// * **tile quantization** — M and N round up to whole tiles,
+/// * **wave quantization** — the tile count rounds up to whole waves of
+///   108 SMs.
+pub fn gemm_utilization(m: u64, k: u64, n: u64) -> f64 {
+    let _ = k; // K only affects time linearly, not utilization shape
+    let tiles_m = m.div_ceil(TILE_M);
+    let tiles_n = n.div_ceil(TILE_N);
+    let tiles = tiles_m * tiles_n;
+    let waves = tiles.div_ceil(SMS);
+    let tile_eff = (m as f64 / (tiles_m * TILE_M) as f64) * (n as f64 / (tiles_n * TILE_N) as f64);
+    let wave_eff = tiles as f64 / (waves * SMS) as f64;
+    tile_eff * wave_eff
+}
+
+/// Realized TFLOPs for the GEMM.
+pub fn gemm_tflops(m: u64, k: u64, n: u64) -> f64 {
+    gemm_utilization(m, k, n) * PEAK_FP16_TFLOPS
+}
+
+/// The Fig 13 sweep on the A100 side: utilization of
+/// `[2304×4096]×[4096×N]`.
+pub fn fig13_sweep(n_values: impl IntoIterator<Item = u64>) -> Vec<(u64, f64)> {
+    n_values.into_iter().map(|n| (n, gemm_utilization(2304, 4096, n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_quantized_shape_hits_full_utilization() {
+        // 2304/256 = 9 tiles_m; choose N so tiles = multiple of 108:
+        // tiles_n = 12 -> tiles = 108 exactly, N = 12*128 = 1536.
+        let u = gemm_utilization(2304, 4096, 1536);
+        assert!((u - 1.0).abs() < 1e-12, "{u}");
+    }
+
+    #[test]
+    fn one_extra_tile_causes_a_wave_cliff() {
+        // N = 1537 adds a 13th tile column: 117 tiles -> 2 waves, and the
+        // second wave is ~92% idle.
+        let good = gemm_utilization(2304, 4096, 1536);
+        let bad = gemm_utilization(2304, 4096, 1537);
+        assert!(bad < good * 0.6, "wave cliff missing: {good} -> {bad}");
+    }
+
+    #[test]
+    fn fig13_a100_dips_below_80_while_tsp_does_not() {
+        // The defining contrast of Fig 13.
+        let a100 = fig13_sweep((1376..=3500).step_by(7));
+        let dips = a100.iter().filter(|&&(_, u)| u < 0.80).count();
+        assert!(dips > 0, "A100 must show sub-80% dips");
+        let tsp = tsm_chip_fig13_min();
+        assert!(tsp >= 0.80, "TSP stays above 80%: {tsp}");
+    }
+
+    fn tsm_chip_fig13_min() -> f64 {
+        tsm_chip_dep::mxm::fig13_sweep((1376..=3500).step_by(7))
+            .into_iter()
+            .map(|(_, u)| u)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    use tsm_chip as tsm_chip_dep;
+
+    #[test]
+    fn utilization_bounded() {
+        for n in (100..4000).step_by(137) {
+            let u = gemm_utilization(2304, 4096, n);
+            assert!(u > 0.0 && u <= 1.0, "N={n}: {u}");
+        }
+    }
+
+    #[test]
+    fn tflops_scales_with_utilization() {
+        assert_eq!(gemm_tflops(2304, 4096, 1536), PEAK_FP16_TFLOPS);
+    }
+}

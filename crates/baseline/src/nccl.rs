@@ -1,0 +1,100 @@
+//! NCCL-style ring all-reduce on an 8-GPU A100 node (Fig 16's baseline).
+//!
+//! The paper's footnote 5: "Results for A100 were measured on an 8 A100
+//! GPU system with 300 GB/s of NVlink bandwidth per GPU … results of bus
+//! bw is shown." The model is the textbook ring: `2(k−1)` steps moving
+//! `S/k` bytes each, plus the overheads the paper calls out for
+//! shared-memory semantics — kernel launch and the mutex/flag + memory
+//! fence per step — which dominate small-message latency and give the TSP
+//! its fine-grained win.
+
+/// Participants in the node-level ring.
+pub const GPUS: usize = 8;
+
+/// Per-GPU NVLink bandwidth (one direction), GB/s.
+pub const NVLINK_GBS: f64 = 300.0;
+
+/// Kernel-launch + enqueue overhead per collective, seconds.
+pub const LAUNCH_OVERHEAD_S: f64 = 8e-6;
+
+/// Flag write + memory fence + flag poll per ring step, seconds (the
+/// lock-based mailbox cost of paper §5.3).
+pub const FENCE_OVERHEAD_S: f64 = 1.2e-6;
+
+/// Completion time of an all-reduce of `bytes` per GPU.
+pub fn allreduce_seconds(bytes: u64) -> f64 {
+    let k = GPUS as f64;
+    let steps = 2.0 * (k - 1.0);
+    let chunk = bytes as f64 / k;
+    LAUNCH_OVERHEAD_S + steps * (FENCE_OVERHEAD_S + chunk / (NVLINK_GBS * 1e9))
+}
+
+/// Bus bandwidth (nccl-tests convention) in GB/s.
+pub fn allreduce_bus_gbs(bytes: u64) -> f64 {
+    let k = GPUS as f64;
+    let t = allreduce_seconds(bytes);
+    bytes as f64 * 2.0 * (k - 1.0) / k / t / 1e9
+}
+
+/// The same model with pin bandwidth normalized to a TSP's (the "A100
+/// normalized" series of Fig 16): link bandwidth scaled by
+/// `tsp_pins / a100_pins`.
+pub fn allreduce_bus_gbs_pin_normalized(bytes: u64, tsp_pin_gbs: f64) -> f64 {
+    let scale = tsp_pin_gbs / crate::a100::PIN_BANDWIDTH_GBS;
+    let k = GPUS as f64;
+    let steps = 2.0 * (k - 1.0);
+    let chunk = bytes as f64 / k;
+    let t = LAUNCH_OVERHEAD_S + steps * (FENCE_OVERHEAD_S + chunk / (NVLINK_GBS * scale * 1e9));
+    bytes as f64 * 2.0 * (k - 1.0) / k / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_are_overhead_dominated() {
+        // 1 KB: time ≈ launch + 14 fences ≈ 25 µs -> bus bw well under
+        // 1 GB/s. This is the regime where the TSP wins Fig 16.
+        let t = allreduce_seconds(1024);
+        assert!(t > 20e-6, "{t}");
+        assert!(allreduce_bus_gbs(1024) < 0.2);
+    }
+
+    #[test]
+    fn large_messages_approach_nvlink_bandwidth() {
+        // 1 GB: the nccl-tests busbw convention is built so the ring's
+        // asymptote equals the per-GPU link bandwidth (300 GB/s); the
+        // overheads keep it slightly below.
+        let bw = allreduce_bus_gbs(1 << 30);
+        assert!(bw > 250.0 && bw < 300.0, "{bw}");
+    }
+
+    #[test]
+    fn bus_bandwidth_is_monotone_in_size() {
+        let sizes = [1u64 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30];
+        let bws: Vec<f64> = sizes.iter().map(|&s| allreduce_bus_gbs(s)).collect();
+        for w in bws.windows(2) {
+            assert!(w[1] > w[0], "{bws:?}");
+        }
+    }
+
+    #[test]
+    fn pin_normalized_scales_down_peak() {
+        // Normalized to a TSP's ~87.5 GB/s of usable C2C pins, the A100
+        // plateau drops to ~87 GB/s — matching the TSP's ~84 GB/s at large
+        // sizes, exactly the Fig 16 zoom's observation.
+        let big = 1u64 << 30;
+        let norm = allreduce_bus_gbs_pin_normalized(big, 87.5);
+        let raw = allreduce_bus_gbs(big);
+        assert!(norm < raw / 2.0, "norm {norm} raw {raw}");
+        assert!(norm > 60.0 && norm < 90.0, "{norm}");
+    }
+
+    #[test]
+    fn overheads_do_not_affect_asymptote() {
+        let bw_big = allreduce_bus_gbs(1 << 32);
+        let bw_huge = allreduce_bus_gbs(1 << 34);
+        assert!((bw_huge / bw_big - 1.0).abs() < 0.02);
+    }
+}

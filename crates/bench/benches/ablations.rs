@@ -1,0 +1,29 @@
+//! Criterion bench running the design-choice ablations.
+//!
+//! Prints each ablation's findings once, then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::ablations;
+
+fn bench(c: &mut Criterion) {
+    for f in [
+        ablations::local_group,
+        ablations::spreading,
+        ablations::routing_determinism,
+        ablations::fec_vs_retry,
+    ] {
+        for line in f() {
+            eprintln!("{line}");
+        }
+        eprintln!();
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("local_group", |b| b.iter(ablations::local_group));
+    group.bench_function("spreading", |b| b.iter(ablations::spreading));
+    group.bench_function("routing_determinism", |b| b.iter(ablations::routing_determinism));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 2 (bandwidth profile).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::fig2() {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("fig02_bandwidth_profile");
+    group.sample_size(100);
+    group.bench_function("regenerate", |b| b.iter(|| figures::fig2()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Fig 11 (wire-format efficiency).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::fig11() {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("fig11_encoding");
+    group.sample_size(100);
+    group.bench_function("regenerate", |b| b.iter(|| encode_decode_roundtrip()));
+    group.finish();
+}
+
+/// The timed kernel: frame and parse one vector (the per-flit cost the
+/// 97.5% efficiency buys).
+fn encode_decode_roundtrip() -> u16 {
+    use tsm::isa::{packet::WirePacket, Vector};
+    let p = WirePacket::data(0x1234, Vector::splat(0x5A));
+    WirePacket::decode(&p.encode()).expect("roundtrips").sequence
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 13 (GEMM utilization TSP vs A100).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::fig13(59) {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("fig13_matmul_util");
+    group.sample_size(50);
+    group.bench_function("regenerate", |b| b.iter(|| figures::fig13(59)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 16 (8-way all-reduce bandwidth).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::fig16() {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("fig16_allreduce");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| b.iter(|| figures::fig16()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

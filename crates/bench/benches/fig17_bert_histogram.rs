@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 17 (BERT-Large latency histogram).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::fig17(2_000) {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("fig17_bert_histogram");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| b.iter(|| figures::fig17(100)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Table 2 (HAC latency characterization).
+//!
+//! Prints the series once (so `cargo bench` logs carry the
+//! paper-vs-measured data), then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    for line in figures::table2(100_000) {
+        eprintln!("{line}");
+    }
+    let mut group = c.benchmark_group("table2_hac_latency");
+    group.sample_size(20);
+    group.bench_function("regenerate", |b| b.iter(|| figures::table2(10_000)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

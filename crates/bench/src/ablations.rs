@@ -1,0 +1,250 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Each function isolates one decision the paper made and quantifies the
+//! alternative on the same substrate:
+//!
+//! * full-mesh vs torus local group (§2.2 vs §4.4),
+//! * minimal-only vs non-minimally spread routing (§4.3),
+//! * software-scheduled vs dynamically-routed networking (§4, Fig 8),
+//! * forward error correction vs link-layer retry (§4.5).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsm::compiler::collective::allreduce_intra_node;
+use tsm::link::{Channel, FecOutcome, LatencyModel};
+use tsm::net::dynamic;
+use tsm::net::ssn::{completion, vector_slot_cycles, LinkOccupancy};
+use tsm::prelude::*;
+use tsm::topology::route::{edge_disjoint_paths, shortest_path};
+use tsm::topology::CableClass;
+use tsm::workloads::traffic;
+
+/// Mesh vs torus local group: nearest-neighbor streaming and 8-way
+/// all-reduce on the two §2.2/§4.4 node organizations.
+pub fn local_group() -> Vec<String> {
+    let mesh = Topology::single_node();
+    let torus = Topology::torus_node();
+    let vectors = 4096; // a 1.3 MB tensor per TSP
+
+    // Nearest-neighbor: every TSP streams to its successor concurrently.
+    // `minimal_only` restricts each pair to its direct (1-hop) links —
+    // the §4.4 setting in which the torus's triple links pay off.
+    let nn = |topo: &Topology, minimal_only: bool| -> u64 {
+        let mut occ = LinkOccupancy::new();
+        let mut done = 0;
+        for i in 0..8u32 {
+            let mut paths = edge_disjoint_paths(topo, TspId(i), TspId((i + 1) % 8), 7);
+            if minimal_only {
+                paths.retain(|p| p.hops() == 1);
+            }
+            let shards = occ.schedule_spread(topo, &paths, vectors, 0).unwrap();
+            done = done.max(completion(&shards));
+        }
+        done
+    };
+    let nn_mesh_min = nn(&mesh, true);
+    let nn_torus_min = nn(&torus, true);
+    let nn_mesh_spread = nn(&mesh, false);
+    let nn_torus_spread = nn(&torus, false);
+
+    let ar_mesh = allreduce_intra_node(&mesh, NodeId(0), vectors * 320).unwrap();
+    let ar_torus = allreduce_intra_node(&torus, NodeId(0), vectors * 320).unwrap();
+
+    vec![
+        format!("{:>32} {:>12} {:>12}", "workload", "mesh", "torus"),
+        format!(
+            "{:>32} {:>8} cyc {:>8} cyc",
+            "NN stream (minimal routing)", nn_mesh_min, nn_torus_min
+        ),
+        format!(
+            "{:>32} {:>8} cyc {:>8} cyc",
+            "NN stream (non-minimal spread)", nn_mesh_spread, nn_torus_spread
+        ),
+        format!(
+            "{:>32} {:>7.1} GB/s {:>7.1} GB/s",
+            "8-way all-reduce bus bw", ar_mesh.bus_gbs, ar_torus.bus_gbs
+        ),
+        format!(
+            "minimal routing: torus triple links win NN by {:.2}x (the §4.4 claim);",
+            nn_mesh_min as f64 / nn_torus_min as f64
+        ),
+        format!(
+            "with full spreading the mesh's 28 cables claw back ({:.2}x vs torus);",
+            nn_torus_spread as f64 / nn_mesh_spread as f64
+        ),
+        format!(
+            "and the mesh wins the all-to-all collective by {:.2}x.",
+            ar_torus.completion_cycles as f64 / ar_mesh.completion_cycles as f64
+        ),
+    ]
+}
+
+/// Minimal-only vs spread routing for one large intra-node tensor.
+pub fn spreading() -> Vec<String> {
+    let topo = Topology::single_node();
+    let vectors = 16_384; // 5.2 MB
+    let paths = edge_disjoint_paths(&topo, TspId(0), TspId(1), 7);
+    let mut a = LinkOccupancy::new();
+    let minimal = a.schedule_transfer(&topo, &paths[0], vectors, 0).unwrap().last_arrival;
+    let mut b = LinkOccupancy::new();
+    let spread = completion(&b.schedule_spread(&topo, &paths, vectors, 0).unwrap());
+    vec![
+        format!("5.2 MB tensor, TSP0 -> TSP1"),
+        format!("minimal path only: {:>8} cycles", minimal),
+        format!("7-way spread:      {:>8} cycles ({:.2}x)", spread, minimal as f64 / spread as f64),
+    ]
+}
+
+/// Software-scheduled vs dynamically-routed networking under contention:
+/// the determinism ablation of Fig 8.
+pub fn routing_determinism() -> Vec<String> {
+    let topo = Topology::fully_connected_nodes(2).unwrap();
+    let offered = traffic::all_to_all(&topo, 6, 12);
+
+    // Dynamic: three seeds = three "runs" of the same program.
+    let runs: Vec<dynamic::DynamicRun> = (0..3)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            dynamic::simulate(&topo, &offered, &mut rng)
+        })
+        .collect();
+
+    // SSN: schedule the same flows; completion is a single exact number.
+    let mut occ = LinkOccupancy::new();
+    let mut ssn_done = 0;
+    for p in &offered {
+        let path = shortest_path(&topo, p.src, p.dst).unwrap();
+        let s = occ.schedule_transfer(&topo, &path, 1, p.inject).unwrap();
+        ssn_done = ssn_done.max(s.last_arrival);
+    }
+
+    let mut out = vec![format!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "run", "mean (cyc)", "std", "max"
+    )];
+    for (i, r) in runs.iter().enumerate() {
+        out.push(format!(
+            "{:>8} {:>12.1} {:>10.2} {:>10}",
+            format!("dyn #{i}"),
+            r.mean_latency(),
+            r.latency_std(),
+            r.max_latency()
+        ));
+    }
+    out.push(format!("{:>8} {:>12} {:>10} {:>10}", "SSN", ssn_done, 0, ssn_done));
+    out.push("SSN: zero variance across runs by construction; the dynamic network's".into());
+    out.push("per-packet latencies differ run to run (same offered traffic).".into());
+    out
+}
+
+/// Forward error correction vs a link-layer retry protocol (§4.5): both
+/// deliver correct data; only FEC delivers it at a *fixed* time.
+pub fn fec_vs_retry() -> Vec<String> {
+    let ber = 3e-6;
+    let packets = 50_000u32;
+    let model = LatencyModel::for_class(CableClass::IntraNode);
+    let rtt = 2 * model.base_cycles + 2 * vector_slot_cycles();
+    let channel = Channel::new(model, ber);
+    let mut rng = StdRng::seed_from_u64(42);
+    let packet = tsm::isa::WirePacket::data(0, tsm::isa::Vector::splat(9));
+
+    let mut fec_latencies = Vec::with_capacity(packets as usize);
+    let mut retry_latencies = Vec::with_capacity(packets as usize);
+    let mut corrected = 0u32;
+    for _ in 0..packets {
+        let d = channel.transmit(&packet, 0, &mut rng);
+        // FEC: arrival time is the wire time, error or not.
+        fec_latencies.push(d.arrival_cycle);
+        // Retry: any detected error (FEC would have corrected it or not —
+        // a retry link retransmits on *any* CRC failure) costs one RTT per
+        // attempt.
+        let mut t = d.arrival_cycle;
+        let mut outcome = d.outcome;
+        while outcome != FecOutcome::Clean {
+            corrected += 1;
+            t += rtt;
+            outcome = channel.transmit(&packet, 0, &mut rng).outcome;
+        }
+        retry_latencies.push(t);
+    }
+    let stats = |v: &mut Vec<u64>| -> (u64, u64, f64) {
+        v.sort_unstable();
+        let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+        (v[v.len() / 2], v[v.len() - 1], mean)
+    };
+    let (fec_p50, fec_max, fec_mean) = stats(&mut fec_latencies);
+    let (r_p50, r_max, r_mean) = stats(&mut retry_latencies);
+    vec![
+        format!("{} packets at BER {:.0e} ({} saw errors)", packets, ber, corrected),
+        format!("{:>8} {:>8} {:>8} {:>10}", "", "p50", "max", "mean"),
+        format!("{:>8} {:>8} {:>8} {:>10.1}", "FEC", fec_p50, fec_max, fec_mean),
+        format!("{:>8} {:>8} {:>8} {:>10.1}", "retry", r_p50, r_max, r_mean),
+        format!(
+            "retry adds a {}-cycle tail ({}x the FEC worst case) — the nondeterminism §4.5 rejects",
+            r_max - fec_max,
+            r_max / fec_max
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_group_tradeoff_holds() {
+        let rows = local_group();
+        assert_eq!(rows.len(), 7);
+        // the headline claim is inside the last row; recompute directly
+        let mesh = Topology::single_node();
+        let torus = Topology::torus_node();
+        let ar_mesh = allreduce_intra_node(&mesh, NodeId(0), 1 << 20).unwrap();
+        let ar_torus = allreduce_intra_node(&torus, NodeId(0), 1 << 20).unwrap();
+        assert!(
+            ar_mesh.completion_cycles < ar_torus.completion_cycles,
+            "mesh must win the all-to-all collective"
+        );
+    }
+
+    #[test]
+    fn torus_wins_nearest_neighbor_under_minimal_routing() {
+        // The §4.4 claim: with minimal routing, the torus's 3 parallel
+        // neighbor links give ~3x the throughput of the mesh's single
+        // direct link. (Under full non-minimal spreading the mesh's larger
+        // cable count wins back — reported by the ablation.)
+        let vectors = 4096;
+        let nn = |topo: &Topology| {
+            let mut occ = LinkOccupancy::new();
+            let mut done = 0;
+            for i in 0..8u32 {
+                let mut paths = edge_disjoint_paths(topo, TspId(i), TspId((i + 1) % 8), 7);
+                paths.retain(|p| p.hops() == 1);
+                let shards = occ.schedule_spread(topo, &paths, vectors, 0).unwrap();
+                done = done.max(completion(&shards));
+            }
+            done
+        };
+        let mesh = nn(&Topology::single_node());
+        let torus = nn(&Topology::torus_node());
+        let ratio = mesh as f64 / torus as f64;
+        assert!((2.5..=3.5).contains(&ratio), "expected ~3x, got {ratio}");
+    }
+
+    #[test]
+    fn spreading_rows_report_speedup() {
+        let rows = spreading();
+        assert!(rows[2].contains("x)"));
+    }
+
+    #[test]
+    fn determinism_ablation_shows_variance_gap() {
+        let rows = routing_determinism();
+        assert!(rows.len() >= 6);
+    }
+
+    #[test]
+    fn retry_has_heavier_tail_than_fec() {
+        let rows = fec_vs_retry();
+        assert!(rows.last().unwrap().contains("tail"));
+    }
+}

@@ -1,0 +1,562 @@
+//! Deterministic chip executor.
+//!
+//! A chip program is a *static schedule*: every instruction carries the
+//! cycle it issues on. The executor replays the schedule, maintaining
+//! architectural state (SRAM, streams, C2C ports) and *verifying* the
+//! schedule's legality — a scheduled instruction arriving while its
+//! functional unit is parked by SYNC, or two writers hitting a stream on
+//! the same cycle, is a compiler bug surfaced as an [`ExecError`], never a
+//! silent dynamic stall. This mirrors the hardware contract of paper §3:
+//! "the TSP hardware-software interface exposes all architecturally-visible
+//! state".
+
+use crate::vxm;
+use std::collections::{BTreeMap, HashMap};
+use tsm_isa::instr::{FunctionalUnit, Instruction};
+use tsm_isa::timing::HAC_PERIOD;
+use tsm_isa::{StreamId, Vector};
+
+/// The C2C port an instruction occupies (0 for non-C2C instructions,
+/// which each own a single engine).
+fn instruction_port(instr: &Instruction) -> u8 {
+    match instr {
+        Instruction::Transmit { port }
+        | Instruction::Receive { port, .. }
+        | Instruction::Send { port, .. } => *port,
+        _ => 0,
+    }
+}
+
+/// An instruction bound to its issue cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedInstruction {
+    /// Cycle the instruction issues.
+    pub cycle: u64,
+    /// The instruction.
+    pub instr: Instruction,
+}
+
+/// A static schedule for one chip.
+#[derive(Debug, Clone, Default)]
+pub struct ChipProgram {
+    instrs: Vec<TimedInstruction>,
+}
+
+impl ChipProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        ChipProgram::default()
+    }
+
+    /// Schedules `instr` at `cycle` (builder style).
+    pub fn at(mut self, cycle: u64, instr: Instruction) -> Self {
+        self.instrs.push(TimedInstruction { cycle, instr });
+        self
+    }
+
+    /// Adds an instruction in place.
+    pub fn push(&mut self, cycle: u64, instr: Instruction) {
+        self.instrs.push(TimedInstruction { cycle, instr });
+    }
+
+    /// All instructions, sorted by (cycle, unit order).
+    pub fn sorted(&self) -> Vec<TimedInstruction> {
+        let mut v = self.instrs.clone();
+        v.sort_by_key(|t| (t.cycle, t.instr.unit()));
+        v
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if no instructions are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Schedule-legality violations detected during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An instruction was scheduled on a unit still parked by SYNC.
+    UnitParked {
+        /// The parked unit.
+        unit: FunctionalUnit,
+        /// Cycle of the offending instruction.
+        cycle: u64,
+    },
+    /// An instruction was scheduled before the unit's previous instruction
+    /// retired.
+    UnitBusy {
+        /// The busy unit.
+        unit: FunctionalUnit,
+        /// Cycle of the offending instruction.
+        cycle: u64,
+        /// Cycle at which the unit becomes free.
+        free_at: u64,
+    },
+    /// Two writers produced onto the same stream on the same cycle.
+    StreamConflict {
+        /// The contested stream.
+        stream: StreamId,
+        /// The conflicting cycle.
+        cycle: u64,
+    },
+    /// A consumer read a stream that holds no value.
+    StreamEmpty {
+        /// The empty stream.
+        stream: StreamId,
+        /// The reading cycle.
+        cycle: u64,
+    },
+    /// A RECEIVE was scheduled for a port with no delivery by that cycle.
+    NothingReceived {
+        /// The port.
+        port: u8,
+        /// The cycle.
+        cycle: u64,
+    },
+    /// A MatMul issued with no weights installed in the MXM array.
+    NoWeightsInstalled {
+        /// The offending cycle.
+        cycle: u64,
+    },
+    /// An instruction following a DESKEW was scheduled off the epoch
+    /// boundary the DESKEW stalls to.
+    DeskewMisaligned {
+        /// The unit.
+        unit: FunctionalUnit,
+        /// Scheduled cycle of the next instruction.
+        scheduled: u64,
+        /// The epoch boundary it must not precede.
+        boundary: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnitParked { unit, cycle } => {
+                write!(f, "{unit:?} issued at cycle {cycle} while parked by SYNC")
+            }
+            ExecError::UnitBusy { unit, cycle, free_at } => {
+                write!(f, "{unit:?} issued at cycle {cycle} but busy until {free_at}")
+            }
+            ExecError::StreamConflict { stream, cycle } => {
+                write!(f, "two writers on stream {} at cycle {cycle}", stream.index())
+            }
+            ExecError::StreamEmpty { stream, cycle } => {
+                write!(f, "stream {} read empty at cycle {cycle}", stream.index())
+            }
+            ExecError::NothingReceived { port, cycle } => {
+                write!(f, "RECEIVE on port {port} at cycle {cycle} with no delivery")
+            }
+            ExecError::NoWeightsInstalled { cycle } => {
+                write!(f, "MatMul at cycle {cycle} with an empty MXM weight array")
+            }
+            ExecError::DeskewMisaligned { unit, scheduled, boundary } => write!(
+                f,
+                "{unit:?}: instruction at {scheduled} precedes DESKEW boundary {boundary}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A vector sent out a C2C port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// Issue cycle of the SEND/TRANSMIT.
+    pub cycle: u64,
+    /// C2C port.
+    pub port: u8,
+    /// Payload.
+    pub vector: Vector,
+}
+
+/// Deterministic single-chip simulator.
+#[derive(Debug, Clone)]
+pub struct ChipSim {
+    /// SRAM content, keyed by (chip slice 0..88, offset).
+    sram: HashMap<(u8, u16), Vector>,
+    /// Stream registers (single direction modelled; direction is a
+    /// scheduling concern handled by the compiler).
+    streams: Vec<Option<Vector>>,
+    /// Pending inbound deliveries: port -> (arrival cycle, vector), sorted.
+    inbound: BTreeMap<u8, Vec<(u64, Vector)>>,
+    /// Vectors emitted on C2C ports.
+    emissions: Vec<Emission>,
+    /// Per-resource next-free cycle. C2C instructions occupy one port
+    /// engine each (the chip has 11 independent link engines), every other
+    /// unit is a single resource.
+    free_at: HashMap<(FunctionalUnit, u8), u64>,
+    /// Per-unit parked flag (SYNC issued, awaiting NOTIFY).
+    parked: HashMap<FunctionalUnit, bool>,
+    /// Per-unit pending DESKEW boundary.
+    deskew_boundary: HashMap<FunctionalUnit, u64>,
+    /// Weight rows currently installed in the MXM array (FP32-lane
+    /// granularity: up to 80 rows of 80 lanes).
+    mxm_weights: Vec<Vector>,
+    /// Cycle of the last executed instruction.
+    horizon: u64,
+}
+
+impl Default for ChipSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChipSim {
+    /// A chip with empty SRAM and streams.
+    pub fn new() -> Self {
+        ChipSim {
+            sram: HashMap::new(),
+            streams: vec![None; tsm_isa::vector::MAX_STREAMS],
+            inbound: BTreeMap::new(),
+            emissions: Vec::new(),
+            free_at: HashMap::new(),
+            parked: HashMap::new(),
+            deskew_boundary: HashMap::new(),
+            mxm_weights: Vec::new(),
+            horizon: 0,
+        }
+    }
+
+    /// Preloads SRAM before execution (the runtime "emplaces all program
+    /// collateral", paper §5.1).
+    pub fn preload(&mut self, slice: u8, offset: u16, v: Vector) {
+        self.sram.insert((slice, offset), v);
+    }
+
+    /// Reads SRAM after execution.
+    pub fn sram(&self, slice: u8, offset: u16) -> Option<&Vector> {
+        self.sram.get(&(slice, offset))
+    }
+
+    /// Registers an inbound delivery: `vector` arrives on `port` at
+    /// `cycle`. A RECEIVE scheduled at or after `cycle` consumes it.
+    pub fn deliver(&mut self, port: u8, cycle: u64, vector: Vector) {
+        let q = self.inbound.entry(port).or_default();
+        q.push((cycle, vector));
+        q.sort_by_key(|&(c, _)| c);
+    }
+
+    /// Vectors emitted on C2C ports during execution.
+    pub fn emissions(&self) -> &[Emission] {
+        &self.emissions
+    }
+
+    /// Current value on a stream.
+    pub fn stream(&self, s: StreamId) -> Option<&Vector> {
+        self.streams[s.index()].as_ref()
+    }
+
+    /// Cycle of the last executed instruction.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Executes a program, verifying schedule legality.
+    ///
+    /// Returns the cycle at which the last instruction retires.
+    pub fn run(&mut self, program: &ChipProgram) -> Result<u64, ExecError> {
+        let mut last_retire = 0;
+        let mut stream_writes: HashMap<(usize, u64), ()> = HashMap::new();
+        for ti in program.sorted() {
+            let unit = ti.instr.unit();
+            let cycle = ti.cycle;
+
+            // DESKEW alignment check.
+            if let Some(&boundary) = self.deskew_boundary.get(&unit) {
+                if cycle < boundary {
+                    return Err(ExecError::DeskewMisaligned { unit, scheduled: cycle, boundary });
+                }
+                self.deskew_boundary.remove(&unit);
+            }
+            // Parked check (NOTIFY clears all parks and may issue same cycle).
+            if *self.parked.get(&unit).unwrap_or(&false)
+                && !matches!(ti.instr, Instruction::Notify)
+            {
+                return Err(ExecError::UnitParked { unit, cycle });
+            }
+            // Busy check (per C2C port engine, per unit otherwise).
+            let resource = (unit, instruction_port(&ti.instr));
+            let free = *self.free_at.get(&resource).unwrap_or(&0);
+            if cycle < free {
+                return Err(ExecError::UnitBusy { unit, cycle, free_at: free });
+            }
+
+            let mut write_stream = |streams: &mut Vec<Option<Vector>>,
+                                    s: StreamId,
+                                    v: Vector|
+             -> Result<(), ExecError> {
+                if stream_writes.insert((s.index(), cycle), ()).is_some() {
+                    return Err(ExecError::StreamConflict { stream: s, cycle });
+                }
+                streams[s.index()] = Some(v);
+                Ok(())
+            };
+
+            match &ti.instr {
+                Instruction::Sync => {
+                    self.parked.insert(unit, true);
+                }
+                Instruction::Notify => {
+                    for u in FunctionalUnit::ALL {
+                        self.parked.insert(u, false);
+                    }
+                }
+                Instruction::Deskew => {
+                    let boundary = cycle.div_ceil(HAC_PERIOD).max(1) * HAC_PERIOD;
+                    self.deskew_boundary.insert(unit, boundary);
+                }
+                Instruction::RuntimeDeskew { .. } => {
+                    // Timing handled via min/max latency below.
+                }
+                Instruction::Transmit { port } => {
+                    self.emissions.push(Emission { cycle, port: *port, vector: Vector::zeroed() });
+                }
+                Instruction::Receive { port, stream } => {
+                    let available = self
+                        .inbound
+                        .get_mut(port)
+                        .and_then(|q| {
+                            (!q.is_empty() && q[0].0 <= cycle).then(|| q.remove(0).1)
+                        });
+                    match available {
+                        Some(v) => write_stream(&mut self.streams, *stream, v)?,
+                        None => return Err(ExecError::NothingReceived { port: *port, cycle }),
+                    }
+                }
+                Instruction::Send { port, stream } => {
+                    let v = self.streams[stream.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *stream, cycle })?;
+                    self.emissions.push(Emission { cycle, port: *port, vector: v });
+                }
+                Instruction::Read { slice, offset, stream, .. } => {
+                    let v = self
+                        .sram
+                        .get(&(*slice, *offset))
+                        .cloned()
+                        .unwrap_or_else(Vector::zeroed);
+                    write_stream(&mut self.streams, *stream, v)?;
+                }
+                Instruction::Write { slice, offset, stream } => {
+                    let v = self.streams[stream.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *stream, cycle })?;
+                    self.sram.insert((*slice, *offset), v);
+                }
+                Instruction::InstallWeight { stream } => {
+                    let v = self.streams[stream.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *stream, cycle })?;
+                    // The array holds at most 80 FP32 rows; installing past
+                    // capacity starts a fresh tile (the compiler reloads
+                    // between tiles).
+                    if self.mxm_weights.len() >= crate::vxm::F32_LANES {
+                        self.mxm_weights.clear();
+                    }
+                    self.mxm_weights.push(v);
+                }
+                Instruction::MatMul { input, output } => {
+                    // One [1×K]×[K×80] sub-op at FP32-lane granularity:
+                    // out[j] = Σ_i in[i] · W[i][j] over the installed rows.
+                    if self.mxm_weights.is_empty() {
+                        return Err(ExecError::NoWeightsInstalled { cycle });
+                    }
+                    let v = self.streams[input.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *input, cycle })?;
+                    let activation = crate::vxm::to_f32_lanes(&v);
+                    let mut out = [0f32; crate::vxm::F32_LANES];
+                    for (i, row) in self.mxm_weights.iter().enumerate() {
+                        let w = crate::vxm::to_f32_lanes(row);
+                        let a = activation[i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, wj) in out.iter_mut().zip(w.iter()) {
+                            *o += a * wj;
+                        }
+                    }
+                    write_stream(&mut self.streams, *output, crate::vxm::from_f32_lanes(&out))?;
+                }
+                Instruction::VectorOp { op, a, b, dest } => {
+                    let va = self.streams[a.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *a, cycle })?;
+                    let vb = self.streams[b.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *b, cycle })?;
+                    let out = vxm::execute(*op, &va, &vb);
+                    write_stream(&mut self.streams, *dest, out)?;
+                }
+                Instruction::Permute { input, output } => {
+                    let v = self.streams[input.index()]
+                        .clone()
+                        .ok_or(ExecError::StreamEmpty { stream: *input, cycle })?;
+                    write_stream(&mut self.streams, *output, v)?;
+                }
+                Instruction::Nop => {}
+            }
+
+            let retire = cycle + ti.instr.min_latency();
+            self.free_at.insert(resource, retire);
+            last_retire = last_retire.max(retire);
+            self.horizon = self.horizon.max(cycle);
+        }
+        Ok(last_retire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_isa::instr::VectorOpcode;
+
+    fn sid(n: u8) -> StreamId {
+        StreamId::new(n).unwrap()
+    }
+
+    #[test]
+    fn read_compute_write_pipeline() {
+        let mut sim = ChipSim::new();
+        sim.preload(0, 0, crate::vxm::from_f32_lanes(&[1.5f32; 80]));
+        sim.preload(0, 1, crate::vxm::from_f32_lanes(&[2.0f32; 80]));
+        let prog = ChipProgram::new()
+            .at(0, Instruction::Read { slice: 0, offset: 0, stream: sid(0), dir: tsm_isa::Direction::East })
+            .at(5, Instruction::Read { slice: 0, offset: 1, stream: sid(1), dir: tsm_isa::Direction::East })
+            .at(10, Instruction::VectorOp { op: VectorOpcode::Add, a: sid(0), b: sid(1), dest: sid(2) })
+            .at(20, Instruction::Write { slice: 1, offset: 0, stream: sid(2) });
+        let retire = sim.run(&prog).unwrap();
+        assert_eq!(retire, 25);
+        let out = crate::vxm::to_f32_lanes(sim.sram(1, 0).unwrap());
+        assert!(out.iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn unit_busy_is_detected() {
+        // Two MEM reads back-to-back: second scheduled before 5-cycle
+        // latency elapses.
+        let prog = ChipProgram::new()
+            .at(0, Instruction::Read { slice: 0, offset: 0, stream: sid(0), dir: tsm_isa::Direction::East })
+            .at(2, Instruction::Read { slice: 0, offset: 1, stream: sid(1), dir: tsm_isa::Direction::East });
+        let err = ChipSim::new().run(&prog).unwrap_err();
+        assert_eq!(err, ExecError::UnitBusy { unit: FunctionalUnit::Mem, cycle: 2, free_at: 5 });
+    }
+
+    #[test]
+    fn sync_parks_until_notify() {
+        // MEM read scheduled while ICU... SYNC parks only its own unit; we
+        // park ICU and verify a later ICU Nop errors, then NOTIFY clears.
+        let bad = ChipProgram::new()
+            .at(0, Instruction::Sync)
+            .at(10, Instruction::Nop);
+        let err = ChipSim::new().run(&bad).unwrap_err();
+        assert!(matches!(err, ExecError::UnitParked { unit: FunctionalUnit::Icu, cycle: 10 }));
+
+        let good = ChipProgram::new()
+            .at(0, Instruction::Sync)
+            .at(10, Instruction::Notify)
+            .at(20, Instruction::Nop);
+        assert!(ChipSim::new().run(&good).is_ok());
+    }
+
+    #[test]
+    fn deskew_forces_epoch_alignment() {
+        // DESKEW at cycle 10 stalls to cycle 252; next ICU instruction at
+        // 100 is a schedule bug, at 252 it is legal.
+        let bad = ChipProgram::new().at(10, Instruction::Deskew).at(100, Instruction::Nop);
+        let err = ChipSim::new().run(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeskewMisaligned {
+                unit: FunctionalUnit::Icu,
+                scheduled: 100,
+                boundary: 252
+            }
+        );
+        let good = ChipProgram::new().at(10, Instruction::Deskew).at(252, Instruction::Nop);
+        assert!(ChipSim::new().run(&good).is_ok());
+    }
+
+    #[test]
+    fn receive_consumes_delivery_in_order() {
+        let mut sim = ChipSim::new();
+        sim.deliver(3, 50, Vector::splat(1));
+        sim.deliver(3, 80, Vector::splat(2));
+        let prog = ChipProgram::new()
+            .at(60, Instruction::Receive { port: 3, stream: sid(0) })
+            .at(90, Instruction::Receive { port: 3, stream: sid(1) });
+        sim.run(&prog).unwrap();
+        assert_eq!(sim.stream(sid(0)), Some(&Vector::splat(1)));
+        assert_eq!(sim.stream(sid(1)), Some(&Vector::splat(2)));
+    }
+
+    #[test]
+    fn receive_before_arrival_is_schedule_bug() {
+        let mut sim = ChipSim::new();
+        sim.deliver(3, 50, Vector::splat(1));
+        let prog = ChipProgram::new().at(40, Instruction::Receive { port: 3, stream: sid(0) });
+        assert_eq!(
+            sim.run(&prog).unwrap_err(),
+            ExecError::NothingReceived { port: 3, cycle: 40 }
+        );
+    }
+
+    #[test]
+    fn send_emits_stream_value() {
+        let mut sim = ChipSim::new();
+        sim.preload(0, 0, Vector::splat(9));
+        let prog = ChipProgram::new()
+            .at(0, Instruction::Read { slice: 0, offset: 0, stream: sid(4), dir: tsm_isa::Direction::East })
+            .at(10, Instruction::Send { port: 7, stream: sid(4) });
+        sim.run(&prog).unwrap();
+        assert_eq!(sim.emissions().len(), 1);
+        assert_eq!(sim.emissions()[0].port, 7);
+        assert_eq!(sim.emissions()[0].vector, Vector::splat(9));
+    }
+
+    #[test]
+    fn stream_conflict_is_detected() {
+        let mut sim = ChipSim::new();
+        sim.preload(0, 0, Vector::splat(1));
+        sim.deliver(1, 0, Vector::splat(2));
+        // MEM read and C2C receive both write stream 0 at cycle 10.
+        let prog = ChipProgram::new()
+            .at(10, Instruction::Read { slice: 0, offset: 0, stream: sid(0), dir: tsm_isa::Direction::East })
+            .at(10, Instruction::Receive { port: 1, stream: sid(0) });
+        let err = sim.run(&prog).unwrap_err();
+        assert!(matches!(err, ExecError::StreamConflict { cycle: 10, .. }));
+    }
+
+    #[test]
+    fn reading_empty_stream_errors() {
+        let prog = ChipProgram::new().at(0, Instruction::Send { port: 0, stream: sid(5) });
+        assert_eq!(
+            ChipSim::new().run(&prog).unwrap_err(),
+            ExecError::StreamEmpty { stream: sid(5), cycle: 0 }
+        );
+    }
+
+    #[test]
+    fn identical_programs_produce_identical_state() {
+        let build = || {
+            let mut sim = ChipSim::new();
+            sim.preload(2, 7, Vector::from_fn(|i| i as u8));
+            let prog = ChipProgram::new()
+                .at(0, Instruction::Read { slice: 2, offset: 7, stream: sid(0), dir: tsm_isa::Direction::East })
+                .at(10, Instruction::Permute { input: sid(0), output: sid(1) })
+                .at(20, Instruction::Write { slice: 3, offset: 0, stream: sid(1) });
+            sim.run(&prog).unwrap();
+            sim.sram(3, 0).unwrap().digest()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,187 @@
+//! Matrix execution module timing: the paper's GEMM decomposition model.
+//!
+//! "the compiler decomposes a matrix multiply into `[1×K]×[K×320]`
+//! sub-operations, where K=[160,320] i.e. the vector lengths of the
+//! hardware for FP16 and int8 respectively. Additionally, a TSP can run two
+//! FP16 or four int8 sub-operations each cycle." (paper §5.2)
+//!
+//! Utilization losses come from two sources:
+//!
+//! * **padding quantization** — dimensions that are not multiples of
+//!   K / 320 waste part of the last tile (this is all that matters at the
+//!   Fig 13 shapes, keeping TSP utilization ≥ 80 % across arbitrary
+//!   matrix sizes, in contrast to a GPU's wave quantization);
+//! * **weight installation** — each `[K×320]` weight tile takes K cycles
+//!   to load into the array. Installation streams concurrently with
+//!   compute (double-buffered), so it only binds when there are too few
+//!   activation rows to hide it — the batch-1 vector-matrix regime of
+//!   LSTMs, where MXM utilization collapses.
+
+use crate::spec::{mxm_k, ChipSpec};
+use tsm_isa::ElemType;
+
+/// A GEMM `[M×N] × [N×L]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of the first operand.
+    pub m: u64,
+    /// Inner (contraction) dimension.
+    pub n: u64,
+    /// Columns of the second operand.
+    pub l: u64,
+}
+
+impl GemmShape {
+    /// Creates a shape; all dimensions must be nonzero.
+    pub fn new(m: u64, n: u64, l: u64) -> Self {
+        assert!(m > 0 && n > 0 && l > 0, "GEMM dimensions must be nonzero");
+        GemmShape { m, n, l }
+    }
+
+    /// Useful floating-point operations (multiply + add).
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.n * self.l
+    }
+
+    /// Bytes of the second (weight) operand.
+    pub fn weight_bytes(&self, ty: ElemType) -> u64 {
+        self.n * self.l * ty.bytes() as u64
+    }
+
+    /// Bytes of the first (activation) operand.
+    pub fn activation_bytes(&self, ty: ElemType) -> u64 {
+        self.m * self.n * ty.bytes() as u64
+    }
+
+    /// Bytes of the result, assuming same-width output.
+    pub fn output_bytes(&self, ty: ElemType) -> u64 {
+        self.m * self.l * ty.bytes() as u64
+    }
+}
+
+/// Timing of one GEMM on a single TSP's MXM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmTiming {
+    /// `[1×K]×[K×320]` sub-operations issued (including padding waste).
+    pub subops: u64,
+    /// Weight-installation cycles (K per tile), overlapped with compute.
+    pub install_cycles: u64,
+    /// MXM-busy cycles: max(compute, install) under double buffering.
+    pub cycles: u64,
+    /// Fraction of issued MAC capacity doing useful work (0, 1].
+    pub utilization: f64,
+    /// Realized throughput in TFLOPs at the production clock.
+    pub realized_tflops: f64,
+}
+
+/// Computes the MXM timing of `shape` at element type `ty`.
+pub fn gemm_timing(shape: GemmShape, ty: ElemType) -> GemmTiming {
+    let spec = ChipSpec::production();
+    let k = mxm_k(ty) as u64;
+    let n_tiles = shape.n.div_ceil(k);
+    let l_tiles = shape.l.div_ceil(320);
+    let subops = shape.m * n_tiles * l_tiles;
+    let compute = subops.div_ceil(ty.mxm_subops_per_cycle() as u64).max(1);
+    // Each [K×320] weight tile loads one row per cycle (K cycles) and can
+    // stream in behind the previous tile's compute.
+    let install_cycles = n_tiles * l_tiles * k;
+    let cycles = compute.max(install_cycles);
+    let peak_per_cycle = spec.peak_flops_per_cycle(ty);
+    let utilization = shape.flops() as f64 / (cycles as f64 * peak_per_cycle);
+    let realized_tflops = utilization * spec.peak_tflops(ty);
+    GemmTiming { subops, install_cycles, cycles, utilization, realized_tflops }
+}
+
+/// Seconds to execute `shape` on one TSP.
+pub fn gemm_seconds(shape: GemmShape, ty: ElemType) -> f64 {
+    gemm_timing(shape, ty).cycles as f64 / ChipSpec::production().clock_hz as f64
+}
+
+/// The Fig 13 sweep: utilization of `[2304×4096]×[4096×N]` for a range of
+/// N values, as in the paper's comparison against an A100 (after [33]).
+pub fn fig13_sweep(n_values: impl IntoIterator<Item = u64>) -> Vec<(u64, f64)> {
+    n_values
+        .into_iter()
+        .map(|n| (n, gemm_timing(GemmShape::new(2304, 4096, n), ElemType::F16).utilization))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tile_multiple_has_peak_utilization_shapewise() {
+        // N multiple of 160, L multiple of 320, and enough rows to hide
+        // the weight installs: utilization exactly 1.0.
+        let t = gemm_timing(GemmShape::new(640, 320, 640), ElemType::F16);
+        assert!((t.utilization - 1.0).abs() < 1e-12, "{}", t.utilization);
+        assert_eq!(t.subops, 640 * 2 * 2);
+        assert_eq!(t.cycles, 1280);
+        assert_eq!(t.install_cycles, 2 * 2 * 160);
+    }
+
+    #[test]
+    fn padding_quantization_costs_utilization() {
+        // L = 321 wastes almost half the second tile column.
+        let t = gemm_timing(GemmShape::new(640, 320, 321), ElemType::F16);
+        assert!(t.utilization > 0.50 && t.utilization < 0.51, "{}", t.utilization);
+    }
+
+    #[test]
+    fn batch_one_vector_matrix_is_install_bound() {
+        // [1×1024]×[1024×4096]: nothing hides the 91 tile installs, so the
+        // MXM idles — the LSTM batch-1 regime.
+        let t = gemm_timing(GemmShape::new(1, 1024, 4096), ElemType::F16);
+        assert_eq!(t.cycles, t.install_cycles);
+        assert!(t.utilization < 0.01, "{}", t.utilization);
+    }
+
+    #[test]
+    fn fig13_tsp_utilization_stays_above_80_percent() {
+        // Paper Fig 13: "at least 80% utilization consistently at different
+        // matrix sizes" for [2304×4096]×[4096×N], N = 1376..3500.
+        for (n, util) in fig13_sweep((1376..=3500).step_by(31)) {
+            assert!(util >= 0.80, "N={n}: utilization {util}");
+        }
+    }
+
+    #[test]
+    fn int8_compute_rate_is_4x_fp16() {
+        // Enough rows to stay compute-bound in both precisions.
+        let shape = GemmShape::new(2560, 640, 640);
+        let f = gemm_timing(shape, ElemType::F16);
+        let i = gemm_timing(shape, ElemType::I8);
+        // int8: K doubles (half the N tiles) and subops/cycle doubles.
+        assert_eq!(i.cycles * 4, f.cycles);
+    }
+
+    #[test]
+    fn flops_and_byte_accounting() {
+        let s = GemmShape::new(10, 20, 30);
+        assert_eq!(s.flops(), 12_000);
+        assert_eq!(s.weight_bytes(ElemType::F16), 1200);
+        assert_eq!(s.activation_bytes(ElemType::F16), 400);
+        assert_eq!(s.output_bytes(ElemType::F16), 600);
+    }
+
+    #[test]
+    fn gemm_seconds_scales_with_work() {
+        let small = gemm_seconds(GemmShape::new(3200, 320, 320), ElemType::F16);
+        let large = gemm_seconds(GemmShape::new(6400, 320, 320), ElemType::F16);
+        assert!((large / small - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn realized_tflops_bounded_by_peak() {
+        let t = gemm_timing(GemmShape::new(2304, 4096, 2048), ElemType::F16);
+        assert!(t.realized_tflops <= ChipSpec::production().peak_tflops(ElemType::F16));
+        assert!(t.realized_tflops > 100.0);
+    }
+}

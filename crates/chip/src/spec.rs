@@ -1,0 +1,86 @@
+//! Chip capacity constants.
+
+use tsm_isa::timing::CLOCK_HZ;
+use tsm_isa::ElemType;
+
+/// Static description of one TSP's compute capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSpec {
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// Vector length in bytes.
+    pub vector_bytes: usize,
+    /// Streams per direction.
+    pub streams_per_direction: usize,
+}
+
+impl ChipSpec {
+    /// The production configuration: 900 MHz, 320-byte vectors, 32 streams
+    /// per direction.
+    pub fn production() -> Self {
+        ChipSpec { clock_hz: CLOCK_HZ, vector_bytes: 320, streams_per_direction: 32 }
+    }
+
+    /// Peak multiply-accumulate FLOPs per cycle for an element type: each
+    /// `[1×K]×[K×320]` sub-op is `K × 320` MACs = `2·K·320` FLOPs, and the
+    /// MXM retires [`ElemType::mxm_subops_per_cycle`] of them per cycle.
+    pub fn peak_flops_per_cycle(&self, ty: ElemType) -> f64 {
+        let k = mxm_k(ty) as f64;
+        2.0 * k * 320.0 * ty.mxm_subops_per_cycle() as f64
+    }
+
+    /// Peak throughput in TFLOPs (10¹² FLOPs/s) for an element type.
+    ///
+    /// FP16: 2 · 160 · 320 · 2 = 204,800 FLOPs/cycle × 900 MHz ≈ 184 TFLOPs,
+    /// matching the TSP's advertised FP16 capability.
+    pub fn peak_tflops(&self, ty: ElemType) -> f64 {
+        self.peak_flops_per_cycle(ty) * self.clock_hz as f64 / 1e12
+    }
+}
+
+/// The MXM inner dimension for an element type: "K=[160,320] i.e. the
+/// vector lengths of the hardware for FP16 and int8 respectively"
+/// (paper §5.2).
+pub fn mxm_k(ty: ElemType) -> usize {
+    match ty {
+        ElemType::F16 => 160,
+        ElemType::I8 => 320,
+        ElemType::F32 => 80,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_spec_constants() {
+        let s = ChipSpec::production();
+        assert_eq!(s.clock_hz, 900_000_000);
+        assert_eq!(s.vector_bytes, 320);
+        assert_eq!(s.streams_per_direction, 32);
+    }
+
+    #[test]
+    fn fp16_peak_is_about_184_tflops() {
+        let s = ChipSpec::production();
+        let t = s.peak_tflops(ElemType::F16);
+        assert!((t - 184.32).abs() < 0.1, "got {t}");
+    }
+
+    #[test]
+    fn int8_peak_doubles_fp16() {
+        let s = ChipSpec::production();
+        // int8: 2·320·320·4 = 819,200 ops/cycle — 4x the FP16 MACs/cycle,
+        // 2x the FP16 "FLOPs" rate given K doubles and subops double.
+        let i8 = s.peak_flops_per_cycle(ElemType::I8);
+        let f16 = s.peak_flops_per_cycle(ElemType::F16);
+        assert_eq!(i8, 4.0 * f16);
+    }
+
+    #[test]
+    fn mxm_k_matches_paper() {
+        assert_eq!(mxm_k(ElemType::F16), 160);
+        assert_eq!(mxm_k(ElemType::I8), 320);
+    }
+}

@@ -1,0 +1,149 @@
+//! Vector execution module: pointwise ALU semantics on FP32 lanes.
+//!
+//! The VXM chains pointwise ALUs so data is modified "in a single fly-by"
+//! (paper §5.5). Vectors are interpreted as 80 little-endian FP32 lanes
+//! here; the Cholesky kernel of §5.5 (subtract, rsqrt, scale) runs on
+//! these semantics.
+
+use tsm_isa::instr::VectorOpcode;
+use tsm_isa::vector::VECTOR_BYTES;
+use tsm_isa::Vector;
+
+/// FP32 lanes per vector.
+pub const F32_LANES: usize = VECTOR_BYTES / 4;
+
+/// Reads the FP32 lanes of a vector.
+pub fn to_f32_lanes(v: &Vector) -> [f32; F32_LANES] {
+    let mut out = [0f32; F32_LANES];
+    let bytes = v.as_bytes();
+    for (i, lane) in out.iter_mut().enumerate() {
+        *lane = f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    out
+}
+
+/// Builds a vector from FP32 lanes.
+pub fn from_f32_lanes(lanes: &[f32; F32_LANES]) -> Vector {
+    let mut bytes = [0u8; VECTOR_BYTES];
+    for (i, lane) in lanes.iter().enumerate() {
+        bytes[i * 4..i * 4 + 4].copy_from_slice(&lane.to_le_bytes());
+    }
+    Vector::from_slice(&bytes).expect("length exact")
+}
+
+/// The TSP's custom reciprocal-square-root approximation (paper §5.5:
+/// "rsqrt is a custom approximation of the reciprocal square root
+/// function"): an exponent-halving initial guess refined by two
+/// Newton–Raphson iterations, accurate to ~1e-6 relative error.
+pub fn rsqrt_approx(x: f32) -> f32 {
+    if x <= 0.0 {
+        return f32::NAN;
+    }
+    let i = x.to_bits();
+    let guess = f32::from_bits(0x5f37_59df - (i >> 1));
+    let half = 0.5 * x;
+    let mut y = guess;
+    y = y * (1.5 - half * y * y);
+    y = y * (1.5 - half * y * y);
+    y
+}
+
+/// Executes one pointwise VXM op. `b` is ignored by unary opcodes.
+pub fn execute(op: VectorOpcode, a: &Vector, b: &Vector) -> Vector {
+    let la = to_f32_lanes(a);
+    let lb = to_f32_lanes(b);
+    let mut out = [0f32; F32_LANES];
+    match op {
+        VectorOpcode::Add => {
+            for i in 0..F32_LANES {
+                out[i] = la[i] + lb[i];
+            }
+        }
+        VectorOpcode::Sub => {
+            for i in 0..F32_LANES {
+                out[i] = la[i] - lb[i];
+            }
+        }
+        VectorOpcode::Mul => {
+            for i in 0..F32_LANES {
+                out[i] = la[i] * lb[i];
+            }
+        }
+        VectorOpcode::Rsqrt => {
+            for i in 0..F32_LANES {
+                out[i] = rsqrt_approx(la[i]);
+            }
+        }
+        VectorOpcode::Splat => {
+            out = [la[0]; F32_LANES];
+        }
+    }
+    from_f32_lanes(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(f: impl Fn(usize) -> f32) -> Vector {
+        let mut lanes = [0f32; F32_LANES];
+        for (i, l) in lanes.iter_mut().enumerate() {
+            *l = f(i);
+        }
+        from_f32_lanes(&lanes)
+    }
+
+    #[test]
+    fn lane_roundtrip() {
+        let v = vec_of(|i| i as f32 * 1.5 - 3.0);
+        let lanes = to_f32_lanes(&v);
+        assert_eq!(from_f32_lanes(&lanes), v);
+    }
+
+    #[test]
+    fn add_sub_mul_lanewise() {
+        let a = vec_of(|i| i as f32);
+        let b = vec_of(|_| 2.0);
+        assert_eq!(to_f32_lanes(&execute(VectorOpcode::Add, &a, &b))[5], 7.0);
+        assert_eq!(to_f32_lanes(&execute(VectorOpcode::Sub, &a, &b))[5], 3.0);
+        assert_eq!(to_f32_lanes(&execute(VectorOpcode::Mul, &a, &b))[5], 10.0);
+    }
+
+    #[test]
+    fn rsqrt_is_accurate_to_1e6_relative() {
+        for x in [0.25f32, 1.0, 2.0, 9.0, 1e4, 1e-4, 123.456] {
+            let got = rsqrt_approx(x);
+            let want = 1.0 / x.sqrt();
+            assert!(((got - want) / want).abs() < 1e-5, "x={x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rsqrt_of_nonpositive_is_nan() {
+        assert!(rsqrt_approx(0.0).is_nan());
+        assert!(rsqrt_approx(-4.0).is_nan());
+    }
+
+    #[test]
+    fn splat_broadcasts_lane_zero() {
+        let a = vec_of(|i| if i == 0 { 42.0 } else { -1.0 });
+        let out = to_f32_lanes(&execute(VectorOpcode::Splat, &a, &a));
+        assert!(out.iter().all(|&x| x == 42.0));
+    }
+
+    #[test]
+    fn cholesky_inner_step_composition() {
+        // paper §5.5: updates = (S - U) * splat(rsqrt(pivot))
+        let s = vec_of(|i| (i + 4) as f32);
+        let u = vec_of(|_| 0.0);
+        let diff = execute(VectorOpcode::Sub, &s, &u);
+        let r = execute(VectorOpcode::Rsqrt, &diff, &diff);
+        let splat = execute(VectorOpcode::Splat, &r, &r);
+        let updates = execute(VectorOpcode::Mul, &diff, &splat);
+        let lanes = to_f32_lanes(&updates);
+        // lane 0: pivot / sqrt(pivot) = sqrt(pivot) = 2.0
+        assert!((lanes[0] - 2.0).abs() < 1e-4);
+        // lane i: (i+4)/2
+        assert!((lanes[6] - 5.0).abs() < 1e-3);
+    }
+}

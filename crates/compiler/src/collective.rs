@@ -1,0 +1,245 @@
+//! Collective communication planning: the barrier-free all-reduce
+//! (paper §5.3, §5.6, Fig 16).
+//!
+//! The TSP all-reduce needs no mutex, flag or fence: the compiler knows
+//! the cycle each partial sum arrives, so consumers are simply scheduled
+//! after producers ("the consumer will respect the data dependence",
+//! §5.3). The plans here are *actual link schedules* built on
+//! [`LinkOccupancy`], not closed-form estimates — their completion times
+//! are what the harness reports as realized bandwidth.
+
+use tsm_isa::timing::{cycles_to_seconds, HOP_LATENCY_NS};
+use tsm_isa::vector::vectors_for_bytes;
+use tsm_net::ssn::{LinkOccupancy, SsnError};
+use tsm_topology::route::shortest_path;
+use tsm_topology::{NodeId, Topology, TspId, TSPS_PER_NODE};
+
+/// Pipeline latency of the VXM reduction pass appended after the last
+/// operand arrives (the adds themselves overlap arrivals).
+const REDUCE_PIPE_CYCLES: u64 = 4;
+
+/// Result of planning one all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllReduceReport {
+    /// Tensor size per participant, in bytes.
+    pub bytes: u64,
+    /// Participants.
+    pub participants: usize,
+    /// Completion time in cycles from a cold network.
+    pub completion_cycles: u64,
+    /// Completion time in seconds.
+    pub seconds: f64,
+    /// Algorithm bandwidth: bytes / time.
+    pub algo_gbs: f64,
+    /// Bus bandwidth (nccl-tests convention): `algo × 2(k−1)/k` — the
+    /// number Fig 16 plots.
+    pub bus_gbs: f64,
+}
+
+fn report(bytes: u64, participants: usize, completion_cycles: u64) -> AllReduceReport {
+    let seconds = cycles_to_seconds(completion_cycles.max(1));
+    let algo_gbs = bytes as f64 / seconds / 1e9;
+    let k = participants as f64;
+    AllReduceReport {
+        bytes,
+        participants,
+        completion_cycles,
+        seconds,
+        algo_gbs,
+        bus_gbs: algo_gbs * 2.0 * (k - 1.0) / k,
+    }
+}
+
+/// Plans the 8-way intra-node all-reduce of Fig 16: reduce-scatter then
+/// all-gather over the node's full mesh, every link carrying exactly one
+/// shard per direction per stage.
+pub fn allreduce_intra_node(
+    topo: &Topology,
+    node: NodeId,
+    bytes: u64,
+) -> Result<AllReduceReport, SsnError> {
+    let devices: Vec<TspId> = node.tsps().collect();
+    let k = devices.len();
+    let total_vectors = vectors_for_bytes(bytes);
+    let shard = total_vectors.div_ceil(k as u64).max(1);
+    let mut occ = LinkOccupancy::new();
+
+    // Stage 1 — reduce-scatter: device i sends shard j to device j.
+    let mut stage1_done = 0;
+    for &i in &devices {
+        for &j in &devices {
+            if i == j {
+                continue;
+            }
+            let path = shortest_path(topo, i, j).expect("node mesh is connected");
+            let s = occ.schedule_transfer(topo, &path, shard, 0)?;
+            stage1_done = stage1_done.max(s.last_arrival);
+        }
+    }
+    stage1_done += REDUCE_PIPE_CYCLES;
+
+    // Stage 2 — all-gather: device j broadcasts its reduced shard.
+    let mut done = stage1_done;
+    for &j in &devices {
+        for &i in &devices {
+            if i == j {
+                continue;
+            }
+            let path = shortest_path(topo, j, i).expect("node mesh is connected");
+            let s = occ.schedule_transfer(topo, &path, shard, stage1_done)?;
+            done = done.max(s.last_arrival);
+        }
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes, k, done))
+}
+
+/// Plans the three-stage hierarchical all-reduce of paper §5.6 over a
+/// fully-connected-node system: (1) intra-node reduce-scatter, (2)
+/// inter-node exchange of each shard over the global links, (3) intra-node
+/// all-gather.
+pub fn allreduce_hierarchical(topo: &Topology, bytes: u64) -> Result<AllReduceReport, SsnError> {
+    let n_nodes = topo.num_nodes();
+    assert!(n_nodes >= 2, "hierarchical all-reduce needs multiple nodes");
+    let total_vectors = vectors_for_bytes(bytes);
+    let shard = total_vectors.div_ceil(TSPS_PER_NODE as u64).max(1); // per slot
+    let sub = shard.div_ceil(n_nodes as u64).max(1); // per (slot, node) exchange
+    let mut occ = LinkOccupancy::new();
+    let nodes: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
+
+    // Stage 1 — intra-node reduce-scatter on every node concurrently.
+    let mut t1 = 0;
+    for &node in &nodes {
+        let devs: Vec<TspId> = node.tsps().collect();
+        for &i in &devs {
+            for &j in &devs {
+                if i == j {
+                    continue;
+                }
+                let p = shortest_path(topo, i, j).expect("connected");
+                let s = occ.schedule_transfer(topo, &p, shard, 0)?;
+                t1 = t1.max(s.last_arrival);
+            }
+        }
+    }
+    t1 += REDUCE_PIPE_CYCLES;
+
+    // Stage 2 — slot-s TSPs exchange sub-shards across nodes.
+    let mut t2 = t1;
+    for slot in 0..TSPS_PER_NODE {
+        for &na in &nodes {
+            for &nb in &nodes {
+                if na == nb {
+                    continue;
+                }
+                let a = TspId(na.0 * TSPS_PER_NODE as u32 + slot as u32);
+                let b = TspId(nb.0 * TSPS_PER_NODE as u32 + slot as u32);
+                let p = shortest_path(topo, a, b).expect("connected");
+                let s = occ.schedule_transfer(topo, &p, sub, t1)?;
+                t2 = t2.max(s.last_arrival);
+            }
+        }
+    }
+    t2 += REDUCE_PIPE_CYCLES;
+
+    // Stage 3 — intra-node all-gather.
+    let mut t3 = t2;
+    for &node in &nodes {
+        let devs: Vec<TspId> = node.tsps().collect();
+        for &j in &devs {
+            for &i in &devs {
+                if i == j {
+                    continue;
+                }
+                let p = shortest_path(topo, j, i).expect("connected");
+                let s = occ.schedule_transfer(topo, &p, shard, t2)?;
+                t3 = t3.max(s.last_arrival);
+            }
+        }
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes, topo.num_tsps(), t3))
+}
+
+/// The paper's §5.6 latency claim: a fine-grained all-reduce across a
+/// 256-TSP Dragonfly pipelines over `hops` network hops at 722 ns each
+/// ("722 ns per hop × 3 hops = 2,166 ns, or ≈2.1 µsec").
+pub fn pipelined_allreduce_latency_ns(hops: u32) -> f64 {
+    hops as f64 * HOP_LATENCY_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn intra_node_allreduce_saturates_near_link_capacity() {
+        // Asymptotic bus bandwidth: each TSP's 7 links carry one shard per
+        // direction per stage -> busbw approaches 7 x 12.5 GB/s ≈ 87.5.
+        let topo = Topology::single_node();
+        let r = allreduce_intra_node(&topo, NodeId(0), 256 << 20).unwrap();
+        assert!(r.bus_gbs > 70.0, "bus bw {}", r.bus_gbs);
+        assert!(r.bus_gbs < 90.0, "bus bw {} exceeds wire capacity", r.bus_gbs);
+    }
+
+    #[test]
+    fn small_allreduce_is_latency_bound_microseconds() {
+        // Fine-grained collectives finish in ~1 µs — the TSP advantage at
+        // small sizes in Fig 16.
+        let topo = Topology::single_node();
+        let r = allreduce_intra_node(&topo, NodeId(0), 1024).unwrap();
+        assert!(r.seconds < 2e-6, "{} s", r.seconds);
+        assert!(r.bus_gbs < 10.0);
+    }
+
+    #[test]
+    fn bandwidth_increases_monotonically_with_size_then_saturates() {
+        let topo = Topology::single_node();
+        let sizes = [1u64 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26];
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&s| allreduce_intra_node(&topo, NodeId(0), s).unwrap().bus_gbs)
+            .collect();
+        for w in bws.windows(2) {
+            assert!(w[1] >= w[0] * 0.99, "{bws:?}");
+        }
+        assert!(bws[4] / bws[3] < 1.1, "should be saturated: {bws:?}");
+    }
+
+    #[test]
+    fn report_math_is_consistent() {
+        let r = report(1_000_000, 8, 900_000); // 1 MB in 1 ms = 1 GB/s
+        assert!((r.seconds - 1e-3).abs() < 1e-12);
+        assert!((r.algo_gbs - 1.0).abs() < 1e-9);
+        assert!((r.bus_gbs - r.algo_gbs * 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_allreduce_completes_and_beats_naive_flat() {
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        let r = allreduce_hierarchical(&topo, 1 << 20).unwrap();
+        assert_eq!(r.participants, 32);
+        assert!(r.seconds > 0.0);
+        assert!(r.bus_gbs > 10.0, "bus bw {}", r.bus_gbs);
+    }
+
+    #[test]
+    fn sec56_latency_claim() {
+        let ns = pipelined_allreduce_latency_ns(3);
+        assert!((ns - 2166.0).abs() < 1e-9);
+        assert!(ns < 3000.0, "under 3 µs end-to-end (abstract claim)");
+    }
+
+    #[test]
+    fn hierarchical_scales_participants_with_nodes() {
+        let t2 = Topology::fully_connected_nodes(2).unwrap();
+        let t8 = Topology::fully_connected_nodes(8).unwrap();
+        let r2 = allreduce_hierarchical(&t2, 1 << 18).unwrap();
+        let r8 = allreduce_hierarchical(&t8, 1 << 18).unwrap();
+        assert_eq!(r2.participants, 16);
+        assert_eq!(r8.participants, 64);
+        // More nodes => more inter-node exchange, longer completion.
+        assert!(r8.completion_cycles > r2.completion_cycles);
+    }
+}

@@ -1,0 +1,262 @@
+//! The rest of the collective family: broadcast, reduce, all-gather and
+//! reduce-scatter over the node's full mesh.
+//!
+//! The paper evaluates all-reduce (§5.3) because it is the performance-
+//! critical one, but the same barrier-free scheduling discipline plans
+//! every collective: each is a set of scheduled transfers on the
+//! [`LinkOccupancy`] table, and its completion time *is* the plan.
+
+use crate::collective::AllReduceReport;
+use tsm_isa::timing::cycles_to_seconds;
+use tsm_isa::vector::vectors_for_bytes;
+use tsm_net::ssn::{LinkOccupancy, SsnError};
+use tsm_topology::route::shortest_path;
+use tsm_topology::{NodeId, Topology, TspId};
+
+/// Pipeline latency of the VXM pass appended to reduction stages.
+const REDUCE_PIPE_CYCLES: u64 = 4;
+
+/// A planned collective (shared report shape: completion + bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveReport {
+    /// Payload size (per participant for gather-type, total for
+    /// broadcast-type), bytes.
+    pub bytes: u64,
+    /// Participants.
+    pub participants: usize,
+    /// Completion cycles from a cold network.
+    pub completion_cycles: u64,
+    /// Completion in seconds.
+    pub seconds: f64,
+    /// Algorithm bandwidth: bytes / time.
+    pub algo_gbs: f64,
+}
+
+fn report(bytes: u64, participants: usize, completion: u64) -> CollectiveReport {
+    let seconds = cycles_to_seconds(completion.max(1));
+    CollectiveReport {
+        bytes,
+        participants,
+        completion_cycles: completion,
+        seconds,
+        algo_gbs: bytes as f64 / seconds / 1e9,
+    }
+}
+
+/// Broadcast `bytes` from `root` to its 7 node peers: scatter one eighth
+/// to each peer, then the peers all-gather the pieces among themselves —
+/// the classic two-phase broadcast that turns the root's single injection
+/// bottleneck into full-mesh parallelism.
+pub fn broadcast_intra_node(
+    topo: &Topology,
+    root: TspId,
+    bytes: u64,
+) -> Result<CollectiveReport, SsnError> {
+    let peers: Vec<TspId> = root.node().tsps().filter(|&t| t != root).collect();
+    let total = vectors_for_bytes(bytes);
+    let chunk = total.div_ceil(8).max(1);
+    let mut occ = LinkOccupancy::new();
+
+    // Phase 1 — scatter: peer i gets chunk i (root keeps chunk 7).
+    let mut t1 = 0;
+    for &p in &peers {
+        let path = shortest_path(topo, root, p).expect("node mesh");
+        let s = occ.schedule_transfer(topo, &path, chunk, 0)?;
+        t1 = t1.max(s.last_arrival);
+    }
+    // Phase 2 — all-gather among all 8 (each re-broadcasts its chunk,
+    // including the root's remainder chunk).
+    let all: Vec<TspId> = root.node().tsps().collect();
+    let mut t2 = t1;
+    for &src in &all {
+        for &dst in &all {
+            if src == dst {
+                continue;
+            }
+            let path = shortest_path(topo, src, dst).expect("node mesh");
+            let s = occ.schedule_transfer(topo, &path, chunk, t1)?;
+            t2 = t2.max(s.last_arrival);
+        }
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes, 8, t2))
+}
+
+/// Reduce `bytes` from all 8 node TSPs onto `root`: reduce-scatter (each
+/// TSP owns one eighth of the reduced tensor) then gather the reduced
+/// shards to the root.
+pub fn reduce_intra_node(
+    topo: &Topology,
+    root: TspId,
+    bytes: u64,
+) -> Result<CollectiveReport, SsnError> {
+    let all: Vec<TspId> = root.node().tsps().collect();
+    let total = vectors_for_bytes(bytes);
+    let shard = total.div_ceil(8).max(1);
+    let mut occ = LinkOccupancy::new();
+
+    // Phase 1 — reduce-scatter.
+    let mut t1 = 0;
+    for &i in &all {
+        for &j in &all {
+            if i == j {
+                continue;
+            }
+            let path = shortest_path(topo, i, j).expect("node mesh");
+            let s = occ.schedule_transfer(topo, &path, shard, 0)?;
+            t1 = t1.max(s.last_arrival);
+        }
+    }
+    t1 += REDUCE_PIPE_CYCLES;
+    // Phase 2 — gather reduced shards to the root (7 inbound links in
+    // parallel).
+    let mut t2 = t1;
+    for &j in &all {
+        if j == root {
+            continue;
+        }
+        let path = shortest_path(topo, j, root).expect("node mesh");
+        let s = occ.schedule_transfer(topo, &path, shard, t1)?;
+        t2 = t2.max(s.last_arrival);
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes, 8, t2))
+}
+
+/// All-gather: every TSP contributes `bytes_per_rank` and ends with all
+/// eight contributions. One scheduled transfer per ordered pair.
+pub fn all_gather_intra_node(
+    topo: &Topology,
+    node: NodeId,
+    bytes_per_rank: u64,
+) -> Result<CollectiveReport, SsnError> {
+    let all: Vec<TspId> = node.tsps().collect();
+    let v = vectors_for_bytes(bytes_per_rank).max(1);
+    let mut occ = LinkOccupancy::new();
+    let mut done = 0;
+    for &src in &all {
+        for &dst in &all {
+            if src == dst {
+                continue;
+            }
+            let path = shortest_path(topo, src, dst).expect("node mesh");
+            let s = occ.schedule_transfer(topo, &path, v, 0)?;
+            done = done.max(s.last_arrival);
+        }
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes_per_rank * 8, 8, done))
+}
+
+/// Reduce-scatter: every TSP contributes `bytes` and ends with one eighth
+/// of the element-wise sum.
+pub fn reduce_scatter_intra_node(
+    topo: &Topology,
+    node: NodeId,
+    bytes: u64,
+) -> Result<CollectiveReport, SsnError> {
+    let all: Vec<TspId> = node.tsps().collect();
+    let shard = vectors_for_bytes(bytes).div_ceil(8).max(1);
+    let mut occ = LinkOccupancy::new();
+    let mut done = 0;
+    for &src in &all {
+        for &dst in &all {
+            if src == dst {
+                continue;
+            }
+            let path = shortest_path(topo, src, dst).expect("node mesh");
+            let s = occ.schedule_transfer(topo, &path, shard, 0)?;
+            done = done.max(s.last_arrival);
+        }
+    }
+    tsm_net::ssn::validate(occ.reservations())?;
+    Ok(report(bytes, 8, done + REDUCE_PIPE_CYCLES))
+}
+
+/// Consistency helper: an all-reduce is a reduce-scatter followed by an
+/// all-gather of the reduced shards; the composed plans should bracket the
+/// fused plan of [`crate::collective::allreduce_intra_node`].
+pub fn composed_allreduce_cycles(topo: &Topology, node: NodeId, bytes: u64) -> u64 {
+    let rs = reduce_scatter_intra_node(topo, node, bytes).expect("schedules");
+    let ag = all_gather_intra_node(topo, node, bytes.div_ceil(8)).expect("schedules");
+    rs.completion_cycles + ag.completion_cycles
+}
+
+/// Re-export of the fused all-reduce report type for symmetric imports.
+pub type FusedAllReduce = AllReduceReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::allreduce_intra_node;
+    use tsm_topology::Topology;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn two_phase_broadcast_beats_naive_for_large_tensors() {
+        let topo = Topology::single_node();
+        let r = broadcast_intra_node(&topo, TspId(0), 8 * MB).unwrap();
+        // Naive: root sends the full tensor on each of its 7 links in
+        // parallel -> V·slot ≈ 8MB/320·24 cycles.
+        let naive = vectors_for_bytes(8 * MB) * 24 + 228;
+        assert!(
+            r.completion_cycles < naive / 2,
+            "two-phase {} vs naive {}",
+            r.completion_cycles,
+            naive
+        );
+        assert_eq!(r.participants, 8);
+    }
+
+    #[test]
+    fn reduce_mirrors_broadcast_asymptotically() {
+        let topo = Topology::single_node();
+        let b = broadcast_intra_node(&topo, TspId(0), 16 * MB).unwrap();
+        let r = reduce_intra_node(&topo, TspId(0), 16 * MB).unwrap();
+        let ratio = r.completion_cycles as f64 / b.completion_cycles as f64;
+        assert!((0.5..2.0).contains(&ratio), "reduce/broadcast ratio {ratio}");
+    }
+
+    #[test]
+    fn all_gather_scales_with_contribution_size() {
+        let topo = Topology::single_node();
+        let small = all_gather_intra_node(&topo, NodeId(0), 64 << 10).unwrap();
+        let large = all_gather_intra_node(&topo, NodeId(0), 1 << 20).unwrap();
+        let ratio = large.completion_cycles as f64 / small.completion_cycles as f64;
+        assert!((12.0..20.0).contains(&ratio), "16x data -> ~16x time, got {ratio}");
+    }
+
+    #[test]
+    fn composed_allreduce_brackets_fused_plan() {
+        let topo = Topology::single_node();
+        let fused = allreduce_intra_node(&topo, NodeId(0), 4 * MB).unwrap();
+        let composed = composed_allreduce_cycles(&topo, NodeId(0), 4 * MB);
+        // The fused plan overlaps nothing extra here (same stages), so the
+        // two should agree within the pipeline epsilon.
+        let ratio = composed as f64 / fused.completion_cycles as f64;
+        assert!((0.8..1.2).contains(&ratio), "composed/fused = {ratio}");
+    }
+
+    #[test]
+    fn collectives_validate_and_report_sane_bandwidth() {
+        let topo = Topology::single_node();
+        for bytes in [4096u64, 1 * MB, 32 * MB] {
+            let r = reduce_scatter_intra_node(&topo, NodeId(0), bytes).unwrap();
+            assert!(r.algo_gbs > 0.0 && r.algo_gbs < 500.0, "{bytes}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_the_torus_local_group_too() {
+        // Multi-hop paths on the ring: the planners only need
+        // shortest_path, so the §4.4 variant works unchanged (slower for
+        // all-to-all, as the ablation quantifies).
+        let torus = Topology::torus_node();
+        let r = broadcast_intra_node(&torus, TspId(0), MB).unwrap();
+        assert!(r.completion_cycles > 0);
+        let mesh = Topology::single_node();
+        let m = broadcast_intra_node(&mesh, TspId(0), MB).unwrap();
+        assert!(m.completion_cycles < r.completion_cycles, "mesh broadcast must win");
+    }
+}

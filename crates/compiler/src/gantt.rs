@@ -1,0 +1,98 @@
+//! ASCII Gantt rendering of a schedule dump.
+//!
+//! A compiled program is a timeline; rendering it makes schedule bugs
+//! (serialization where overlap was expected, idle bubbles, lopsided
+//! stages) visible at a glance in test logs and terminals.
+
+use crate::dump::ScheduleDump;
+use std::collections::BTreeMap;
+
+/// Renders one row per device, `width` characters across the span.
+///
+/// Cell glyphs: `G` gemm, `C` compute, `T` transfer (source device), `H`
+/// host I/O, `·` idle. Overlapping ops on one device show the later one.
+pub fn render(dump: &ScheduleDump, width: usize) -> String {
+    assert!(width >= 10, "give the chart at least 10 columns");
+    let span = dump.span_cycles.max(1);
+    let mut rows: BTreeMap<u32, Vec<char>> = BTreeMap::new();
+    for op in &dump.ops {
+        let row = rows.entry(op.device).or_insert_with(|| vec!['\u{b7}'; width]);
+        let glyph = match op.kind.as_str() {
+            "gemm" => 'G',
+            "compute" => 'C',
+            "transfer" => 'T',
+            "host_in" | "host_out" => 'H',
+            _ => '?',
+        };
+        let lo = (op.start as u128 * width as u128 / span as u128) as usize;
+        let hi = (op.end as u128 * width as u128 / span as u128) as usize;
+        for cell in row.iter_mut().take(hi.max(lo + 1).min(width)).skip(lo.min(width - 1)) {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "span: {} cycles ({:.1} µs); one column ≈ {} cycles\n",
+        span,
+        span as f64 / 900.0,
+        span / width as u64
+    ));
+    for (device, row) in rows {
+        out.push_str(&format!("tsp{device:<4} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, OpKind};
+    use crate::schedule::{compile, CompileOptions};
+    use tsm_topology::{Topology, TspId};
+
+    fn pipeline_dump() -> ScheduleDump {
+        let mut g = Graph::new();
+        let a = g.add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
+        let t = g
+            .add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 320_000, allow_nonminimal: true }, vec![a])
+            .unwrap();
+        g.add(TspId(1), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+        let topo = Topology::single_node();
+        let p = compile(&g, &topo, CompileOptions::default()).unwrap();
+        ScheduleDump::capture(&g, &p)
+    }
+
+    #[test]
+    fn renders_one_row_per_device() {
+        let chart = render(&pipeline_dump(), 60);
+        assert!(chart.contains("tsp0"));
+        assert!(chart.contains("tsp1"));
+        assert!(chart.contains('C'));
+        assert!(chart.contains('T'));
+        assert!(chart.lines().count() == 3);
+    }
+
+    #[test]
+    fn pipeline_shape_is_visible() {
+        // tsp0's compute precedes tsp1's: tsp1's row must start idle.
+        let chart = render(&pipeline_dump(), 60);
+        let tsp1 = chart.lines().find(|l| l.starts_with("tsp1")).unwrap();
+        let body: Vec<char> = tsp1.chars().skip_while(|&c| c != '|').skip(1).collect();
+        assert_eq!(body[0], '\u{b7}', "tsp1 idles while tsp0 computes: {chart}");
+        assert!(body.contains(&'C'));
+    }
+
+    #[test]
+    fn rendering_is_pure() {
+        let d = pipeline_dump();
+        assert_eq!(render(&d, 40), render(&d, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "10 columns")]
+    fn rejects_tiny_widths() {
+        let _ = render(&pipeline_dump(), 3);
+    }
+}

@@ -1,0 +1,280 @@
+//! Distributed GEMM partitioning: column-wise and row-wise weight splits
+//! (paper §5.2, Figs 14–15).
+//!
+//! * **Column-wise**: the second matrix `[N×L]` splits column-wise into
+//!   `X` pieces; each TSP computes `[M×N]×[N×(L/X)]` and results
+//!   concatenate — no reduction traffic.
+//! * **Row-wise**: the second matrix splits row-wise (and the first
+//!   column-wise); each TSP computes a full-size partial product
+//!   `[M×L']` that must be *reduced* across the split — compute scales
+//!   down, communication appears.
+//!
+//! The Fig 14 decomposition composes both: 8 column splits, then `r`
+//! row splits clustered within nodes so the reduction rides the node's
+//! full mesh.
+
+use crate::graph::{Graph, OpId, OpKind};
+use tsm_chip::mxm::GemmShape;
+use tsm_isa::ElemType;
+use tsm_topology::TspId;
+
+/// Splits `[M×N]×[N×L]` column-wise into `x` sub-GEMMs `[M×N]×[N×L/x]`.
+/// Remainder columns go to the last piece.
+pub fn column_split(shape: GemmShape, x: u64) -> Vec<GemmShape> {
+    assert!(x >= 1 && x <= shape.l, "column split count out of range");
+    let base = shape.l / x;
+    let rem = shape.l % x;
+    (0..x)
+        .map(|i| GemmShape::new(shape.m, shape.n, base + if i < rem { 1 } else { 0 }))
+        .collect()
+}
+
+/// Splits `[M×N]×[N×L]` row-wise into `r` sub-GEMMs `[M×N/r]×[N/r×L]`,
+/// whose `[M×L]` partial products must be summed.
+pub fn row_split(shape: GemmShape, r: u64) -> Vec<GemmShape> {
+    assert!(r >= 1 && r <= shape.n, "row split count out of range");
+    let base = shape.n / r;
+    let rem = shape.n % r;
+    (0..r)
+        .map(|i| GemmShape::new(shape.m, base + if i < rem { 1 } else { 0 }, shape.l))
+        .collect()
+}
+
+/// VXM cycles to sum one pair of `[M×L]` FP32 partials (one vector lane
+/// pass per 320 bytes).
+fn reduce_cycles(m: u64, l: u64, ty: ElemType) -> u64 {
+    let bytes = m * l * ty.bytes() as u64;
+    tsm_isa::vector::vectors_for_bytes(bytes) + 4
+}
+
+/// Builds the Fig 14 distributed-GEMM graph: `col_splits` column pieces,
+/// each computed by `row_splits` TSPs (clustered consecutively so each
+/// cluster lands in as few nodes as possible), partial products reduced
+/// pairwise within the cluster, using the given element type.
+///
+/// Devices are assigned densely: cluster `c` owns TSPs
+/// `[c·row_splits, (c+1)·row_splits)`.
+pub fn build_distributed_gemm(
+    shape: GemmShape,
+    col_splits: u64,
+    row_splits: u64,
+    ty: ElemType,
+) -> Graph {
+    let mut g = Graph::new();
+    let cols = column_split(shape, col_splits);
+    // Clusters of more than 8 row splits are aligned to whole nodes so
+    // every intra-cluster reduction but the last stays on the node mesh
+    // ("we try to cluster row-wise splits in a single node to leverage the
+    // Dragonfly topology", §5.2). Small clusters pack densely.
+    let cluster_stride = if row_splits <= 8 {
+        row_splits
+    } else {
+        row_splits.div_ceil(8) * 8
+    };
+    for (c, col_shape) in cols.iter().enumerate() {
+        let rows = row_split(*col_shape, row_splits);
+        let cluster_base = c as u64 * cluster_stride;
+        // each TSP computes its partial product
+        let partials: Vec<(OpId, TspId)> = rows
+            .iter()
+            .enumerate()
+            .map(|(r, &rs)| {
+                let dev = TspId((cluster_base + r as u64) as u32);
+                let id = g
+                    .add(dev, OpKind::Gemm { shape: rs, ty }, vec![])
+                    .expect("deps exist");
+                (id, dev)
+            })
+            .collect();
+        let partial_bytes = col_shape.m * col_shape.l * ty.bytes() as u64;
+        let cycles = reduce_cycles(col_shape.m, col_shape.l, ty);
+        // Locality-aware reduction (paper §5.2): "A reduction is applied
+        // within a node on all the partial results … Finally, if needed,
+        // the result on each node is reduced and transferred with one of
+        // its neighboring nodes over C2C." Pairwise trees within each
+        // node first, then a pairwise tree over the per-node results.
+        let mut by_node: std::collections::BTreeMap<u32, Vec<(OpId, TspId)>> = Default::default();
+        for p in partials {
+            by_node.entry(p.1.node().0).or_default().push(p);
+        }
+        let node_results: Vec<(OpId, TspId)> = by_node
+            .into_values()
+            .map(|group| pairwise_reduce(&mut g, group, partial_bytes, cycles))
+            .collect();
+        pairwise_reduce(&mut g, node_results, partial_bytes, cycles);
+    }
+    g
+}
+
+/// Reduces `partials` to a single sum with a pairwise tree: each step
+/// ships the second operand to the first operand's device and adds there.
+/// Returns the final (op, device).
+fn pairwise_reduce(
+    g: &mut Graph,
+    mut partials: Vec<(OpId, TspId)>,
+    partial_bytes: u64,
+    cycles: u64,
+) -> (OpId, TspId) {
+    assert!(!partials.is_empty());
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        for pair in partials.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let (a_id, a_dev) = pair[0];
+            let (b_id, b_dev) = pair[1];
+            let t = g
+                .add(
+                    b_dev,
+                    OpKind::Transfer { to: a_dev, bytes: partial_bytes, allow_nonminimal: true },
+                    vec![b_id],
+                )
+                .expect("deps exist");
+            let sum = g
+                .add(a_dev, OpKind::Compute { cycles }, vec![a_id, t])
+                .expect("deps exist");
+            next.push((sum, a_dev));
+        }
+        partials = next;
+    }
+    partials[0]
+}
+
+/// Builds the Fig 15 cluster GEMM: `[N×N]×[N×N]` decomposed purely
+/// column-wise onto `x` TSPs.
+///
+/// Every device needs the full activation matrix `A`. Streaming it whole
+/// over each device's own PCIe link would bind the entire figure to host
+/// bandwidth; instead the eight TSPs of a node *stripe* the stream (each
+/// PCIe link injects one eighth of `A`) and redistribute the stripes over
+/// the node's full mesh — the paper's §5.2 discipline of streaming "in the
+/// order that minimizes the injected data volume", exploiting the
+/// intra-node wire density. Host input, C2C redistribution and MXM
+/// compute all overlap; the span is whichever binds.
+pub fn build_cluster_gemm(n: u64, x: u64, ty: ElemType) -> Graph {
+    let mut g = Graph::new();
+    let shape = GemmShape::new(n, n, n);
+    let cols = column_split(shape, x);
+    let stripe = shape.activation_bytes(ty).div_ceil(8);
+    for (i, &cs) in cols.iter().enumerate() {
+        let dev = TspId(i as u32);
+        // This device's PCIe stripe of A (the node's eight links share the
+        // injection; see the doc comment).
+        g.add(dev, OpKind::HostInput { bytes: stripe }, vec![]).expect("no deps");
+        // Redistribute the stripe to the node peers over the mesh,
+        // overlapped with compute.
+        let node_base = (i / 8) * 8;
+        for peer in 0..8usize {
+            let peer_idx = node_base + peer;
+            if peer_idx == i || peer_idx as u64 >= x {
+                continue;
+            }
+            g.add(
+                dev,
+                OpKind::Transfer { to: TspId(peer_idx as u32), bytes: stripe, allow_nonminimal: false },
+                vec![],
+            )
+            .expect("no deps");
+        }
+        g.add(dev, OpKind::Gemm { shape: cs, ty }, vec![]).expect("no deps");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{compile, CompileOptions};
+    use tsm_topology::Topology;
+
+    #[test]
+    fn column_split_preserves_columns() {
+        let s = GemmShape::new(800, 32_576, 8192);
+        let cols = column_split(s, 8);
+        assert_eq!(cols.len(), 8);
+        assert!(cols.iter().all(|c| c.l == 1024 && c.n == s.n && c.m == s.m));
+        assert_eq!(cols.iter().map(|c| c.l).sum::<u64>(), 8192);
+    }
+
+    #[test]
+    fn column_split_distributes_remainder() {
+        let cols = column_split(GemmShape::new(4, 4, 10), 3);
+        assert_eq!(cols.iter().map(|c| c.l).collect::<Vec<_>>(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn row_split_preserves_inner_dim() {
+        let s = GemmShape::new(800, 32_576, 1024);
+        let rows = row_split(s, 13);
+        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.iter().map(|r| r.n).sum::<u64>(), 32_576);
+        assert!(rows.iter().all(|r| r.m == 800 && r.l == 1024));
+    }
+
+    #[test]
+    fn splits_conserve_flops() {
+        let s = GemmShape::new(128, 640, 640);
+        let total: u64 = column_split(s, 4).iter().map(|c| c.flops()).sum();
+        assert_eq!(total, s.flops());
+        let total_r: u64 = row_split(s, 5).iter().map(|r| r.flops()).sum();
+        assert_eq!(total_r, s.flops());
+    }
+
+    #[test]
+    fn fig14_graph_has_expected_structure() {
+        let s = GemmShape::new(800, 32_576, 8192);
+        let g = build_distributed_gemm(s, 8, 4, ElemType::F16);
+        // 8 clusters x 4 gemms = 32 gemms, plus 3 (transfer+reduce) pairs
+        // per cluster = 8 * (4 + 3*2) = 80 nodes
+        assert_eq!(g.len(), 8 * (4 + 3 * 2));
+        assert_eq!(g.devices().len(), 32);
+        assert_eq!(g.total_flops(), s.flops());
+    }
+
+    #[test]
+    fn fig14_latency_decreases_with_more_row_splits() {
+        // The headline of Fig 14: more TSPs -> lower latency, because
+        // compute shrinks per device and the reduction rides the node mesh.
+        let s = GemmShape::new(800, 32_576, 8192);
+        let spans: Vec<u64> = [1u64, 2, 4, 8]
+            .iter()
+            .map(|&r| {
+                let g = build_distributed_gemm(s, 8, r, ElemType::F16);
+                let topo = Topology::fully_connected_nodes(
+                    ((8 * r) as usize).div_ceil(8).max(2),
+                )
+                .unwrap();
+                compile(&g, &topo, CompileOptions::default()).unwrap().span_cycles
+            })
+            .collect();
+        for w in spans.windows(2) {
+            assert!(w[1] < w[0], "latency must drop as TSPs double: {spans:?}");
+        }
+        // near-linear at the start: 2x TSPs -> >1.5x faster (the reduction
+        // traffic takes back part of the ideal 2x, exactly as in Fig 14)
+        assert!(spans[0] as f64 / spans[1] as f64 > 1.5, "{spans:?}");
+    }
+
+    #[test]
+    fn fig15_graph_streams_inputs_per_device() {
+        let g = build_cluster_gemm(6400, 100, ElemType::F16);
+        // per device: 1 host stripe + 7 peer redistributions + 1 gemm
+        // (devices 96..100 form a partial node with fewer peers)
+        assert_eq!(g.len(), 100 * 9 - 4 * 4);
+        assert_eq!(g.devices().len(), 100);
+        let host_inputs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::HostInput { .. }))
+            .count();
+        assert_eq!(host_inputs, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversplit_rejected() {
+        let _ = column_split(GemmShape::new(2, 2, 2), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! The software-defined tensor streaming multiprocessor, assembled.
+//!
+//! [`System`] is the public entry point a downstream user programs
+//! against: build a system at some scale, hand the compiler a computation
+//! graph, and execute the resulting cycle-exact schedule under the
+//! runtime model (HAC alignment, PCIe invocation jitter, FEC, software
+//! replay).
+//!
+//! ```
+//! use tsm_core::System;
+//! use tsm_compiler::graph::{Graph, OpKind};
+//! use tsm_compiler::schedule::CompileOptions;
+//! use tsm_topology::TspId;
+//!
+//! let system = System::single_node();
+//! let mut graph = Graph::new();
+//! graph.add(TspId(0), OpKind::Compute { cycles: 9000 }, vec![]).unwrap();
+//! let program = system.compile(&graph, CompileOptions::default()).unwrap();
+//! let report = system.execute(&program, 42);
+//! assert!(report.succeeded);
+//! assert_eq!(report.estimated_cycles, 9000);
+//! ```
+
+pub mod cosim;
+pub mod report;
+pub mod runtime;
+pub mod system;
+
+pub use report::ExecutionReport;
+pub use runtime::{LaunchOutcome, Runtime, RuntimeError, SparePolicy};
+pub use system::{System, SystemConfig, SystemError};

@@ -1,0 +1,72 @@
+//! Execution reports.
+
+use tsm_fault::inject::FecStats;
+
+/// The outcome of one executed inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// The compiler's cycle-exact estimate (schedule span).
+    pub estimated_cycles: u64,
+    /// The measured wall-clock, in cycles (differs from the estimate only
+    /// through PCIe invocation variance and replays).
+    pub measured_cycles: u64,
+    /// FEC tally of the (final) run.
+    pub fec: FecStats,
+    /// Replays consumed.
+    pub replays: u32,
+    /// False if the fault persisted beyond the replay budget.
+    pub succeeded: bool,
+}
+
+impl ExecutionReport {
+    /// Measured latency in seconds.
+    pub fn measured_seconds(&self) -> f64 {
+        tsm_isa::timing::cycles_to_seconds(self.measured_cycles)
+    }
+
+    /// Estimated latency in seconds.
+    pub fn estimated_seconds(&self) -> f64 {
+        tsm_isa::timing::cycles_to_seconds(self.estimated_cycles)
+    }
+
+    /// Relative error of the compiler estimate vs the measurement
+    /// (Fig 17's "within 2%" metric).
+    pub fn estimate_error(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        (self.estimated_cycles as f64 - self.measured_cycles as f64).abs()
+            / self.measured_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_error_math() {
+        let r = ExecutionReport {
+            estimated_cycles: 102,
+            measured_cycles: 100,
+            fec: FecStats::default(),
+            replays: 0,
+            succeeded: true,
+        };
+        assert!((r.estimate_error() - 0.02).abs() < 1e-12);
+        assert!(r.measured_seconds() > 0.0);
+        assert!(r.estimated_seconds() > r.measured_seconds());
+    }
+
+    #[test]
+    fn zero_measurement_does_not_divide_by_zero() {
+        let r = ExecutionReport {
+            estimated_cycles: 0,
+            measured_cycles: 0,
+            fec: FecStats::default(),
+            replays: 0,
+            succeeded: true,
+        };
+        assert_eq!(r.estimate_error(), 0.0);
+    }
+}

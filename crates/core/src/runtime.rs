@@ -1,0 +1,304 @@
+//! The runtime orchestrator: marshal resources, align, execute, monitor,
+//! and recover.
+//!
+//! Paper §5.1: "The runtime system then emplaces all program collateral on
+//! the TSPs and synchronizes all programs … so that we launch the
+//! inference simultaneously across all cooperating TSPs." Paper §4.5
+//! supplies the recovery half: replay transient faults; on a persistent
+//! fault, blame the marginal hardware, swap in the hot spare ("the runtime
+//! layer marshals resources for invoking the parallel program's
+//! execution"), recompile against the remapped devices, and replay.
+//!
+//! [`Runtime::launch`] is that loop, end to end. Programs are expressed
+//! against *logical* devices; the runtime owns the logical→physical map.
+
+use crate::system::System;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use tsm_compiler::graph::{Graph, OpKind};
+use tsm_compiler::schedule::{CompileOptions, CompiledProgram};
+use tsm_fault::inject::{inject_schedule_with, FecStats};
+use tsm_fault::spare::SparePlan;
+use tsm_topology::{LinkId, NodeId, TspId};
+
+/// Which spare-provisioning policy the deployment uses (paper §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparePolicy {
+    /// One spare node per rack (≈11 % overhead).
+    PerRack,
+    /// One spare node per system (≈3 % overhead).
+    PerSystem,
+}
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Compilation of the (remapped) program failed.
+    Compile(String),
+    /// The fault persisted and no spare was left to absorb it.
+    OutOfSpares {
+        /// Nodes consumed before giving up.
+        nodes_failed: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "compile: {e}"),
+            RuntimeError::OutOfSpares { nodes_failed } => {
+                write!(f, "fault persisted after {nodes_failed} failovers; no spares left")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The record of one successful launch.
+#[derive(Debug, Clone)]
+pub struct LaunchOutcome {
+    /// FEC tally of the successful execution.
+    pub fec: FecStats,
+    /// Total executions (1 = clean first try).
+    pub attempts: u32,
+    /// Nodes failed over during this launch.
+    pub failovers: Vec<NodeId>,
+    /// One-time initial-alignment overhead paid before the first attempt,
+    /// in cycles (paper §3.2).
+    pub alignment_cycles: u64,
+    /// The compiled span of the (final) program.
+    pub span_cycles: u64,
+}
+
+/// The runtime: a system plus its spare plan, health state, and the
+/// physical-fault model the health monitor observes.
+#[derive(Debug)]
+pub struct Runtime {
+    system: System,
+    plan: SparePlan,
+    /// Links with a degraded BER (marginal cables, paper §4.5). Injected
+    /// by tests/operators; discovered by the health monitor at runtime.
+    marginal_links: HashSet<LinkId>,
+    /// BER of healthy links.
+    base_ber: f64,
+    /// BER of marginal links.
+    marginal_ber: f64,
+    /// Replays to attempt before declaring a fault persistent.
+    max_replays: u32,
+}
+
+impl Runtime {
+    /// Wraps a system with a spare plan.
+    pub fn new(system: System, policy: SparePolicy) -> Self {
+        let plan = match policy {
+            SparePolicy::PerRack => SparePlan::per_rack(system.topology()),
+            SparePolicy::PerSystem => SparePlan::per_system(system.topology()),
+        };
+        Runtime {
+            system,
+            plan,
+            marginal_links: HashSet::new(),
+            base_ber: 1e-9,
+            marginal_ber: 1e-4,
+            max_replays: 2,
+        }
+    }
+
+    /// Marks a physical cable as marginal (the fault the health monitor
+    /// will eventually blame and route out).
+    pub fn degrade_link(&mut self, link: LinkId) {
+        self.marginal_links.insert(link);
+    }
+
+    /// Logical devices available to programs.
+    pub fn logical_tsps(&self) -> usize {
+        self.plan.logical_nodes() * tsm_topology::TSPS_PER_NODE
+    }
+
+    /// The current logical→physical device map.
+    pub fn physical_tsp(&self, logical: TspId) -> TspId {
+        self.plan.physical_tsp(logical)
+    }
+
+    /// The spare plan (inspection).
+    pub fn spare_plan(&self) -> &SparePlan {
+        &self.plan
+    }
+
+    /// Launches a logical-device program: align, compile against the
+    /// current mapping, execute with health monitoring, and recover from
+    /// faults by replay and failover.
+    pub fn launch(&mut self, logical: &Graph, seed: u64) -> Result<LaunchOutcome, RuntimeError> {
+        let alignment_cycles = self.system.plan_alignment().overhead_cycles;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attempts = 0;
+        let mut failovers = Vec::new();
+
+        loop {
+            let physical = self.remap(logical);
+            let program: CompiledProgram = self
+                .system
+                .compile(&physical, CompileOptions::default())
+                .map_err(|e| RuntimeError::Compile(e.to_string()))?;
+
+            // Replay budget against the current hardware mapping.
+            let mut culprit_links: Vec<LinkId> = Vec::new();
+            for _ in 0..=self.max_replays {
+                attempts += 1;
+                let (stats, culprits) = inject_schedule_with(
+                    self.system.topology(),
+                    program.occupancy.reservations(),
+                    |l| {
+                        if self.marginal_links.contains(&l) {
+                            self.marginal_ber
+                        } else {
+                            self.base_ber
+                        }
+                    },
+                    &mut rng,
+                );
+                if stats.is_clean_run() {
+                    return Ok(LaunchOutcome {
+                        fec: stats,
+                        attempts,
+                        failovers,
+                        alignment_cycles,
+                        span_cycles: program.span_cycles,
+                    });
+                }
+                culprit_links = culprits;
+            }
+
+            // Persistent fault: the health monitor votes — every culprit
+            // link implicates both its endpoint nodes, and the most
+            // implicated node is swapped for a spare (paper §4.5:
+            // "replace a marginal cable … or TSP card" — at runtime
+            // granularity, the node).
+            let mut votes: std::collections::HashMap<NodeId, usize> = Default::default();
+            for &l in &culprit_links {
+                let link = self.system.topology().link(l);
+                *votes.entry(link.a.node()).or_insert(0) += 1;
+                *votes.entry(link.b.node()).or_insert(0) += 1;
+            }
+            let mut candidates: Vec<(NodeId, usize)> = votes.into_iter().collect();
+            candidates.sort_by_key(|&(n, count)| (std::cmp::Reverse(count), n));
+            let mut swapped = false;
+            for (blame, _) in candidates {
+                if self.plan.fail_over(self.system.topology_mut(), blame).is_ok() {
+                    failovers.push(blame);
+                    swapped = true;
+                    break;
+                }
+            }
+            if !swapped {
+                return Err(RuntimeError::OutOfSpares { nodes_failed: failovers.len() });
+            }
+        }
+    }
+
+    /// Rewrites a logical-device graph onto the current physical mapping.
+    fn remap(&self, logical: &Graph) -> Graph {
+        let mut g = Graph::new();
+        for node in logical.nodes() {
+            let device = self.plan.physical_tsp(node.device);
+            let kind = match &node.kind {
+                OpKind::Transfer { to, bytes, allow_nonminimal } => OpKind::Transfer {
+                    to: self.plan.physical_tsp(*to),
+                    bytes: *bytes,
+                    allow_nonminimal: *allow_nonminimal,
+                },
+                other => other.clone(),
+            };
+            g.add(device, kind, node.deps.clone()).expect("logical graph was valid");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A logical pipeline spanning the first two logical nodes.
+    fn logical_pipeline() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
+        let t = g
+            .add(TspId(0), OpKind::Transfer { to: TspId(8), bytes: 640_000, allow_nonminimal: true }, vec![a])
+            .unwrap();
+        g.add(TspId(8), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+        g
+    }
+
+    fn runtime() -> Runtime {
+        Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem)
+    }
+
+    #[test]
+    fn healthy_launch_is_one_attempt() {
+        let mut rt = runtime();
+        let out = rt.launch(&logical_pipeline(), 1).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.failovers.is_empty());
+        assert!(out.alignment_cycles > 0);
+        assert!(out.fec.is_clean_run());
+    }
+
+    #[test]
+    fn marginal_cable_triggers_failover_and_recovery() {
+        let mut rt = runtime();
+        // Degrade every cable touching logical node 1's physical node: the
+        // transfer to TSP 8 will keep hitting uncorrectable errors until
+        // the runtime blames node 1 and remaps it onto the spare.
+        let victim = NodeId(1);
+        let bad_links: Vec<LinkId> = rt
+            .system
+            .topology()
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a.node() == victim || l.b.node() == victim)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect();
+        for l in bad_links {
+            rt.degrade_link(l);
+        }
+        let out = rt.launch(&logical_pipeline(), 2).unwrap();
+        assert_eq!(out.failovers, vec![victim]);
+        assert!(out.attempts > 1, "must have replayed before failing over");
+        // logical TSP 8 now lives on the spare node
+        assert_eq!(rt.physical_tsp(TspId(8)).node(), NodeId(3));
+        assert!(out.fec.is_clean_run());
+    }
+
+    #[test]
+    fn unrecoverable_fault_reports_out_of_spares() {
+        let mut rt = runtime();
+        // Degrade everything: no failover can escape.
+        let all: Vec<LinkId> =
+            (0..rt.system.topology().links().len()).map(|i| LinkId(i as u32)).collect();
+        for l in all {
+            rt.degrade_link(l);
+        }
+        let err = rt.launch(&logical_pipeline(), 3).unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfSpares { .. }));
+    }
+
+    #[test]
+    fn launches_are_seed_deterministic() {
+        let run = |seed| {
+            let mut rt = runtime();
+            let out = rt.launch(&logical_pipeline(), seed).unwrap();
+            (out.attempts, out.span_cycles)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn logical_capacity_excludes_spares() {
+        let rt = runtime();
+        assert_eq!(rt.logical_tsps(), 24); // 3 logical nodes of 4 physical
+    }
+}

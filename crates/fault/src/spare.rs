@@ -1,0 +1,200 @@
+//! N+1 hot-spare provisioning and failover (paper §4.5, Fig 6).
+//!
+//! "The system reliability strategy uses N+1 redundancy by provisioning a
+//! *hot spare* node in every deployed rack … the network remains
+//! fully-connected" — when a node fails, the runtime remaps the failed
+//! node's logical role onto the spare and replays the inference.
+
+use tsm_topology::route::shortest_path;
+use tsm_topology::{NodeId, Topology, TspId, NODES_PER_RACK};
+
+/// Errors from spare management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpareError {
+    /// All spares are already consumed.
+    NoSpareAvailable,
+    /// The node is not part of this plan.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for SpareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpareError::NoSpareAvailable => write!(f, "no spare node available"),
+            SpareError::UnknownNode(n) => write!(f, "{n} is not managed by this plan"),
+        }
+    }
+}
+
+impl std::error::Error for SpareError {}
+
+/// A mapping from logical nodes (what the program was compiled against) to
+/// physical nodes, with spares held in reserve.
+#[derive(Debug, Clone)]
+pub struct SparePlan {
+    /// Physical node backing each logical node.
+    mapping: Vec<NodeId>,
+    /// Unused spare nodes.
+    spares: Vec<NodeId>,
+    /// Physical nodes consumed by failures.
+    failed: Vec<NodeId>,
+}
+
+impl SparePlan {
+    /// Reserves one spare node per rack ("a hot spare node in every
+    /// deployed rack", 1/9 ≈ 11 % overhead): the last node of each rack is
+    /// the spare.
+    pub fn per_rack(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut mapping = Vec::new();
+        let mut spares = Vec::new();
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            if node.slot() == NODES_PER_RACK - 1 && n >= NODES_PER_RACK {
+                spares.push(node);
+            } else {
+                mapping.push(node);
+            }
+        }
+        SparePlan { mapping, spares, failed: Vec::new() }
+    }
+
+    /// Reserves a single spare for the whole system ("a redundant node per
+    /// *system* … reducing the overhead from 11% to 3%"): the last node.
+    pub fn per_system(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        assert!(n >= 2, "need at least two nodes to hold a spare");
+        SparePlan {
+            mapping: (0..n as u32 - 1).map(NodeId).collect(),
+            spares: vec![NodeId(n as u32 - 1)],
+            failed: Vec::new(),
+        }
+    }
+
+    /// Logical node count available to programs.
+    pub fn logical_nodes(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Spares still in reserve.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Fraction of nodes held back as spares.
+    pub fn overhead(&self) -> f64 {
+        let total = self.mapping.len() + self.spares.len() + self.failed.len();
+        (self.spares.len() + self.failed.len()) as f64 / total as f64
+    }
+
+    /// Physical node currently backing logical node `l`.
+    pub fn physical(&self, l: usize) -> NodeId {
+        self.mapping[l]
+    }
+
+    /// Physical TSP currently backing logical TSP `l` (slot-preserving).
+    pub fn physical_tsp(&self, l: TspId) -> TspId {
+        let node = self.physical(l.index() / tsm_topology::TSPS_PER_NODE);
+        TspId(node.0 * tsm_topology::TSPS_PER_NODE as u32 + l.slot() as u32)
+    }
+
+    /// Handles a physical node failure: marks it failed in `topo` and
+    /// remaps its logical role onto a spare.
+    ///
+    /// Returns the spare that took over.
+    pub fn fail_over(&mut self, topo: &mut Topology, failed: NodeId) -> Result<NodeId, SpareError> {
+        let Some(slot) = self.mapping.iter().position(|&m| m == failed) else {
+            return Err(SpareError::UnknownNode(failed));
+        };
+        let spare = self.spares.pop().ok_or(SpareError::NoSpareAvailable)?;
+        topo.fail_node(failed);
+        self.mapping[slot] = spare;
+        self.failed.push(failed);
+        Ok(spare)
+    }
+
+    /// Verifies every pair of *logical* TSPs still has a route — the
+    /// "edge and node symmetric" property that makes N+1 practicable.
+    pub fn verify_connectivity(&self, topo: &Topology) -> bool {
+        let first = self.physical_tsp(TspId(0));
+        for l in 0..self.logical_nodes() {
+            for t in self.physical(l).tsps() {
+                if shortest_path(topo, first, t).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn per_rack_overhead_is_11_percent() {
+        let topo = Topology::rack_dragonfly(4).unwrap();
+        let plan = SparePlan::per_rack(&topo);
+        assert_eq!(plan.logical_nodes(), 32);
+        assert_eq!(plan.spares_left(), 4);
+        assert!((plan.overhead() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_system_overhead_is_3_percent_at_33_nodes() {
+        // "a 33 node system … 1 of 33 nodes as the spare (reducing the
+        // overhead from 11% to 3%, leaving 32 nodes (256 TSPs)"
+        let topo = Topology::fully_connected_nodes(33).unwrap();
+        let plan = SparePlan::per_system(&topo);
+        assert_eq!(plan.logical_nodes(), 32);
+        assert_eq!(plan.logical_nodes() * 8, 256);
+        assert!((plan.overhead() - 1.0 / 33.0).abs() < 1e-12);
+        assert!(plan.overhead() < 0.04);
+    }
+
+    #[test]
+    fn failover_remaps_and_preserves_connectivity() {
+        let mut topo = Topology::fully_connected_nodes(33).unwrap();
+        let mut plan = SparePlan::per_system(&topo);
+        let spare = plan.fail_over(&mut topo, NodeId(5)).unwrap();
+        assert_eq!(spare, NodeId(32));
+        assert_eq!(plan.physical(5), NodeId(32));
+        assert_eq!(plan.spares_left(), 0);
+        assert!(topo.is_failed(TspId(5 * 8)));
+        assert!(plan.verify_connectivity(&topo), "Dragonfly must stay connected");
+    }
+
+    #[test]
+    fn physical_tsp_preserves_slot() {
+        let mut topo = Topology::fully_connected_nodes(3).unwrap();
+        let mut plan = SparePlan::per_system(&topo);
+        assert_eq!(plan.physical_tsp(TspId(3)), TspId(3));
+        plan.fail_over(&mut topo, NodeId(0)).unwrap();
+        // logical node 0 now lives on physical node 2
+        assert_eq!(plan.physical_tsp(TspId(3)), TspId(2 * 8 + 3));
+    }
+
+    #[test]
+    fn second_failure_without_spares_errors() {
+        let mut topo = Topology::fully_connected_nodes(3).unwrap();
+        let mut plan = SparePlan::per_system(&topo);
+        plan.fail_over(&mut topo, NodeId(0)).unwrap();
+        assert_eq!(
+            plan.fail_over(&mut topo, NodeId(1)),
+            Err(SpareError::NoSpareAvailable)
+        );
+    }
+
+    #[test]
+    fn failing_unknown_node_errors() {
+        let mut topo = Topology::fully_connected_nodes(3).unwrap();
+        let mut plan = SparePlan::per_system(&topo);
+        // node 2 is the spare itself, not a mapped node
+        assert_eq!(
+            plan.fail_over(&mut topo, NodeId(2)),
+            Err(SpareError::UnknownNode(NodeId(2)))
+        );
+    }
+}

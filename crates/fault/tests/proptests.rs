@@ -1,0 +1,87 @@
+//! Property-based tests for fault handling.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsm_fault::inject::{inject_schedule, FecStats, InjectionConfig};
+use tsm_fault::replay::{run_with_replay, ReplayOutcome, ReplayPolicy};
+use tsm_fault::spare::SparePlan;
+use tsm_net::ssn::LinkOccupancy;
+use tsm_topology::route::shortest_path;
+use tsm_topology::{NodeId, Topology, TspId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FEC stats always account for every packet exactly once.
+    #[test]
+    fn stats_conserve_packets(vectors in 1u64..20_000, ber_exp in 0u32..8, seed: u64) {
+        let topo = Topology::single_node();
+        let path = shortest_path(&topo, TspId(0), TspId(1)).unwrap();
+        let mut occ = LinkOccupancy::new();
+        occ.schedule_transfer(&topo, &path, vectors, 0).unwrap();
+        let ber = if ber_exp == 0 { 0.0 } else { 10f64.powi(-(ber_exp as i32 + 2)) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = inject_schedule(
+            &topo,
+            occ.reservations(),
+            InjectionConfig { bit_error_rate: ber },
+            &mut rng,
+        );
+        prop_assert_eq!(stats.total(), vectors);
+        prop_assert!(stats.packet_error_rate() <= 1.0);
+    }
+
+    /// The replay policy always terminates within max_replays + 1 attempts
+    /// and classifies outcomes exhaustively.
+    #[test]
+    fn replay_terminates(outcomes in prop::collection::vec(prop::bool::ANY, 1..10), budget in 0u32..8) {
+        let mut calls = 0usize;
+        let out = run_with_replay(ReplayPolicy { max_replays: budget }, |attempt| {
+            calls += 1;
+            let clean = outcomes.get(attempt as usize).copied().unwrap_or(true);
+            FecStats {
+                clean: 10,
+                corrected: 0,
+                uncorrectable: if clean { 0 } else { 1 },
+            }
+        });
+        prop_assert!(calls <= budget as usize + 1);
+        match out {
+            ReplayOutcome::CleanFirstTry { .. } => prop_assert!(outcomes[0]),
+            ReplayOutcome::RecoveredAfterReplay { replays, .. } => {
+                prop_assert!(!outcomes[0]);
+                prop_assert!(replays <= budget);
+            }
+            ReplayOutcome::Persistent { attempts } => {
+                prop_assert_eq!(attempts, budget + 1);
+            }
+        }
+    }
+
+    /// Any sequence of distinct failovers within the spare budget keeps
+    /// the network connected and the mapping total.
+    #[test]
+    fn failover_sequences_stay_connected(kills in prop::collection::vec(0u32..8, 0..4)) {
+        let mut topo = Topology::rack_dragonfly(2).unwrap();
+        let mut plan = SparePlan::per_rack(&topo);
+        let spares = plan.spares_left();
+        let mut killed = Vec::new();
+        for k in kills {
+            let victim = NodeId(k);
+            if killed.contains(&victim) {
+                continue;
+            }
+            match plan.fail_over(&mut topo, victim) {
+                Ok(_) => killed.push(victim),
+                Err(_) => break, // out of spares or not mapped — both legal
+            }
+        }
+        prop_assert!(killed.len() <= spares);
+        prop_assert!(plan.verify_connectivity(&topo), "killed {killed:?}");
+        // every logical node still has a healthy physical backing
+        for l in 0..plan.logical_nodes() {
+            prop_assert!(!topo.is_failed(plan.physical(l).tsps().next().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Fixed timing constants of the TSP and its C2C fabric.
+//!
+//! These values come straight from the paper text and footnotes; every other
+//! crate derives its cycle arithmetic from this single module so the numbers
+//! cannot drift apart.
+
+/// TSP core clock frequency in Hz (paper §5.2: "each TSP operating at
+/// 900MHz").
+pub const CLOCK_HZ: u64 = 900_000_000;
+
+/// Length of one core clock cycle in seconds.
+pub const CYCLE_SECONDS: f64 = 1.0 / CLOCK_HZ as f64;
+
+/// Width of the hardware-aligned counter in bits (paper §3.2 footnote: "The
+/// HAC is an 8-bit counter").
+pub const HAC_BITS: u32 = 8;
+
+/// Counter values reserved for control codes (paper §3.2 footnote: "4 values
+/// are reserved for special control codes").
+pub const HAC_RESERVED_CODES: u64 = 4;
+
+/// The HAC overflow period, also called an *epoch*, in core clock cycles
+/// (paper §3.2 footnote: "the period is the epoch length or 252 clock
+/// cycles" — 2^8 minus the 4 reserved codes).
+pub const HAC_PERIOD: u64 = (1 << HAC_BITS) - HAC_RESERVED_CODES;
+
+/// Interval at which peer TSPs exchange HAC values, in cycles (paper §3:
+/// counters are "continuously (every 256 cycles) exchanged").
+pub const HAC_EXCHANGE_INTERVAL: u64 = 256;
+
+/// Per-lane line rate used in deployment, in bits per second (paper
+/// footnote 2: "we operate all the links at the same data rate of 25 Gbps").
+pub const LANE_GBPS: f64 = 25.0;
+
+/// Maximum per-lane line rate the serdes supports (paper §2.3: "operating up
+/// to 30 Gbps").
+pub const LANE_MAX_GBPS: f64 = 30.0;
+
+/// Lanes per C2C link (paper §2.2: "Each C2C link consist of four (4)
+/// lanes").
+pub const LANES_PER_LINK: usize = 4;
+
+/// Combined payload bandwidth of one C2C link in bytes per second
+/// (4 lanes × 25 Gbps = 100 Gbps = 12.5 GB/s).
+pub const LINK_BYTES_PER_SECOND: f64 = LANE_GBPS * 1e9 * LANES_PER_LINK as f64 / 8.0;
+
+/// Serialization time of one wire packet (328 bytes) on a link, in seconds.
+pub fn wire_packet_serialization_seconds() -> f64 {
+    crate::packet::WIRE_BYTES as f64 / LINK_BYTES_PER_SECOND
+}
+
+/// Serialization time of one wire packet on a link, in core clock cycles
+/// (rounded up: the schedule may not start the next vector earlier).
+pub fn wire_packet_serialization_cycles() -> u64 {
+    (wire_packet_serialization_seconds() * CLOCK_HZ as f64).ceil() as u64
+}
+
+/// Per-hop latency of a vector through a TSP acting as a switch, in
+/// nanoseconds (paper §5.6: "a pipelined network latency of 722 ns per
+/// hop").
+pub const HOP_LATENCY_NS: f64 = 722.0;
+
+/// Per-hop latency in core clock cycles.
+pub fn hop_latency_cycles() -> u64 {
+    (HOP_LATENCY_NS * 1e-9 * CLOCK_HZ as f64).round() as u64
+}
+
+/// Converts a cycle count at the core clock to seconds.
+pub fn cycles_to_seconds(cycles: u64) -> f64 {
+    cycles as f64 * CYCLE_SECONDS
+}
+
+/// Converts seconds to core clock cycles (rounded to nearest).
+pub fn seconds_to_cycles(seconds: f64) -> u64 {
+    (seconds * CLOCK_HZ as f64).round() as u64
+}
+
+/// SRAM capacity contributed by each TSP to the global memory, in bytes
+/// (paper abstract: "Each TSP contributes 220 MiBytes").
+pub const SRAM_BYTES_PER_TSP: u64 = 220 * 1024 * 1024;
+
+/// Host interface bandwidth: PCIe Gen4 ×16, in bytes per second (~31.5 GB/s
+/// usable; paper §5.2 assumes "PCIe Gen4 ×16 host CPU interface").
+pub const PCIE_GEN4_X16_BYTES_PER_SECOND: f64 = 31.5e9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hac_period_matches_paper() {
+        // 2^8 - 4 reserved codes = 252 cycles, exactly the footnote value.
+        assert_eq!(HAC_PERIOD, 252);
+    }
+
+    #[test]
+    fn link_bandwidth_is_100_gbps() {
+        assert!((LINK_BYTES_PER_SECOND - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn serialization_time_is_about_26ns() {
+        // 328 B / 12.5 GB/s = 26.24 ns -> 24 cycles at 900 MHz.
+        let s = wire_packet_serialization_seconds();
+        assert!((s - 26.24e-9).abs() < 1e-12);
+        assert_eq!(wire_packet_serialization_cycles(), 24);
+    }
+
+    #[test]
+    fn hop_latency_cycles_rounds_722ns() {
+        // 722 ns * 0.9 GHz = 649.8 -> 650 cycles.
+        assert_eq!(hop_latency_cycles(), 650);
+    }
+
+    #[test]
+    fn cycle_conversions_roundtrip() {
+        let c = 123_456;
+        assert_eq!(seconds_to_cycles(cycles_to_seconds(c)), c);
+    }
+
+    #[test]
+    fn sram_capacity_scales_to_paper_claims() {
+        // 264 TSPs -> ~56 GiB (paper §2.2), 10,440 -> >2 TB (abstract).
+        let gib_264 = 264 * SRAM_BYTES_PER_TSP / (1024 * 1024 * 1024);
+        assert_eq!(gib_264, 56); // 56 GiB
+        let tb_max = 10_440 * SRAM_BYTES_PER_TSP as u128 / 1_000_000_000_000u128;
+        assert!(tb_max >= 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! The 320-byte vector: SIMD register value and network flit.
+//!
+//! The TSP's functional units operate on 320-element vectors (paper §2) and
+//! the same unit is the network's flow-control unit (paper §2.3: "a *vector*
+//! is the flow control unit (flit)").
+
+/// Number of byte lanes in a vector (320-element SIMD, paper §2).
+pub const VECTOR_BYTES: usize = 320;
+
+/// Number of streams per direction across the chip.
+pub const MAX_STREAMS: usize = 32;
+
+/// Element type carried by a vector.
+///
+/// The vector length in *elements* depends on the element width: 320 int8
+/// elements or 160 FP16 elements (paper §5.2: "K=[160,320] i.e. the vector
+/// lengths of the hardware for FP16 and int8 respectively").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 16-bit floating point; 160 elements per vector.
+    F16,
+    /// 8-bit integer; 320 elements per vector.
+    I8,
+    /// 32-bit floating point; 80 elements per vector (used for accumulators).
+    F32,
+}
+
+impl ElemType {
+    /// Width of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemType::F16 => 2,
+            ElemType::I8 => 1,
+            ElemType::F32 => 4,
+        }
+    }
+
+    /// Number of elements of this type that fit in one vector.
+    pub fn lanes(self) -> usize {
+        VECTOR_BYTES / self.bytes()
+    }
+
+    /// Number of matrix-multiply sub-operations the MXM can retire per
+    /// cycle for this element type (paper §5.2: "a TSP can run two FP16 or
+    /// four int8 sub-operations each cycle").
+    pub fn mxm_subops_per_cycle(self) -> usize {
+        match self {
+            ElemType::F16 => 2,
+            ElemType::I8 => 4,
+            ElemType::F32 => 1,
+        }
+    }
+}
+
+/// A 320-byte vector value.
+///
+/// This is deliberately a plain value type: the architecture exposes all
+/// state, and a vector has no identity beyond its bytes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Vector {
+    bytes: [u8; VECTOR_BYTES],
+}
+
+impl Vector {
+    /// A vector of all zeros.
+    pub fn zeroed() -> Self {
+        Vector { bytes: [0; VECTOR_BYTES] }
+    }
+
+    /// Builds a vector by repeating `pattern` across all 320 bytes.
+    pub fn splat(pattern: u8) -> Self {
+        Vector { bytes: [pattern; VECTOR_BYTES] }
+    }
+
+    /// Builds a vector whose byte `i` equals `f(i)`.
+    pub fn from_fn(mut f: impl FnMut(usize) -> u8) -> Self {
+        let mut bytes = [0u8; VECTOR_BYTES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = f(i);
+        }
+        Vector { bytes }
+    }
+
+    /// Builds a vector from a byte slice, which must be exactly 320 bytes.
+    pub fn from_slice(slice: &[u8]) -> Option<Self> {
+        if slice.len() != VECTOR_BYTES {
+            return None;
+        }
+        let mut bytes = [0u8; VECTOR_BYTES];
+        bytes.copy_from_slice(slice);
+        Some(Vector { bytes })
+    }
+
+    /// The raw bytes of the vector.
+    pub fn as_bytes(&self) -> &[u8; VECTOR_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable access to the raw bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; VECTOR_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Lane-wise wrapping byte addition — the cheapest possible model of a
+    /// VXM ALU op, used by tests and the all-reduce reduction model.
+    pub fn wrapping_add(&self, other: &Vector) -> Vector {
+        Vector::from_fn(|i| self.bytes[i].wrapping_add(other.bytes[i]))
+    }
+
+    /// XOR combine, used by integrity checks in tests.
+    pub fn xor(&self, other: &Vector) -> Vector {
+        Vector::from_fn(|i| self.bytes[i] ^ other.bytes[i])
+    }
+
+    /// A cheap 64-bit digest of the contents (FNV-1a), for deterministic
+    /// end-to-end data-integrity assertions.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+impl Default for Vector {
+    fn default() -> Self {
+        Vector::zeroed()
+    }
+}
+
+impl core::fmt::Debug for Vector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Vector(digest={:016x})", self.digest())
+    }
+}
+
+/// Number of vectors needed to carry `bytes` of payload (ceiling division).
+pub fn vectors_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(VECTOR_BYTES as u64)
+}
+
+/// Number of vectors needed to carry a tensor of `elems` elements of type
+/// `ty`.
+pub fn vectors_for_elems(elems: u64, ty: ElemType) -> u64 {
+    vectors_for_bytes(elems * ty.bytes() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_type_lanes_match_paper() {
+        assert_eq!(ElemType::F16.lanes(), 160);
+        assert_eq!(ElemType::I8.lanes(), 320);
+        assert_eq!(ElemType::F32.lanes(), 80);
+    }
+
+    #[test]
+    fn mxm_subops_match_paper() {
+        assert_eq!(ElemType::F16.mxm_subops_per_cycle(), 2);
+        assert_eq!(ElemType::I8.mxm_subops_per_cycle(), 4);
+    }
+
+    #[test]
+    fn from_slice_validates_length() {
+        assert!(Vector::from_slice(&[0u8; 319]).is_none());
+        assert!(Vector::from_slice(&[0u8; 320]).is_some());
+    }
+
+    #[test]
+    fn splat_and_from_fn_agree() {
+        assert_eq!(Vector::splat(7), Vector::from_fn(|_| 7));
+    }
+
+    #[test]
+    fn digest_distinguishes_contents() {
+        assert_ne!(Vector::splat(1).digest(), Vector::splat(2).digest());
+        assert_eq!(Vector::splat(1).digest(), Vector::splat(1).digest());
+    }
+
+    #[test]
+    fn wrapping_add_wraps() {
+        let a = Vector::splat(200);
+        let b = Vector::splat(100);
+        assert_eq!(a.wrapping_add(&b), Vector::splat(44));
+    }
+
+    #[test]
+    fn vectors_for_bytes_rounds_up() {
+        assert_eq!(vectors_for_bytes(0), 0);
+        assert_eq!(vectors_for_bytes(1), 1);
+        assert_eq!(vectors_for_bytes(320), 1);
+        assert_eq!(vectors_for_bytes(321), 2);
+        assert_eq!(vectors_for_bytes(8192), 26);
+    }
+
+    #[test]
+    fn vectors_for_elems_accounts_for_width() {
+        assert_eq!(vectors_for_elems(320, ElemType::I8), 1);
+        assert_eq!(vectors_for_elems(320, ElemType::F16), 2);
+    }
+}

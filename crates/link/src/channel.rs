@@ -1,0 +1,216 @@
+//! A point-to-point C2C channel: serialization + latency + error injection.
+//!
+//! The channel is where the physical-layer substitution happens: instead of
+//! real serdes, a seeded RNG drives latency jitter and bit errors. Given
+//! the same seed, a channel delivers identical outcomes — which is exactly
+//! the property the software-scheduled network needs to *simulate*
+//! plesiochronous hardware deterministically.
+
+use crate::fec::{self, FecCodeword, FecOutcome};
+use crate::latency::LatencyModel;
+use rand::Rng;
+use tsm_isa::packet::WirePacket;
+use tsm_isa::timing;
+use tsm_isa::vector::VECTOR_BYTES;
+
+/// Outcome of transmitting one wire packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Cycle (receiver clock) at which the last byte arrives.
+    pub arrival_cycle: u64,
+    /// The received packet, after FEC repair if any.
+    pub packet: WirePacket,
+    /// What the FEC layer observed.
+    pub outcome: FecOutcome,
+}
+
+/// A unidirectional point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    latency: LatencyModel,
+    /// Probability that any given transmitted bit is flipped.
+    bit_error_rate: f64,
+    /// Cycles to serialize one 328-byte packet onto the 4 lanes.
+    serialization_cycles: u64,
+}
+
+impl Channel {
+    /// Creates a channel with the given latency model and bit error rate.
+    pub fn new(latency: LatencyModel, bit_error_rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&bit_error_rate), "BER must be in [0,1)");
+        Channel {
+            latency,
+            bit_error_rate,
+            serialization_cycles: timing::wire_packet_serialization_cycles(),
+        }
+    }
+
+    /// An error-free channel (the common case in schedule simulations).
+    pub fn ideal(latency: LatencyModel) -> Self {
+        Channel::new(latency, 0.0)
+    }
+
+    /// The latency model in use.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Serialization time for one packet, in cycles.
+    pub fn serialization_cycles(&self) -> u64 {
+        self.serialization_cycles
+    }
+
+    /// Minimum cycle at which the next packet may start serializing after a
+    /// packet started at `start`: links are busy for the full
+    /// serialization time (virtual cut-through pacing, paper §2.3).
+    pub fn next_free_cycle(&self, start: u64) -> u64 {
+        start + self.serialization_cycles
+    }
+
+    /// Transmits `packet` starting at cycle `inject_cycle`, drawing jitter
+    /// and errors from `rng`.
+    ///
+    /// The arrival time is `inject + serialization + latency`. Bit errors
+    /// are injected per the BER; the receiver-side FEC repairs single-bit
+    /// flips, so the payload in the returned [`Delivery`] differs from the
+    /// transmitted one only on [`FecOutcome::Uncorrectable`].
+    pub fn transmit<R: Rng>(
+        &self,
+        packet: &WirePacket,
+        inject_cycle: u64,
+        rng: &mut R,
+    ) -> Delivery {
+        let latency = self.latency.sample(rng);
+        let arrival_cycle = inject_cycle + self.serialization_cycles + latency;
+
+        let flips = self.draw_bit_flips(rng);
+        if flips == 0 {
+            // Fast path: an unflipped payload always decodes Clean, so the
+            // codec round-trip is skipped (bit-identical outcome).
+            return Delivery { arrival_cycle, packet: packet.clone(), outcome: FecOutcome::Clean };
+        }
+
+        let codeword = FecCodeword::encode(packet.payload.as_bytes());
+        let mut payload: [u8; VECTOR_BYTES] = *packet.payload.as_bytes();
+        for _ in 0..flips {
+            let bit = rng.gen_range(0..fec::PAYLOAD_BITS);
+            payload[bit / 8] ^= 1 << (bit % 8);
+        }
+
+        let outcome = fec::decode(&mut payload, codeword);
+        let received = WirePacket {
+            sequence: packet.sequence,
+            tag: packet.tag,
+            payload: tsm_isa::Vector::from_slice(&payload).expect("length preserved"),
+        };
+        Delivery { arrival_cycle, packet: received, outcome }
+    }
+
+    /// Draws the number of flipped bits for one packet: Poisson with
+    /// λ = BER × payload bits, sampled by inversion (λ is tiny for any
+    /// realistic BER, so this is a handful of multiplications).
+    fn draw_bit_flips<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.bit_error_rate == 0.0 {
+            return 0;
+        }
+        let lambda = self.bit_error_rate * fec::PAYLOAD_BITS as f64;
+        let u: f64 = rng.gen();
+        let mut cdf = 0.0;
+        let mut p = (-lambda).exp();
+        for k in 0..16 {
+            cdf += p;
+            if u < cdf {
+                return k;
+            }
+            p *= lambda / (k + 1) as f64;
+        }
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsm_isa::Vector;
+
+    fn packet(seq: u16) -> WirePacket {
+        WirePacket::data(seq, Vector::from_fn(|i| (i as u8).wrapping_mul(3)))
+    }
+
+    #[test]
+    fn ideal_channel_delivers_exact_payload_on_time() {
+        let ch = Channel::ideal(LatencyModel::fixed(100));
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = ch.transmit(&packet(7), 1000, &mut rng);
+        assert_eq!(d.arrival_cycle, 1000 + ch.serialization_cycles() + 100);
+        assert_eq!(d.outcome, FecOutcome::Clean);
+        assert_eq!(d.packet, packet(7));
+    }
+
+    #[test]
+    fn serialization_cycles_match_isa_timing() {
+        let ch = Channel::ideal(LatencyModel::fixed(0));
+        assert_eq!(ch.serialization_cycles(), 24); // 328 B / 12.5 GB/s at 900 MHz
+        assert_eq!(ch.next_free_cycle(100), 124);
+    }
+
+    #[test]
+    fn noisy_channel_single_errors_are_transparent() {
+        // BER chosen so most packets see 0-1 flips: all those must deliver
+        // the exact payload.
+        let ch = Channel::new(LatencyModel::fixed(50), 1e-5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = packet(1);
+        let mut corrected = 0;
+        let mut uncorrectable = 0;
+        for _ in 0..2000 {
+            let d = ch.transmit(&p, 0, &mut rng);
+            match d.outcome {
+                FecOutcome::Clean => assert_eq!(d.packet.payload, p.payload),
+                FecOutcome::Corrected { .. } => {
+                    corrected += 1;
+                    assert_eq!(d.packet.payload, p.payload, "corrected payload must be exact");
+                }
+                FecOutcome::Uncorrectable => uncorrectable += 1,
+            }
+        }
+        // λ = 1e-5 * 2560 ≈ 0.0256: expect ~50 corrected, ~0-3 uncorrectable.
+        assert!(corrected > 10, "corrected {corrected}");
+        assert!(uncorrectable < corrected / 2, "uncorrectable {uncorrectable}");
+    }
+
+    #[test]
+    fn high_ber_produces_uncorrectable_detections() {
+        let ch = Channel::new(LatencyModel::fixed(50), 1e-3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = packet(2);
+        let uncorrectable = (0..500)
+            .filter(|_| matches!(ch.transmit(&p, 0, &mut rng).outcome, FecOutcome::Uncorrectable))
+            .count();
+        // λ ≈ 2.56: multi-bit errors dominate.
+        assert!(uncorrectable > 200, "uncorrectable {uncorrectable}");
+    }
+
+    #[test]
+    fn transmissions_are_deterministic_given_seed() {
+        let ch = Channel::new(LatencyModel::for_class(tsm_topology::CableClass::IntraNode), 1e-6);
+        let p = packet(3);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|i| ch.transmit(&p, i * 30, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(
+            run(11).iter().map(|d| d.arrival_cycle).collect::<Vec<_>>(),
+            run(12).iter().map(|d| d.arrival_cycle).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BER")]
+    fn rejects_invalid_ber() {
+        let _ = Channel::new(LatencyModel::fixed(1), 1.5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Forward error correction: a real SEC-DED code over the 320-byte payload.
+//!
+//! Paper §4.5: "to maintain determinism in the face of transmission errors,
+//! we use forward error correction (FEC) on every link to correct simple
+//! transmission errors and detect uncorrectable burst errors". A link-layer
+//! retry would change arrival times; FEC corrects *in situ* with constant
+//! latency.
+//!
+//! The code implemented here is an extended-Hamming construction over the
+//! 2560 payload bits: a 12-bit syndrome (the XOR of the 1-based positions
+//! of all set bits) locates any single flipped bit, and an overall parity
+//! bit distinguishes single (correctable) from double (detect-only)
+//! errors. Syndrome + parity occupy 13 bits, comfortably inside the 4
+//! check bytes that the 328-byte wire format reserves (`tsm-isa`
+//! [`tsm_isa::packet::HEADER_BYTES`]).
+
+use tsm_isa::vector::VECTOR_BYTES;
+
+/// Number of payload bits covered by the code.
+pub const PAYLOAD_BITS: usize = VECTOR_BYTES * 8;
+
+/// Check information carried on the wire for one payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FecCodeword {
+    /// XOR of the 1-based positions of all set payload bits (12 bits used).
+    pub syndrome: u16,
+    /// Overall parity of the payload bits.
+    pub parity: bool,
+}
+
+impl FecCodeword {
+    /// Computes the codeword for a payload.
+    pub fn encode(payload: &[u8; VECTOR_BYTES]) -> Self {
+        let mut syndrome: u16 = 0;
+        let mut ones: u32 = 0;
+        for (byte_idx, &byte) in payload.iter().enumerate() {
+            let mut b = byte;
+            while b != 0 {
+                let bit = b.trailing_zeros() as usize;
+                let pos = (byte_idx * 8 + bit + 1) as u16;
+                syndrome ^= pos;
+                ones += 1;
+                b &= b - 1;
+            }
+        }
+        FecCodeword { syndrome, parity: ones % 2 == 1 }
+    }
+
+    /// Packs the codeword into the packet's 4 check bytes.
+    pub fn to_bytes(self) -> [u8; 4] {
+        [
+            (self.syndrome & 0xff) as u8,
+            (self.syndrome >> 8) as u8,
+            self.parity as u8,
+            // Redundant complement byte guards the check bytes themselves.
+            !((self.syndrome & 0xff) as u8),
+        ]
+    }
+
+    /// Unpacks a codeword from the packet's check bytes. Returns `None` if
+    /// the guard byte shows the check field itself was corrupted (treated
+    /// as uncorrectable).
+    pub fn from_bytes(b: [u8; 4]) -> Option<Self> {
+        if b[3] != !b[0] {
+            return None;
+        }
+        Some(FecCodeword { syndrome: b[0] as u16 | ((b[1] as u16) << 8), parity: b[2] & 1 == 1 })
+    }
+}
+
+/// Result of decoding a received payload against its codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FecOutcome {
+    /// No error observed.
+    Clean,
+    /// A single bit error was corrected in place; the payload is now exact.
+    Corrected {
+        /// Zero-based bit position that was repaired.
+        bit: usize,
+    },
+    /// A multi-bit error was detected but cannot be corrected; the runtime
+    /// must replay the inference on known-good hardware (paper §4.5).
+    Uncorrectable,
+}
+
+impl FecOutcome {
+    /// True unless the error requires a software replay.
+    pub fn is_usable(self) -> bool {
+        !matches!(self, FecOutcome::Uncorrectable)
+    }
+}
+
+/// Decodes (and repairs, when possible) a received payload in place.
+///
+/// `sent` is the codeword computed at the transmitter; the receiver
+/// recomputes the codeword over the (possibly corrupted) payload and
+/// classifies the difference.
+pub fn decode(payload: &mut [u8; VECTOR_BYTES], sent: FecCodeword) -> FecOutcome {
+    let got = FecCodeword::encode(payload);
+    let syndrome_delta = got.syndrome ^ sent.syndrome;
+    let parity_delta = got.parity != sent.parity;
+    match (syndrome_delta, parity_delta) {
+        (0, false) => FecOutcome::Clean,
+        (s, true) if s != 0 && (s as usize) <= PAYLOAD_BITS => {
+            // Odd number of flips with a consistent single-bit location:
+            // repair it.
+            let pos = s as usize - 1;
+            payload[pos / 8] ^= 1 << (pos % 8);
+            FecOutcome::Corrected { bit: pos }
+        }
+        // Even number of flips (parity unchanged, syndrome moved), or a
+        // syndrome pointing outside the payload: detect, don't correct.
+        _ => FecOutcome::Uncorrectable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(seed: u8) -> [u8; VECTOR_BYTES] {
+        let mut p = [0u8; VECTOR_BYTES];
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31).wrapping_add(seed);
+        }
+        p
+    }
+
+    #[test]
+    fn clean_payload_decodes_clean() {
+        let mut p = payload(3);
+        let cw = FecCodeword::encode(&p);
+        assert_eq!(decode(&mut p, cw), FecOutcome::Clean);
+        assert_eq!(p, payload(3));
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        // Exhaustive over a stride of positions (full 2560 is fast anyway).
+        let original = payload(9);
+        let cw = FecCodeword::encode(&original);
+        for bit in (0..PAYLOAD_BITS).step_by(7) {
+            let mut corrupted = original;
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let outcome = decode(&mut corrupted, cw);
+            assert_eq!(outcome, FecOutcome::Corrected { bit });
+            assert_eq!(corrupted, original, "bit {bit} not repaired");
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_detected_not_corrected() {
+        let original = payload(5);
+        let cw = FecCodeword::encode(&original);
+        for (a, b) in [(0usize, 1usize), (3, 997), (100, 2559), (8, 16)] {
+            let mut corrupted = original;
+            corrupted[a / 8] ^= 1 << (a % 8);
+            corrupted[b / 8] ^= 1 << (b % 8);
+            assert_eq!(decode(&mut corrupted, cw), FecOutcome::Uncorrectable, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn codeword_roundtrips_through_bytes() {
+        let cw = FecCodeword::encode(&payload(11));
+        let back = FecCodeword::from_bytes(cw.to_bytes()).unwrap();
+        assert_eq!(cw, back);
+    }
+
+    #[test]
+    fn corrupted_check_bytes_are_flagged() {
+        let mut b = FecCodeword::encode(&payload(1)).to_bytes();
+        b[0] ^= 0x10; // guard byte no longer matches
+        assert!(FecCodeword::from_bytes(b).is_none());
+    }
+
+    #[test]
+    fn outcome_usability() {
+        assert!(FecOutcome::Clean.is_usable());
+        assert!(FecOutcome::Corrected { bit: 5 }.is_usable());
+        assert!(!FecOutcome::Uncorrectable.is_usable());
+    }
+
+    #[test]
+    fn all_zero_payload_single_error() {
+        let original = [0u8; VECTOR_BYTES];
+        let cw = FecCodeword::encode(&original);
+        assert_eq!(cw.syndrome, 0);
+        assert!(!cw.parity);
+        let mut corrupted = original;
+        corrupted[0] ^= 1;
+        assert_eq!(decode(&mut corrupted, cw), FecOutcome::Corrected { bit: 0 });
+        assert_eq!(corrupted, original);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-link one-way latency distribution.
+//!
+//! Real C2C links are plesiochronous: latency is dominated by a fixed
+//! propagation + serdes component, with a few cycles of jitter from clock
+//! domain crossings. Paper Table 2 characterizes the seven intra-node links
+//! of a chassis at min ≈ 209, mean ≈ 216.5, max ≈ 228, σ ≈ 2.8 cycles over
+//! 100 K measurements. The model reproduces those statistics with a
+//! discretized, clamped Gaussian.
+
+use rand::Rng;
+use tsm_topology::CableClass;
+
+/// A one-way latency distribution for a single link, in core clock cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Mode of the distribution (cable-class base latency).
+    pub base_cycles: u64,
+    /// Standard deviation of the jitter, in cycles.
+    pub jitter_sigma: f64,
+    /// Lower clamp relative to base (inclusive), e.g. −8.
+    pub min_offset: i64,
+    /// Upper clamp relative to base (inclusive), e.g. +12.
+    pub max_offset: i64,
+}
+
+impl LatencyModel {
+    /// Model for a link of the given cable class, calibrated so intra-node
+    /// links reproduce paper Table 2.
+    pub fn for_class(class: CableClass) -> Self {
+        LatencyModel {
+            base_cycles: class.base_latency_cycles(),
+            jitter_sigma: 2.8,
+            min_offset: -8,
+            max_offset: 12,
+        }
+    }
+
+    /// A latency model with no jitter (useful for schedule unit tests).
+    pub fn fixed(cycles: u64) -> Self {
+        LatencyModel { base_cycles: cycles, jitter_sigma: 0.0, min_offset: 0, max_offset: 0 }
+    }
+
+    /// Draws one observed latency.
+    ///
+    /// The jitter is a clamped Gaussian (Box–Muller on the caller's seeded
+    /// RNG) with a +0.5-cycle skew so the mean sits slightly above the
+    /// mode, matching the asymmetric tail of Table 2 (mean 216.5 vs min
+    /// 209 / max 228 around a 216-cycle base).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.jitter_sigma == 0.0 {
+            return self.base_cycles;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let offset = (z * self.jitter_sigma + 0.5).round() as i64;
+        let offset = offset.clamp(self.min_offset, self.max_offset);
+        (self.base_cycles as i64 + offset).max(0) as u64
+    }
+
+    /// Worst-case latency the compiler must budget for.
+    pub fn worst_case(&self) -> u64 {
+        (self.base_cycles as i64 + self.max_offset).max(0) as u64
+    }
+
+    /// Best-case latency.
+    pub fn best_case(&self) -> u64 {
+        (self.base_cycles as i64 + self.min_offset).max(0) as u64
+    }
+}
+
+/// Summary statistics of a set of latency observations — the shape of each
+/// row of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Smallest observation.
+    pub min: u64,
+    /// Mean of the observations.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: u64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl LatencyStats {
+    /// Computes statistics over a sample set.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one latency sample");
+        let min = *samples.iter().min().expect("nonempty");
+        let max = *samples.iter().max().expect("nonempty");
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        LatencyStats { min, mean, max, std: var.sqrt(), count: samples.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_model_has_no_jitter() {
+        let m = LatencyModel::fixed(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 100);
+        }
+        assert_eq!(m.worst_case(), 100);
+        assert_eq!(m.best_case(), 100);
+    }
+
+    #[test]
+    fn intra_node_model_reproduces_table2_statistics() {
+        // Paper Table 2 (100K iterations): min 209-211, mean 216.3-217.4,
+        // max 225-228, std 2.6-2.9.
+        let m = LatencyModel::for_class(CableClass::IntraNode);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<u64> = (0..100_000).map(|_| m.sample(&mut rng)).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert!(s.min >= 208 && s.min <= 211, "min {}", s.min);
+        assert!(s.mean > 215.9 && s.mean < 217.5, "mean {}", s.mean);
+        assert!(s.max >= 225 && s.max <= 228, "max {}", s.max);
+        assert!(s.std > 2.3 && s.std < 3.1, "std {}", s.std);
+    }
+
+    #[test]
+    fn samples_respect_clamps() {
+        let m = LatencyModel::for_class(CableClass::InterRack);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= m.best_case() && s <= m.worst_case());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let m = LatencyModel::for_class(CableClass::IntraNode);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..1000).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..1000).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_of_constant_samples() {
+        let s = LatencyStats::from_samples(&[5, 5, 5, 5]);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn stats_reject_empty() {
+        let _ = LatencyStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn cable_classes_order_by_length() {
+        let intra = LatencyModel::for_class(CableClass::IntraNode);
+        let rack = LatencyModel::for_class(CableClass::IntraRack);
+        let optic = LatencyModel::for_class(CableClass::InterRack);
+        assert!(intra.base_cycles < rack.base_cycles);
+        assert!(rack.base_cycles < optic.base_cycles);
+    }
+}

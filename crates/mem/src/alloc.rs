@@ -1,0 +1,206 @@
+//! Allocation of tensors in the distributed global SRAM.
+//!
+//! The compiler places every tensor at compile time — there is no dynamic
+//! memory management at runtime (a prerequisite of the fully static
+//! schedule). [`DeviceAllocator`] is a bump allocator over one device's
+//! 720,896 vector slots; [`DistributedTensor`] spreads a large tensor
+//! across a device set in contiguous per-device extents.
+
+use crate::{GlobalAddress, MemError, VECTORS_PER_DEVICE};
+use tsm_topology::TspId;
+
+/// Bump allocator over one device's SRAM, at vector granularity.
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    device: TspId,
+    next: u64,
+}
+
+impl DeviceAllocator {
+    /// A fresh allocator with the device's full 220 MiB available.
+    pub fn new(device: TspId) -> Self {
+        DeviceAllocator { device, next: 0 }
+    }
+
+    /// The device this allocator manages.
+    pub fn device(&self) -> TspId {
+        self.device
+    }
+
+    /// Vector slots still available.
+    pub fn available(&self) -> u64 {
+        VECTORS_PER_DEVICE - self.next
+    }
+
+    /// Vector slots already allocated.
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+
+    /// Allocates `vectors` contiguous slots, returning the base address.
+    pub fn allocate(&mut self, vectors: u64) -> Result<GlobalAddress, MemError> {
+        if vectors > self.available() {
+            return Err(MemError::DeviceFull {
+                device: self.device,
+                requested: vectors,
+                available: self.available(),
+            });
+        }
+        let base = GlobalAddress::from_device_linear(self.device, self.next)
+            .expect("next < VECTORS_PER_DEVICE");
+        self.next += vectors;
+        Ok(base)
+    }
+
+    /// Resets the allocator (program teardown between inferences).
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// Where one shard of a distributed tensor lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Owning device.
+    pub device: TspId,
+    /// Base address of this shard.
+    pub base: GlobalAddress,
+    /// Shard length in vectors.
+    pub vectors: u64,
+}
+
+/// A tensor spread across several devices' SRAM in contiguous extents.
+#[derive(Debug, Clone)]
+pub struct DistributedTensor {
+    /// Total size in vectors.
+    pub total_vectors: u64,
+    /// Per-device shards, in device order.
+    pub placements: Vec<Placement>,
+}
+
+impl DistributedTensor {
+    /// Allocates `total_vectors` evenly across `allocators` (the first
+    /// `total mod n` devices receive one extra vector), mirroring the
+    /// block distribution the compiler uses for weight splits (paper
+    /// §5.2).
+    pub fn allocate_even(
+        allocators: &mut [&mut DeviceAllocator],
+        total_vectors: u64,
+    ) -> Result<Self, MemError> {
+        if allocators.is_empty() {
+            return Err(MemError::NoDevices);
+        }
+        let n = allocators.len() as u64;
+        let base_share = total_vectors / n;
+        let remainder = total_vectors % n;
+        let mut placements = Vec::with_capacity(allocators.len());
+        for (i, alloc) in allocators.iter_mut().enumerate() {
+            let share = base_share + if (i as u64) < remainder { 1 } else { 0 };
+            if share == 0 {
+                continue;
+            }
+            let base = alloc.allocate(share)?;
+            placements.push(Placement { device: alloc.device(), base, vectors: share });
+        }
+        Ok(DistributedTensor { total_vectors, placements })
+    }
+
+    /// The device owning global vector index `idx` of this tensor, with the
+    /// within-shard offset.
+    pub fn locate(&self, idx: u64) -> Option<(TspId, u64)> {
+        let mut remaining = idx;
+        for p in &self.placements {
+            if remaining < p.vectors {
+                return Some((p.device, remaining));
+            }
+            remaining -= p.vectors;
+        }
+        None
+    }
+
+    /// Number of devices actually holding data.
+    pub fn device_count(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut a = DeviceAllocator::new(TspId(0));
+        let x = a.allocate(10).unwrap();
+        let y = a.allocate(5).unwrap();
+        assert_eq!(x.device_linear(), 0);
+        assert_eq!(y.device_linear(), 10);
+        assert_eq!(a.used(), 15);
+        assert_eq!(a.available(), VECTORS_PER_DEVICE - 15);
+    }
+
+    #[test]
+    fn allocation_fails_when_full() {
+        let mut a = DeviceAllocator::new(TspId(1));
+        a.allocate(VECTORS_PER_DEVICE).unwrap();
+        let err = a.allocate(1).unwrap_err();
+        assert!(matches!(err, MemError::DeviceFull { available: 0, .. }));
+    }
+
+    #[test]
+    fn reset_reclaims_everything() {
+        let mut a = DeviceAllocator::new(TspId(0));
+        a.allocate(100).unwrap();
+        a.reset();
+        assert_eq!(a.available(), VECTORS_PER_DEVICE);
+    }
+
+    #[test]
+    fn even_distribution_with_remainder() {
+        let mut a0 = DeviceAllocator::new(TspId(0));
+        let mut a1 = DeviceAllocator::new(TspId(1));
+        let mut a2 = DeviceAllocator::new(TspId(2));
+        let t = DistributedTensor::allocate_even(&mut [&mut a0, &mut a1, &mut a2], 10).unwrap();
+        let shares: Vec<u64> = t.placements.iter().map(|p| p.vectors).collect();
+        assert_eq!(shares, vec![4, 3, 3]);
+        assert_eq!(t.total_vectors, 10);
+        assert_eq!(t.device_count(), 3);
+    }
+
+    #[test]
+    fn locate_walks_shards() {
+        let mut a0 = DeviceAllocator::new(TspId(0));
+        let mut a1 = DeviceAllocator::new(TspId(1));
+        let t = DistributedTensor::allocate_even(&mut [&mut a0, &mut a1], 7).unwrap();
+        // shares: 4, 3
+        assert_eq!(t.locate(0), Some((TspId(0), 0)));
+        assert_eq!(t.locate(3), Some((TspId(0), 3)));
+        assert_eq!(t.locate(4), Some((TspId(1), 0)));
+        assert_eq!(t.locate(6), Some((TspId(1), 2)));
+        assert_eq!(t.locate(7), None);
+    }
+
+    #[test]
+    fn empty_device_set_rejected() {
+        assert_eq!(
+            DistributedTensor::allocate_even(&mut [], 5).unwrap_err(),
+            MemError::NoDevices
+        );
+    }
+
+    #[test]
+    fn zero_sized_shards_are_skipped() {
+        let mut a0 = DeviceAllocator::new(TspId(0));
+        let mut a1 = DeviceAllocator::new(TspId(1));
+        let mut a2 = DeviceAllocator::new(TspId(2));
+        let t = DistributedTensor::allocate_even(&mut [&mut a0, &mut a1, &mut a2], 2).unwrap();
+        assert_eq!(t.device_count(), 2);
+    }
+
+    #[test]
+    fn oversized_distributed_tensor_fails() {
+        let mut a0 = DeviceAllocator::new(TspId(0));
+        let r = DistributedTensor::allocate_even(&mut [&mut a0], VECTORS_PER_DEVICE + 1);
+        assert!(r.is_err());
+    }
+}

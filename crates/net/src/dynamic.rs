@@ -1,0 +1,441 @@
+//! Baseline: a conventionally-routed network with queues and arbitration.
+//!
+//! This is the system of paper Fig 1 and Fig 8(a): each TSP forwards
+//! packets hop-by-hop, output links have FIFO queues, simultaneous
+//! arrivals arbitrate by arrival order, and physical-link jitter shifts
+//! arrival order between runs. The observable consequence — the one the
+//! paper's entire design removes — is *latency variance*: the same offered
+//! traffic yields different per-packet latencies run to run.
+
+use crate::event::EventQueue;
+use rand::Rng;
+use std::collections::HashMap;
+use tsm_link::LatencyModel;
+use tsm_topology::route::shortest_path;
+use tsm_topology::{LinkId, Topology, TspId};
+
+/// One packet of offered traffic (a single vector flit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfferedPacket {
+    /// Caller-assigned id.
+    pub id: u32,
+    /// Source TSP.
+    pub src: TspId,
+    /// Destination TSP.
+    pub dst: TspId,
+    /// Cycle the packet is offered to the source NIC.
+    pub inject: u64,
+}
+
+/// A delivered packet with its observed timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// Caller-assigned id.
+    pub id: u32,
+    /// Cycle of full arrival at the destination.
+    pub arrival: u64,
+    /// End-to-end latency (arrival − inject).
+    pub latency: u64,
+    /// Hops traversed.
+    pub hops: usize,
+}
+
+/// Summary of a dynamic simulation run.
+#[derive(Debug, Clone)]
+pub struct DynamicRun {
+    /// Per-packet results, in id order.
+    pub delivered: Vec<DeliveredPacket>,
+}
+
+impl DynamicRun {
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> f64 {
+        self.delivered.iter().map(|d| d.latency as f64).sum::<f64>()
+            / self.delivered.len().max(1) as f64
+    }
+
+    /// Population standard deviation of latency — the non-determinism
+    /// metric.
+    pub fn latency_std(&self) -> f64 {
+        let mean = self.mean_latency();
+        let var = self
+            .delivered
+            .iter()
+            .map(|d| (d.latency as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.delivered.len().max(1) as f64;
+        var.sqrt()
+    }
+
+    /// Largest observed latency.
+    pub fn max_latency(&self) -> u64 {
+        self.delivered.iter().map(|d| d.latency).max().unwrap_or(0)
+    }
+}
+
+/// How the dynamic network picks a path at injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Always the minimal path.
+    #[default]
+    Minimal,
+    /// UGAL-style adaptive: compare the minimal path against a Valiant
+    /// path through a random intermediate, weighted by the links'
+    /// current queue occupancy, and take the cheaper (paper §6's
+    /// "global adaptive routing" family).
+    Adaptive,
+}
+
+/// How simultaneous requests for a link are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// First-come-first-served in event order.
+    #[default]
+    Fifo,
+    /// Oldest packet (earliest injection) first — the age-based global
+    /// fairness of paper ref [2].
+    AgeBased,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Packet `idx` is ready to depart its `hop`-th link.
+    Forward { idx: usize, hop: usize, at_tsp: TspId },
+    /// `link` finished serializing a packet; arbitrate its waiters.
+    LinkFree { link: LinkId },
+}
+
+/// Picks the route for one packet at injection time, per the policy.
+#[allow(clippy::too_many_arguments)]
+fn choose_route<R: Rng>(
+    topo: &Topology,
+    p: &OfferedPacket,
+    routing: RoutingPolicy,
+    slot: u64,
+    busy_until: &HashMap<LinkId, u64>,
+    waiting: &HashMap<LinkId, Vec<(usize, usize, TspId)>>,
+    rng: &mut R,
+    now: u64,
+) -> tsm_topology::route::Path {
+    let minimal = shortest_path(topo, p.src, p.dst).expect("connected topology");
+    if routing == RoutingPolicy::Minimal || p.src == p.dst {
+        return minimal;
+    }
+    // Valiant alternative via a random intermediate.
+    let n = topo.num_tsps() as u32;
+    let mid = TspId(rng.gen_range(0..n));
+    if mid == p.src || mid == p.dst {
+        return minimal;
+    }
+    let a = shortest_path(topo, p.src, mid).expect("connected");
+    let b = shortest_path(topo, mid, p.dst).expect("connected");
+    // UGAL estimate: live queue wait on each link plus serialization, with
+    // the classic 2x hop bias against the detour.
+    let cost = |path: &tsm_topology::route::Path, weight: u64| -> u64 {
+        path.links
+            .iter()
+            .map(|l| {
+                let busy = busy_until.get(l).copied().unwrap_or(0).saturating_sub(now);
+                let depth = waiting.get(l).map(|q| q.len() as u64).unwrap_or(0);
+                busy + depth * slot
+            })
+            .sum::<u64>()
+            + weight * path.hops() as u64 * slot
+    };
+    if cost(&a, 2) + cost(&b, 2) < cost(&minimal, 1) {
+        let mut links = a.links;
+        links.extend(b.links);
+        let mut tsps = a.tsps;
+        tsps.extend(b.tsps.into_iter().skip(1));
+        tsm_topology::route::Path { links, tsps }
+    } else {
+        minimal
+    }
+}
+
+/// Simulates the offered packets through a dynamically-routed network.
+///
+/// Routing is minimal (per-packet BFS path); queueing is FIFO per output
+/// link; link latency is drawn per traversal from the cable-class jitter
+/// model. All randomness comes from `rng` — two runs with the same seed
+/// agree, two seeds model two real-world executions and generally do not.
+pub fn simulate<R: Rng>(topo: &Topology, offered: &[OfferedPacket], rng: &mut R) -> DynamicRun {
+    simulate_with(topo, offered, RoutingPolicy::Minimal, Arbitration::Fifo, rng)
+}
+
+/// [`simulate`] with explicit routing and arbitration policies.
+///
+/// Packets wait in explicit per-link queues; when a link frees, the next
+/// packet is chosen by the arbitration policy. The queue depths are what
+/// the adaptive routing policy consults at injection — the "FIFO depth,
+/// or transmit credits" congestion signal of paper §4.3.
+pub fn simulate_with<R: Rng>(
+    topo: &Topology,
+    offered: &[OfferedPacket],
+    routing: RoutingPolicy,
+    arbitration: Arbitration,
+    rng: &mut R,
+) -> DynamicRun {
+    let slot = crate::ssn::vector_slot_cycles();
+    let mut busy_until: HashMap<LinkId, u64> = HashMap::new();
+    let mut waiting: HashMap<LinkId, Vec<(usize, usize, TspId)>> = HashMap::new();
+    let mut paths: Vec<Option<tsm_topology::route::Path>> = vec![None; offered.len()];
+    let mut delivered: Vec<Option<DeliveredPacket>> = vec![None; offered.len()];
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (idx, p) in offered.iter().enumerate() {
+        queue.push(p.inject, Event::Forward { idx, hop: 0, at_tsp: p.src });
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Forward { idx, hop, at_tsp } => {
+                if hop == 0 && paths[idx].is_none() {
+                    let p = &offered[idx];
+                    paths[idx] = Some(choose_route(
+                        topo, p, routing, slot, &busy_until, &waiting, rng, now,
+                    ));
+                }
+                let path = paths[idx].as_ref().expect("route chosen at injection");
+                if hop == path.links.len() {
+                    let p = &offered[idx];
+                    delivered[idx] = Some(DeliveredPacket {
+                        id: p.id,
+                        arrival: now,
+                        latency: now - p.inject,
+                        hops: path.hops(),
+                    });
+                    continue;
+                }
+                let link = path.links[hop];
+                if *busy_until.entry(link).or_insert(0) > now {
+                    waiting.entry(link).or_default().push((idx, hop, at_tsp));
+                } else {
+                    serve(
+                        topo, offered, &paths, idx, hop, at_tsp, now, slot, &mut busy_until,
+                        &mut queue, rng,
+                    );
+                }
+            }
+            Event::LinkFree { link } => {
+                let Some(q) = waiting.get_mut(&link) else { continue };
+                if q.is_empty() {
+                    continue;
+                }
+                // Arbitrate: FIFO takes insertion order, age-based takes
+                // the earliest-injected packet (paper ref [2]).
+                let pick = match arbitration {
+                    Arbitration::Fifo => 0,
+                    Arbitration::AgeBased => q
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(idx, _, _))| offered[idx].inject)
+                        .map(|(i, _)| i)
+                        .expect("nonempty"),
+                };
+                let (idx, hop, at_tsp) = q.remove(pick);
+                serve(
+                    topo, offered, &paths, idx, hop, at_tsp, now, slot, &mut busy_until,
+                    &mut queue, rng,
+                );
+            }
+        }
+    }
+
+    DynamicRun {
+        delivered: delivered.into_iter().map(|d| d.expect("all packets delivered")).collect(),
+    }
+}
+
+/// Transmits packet `idx`'s `hop`-th link starting at `now` (the link is
+/// known free) and schedules the downstream events.
+#[allow(clippy::too_many_arguments)]
+fn serve<R: Rng>(
+    topo: &Topology,
+    offered: &[OfferedPacket],
+    paths: &[Option<tsm_topology::route::Path>],
+    idx: usize,
+    hop: usize,
+    at_tsp: TspId,
+    now: u64,
+    slot: u64,
+    busy_until: &mut HashMap<LinkId, u64>,
+    queue: &mut EventQueue<Event>,
+    rng: &mut R,
+) -> u64 {
+    let path = paths[idx].as_ref().expect("route chosen");
+    let link = path.links[hop];
+    busy_until.insert(link, now + slot);
+    queue.push(now + slot, Event::LinkFree { link });
+    let wire = LatencyModel::for_class(topo.link(link).class).sample(rng);
+    let next_tsp = topo.link(link).other_end(at_tsp);
+    let _ = offered;
+    queue.push(now + slot + wire, Event::Forward { idx, hop: hop + 1, at_tsp: next_tsp });
+    now + slot + wire
+}
+
+/// Convenience: `n` packets from every TSP to one hot destination, the
+/// incast pattern of Fig 8 that manufactures contention.
+pub fn incast_traffic(topo: &Topology, dst: TspId, per_source: u32) -> Vec<OfferedPacket> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for src in topo.tsps() {
+        if src == dst {
+            continue;
+        }
+        for k in 0..per_source {
+            out.push(OfferedPacket { id, src, dst, inject: k as u64 });
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn uncontended_packet_sees_wire_latency_only() {
+        let topo = Topology::single_node();
+        let offered = [OfferedPacket { id: 0, src: TspId(0), dst: TspId(1), inject: 0 }];
+        let mut rng = StdRng::seed_from_u64(1);
+        let run = simulate(&topo, &offered, &mut rng);
+        let d = run.delivered[0];
+        assert_eq!(d.hops, 1);
+        // slot (24) + jittered latency (208..=228)
+        assert!(d.latency >= 24 + 208 && d.latency <= 24 + 228, "{}", d.latency);
+    }
+
+    #[test]
+    fn incast_creates_queueing_delay() {
+        let topo = Topology::single_node();
+        let offered = incast_traffic(&topo, TspId(0), 20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = simulate(&topo, &offered, &mut rng);
+        // 7 sources × 20 packets onto 7 distinct links: no shared links in
+        // a full mesh, so make them fight by doubling sources per link:
+        // latency still includes serialization stacking per source.
+        assert!(run.max_latency() >= 19 * 24, "max {}", run.max_latency());
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_varies() {
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        // Cross-node incast: sources in node 0 all target TspId(8),
+        // sharing global links -> real contention.
+        let offered: Vec<OfferedPacket> = (0..8u32)
+            .flat_map(|s| {
+                (0..10u32).map(move |k| OfferedPacket {
+                    id: s * 10 + k,
+                    src: TspId(s),
+                    dst: TspId(8),
+                    inject: 0,
+                })
+            })
+            .collect();
+        let lat = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            simulate(&topo, &offered, &mut rng)
+                .delivered
+                .iter()
+                .map(|d| d.latency)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lat(5), lat(5), "same seed must reproduce");
+        assert_ne!(lat(5), lat(6), "different seeds model run-to-run variance");
+    }
+
+    #[test]
+    fn contended_traffic_has_nonzero_variance() {
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        let offered: Vec<OfferedPacket> = (0..8u32)
+            .flat_map(|s| {
+                (0..25u32).map(move |k| OfferedPacket {
+                    id: s * 25 + k,
+                    src: TspId(s),
+                    dst: TspId(8 + (s % 8)),
+                    inject: k as u64 * 5,
+                })
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = simulate(&topo, &offered, &mut rng);
+        assert!(run.latency_std() > 0.0, "dynamic network should show variance");
+    }
+
+    #[test]
+    fn age_based_arbitration_reduces_worst_case_age() {
+        // Incast through shared global links: with age-based arbitration
+        // the oldest packets never lose retry rounds, shrinking the max
+        // latency relative to FIFO.
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        let offered: Vec<OfferedPacket> = (0..8u32)
+            .flat_map(|s| {
+                (0..30u32).map(move |k| OfferedPacket {
+                    id: s * 30 + k,
+                    src: TspId(s),
+                    dst: TspId(8),
+                    inject: k as u64 * 3,
+                })
+            })
+            .collect();
+        let run_with = |arb| {
+            let mut rng = StdRng::seed_from_u64(11);
+            simulate_with(&topo, &offered, RoutingPolicy::Minimal, arb, &mut rng)
+        };
+        let fifo = run_with(Arbitration::Fifo);
+        let aged = run_with(Arbitration::AgeBased);
+        assert!(
+            aged.max_latency() <= fifo.max_latency(),
+            "age-based {} vs fifo {}",
+            aged.max_latency(),
+            fifo.max_latency()
+        );
+        // but it's fairness, not determinism: variance is still nonzero
+        assert!(aged.latency_std() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_routing_offloads_hot_links() {
+        // A permutation that hammers one node pair's links: adaptive
+        // routing detours some packets and cuts the completion tail.
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        let offered: Vec<OfferedPacket> = (0..8u32)
+            .flat_map(|s| {
+                (0..40u32).map(move |k| OfferedPacket {
+                    id: s * 40 + k,
+                    src: TspId(s),
+                    dst: TspId(s + 8), // node0 -> node1, same-slot pairs
+                    inject: 0,
+                })
+            })
+            .collect();
+        let run_with = |pol| {
+            let mut rng = StdRng::seed_from_u64(3);
+            simulate_with(&topo, &offered, pol, Arbitration::Fifo, &mut rng)
+        };
+        let minimal = run_with(RoutingPolicy::Minimal);
+        let adaptive = run_with(RoutingPolicy::Adaptive);
+        assert!(
+            adaptive.max_latency() < minimal.max_latency(),
+            "adaptive {} vs minimal {}",
+            adaptive.max_latency(),
+            minimal.max_latency()
+        );
+    }
+
+    #[test]
+    fn mean_latency_sane_for_single_packet() {
+        let topo = Topology::single_node();
+        let offered = [OfferedPacket { id: 0, src: TspId(2), dst: TspId(3), inject: 100 }];
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = simulate(&topo, &offered, &mut rng);
+        assert_eq!(run.delivered.len(), 1);
+        assert!(run.mean_latency() > 0.0);
+        assert_eq!(run.mean_latency() as u64, run.delivered[0].latency);
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic discrete-event core.
+//!
+//! Events are ordered by `(time, sequence)`: ties in time resolve by
+//! insertion order, so a simulation replays identically regardless of heap
+//! internals — the property every determinism assertion in this repository
+//! rests on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with deterministic tie-breaking.
+///
+/// Events at equal times resolve by an explicit priority (default 0),
+/// then insertion order — which is how the age-based arbitration variant
+/// of the dynamic baseline expresses "oldest packet first".
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, u64, EventBox<E>)>>,
+    next_seq: u64,
+}
+
+// Wrapper so E doesn't need Ord; comparisons never reach the payload.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at `time` with default priority.
+    pub fn push(&mut self, time: u64, event: E) {
+        self.push_prioritized(time, 0, event);
+    }
+
+    /// Schedules `event` at `time`; among same-time events, lower
+    /// `priority` pops first.
+    pub fn push_prioritized(&mut self, time: u64, priority: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, priority, seq, EventBox(event))));
+    }
+
+    /// Pops the earliest event, ties broken by priority then insertion
+    /// order.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, _, EventBox(e)))| (t, e))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_resolve_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn priority_breaks_ties_before_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push_prioritized(5, 9, "late");
+        q.push_prioritized(5, 1, "early");
+        q.push_prioritized(4, 100, "first");
+        assert_eq!(q.pop(), Some((4, "first")));
+        assert_eq!(q.pop(), Some((5, "early")));
+        assert_eq!(q.pop(), Some((5, "late")));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

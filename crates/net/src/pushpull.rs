@@ -1,0 +1,107 @@
+//! The communication-model comparison of paper Fig 9: request/reply
+//! ("pull") vs compile-time-scheduled "push".
+//!
+//! A conventional remote read sends a request to the owner, which performs
+//! the access and replies — one full round trip plus the remote memory
+//! access before the first payload byte moves. With software-scheduled
+//! networking the compiler knows *when* the consumer needs the data, so
+//! the producer simply pushes it: "we only incur half of the network
+//! requests since we know when to send the reply(X) message to the
+//! expectant processor" (§4.2). From the programming model's view, "where
+//! the tensor comes from (local versus remote memory) is irrelevant".
+
+use crate::ssn::{path_fill_latency, vector_slot_cycles};
+use tsm_isa::vector::vectors_for_bytes;
+use tsm_topology::route::shortest_path;
+use tsm_topology::{Topology, TopologyError, TspId};
+
+/// DRAM-ish access latency of the remote owner in the conventional model
+/// (Fig 9(a) issues a DRAM read on receipt of the request).
+pub const REMOTE_ACCESS_CYCLES: u64 = 200;
+
+/// Cycles until `bytes` from `owner`'s memory are fully available at
+/// `consumer` under the conventional request/reply model: request leg +
+/// remote access + reply leg.
+pub fn pull_latency(
+    topo: &Topology,
+    consumer: TspId,
+    owner: TspId,
+    bytes: u64,
+) -> Result<u64, TopologyError> {
+    let request = shortest_path(topo, consumer, owner)?;
+    let reply = shortest_path(topo, owner, consumer)?;
+    let v = vectors_for_bytes(bytes).max(1);
+    Ok(path_fill_latency(topo, &request)
+        + REMOTE_ACCESS_CYCLES
+        + path_fill_latency(topo, &reply)
+        + (v - 1) * vector_slot_cycles())
+}
+
+/// Cycles until the same data is available under the scheduled push model:
+/// the producer's send is already in its instruction stream, so only the
+/// one-way data movement remains (the SRAM read is pipelined into the
+/// schedule).
+pub fn push_latency(
+    topo: &Topology,
+    consumer: TspId,
+    owner: TspId,
+    bytes: u64,
+) -> Result<u64, TopologyError> {
+    let reply = shortest_path(topo, owner, consumer)?;
+    let v = vectors_for_bytes(bytes).max(1);
+    Ok(path_fill_latency(topo, &reply) + (v - 1) * vector_slot_cycles())
+}
+
+/// The latency saved by eliminating the request leg, as a ratio
+/// `pull / push` (Fig 9's argument: > 2× for fine-grained accesses).
+pub fn push_advantage(
+    topo: &Topology,
+    consumer: TspId,
+    owner: TspId,
+    bytes: u64,
+) -> Result<f64, TopologyError> {
+    Ok(pull_latency(topo, consumer, owner, bytes)? as f64
+        / push_latency(topo, consumer, owner, bytes)? as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn push_eliminates_the_request_leg() {
+        let topo = Topology::single_node();
+        let pull = pull_latency(&topo, TspId(0), TspId(1), 320).unwrap();
+        let push = push_latency(&topo, TspId(0), TspId(1), 320).unwrap();
+        // pull = 2x one-way + access; push = 1x one-way
+        assert_eq!(push, 252);
+        assert_eq!(pull, 2 * 252 + REMOTE_ACCESS_CYCLES);
+    }
+
+    #[test]
+    fn fine_grained_access_sees_more_than_2x() {
+        // Fig 9: the win is biggest for single-vector reads.
+        let topo = Topology::single_node();
+        let adv = push_advantage(&topo, TspId(0), TspId(5), 320).unwrap();
+        assert!(adv > 2.0, "{adv}");
+    }
+
+    #[test]
+    fn advantage_shrinks_for_bulk_transfers() {
+        // Serialization dominates large reads; the request leg amortizes.
+        let topo = Topology::single_node();
+        let small = push_advantage(&topo, TspId(0), TspId(5), 320).unwrap();
+        let large = push_advantage(&topo, TspId(0), TspId(5), 10 << 20).unwrap();
+        assert!(large < small);
+        assert!(large < 1.01, "bulk advantage ~1: {large}");
+    }
+
+    #[test]
+    fn local_access_is_free_of_network() {
+        let topo = Topology::single_node();
+        let push = push_latency(&topo, TspId(3), TspId(3), 640).unwrap();
+        // zero-hop path: just the pipelined second vector
+        assert_eq!(push, vector_slot_cycles());
+    }
+}

@@ -1,0 +1,296 @@
+//! Link characterization, HAC convergence, and initial program alignment
+//! (paper §3.1–3.2, Fig 7, Table 2).
+
+use crate::clock::LocalClock;
+use crate::hac::{signed_mod_difference, AlignedCounter, HAC_PERIOD};
+use rand::Rng;
+use tsm_isa::timing::HAC_EXCHANGE_INTERVAL;
+use tsm_link::{LatencyModel, LatencyStats};
+use tsm_topology::{route, LinkId, Topology, TspId};
+
+/// Characterizes one link's latency by the HAC reflection procedure of
+/// paper §3.1 / Fig 7(a): the parent transmits its HAC value, the peer
+/// reflects it, and the round trip (two one-way samples) is halved.
+///
+/// Repeating `iterations` times yields the statistics of paper Table 2
+/// (the paper used 100 K iterations per link).
+pub fn characterize_link<R: Rng>(
+    model: &LatencyModel,
+    iterations: usize,
+    rng: &mut R,
+) -> LatencyStats {
+    let samples: Vec<u64> = (0..iterations)
+        .map(|_| {
+            let outbound = model.sample(rng);
+            let inbound = model.sample(rng);
+            // The reflected HAC difference is the round trip; the one-way
+            // estimate is half, rounded to a whole cycle.
+            (outbound + inbound).div_ceil(2)
+        })
+        .collect();
+    LatencyStats::from_samples(&samples)
+}
+
+/// One step of the parent/child HAC alignment loop: the trace of the
+/// child's alignment error over successive exchanges.
+#[derive(Debug, Clone)]
+pub struct AlignmentTrace {
+    /// Absolute alignment error (cycles) after each exchange.
+    pub errors: Vec<f64>,
+    /// Exchanges needed to first enter the jitter neighborhood.
+    pub converged_after: Option<usize>,
+}
+
+/// Simulates the parent/child HAC convergence protocol (paper §3.1).
+///
+/// Every [`HAC_EXCHANGE_INTERVAL`] reference cycles the parent transmits
+/// its HAC; the child receives it after a jittered link latency, adds the
+/// *characterized mean* latency `l_mean`, compares to its own HAC and
+/// applies a rate-limited adjustment. Between exchanges the child's clock
+/// drifts at its ppm offset. Convergence is reached when the error stays
+/// within the link's jitter neighborhood.
+pub fn align_pair<R: Rng>(
+    link: &LatencyModel,
+    l_mean: u64,
+    child_clock: LocalClock,
+    initial_offset: u64,
+    max_adjust_per_exchange: u64,
+    exchanges: usize,
+    rng: &mut R,
+) -> AlignmentTrace {
+    let mut parent = AlignedCounter::starting_at(0);
+    let mut child = AlignedCounter::starting_at(initial_offset);
+    let mut residual_drift = 0.0f64;
+    let mut errors = Vec::with_capacity(exchanges);
+    let mut converged_after = None;
+    let neighborhood = (link.worst_case() - link.best_case()) as f64 / 2.0 + 1.0;
+
+    for i in 0..exchanges {
+        // Advance both counters by one exchange interval; the child's local
+        // clock ticks slightly faster/slower.
+        parent.advance(HAC_EXCHANGE_INTERVAL);
+        let child_cycles = child_clock.local_elapsed(HAC_EXCHANGE_INTERVAL as f64) + residual_drift;
+        let whole = child_cycles.floor();
+        residual_drift = child_cycles - whole;
+        child.advance(whole as u64);
+
+        // The parent transmits its instantaneous HAC value; it arrives at
+        // the child after an actual (jittered) latency. At arrival, the
+        // child's estimate of the parent's *current* HAC is the received
+        // value plus the characterized mean latency; using the mean instead
+        // of the unknowable actual latency is exactly the protocol's
+        // irreducible error (paper §3.1: counters "converge within a
+        // neighborhood determined by the jitter of the link latency").
+        let transmitted = parent.value();
+        let actual_latency = link.sample(rng);
+        let child_at_arrival = (child.value() + actual_latency) % HAC_PERIOD;
+        let estimate_of_parent_now = (transmitted + l_mean) % HAC_PERIOD;
+        let delta = signed_mod_difference(estimate_of_parent_now as i64 - child_at_arrival as i64);
+        child.adjust(delta, max_adjust_per_exchange);
+
+        // True alignment error versus the parent's actual HAC.
+        let err = signed_mod_difference(child.value() as i64 - parent.value() as i64).abs() as f64;
+        errors.push(err);
+        if converged_after.is_none() && err <= neighborhood {
+            converged_after = Some(i + 1);
+        }
+    }
+    AlignmentTrace { errors, converged_after }
+}
+
+/// A spanning tree of parent/child HAC relationships over the topology
+/// (paper §3.1: "a spanning tree of parent/child HAC relationships is
+/// established").
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// Root TSP (the HAC reference for the whole system).
+    pub root: TspId,
+    /// For each TSP: `Some((parent, link))`, or `None` for the root.
+    pub parent: Vec<Option<(TspId, LinkId)>>,
+    /// Tree depth of each TSP (root = 0).
+    pub depth: Vec<usize>,
+    /// Height of the tree (max depth).
+    pub height: usize,
+}
+
+impl SpanningTree {
+    /// Builds the BFS spanning tree rooted at `root`. BFS minimizes the
+    /// tree height, which directly minimizes the initial-alignment
+    /// overhead.
+    pub fn build(topo: &Topology, root: TspId) -> Self {
+        let n = topo.num_tsps();
+        let mut parent: Vec<Option<(TspId, LinkId)>> = vec![None; n];
+        let mut depth = vec![usize::MAX; n];
+        depth[root.index()] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        let mut height = 0;
+        while let Some(t) = queue.pop_front() {
+            for &(lid, peer) in topo.neighbors(t) {
+                if depth[peer.index()] != usize::MAX || topo.is_failed(peer) {
+                    continue;
+                }
+                depth[peer.index()] = depth[t.index()] + 1;
+                parent[peer.index()] = Some((t, lid));
+                height = height.max(depth[peer.index()]);
+                queue.push_back(peer);
+            }
+        }
+        SpanningTree { root, parent, depth, height }
+    }
+
+    /// Number of TSPs reached by the tree (all, unless nodes failed).
+    pub fn reached(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != usize::MAX).count()
+    }
+}
+
+/// The initial program alignment procedure of paper §3.2 / Fig 7(b).
+#[derive(Debug, Clone)]
+pub struct InitialAlignment {
+    /// The HAC distribution tree.
+    pub tree: SpanningTree,
+    /// Worst-case single-link latency along the tree, in cycles.
+    pub max_link_latency: u64,
+    /// Synchronization overhead in epochs: `(⌊L/period⌋ + 1) · h`.
+    pub overhead_epochs: u64,
+    /// Synchronization overhead in cycles.
+    pub overhead_cycles: u64,
+}
+
+impl InitialAlignment {
+    /// Plans the DESKEW/TRANSMIT program launch over `topo` from `root`.
+    ///
+    /// Each hop of the spanning tree costs `⌊L/period⌋ + 1` epochs, where
+    /// `L` is the worst-case latency of any single link (paper §3.2).
+    pub fn plan(topo: &Topology, root: TspId) -> Self {
+        let tree = SpanningTree::build(topo, root);
+        let max_link_latency = tree
+            .parent
+            .iter()
+            .flatten()
+            .map(|&(_, lid)| LatencyModel::for_class(topo.link(lid).class).worst_case())
+            .max()
+            .unwrap_or(0);
+        let per_hop_epochs = max_link_latency / HAC_PERIOD + 1;
+        let overhead_epochs = per_hop_epochs * tree.height as u64;
+        InitialAlignment {
+            tree,
+            max_link_latency,
+            overhead_epochs,
+            overhead_cycles: overhead_epochs * HAC_PERIOD,
+        }
+    }
+}
+
+/// Convenience: the minimal-hop route used for discussion in docs/tests.
+pub fn tree_route_hops(topo: &Topology, from: TspId, to: TspId) -> usize {
+    route::shortest_path(topo, from, to).map(|p| p.hops()).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsm_topology::CableClass;
+
+    #[test]
+    fn characterization_reproduces_table2() {
+        // Table 2: seven links, 100K iterations each; min 209-211, mean
+        // 216.3-217.4, max 225-228, std 2.6-2.9. Halving the round trip
+        // tightens std by ~sqrt(2), so accept 1.8-3.0.
+        let model = LatencyModel::for_class(CableClass::IntraNode);
+        let mut rng = StdRng::seed_from_u64(2022);
+        for link in 0..7 {
+            let s = characterize_link(&model, 100_000, &mut rng);
+            assert!(s.min >= 208 && s.min <= 212, "link {link}: min {}", s.min);
+            assert!(s.mean > 215.5 && s.mean < 218.0, "link {link}: mean {}", s.mean);
+            assert!(s.max >= 222 && s.max <= 229, "link {link}: max {}", s.max);
+            assert!(s.std > 1.5 && s.std < 3.1, "link {link}: std {}", s.std);
+        }
+    }
+
+    #[test]
+    fn pair_alignment_converges_to_jitter_neighborhood() {
+        let link = LatencyModel::for_class(CableClass::IntraNode);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = align_pair(
+            &link,
+            217, // characterized mean
+            LocalClock::with_ppm(80.0),
+            100, // initial misalignment
+            4,   // max adjustment per exchange
+            200,
+            &mut rng,
+        );
+        let converged = trace.converged_after.expect("alignment should converge");
+        assert!(converged < 100, "took {converged} exchanges");
+        // After convergence the error stays bounded by the jitter window.
+        let tail = &trace.errors[converged..];
+        assert!(tail.iter().all(|&e| e <= 14.0), "tail error too large: {tail:?}");
+    }
+
+    #[test]
+    fn alignment_tolerates_slow_and_fast_children() {
+        let link = LatencyModel::for_class(CableClass::IntraNode);
+        for ppm in [-100.0, -10.0, 10.0, 100.0] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let trace =
+                align_pair(&link, 217, LocalClock::with_ppm(ppm), 50, 4, 300, &mut rng);
+            assert!(trace.converged_after.is_some(), "ppm {ppm} failed to converge");
+        }
+    }
+
+    #[test]
+    fn spanning_tree_covers_single_node_at_height_one() {
+        let topo = Topology::single_node();
+        let tree = SpanningTree::build(&topo, TspId(0));
+        assert_eq!(tree.height, 1);
+        assert_eq!(tree.reached(), 8);
+        assert!(tree.parent[0].is_none());
+        for i in 1..8 {
+            let (p, _) = tree.parent[i].unwrap();
+            assert_eq!(p, TspId(0));
+        }
+    }
+
+    #[test]
+    fn spanning_tree_height_tracks_regime_diameter() {
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        let tree = SpanningTree::build(&topo, TspId(0));
+        assert!(tree.height <= 3);
+        assert_eq!(tree.reached(), 32);
+    }
+
+    #[test]
+    fn initial_alignment_overhead_formula() {
+        // Intra-node worst-case latency 228 < 252, so each hop costs
+        // (228/252 + 1) = 1 epoch; a single node is height 1 -> 1 epoch.
+        let topo = Topology::single_node();
+        let plan = InitialAlignment::plan(&topo, TspId(0));
+        assert_eq!(plan.max_link_latency, 228);
+        assert_eq!(plan.overhead_epochs, 1);
+        assert_eq!(plan.overhead_cycles, HAC_PERIOD);
+    }
+
+    #[test]
+    fn initial_alignment_scales_with_tree_height() {
+        let topo = Topology::fully_connected_nodes(8).unwrap();
+        let plan = InitialAlignment::plan(&topo, TspId(0));
+        // inter-node links worst case 442 cycles -> 2 epochs per hop
+        assert!(plan.max_link_latency > HAC_PERIOD);
+        assert_eq!(
+            plan.overhead_epochs,
+            (plan.max_link_latency / HAC_PERIOD + 1) * plan.tree.height as u64
+        );
+    }
+
+    #[test]
+    fn alignment_skips_failed_nodes() {
+        let mut topo = Topology::fully_connected_nodes(3).unwrap();
+        topo.fail_node(tsm_topology::NodeId(2));
+        let tree = SpanningTree::build(&topo, TspId(0));
+        assert_eq!(tree.reached(), 16);
+    }
+}

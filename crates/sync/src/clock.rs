@@ -1,0 +1,97 @@
+//! Per-TSP oscillator model.
+//!
+//! Each TSP has an independent clock source (paper §3.2). Crystal
+//! oscillators are specified in parts-per-million of frequency error; the
+//! HAC protocol exists to absorb exactly this. The model is a linear clock:
+//! local elapsed cycles = global elapsed cycles × (1 + ppm·10⁻⁶).
+
+use rand::Rng;
+
+/// A free-running local oscillator with a fixed frequency offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalClock {
+    /// Frequency error in parts per million. Positive runs fast.
+    pub ppm: f64,
+}
+
+impl LocalClock {
+    /// An ideal clock (the global reference).
+    pub fn reference() -> Self {
+        LocalClock { ppm: 0.0 }
+    }
+
+    /// A clock with the given frequency error.
+    pub fn with_ppm(ppm: f64) -> Self {
+        LocalClock { ppm }
+    }
+
+    /// Draws a clock uniformly within ±`max_ppm` (typical C2C deployments
+    /// specify ±100 ppm oscillators).
+    pub fn random<R: Rng>(max_ppm: f64, rng: &mut R) -> Self {
+        LocalClock { ppm: rng.gen_range(-max_ppm..=max_ppm) }
+    }
+
+    /// Local cycles elapsed while `global_cycles` reference cycles pass.
+    pub fn local_elapsed(&self, global_cycles: f64) -> f64 {
+        global_cycles * (1.0 + self.ppm * 1e-6)
+    }
+
+    /// Accumulated drift (local − global) after `global_cycles` reference
+    /// cycles, in cycles.
+    pub fn drift_after(&self, global_cycles: f64) -> f64 {
+        self.local_elapsed(global_cycles) - global_cycles
+    }
+
+    /// Reference cycles until this clock accumulates `max_drift_cycles` of
+    /// drift — the resynchronization deadline driving how often
+    /// RUNTIME_DESKEW must be scheduled (paper §3.3).
+    pub fn cycles_until_drift(&self, max_drift_cycles: f64) -> f64 {
+        if self.ppm == 0.0 {
+            f64::INFINITY
+        } else {
+            max_drift_cycles / (self.ppm.abs() * 1e-6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_clock_never_drifts() {
+        let c = LocalClock::reference();
+        assert_eq!(c.drift_after(1e12), 0.0);
+        assert_eq!(c.cycles_until_drift(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn hundred_ppm_drifts_100_cycles_per_million() {
+        let c = LocalClock::with_ppm(100.0);
+        assert!((c.drift_after(1_000_000.0) - 100.0).abs() < 1e-9);
+        let slow = LocalClock::with_ppm(-50.0);
+        assert!((slow.drift_after(1_000_000.0) + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_deadline_matches_rate() {
+        // At 100 ppm, 126 cycles (half an epoch) of drift take 1.26M cycles
+        // (1.4 ms at 900 MHz) — resync is cheap relative to that.
+        let c = LocalClock::with_ppm(100.0);
+        assert!((c.cycles_until_drift(126.0) - 1.26e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn random_clocks_stay_in_range_and_are_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = LocalClock::random(100.0, &mut rng);
+            assert!(c.ppm.abs() <= 100.0);
+        }
+        let a = LocalClock::random(100.0, &mut StdRng::seed_from_u64(2));
+        let b = LocalClock::random(100.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+    }
+}

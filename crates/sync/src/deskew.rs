@@ -1,0 +1,133 @@
+//! Runtime resynchronization via RUNTIME_DESKEW (paper §3.3).
+//!
+//! During a long-running computation each TSP's clock drifts. The SAC
+//! free-runs on local cycles while the HAC tracks the global reference, so
+//! `δt = SAC − HAC` is the accumulated local drift. A
+//! `RUNTIME_DESKEW target` instruction stalls for `target ± δt` cycles,
+//! putting every TSP back on the global schedule; the residual error is the
+//! link jitter.
+
+use crate::clock::LocalClock;
+use crate::hac::signed_mod_difference;
+use tsm_isa::timing::HAC_PERIOD;
+
+/// Models one TSP's RUNTIME_DESKEW execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeDeskew {
+    /// The nominal stall, in cycles. Must exceed the largest drift the
+    /// schedule can accumulate between resync points, or a fast TSP would
+    /// need a negative stall.
+    pub target_cycles: u64,
+}
+
+impl RuntimeDeskew {
+    /// Creates a deskew with the given nominal stall.
+    pub fn new(target_cycles: u64) -> Self {
+        RuntimeDeskew { target_cycles }
+    }
+
+    /// The actual stall executed when the TSP has drifted by `delta_t`
+    /// cycles (positive = local SAC ahead of global HAC, i.e. the local
+    /// clock ran fast): stall `target + δt`, and vice versa (paper §3.3).
+    ///
+    /// Returns `None` if the drift exceeds the target (the schedule gave
+    /// this TSP an infeasible deskew budget).
+    pub fn stall_cycles(&self, delta_t: i64) -> Option<u64> {
+        let stall = self.target_cycles as i64 + delta_t;
+        u64::try_from(stall).ok()
+    }
+
+    /// Simulates a program of `segments` compute segments, each
+    /// `segment_cycles` of global reference time, with a RUNTIME_DESKEW
+    /// between segments. Returns the TSP's absolute drift (in cycles) just
+    /// before each deskew, demonstrating that drift never accumulates
+    /// beyond one segment's worth (paper §3.3: "the accumulated global
+    /// error is reduced to the link jitter").
+    pub fn simulate_program(
+        &self,
+        clock: LocalClock,
+        segment_cycles: u64,
+        segments: usize,
+    ) -> Vec<f64> {
+        let mut drift_before_deskew = Vec::with_capacity(segments);
+        let mut residual = 0.0f64; // drift carried past each resync (ideally 0)
+        for _ in 0..segments {
+            // Local clock accumulates drift over the segment.
+            let drift = clock.drift_after(segment_cycles as f64) + residual;
+            drift_before_deskew.push(drift.abs());
+            // SAC − HAC measures the drift exactly (to cycle resolution).
+            let measured = drift.round() as i64;
+            let stall = self
+                .stall_cycles(measured)
+                .expect("deskew budget must cover accumulated drift");
+            let _ = stall;
+            // After the stall, local time is realigned; the sub-cycle
+            // remainder persists.
+            residual = drift - measured as f64;
+        }
+        drift_before_deskew
+    }
+
+    /// The SAC−HAC delta, given counter values (helper mirroring the ISA's
+    /// signed comparison on the counter circle).
+    pub fn measure_delta(sac_value: u64, hac_value: u64) -> i64 {
+        signed_mod_difference(sac_value as i64 - hac_value as i64)
+    }
+
+    /// Maximum drift one epoch of RUNTIME_DESKEW can absorb.
+    pub fn max_absorbable_drift() -> u64 {
+        HAC_PERIOD / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_absorbs_fast_clock() {
+        let d = RuntimeDeskew::new(1000);
+        // Local ran 30 cycles fast: stall longer.
+        assert_eq!(d.stall_cycles(30), Some(1030));
+        // Local ran slow: stall less.
+        assert_eq!(d.stall_cycles(-30), Some(970));
+    }
+
+    #[test]
+    fn infeasible_budget_is_detected() {
+        let d = RuntimeDeskew::new(10);
+        assert_eq!(d.stall_cycles(-11), None);
+    }
+
+    #[test]
+    fn drift_never_accumulates_across_segments() {
+        // 100 ppm clock, 1M-cycle segments: per-segment drift = 100 cycles.
+        let d = RuntimeDeskew::new(500);
+        let drifts = d.simulate_program(LocalClock::with_ppm(100.0), 1_000_000, 50);
+        assert_eq!(drifts.len(), 50);
+        for (i, &drift) in drifts.iter().enumerate() {
+            assert!(drift < 101.0, "segment {i}: drift {drift} accumulated");
+            assert!(drift > 99.0, "segment {i}: drift {drift} too small");
+        }
+    }
+
+    #[test]
+    fn without_deskew_drift_would_accumulate() {
+        // Sanity check of the premise: 50 segments of 1M cycles at 100 ppm
+        // would otherwise accumulate 5000 cycles (~20 epochs).
+        let total = LocalClock::with_ppm(100.0).drift_after(50_000_000.0);
+        assert!(total > 4999.0);
+    }
+
+    #[test]
+    fn measure_delta_uses_circle_arithmetic() {
+        assert_eq!(RuntimeDeskew::measure_delta(5, 250), 7);
+        assert_eq!(RuntimeDeskew::measure_delta(250, 5), -7);
+        assert_eq!(RuntimeDeskew::measure_delta(10, 10), 0);
+    }
+
+    #[test]
+    fn absorbable_drift_is_half_period() {
+        assert_eq!(RuntimeDeskew::max_absorbable_drift(), 126);
+    }
+}

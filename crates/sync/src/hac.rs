@@ -1,0 +1,149 @@
+//! Hardware- and software-aligned counters (paper §3.1, §3.3).
+//!
+//! The HAC is an 8-bit free-running counter with a 252-cycle period (4 of
+//! the 256 values are reserved for control codes). A TSP's HAC is
+//! continuously nudged toward its parent's; the SAC is an identical counter
+//! that is *never* adjusted, so `HAC − SAC` measures accumulated local
+//! drift since the last resynchronization.
+
+use tsm_isa::timing;
+
+/// The epoch length in cycles (re-exported from `tsm-isa` for convenience).
+pub const HAC_PERIOD: u64 = timing::HAC_PERIOD;
+
+/// A free-running counter with period [`HAC_PERIOD`], supporting the
+/// rate-limited adjustment of the HAC alignment protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignedCounter {
+    /// Current counter value, in `[0, HAC_PERIOD)`.
+    value: u64,
+    /// Number of completed periods (epochs) since construction.
+    epochs: u64,
+}
+
+impl AlignedCounter {
+    /// A counter starting at `value` (reduced mod the period).
+    pub fn starting_at(value: u64) -> Self {
+        AlignedCounter { value: value % HAC_PERIOD, epochs: 0 }
+    }
+
+    /// Current value in `[0, HAC_PERIOD)`.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Completed epochs since construction.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Advances the counter by `cycles`, returning the number of epoch
+    /// boundaries (overflows) crossed.
+    pub fn advance(&mut self, cycles: u64) -> u64 {
+        let total = self.value + cycles;
+        let crossed = total / HAC_PERIOD;
+        self.value = total % HAC_PERIOD;
+        self.epochs += crossed;
+        crossed
+    }
+
+    /// Cycles until the next epoch boundary (a DESKEW instruction stalls
+    /// for exactly this long, paper §3.2).
+    pub fn cycles_to_epoch(&self) -> u64 {
+        HAC_PERIOD - self.value
+    }
+
+    /// Applies a rate-limited adjustment toward `delta` (positive moves the
+    /// counter forward), as the HAC alignment hardware does; the maximum
+    /// adjustment per application is configurable (paper §3.1: "the maximum
+    /// adjustment rate is configurable"). Returns the adjustment applied.
+    pub fn adjust(&mut self, delta: i64, max_rate: u64) -> i64 {
+        let applied = delta.clamp(-(max_rate as i64), max_rate as i64);
+        let v = self.value as i64 + applied;
+        self.value = v.rem_euclid(HAC_PERIOD as i64) as u64;
+        applied
+    }
+
+    /// Signed difference `self − other` on the circle, in `(−P/2, P/2]`.
+    pub fn signed_difference(&self, other: &AlignedCounter) -> i64 {
+        signed_mod_difference(self.value as i64 - other.value as i64)
+    }
+}
+
+/// Reduces a difference of counter values to the signed range
+/// `(−HAC_PERIOD/2, HAC_PERIOD/2]`.
+pub fn signed_mod_difference(raw: i64) -> i64 {
+    let p = HAC_PERIOD as i64;
+    let mut d = raw.rem_euclid(p);
+    if d > p / 2 {
+        d -= p;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_wraps_and_counts_epochs() {
+        let mut c = AlignedCounter::starting_at(250);
+        let crossed = c.advance(5);
+        assert_eq!(crossed, 1);
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.epochs(), 1);
+        assert_eq!(c.advance(252 * 3), 3);
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.epochs(), 4);
+    }
+
+    #[test]
+    fn starting_value_is_reduced() {
+        assert_eq!(AlignedCounter::starting_at(252).value(), 0);
+        assert_eq!(AlignedCounter::starting_at(505).value(), 1);
+    }
+
+    #[test]
+    fn cycles_to_epoch_complements_value() {
+        let c = AlignedCounter::starting_at(200);
+        assert_eq!(c.cycles_to_epoch(), 52);
+        let mut c2 = c;
+        c2.advance(c.cycles_to_epoch());
+        assert_eq!(c2.value(), 0);
+        assert_eq!(c2.epochs(), 1);
+    }
+
+    #[test]
+    fn adjust_is_rate_limited() {
+        let mut c = AlignedCounter::starting_at(10);
+        assert_eq!(c.adjust(100, 4), 4);
+        assert_eq!(c.value(), 14);
+        assert_eq!(c.adjust(-100, 4), -4);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn adjust_wraps_around_zero() {
+        let mut c = AlignedCounter::starting_at(1);
+        c.adjust(-3, 10);
+        assert_eq!(c.value(), 250);
+    }
+
+    #[test]
+    fn signed_difference_takes_shortest_arc() {
+        let a = AlignedCounter::starting_at(2);
+        let b = AlignedCounter::starting_at(250);
+        // 2 - 250 = -248 ≡ +4 on the circle
+        assert_eq!(a.signed_difference(&b), 4);
+        assert_eq!(b.signed_difference(&a), -4);
+    }
+
+    #[test]
+    fn signed_mod_difference_range() {
+        for raw in -600..600 {
+            let d = signed_mod_difference(raw);
+            assert!(d > -(HAC_PERIOD as i64) / 2 && d <= HAC_PERIOD as i64 / 2, "raw {raw} -> {d}");
+            assert_eq!((raw - d).rem_euclid(HAC_PERIOD as i64), 0);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Whole-network HAC alignment: the spanning-tree protocol of paper §3.1
+//! simulated across every TSP simultaneously.
+//!
+//! [`align_pair`](crate::align::align_pair) models one parent/child edge;
+//! this module runs the full tree — every TSP with its own drifting clock,
+//! every edge with its own jittered link — and reports the *global* skew
+//! (max |HACᵢ − HAC_root| over all TSPs) converging into the
+//! jitter-and-depth-determined neighborhood.
+
+use crate::align::SpanningTree;
+use crate::clock::LocalClock;
+use crate::hac::{signed_mod_difference, AlignedCounter, HAC_PERIOD};
+use rand::Rng;
+use tsm_isa::timing::HAC_EXCHANGE_INTERVAL;
+use tsm_link::LatencyModel;
+use tsm_topology::{Topology, TspId};
+
+/// The global alignment trace of a whole-network simulation.
+#[derive(Debug, Clone)]
+pub struct TreeAlignmentTrace {
+    /// Max absolute HAC error vs the root, after each exchange round.
+    pub max_errors: Vec<f64>,
+    /// Rounds until the global skew first entered the neighborhood.
+    pub converged_after: Option<usize>,
+    /// The neighborhood bound used (cycles): per-hop jitter × tree depth.
+    pub neighborhood: f64,
+}
+
+/// Simulates `rounds` HAC exchange rounds over the spanning tree of
+/// `topo`, with every non-root TSP's oscillator drawn within ±`max_ppm`
+/// and per-edge latency drawn from that edge's cable class.
+pub fn simulate_tree_alignment<R: Rng>(
+    topo: &Topology,
+    root: TspId,
+    max_ppm: f64,
+    max_adjust_per_exchange: u64,
+    rounds: usize,
+    rng: &mut R,
+) -> TreeAlignmentTrace {
+    let tree = SpanningTree::build(topo, root);
+    let n = topo.num_tsps();
+
+    // Per-TSP state.
+    let mut clocks = vec![LocalClock::reference(); n];
+    let mut hacs: Vec<AlignedCounter> = Vec::with_capacity(n);
+    let mut residue = vec![0.0f64; n];
+    for i in 0..n {
+        if TspId(i as u32) != root {
+            clocks[i] = LocalClock::random(max_ppm, rng);
+        }
+        hacs.push(AlignedCounter::starting_at(rng.gen_range(0..HAC_PERIOD)));
+    }
+    hacs[root.index()] = AlignedCounter::starting_at(0);
+
+    // Per-edge latency models and characterized means.
+    let edge_models: Vec<Option<LatencyModel>> = (0..n)
+        .map(|i| {
+            tree.parent[i].map(|(_, lid)| LatencyModel::for_class(topo.link(lid).class))
+        })
+        .collect();
+
+    // Neighborhood: per-edge jitter half-window accumulates down the tree.
+    let worst_jitter = edge_models
+        .iter()
+        .flatten()
+        .map(|m| (m.worst_case() - m.best_case()) as f64 / 2.0)
+        .fold(0.0, f64::max);
+    let neighborhood = worst_jitter * tree.height as f64 + tree.height as f64;
+
+    // Process TSPs in BFS order so a round propagates root-to-leaves.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| tree.depth[i]);
+
+    let mut max_errors = Vec::with_capacity(rounds);
+    let mut converged_after = None;
+    for round in 0..rounds {
+        // Clocks advance one exchange interval.
+        for i in 0..n {
+            let local =
+                clocks[i].local_elapsed(HAC_EXCHANGE_INTERVAL as f64) + residue[i];
+            let whole = local.floor();
+            residue[i] = local - whole;
+            hacs[i].advance(whole as u64);
+        }
+        // Each child observes its parent's HAC and adjusts.
+        for &i in &order {
+            let Some((parent, _)) = tree.parent[i] else { continue };
+            let model = edge_models[i].as_ref().expect("edge model for child");
+            let transmitted = hacs[parent.index()].value();
+            let actual_latency = model.sample(rng);
+            let child_at_arrival = (hacs[i].value() + actual_latency) % HAC_PERIOD;
+            let estimate = (transmitted + model.base_cycles) % HAC_PERIOD;
+            let delta = signed_mod_difference(estimate as i64 - child_at_arrival as i64);
+            hacs[i].adjust(delta, max_adjust_per_exchange);
+        }
+        // Global skew vs the root.
+        let root_val = hacs[root.index()];
+        let max_err = (0..n)
+            .map(|i| hacs[i].signed_difference(&root_val).abs() as f64)
+            .fold(0.0, f64::max);
+        max_errors.push(max_err);
+        if converged_after.is_none() && max_err <= neighborhood {
+            converged_after = Some(round + 1);
+        }
+    }
+    TreeAlignmentTrace { max_errors, converged_after, neighborhood }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn single_node_network_aligns() {
+        let topo = Topology::single_node();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = simulate_tree_alignment(&topo, TspId(0), 100.0, 4, 300, &mut rng);
+        let c = trace.converged_after.expect("8 TSPs converge");
+        assert!(c < 200, "took {c} rounds");
+        // skew stays bounded after convergence
+        let tail = &trace.max_errors[c..];
+        assert!(tail.iter().all(|&e| e <= trace.neighborhood * 1.5), "{tail:?}");
+    }
+
+    #[test]
+    fn multi_node_network_aligns_through_deeper_tree() {
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = simulate_tree_alignment(&topo, TspId(0), 100.0, 4, 400, &mut rng);
+        assert!(trace.converged_after.is_some(), "32 TSPs over ≤3-hop tree must converge");
+    }
+
+    #[test]
+    fn convergence_is_seed_deterministic() {
+        let topo = Topology::single_node();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            simulate_tree_alignment(&topo, TspId(0), 50.0, 4, 100, &mut rng).max_errors
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn zero_drift_network_converges_fast_and_tight() {
+        let topo = Topology::single_node();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = simulate_tree_alignment(&topo, TspId(0), 0.0, 8, 150, &mut rng);
+        let c = trace.converged_after.expect("ideal clocks converge");
+        // With no drift the only residual is link jitter.
+        let tail = &trace.max_errors[c + 10..];
+        assert!(tail.iter().all(|&e| e <= trace.neighborhood), "{tail:?}");
+    }
+}

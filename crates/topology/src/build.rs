@@ -1,0 +1,410 @@
+//! Topology constructors: explicit cable-by-cable wiring of the three scale
+//! regimes described in paper §2.2.
+
+use crate::{
+    CableClass, Link, ScaleRegime, Topology, TopologyError, TspId, GLOBAL_LINKS_PER_TSP,
+    GLOBAL_PORTS_PER_NODE, MAX_FULL_CONNECT_NODES, MAX_RACKS, NODES_PER_RACK, TSPS_PER_NODE,
+};
+
+/// Number of global links wired between every pair of nodes when `n` nodes
+/// are fully connected (paper §2.2: at 33 nodes this is exactly 1).
+pub fn links_per_node_pair(n_nodes: usize) -> usize {
+    if n_nodes < 2 {
+        0
+    } else {
+        GLOBAL_PORTS_PER_NODE / (n_nodes - 1)
+    }
+}
+
+/// Intra-rack copies of each node-pair link in the rack-Dragonfly regime:
+/// the 9 nodes are *doubly* connected using half (144) of the rack's 288
+/// global ports (paper §2.2), giving the 2× internal speedup.
+pub const INTRA_RACK_COPIES: usize = 2;
+
+/// Global ports per rack available for other racks (the other half).
+pub const INTER_RACK_PORTS: usize = NODES_PER_RACK * GLOBAL_PORTS_PER_NODE / 2;
+
+/// Number of inter-rack links wired between every pair of racks when `r`
+/// racks are present (at the maximum 145 racks this is exactly 1).
+pub fn links_per_rack_pair(n_racks: usize) -> usize {
+    if n_racks < 2 {
+        0
+    } else {
+        INTER_RACK_PORTS / (n_racks - 1)
+    }
+}
+
+/// Parallel links between ring neighbors in the torus local group
+/// (paper §4.4: "we triple-connect physical links within the torus to
+/// increase the nearest-neighbor throughput").
+pub const TORUS_NEIGHBOR_LINKS: usize = 3;
+
+impl Topology {
+    /// Builds a single fully-connected 8-TSP node: 28 intra-node cables, 7
+    /// local links per TSP (paper §2.2, Fig 5/6).
+    pub fn single_node() -> Topology {
+        let mut links = Vec::with_capacity(crate::INTRA_NODE_CABLES);
+        wire_node_local(0, &mut links);
+        Topology::from_links(ScaleRegime::SingleNode, TSPS_PER_NODE, links)
+    }
+
+    /// Builds the radix-8 torus local group of paper §4.4: the node's
+    /// eight TSPs form a ring with *three* parallel links between each
+    /// pair of neighbors (24 cables, 6 of each TSP's 7 local ports),
+    /// trading the full mesh's uniform connectivity for 3× nearest-
+    /// neighbor throughput — the pattern pipelined model parallelism
+    /// generates.
+    pub fn torus_node() -> Topology {
+        let mut links = Vec::with_capacity(TSPS_PER_NODE * TORUS_NEIGHBOR_LINKS);
+        for i in 0..TSPS_PER_NODE {
+            let j = (i + 1) % TSPS_PER_NODE;
+            for k in 0..TORUS_NEIGHBOR_LINKS {
+                links.push(Link {
+                    a: TspId(i as u32),
+                    // ports 0..3 face the successor, 3..6 the predecessor
+                    a_port: k as u8,
+                    b: TspId(j as u32),
+                    b_port: (TORUS_NEIGHBOR_LINKS + k) as u8,
+                    class: CableClass::IntraNode,
+                });
+            }
+        }
+        Topology::from_links(ScaleRegime::TorusNode, TSPS_PER_NODE, links)
+    }
+
+    /// Builds `n_nodes` nodes (2–33) with full connectivity between all
+    /// node pairs over the global links — the 264-TSP regime of paper §2.2,
+    /// with a network diameter of 3 hops.
+    ///
+    /// Each node pair gets `⌊32 / (n_nodes − 1)⌋` parallel global links,
+    /// spread across the TSPs of both nodes so every TSP contributes its 4
+    /// global ports evenly.
+    pub fn fully_connected_nodes(n_nodes: usize) -> Result<Topology, TopologyError> {
+        if n_nodes < 2 {
+            return Err(TopologyError::TooFew { what: "nodes", min: 2 });
+        }
+        if n_nodes > MAX_FULL_CONNECT_NODES {
+            return Err(TopologyError::TooManyNodes {
+                requested: n_nodes,
+                max: MAX_FULL_CONNECT_NODES,
+            });
+        }
+        let mut links = Vec::new();
+        for n in 0..n_nodes {
+            wire_node_local(n, &mut links);
+        }
+        let lpp = links_per_node_pair(n_nodes);
+        for x in 0..n_nodes {
+            for y in (x + 1)..n_nodes {
+                for k in 0..lpp {
+                    // Global channel index of this cable on each node.
+                    let cx = peer_index(x, y) * lpp + k;
+                    let cy = peer_index(y, x) * lpp + k;
+                    let class = if x / NODES_PER_RACK == y / NODES_PER_RACK {
+                        CableClass::IntraRack
+                    } else {
+                        CableClass::InterRack
+                    };
+                    links.push(Link {
+                        a: global_channel_tsp(x, cx),
+                        a_port: global_channel_port(cx),
+                        b: global_channel_tsp(y, cy),
+                        b_port: global_channel_port(cy),
+                        class,
+                    });
+                }
+            }
+        }
+        Ok(Topology::from_links(
+            ScaleRegime::FullyConnectedNodes,
+            n_nodes * TSPS_PER_NODE,
+            links,
+        ))
+    }
+
+    /// Builds the rack-as-group Dragonfly of paper §2.2: `n_racks` racks
+    /// (2–145) of 9 nodes each. Within a rack, every node pair is *doubly*
+    /// connected (144 of the rack's 288 global ports), providing the 2×
+    /// internal speedup; the other 144 ports connect to the other racks,
+    /// `⌊144 / (n_racks − 1)⌋` parallel links per rack pair. Minimal routes
+    /// have at most 5 hops (2 + 1 + 2).
+    pub fn rack_dragonfly(n_racks: usize) -> Result<Topology, TopologyError> {
+        if n_racks < 2 {
+            return Err(TopologyError::TooFew { what: "racks", min: 2 });
+        }
+        if n_racks > MAX_RACKS {
+            return Err(TopologyError::TooManyRacks { requested: n_racks });
+        }
+        let n_nodes = n_racks * NODES_PER_RACK;
+        let mut links = Vec::new();
+        for n in 0..n_nodes {
+            wire_node_local(n, &mut links);
+        }
+        // Intra-rack: double-connect the 9 nodes of each rack. On each node
+        // this consumes channels 0..16 (8 peers x 2 copies).
+        for rack in 0..n_racks {
+            let base = rack * NODES_PER_RACK;
+            for x in 0..NODES_PER_RACK {
+                for y in (x + 1)..NODES_PER_RACK {
+                    for k in 0..INTRA_RACK_COPIES {
+                        let cx = peer_index(x, y) * INTRA_RACK_COPIES + k;
+                        let cy = peer_index(y, x) * INTRA_RACK_COPIES + k;
+                        links.push(Link {
+                            a: global_channel_tsp(base + x, cx),
+                            a_port: global_channel_port(cx),
+                            b: global_channel_tsp(base + y, cy),
+                            b_port: global_channel_port(cy),
+                            class: CableClass::IntraRack,
+                        });
+                    }
+                }
+            }
+        }
+        // Inter-rack: channels 16..32 on each node form the rack's 144
+        // outward-facing ports (9 nodes x 16).
+        let lpr = links_per_rack_pair(n_racks);
+        for rx in 0..n_racks {
+            for ry in (rx + 1)..n_racks {
+                for k in 0..lpr {
+                    let cx = peer_index(rx, ry) * lpr + k;
+                    let cy = peer_index(ry, rx) * lpr + k;
+                    links.push(Link {
+                        a: rack_channel_tsp(rx, cx),
+                        a_port: rack_channel_port(cx),
+                        b: rack_channel_tsp(ry, cy),
+                        b_port: rack_channel_port(cy),
+                        class: CableClass::InterRack,
+                    });
+                }
+            }
+        }
+        Ok(Topology::from_links(
+            ScaleRegime::RackDragonfly,
+            n_nodes * TSPS_PER_NODE,
+            links,
+        ))
+    }
+}
+
+/// Index of peer `y` in `x`'s ordered peer list (skipping `x` itself).
+fn peer_index(x: usize, y: usize) -> usize {
+    if y < x {
+        y
+    } else {
+        y - 1
+    }
+}
+
+/// Fully connect the 8 TSPs of node `n` with 28 intra-node cables.
+///
+/// TSP `i`'s local port for peer `j` is `peer_index(i, j)`, so each TSP uses
+/// exactly its 7 local ports.
+fn wire_node_local(n: usize, links: &mut Vec<Link>) {
+    let base = (n * TSPS_PER_NODE) as u32;
+    for i in 0..TSPS_PER_NODE {
+        for j in (i + 1)..TSPS_PER_NODE {
+            links.push(Link {
+                a: TspId(base + i as u32),
+                a_port: peer_index(i, j) as u8,
+                b: TspId(base + j as u32),
+                b_port: peer_index(j, i) as u8,
+                class: CableClass::IntraNode,
+            });
+        }
+    }
+}
+
+/// The TSP hosting global channel `c` (0..32) of node `node`.
+fn global_channel_tsp(node: usize, c: usize) -> TspId {
+    debug_assert!(c < GLOBAL_PORTS_PER_NODE);
+    TspId((node * TSPS_PER_NODE + c / GLOBAL_LINKS_PER_TSP) as u32)
+}
+
+/// The port number (7..11) of global channel `c` on its host TSP.
+fn global_channel_port(c: usize) -> u8 {
+    (crate::LOCAL_LINKS_PER_TSP + c % GLOBAL_LINKS_PER_TSP) as u8
+}
+
+/// The TSP hosting inter-rack channel `c` (0..144) of rack `rack`.
+///
+/// Inter-rack channels map onto node-global channels 16..32, i.e. the upper
+/// half of each node's virtual-router ports (TSP slots 4..8).
+fn rack_channel_tsp(rack: usize, c: usize) -> TspId {
+    debug_assert!(c < INTER_RACK_PORTS);
+    let node_in_rack = c / 16;
+    let node_channel = 16 + c % 16;
+    global_channel_tsp(rack * NODES_PER_RACK + node_in_rack, node_channel)
+}
+
+/// The port number of inter-rack channel `c` on its host TSP.
+fn rack_channel_port(c: usize) -> u8 {
+    global_channel_port(16 + c % 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Every (tsp, port) pair must be used by at most one cable.
+    fn assert_ports_unique(topo: &Topology) {
+        let mut used = HashSet::new();
+        for l in topo.links() {
+            assert!(used.insert((l.a, l.a_port)), "port reused: {:?} {}", l.a, l.a_port);
+            assert!(used.insert((l.b, l.b_port)), "port reused: {:?} {}", l.b, l.b_port);
+        }
+    }
+
+    fn assert_port_ranges(topo: &Topology) {
+        for l in topo.links() {
+            let local = matches!(l.class, CableClass::IntraNode);
+            for p in [l.a_port, l.b_port] {
+                if local {
+                    assert!((p as usize) < crate::LOCAL_LINKS_PER_TSP);
+                } else {
+                    assert!((p as usize) >= crate::LOCAL_LINKS_PER_TSP);
+                    assert!((p as usize) < crate::PORTS_PER_TSP);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_has_28_cables_and_full_connectivity() {
+        let topo = Topology::single_node();
+        assert_eq!(topo.links().len(), 28);
+        assert_ports_unique(&topo);
+        assert_port_ranges(&topo);
+        for t in topo.tsps() {
+            assert_eq!(topo.neighbors(t).len(), 7);
+        }
+        // every pair directly connected
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                assert_eq!(topo.links_between(TspId(i), TspId(j)).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn links_per_node_pair_matches_paper_at_33() {
+        assert_eq!(links_per_node_pair(33), 1);
+        assert_eq!(links_per_node_pair(2), 32);
+        assert_eq!(links_per_node_pair(9), 4);
+    }
+
+    #[test]
+    fn fully_connected_nodes_rejects_bad_sizes() {
+        assert!(Topology::fully_connected_nodes(1).is_err());
+        assert!(Topology::fully_connected_nodes(34).is_err());
+    }
+
+    #[test]
+    fn fully_connected_33_nodes_is_the_264_tsp_system() {
+        let topo = Topology::fully_connected_nodes(33).unwrap();
+        assert_eq!(topo.num_tsps(), 264);
+        assert_ports_unique(&topo);
+        assert_port_ranges(&topo);
+        // 33*28 intra-node + C(33,2)*1 global
+        assert_eq!(topo.links().len(), 33 * 28 + 33 * 32 / 2);
+        // every node pair has exactly one global cable
+        let globals: Vec<_> = topo.links().iter().filter(|l| l.is_global()).collect();
+        assert_eq!(globals.len(), 528);
+    }
+
+    #[test]
+    fn fully_connected_two_nodes_uses_all_global_ports() {
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        assert_ports_unique(&topo);
+        let globals = topo.links().iter().filter(|l| l.is_global()).count();
+        assert_eq!(globals, 32); // 32 parallel links between the two nodes
+        // every TSP's 4 global ports are in use
+        for t in topo.tsps() {
+            let g = topo.neighbors(t).iter().filter(|&&(lid, _)| topo.link(lid).is_global()).count();
+            assert_eq!(g, 4);
+        }
+    }
+
+    #[test]
+    fn node_global_channels_spread_across_tsps() {
+        // channel c lives on TSP slot c/4, port 7 + c%4
+        assert_eq!(global_channel_tsp(0, 0), TspId(0));
+        assert_eq!(global_channel_tsp(0, 31), TspId(7));
+        assert_eq!(global_channel_port(0), 7);
+        assert_eq!(global_channel_port(31), 10);
+    }
+
+    #[test]
+    fn rack_dragonfly_rejects_bad_sizes() {
+        assert!(Topology::rack_dragonfly(1).is_err());
+        assert!(Topology::rack_dragonfly(146).is_err());
+    }
+
+    #[test]
+    fn rack_dragonfly_small_config_wiring() {
+        let topo = Topology::rack_dragonfly(2).unwrap();
+        assert_eq!(topo.num_tsps(), 144);
+        assert_ports_unique(&topo);
+        assert_port_ranges(&topo);
+        let intra_node = topo.links().iter().filter(|l| l.class == CableClass::IntraNode).count();
+        let intra_rack = topo.links().iter().filter(|l| l.class == CableClass::IntraRack).count();
+        let inter_rack = topo.links().iter().filter(|l| l.class == CableClass::InterRack).count();
+        assert_eq!(intra_node, 18 * 28);
+        // per rack: C(9,2)=36 pairs x 2 copies = 72; two racks = 144
+        assert_eq!(intra_rack, 144);
+        // 2 racks: 144 links between them
+        assert_eq!(inter_rack, 144);
+    }
+
+    #[test]
+    fn rack_dragonfly_max_config_counts() {
+        assert_eq!(links_per_rack_pair(MAX_RACKS), 1);
+        let topo = Topology::rack_dragonfly(MAX_RACKS).unwrap();
+        assert_eq!(topo.num_tsps(), crate::MAX_TSPS);
+        let inter_rack = topo.links().iter().filter(|l| l.class == CableClass::InterRack).count();
+        // all-to-all between 145 racks, one link per pair
+        assert_eq!(inter_rack, 145 * 144 / 2);
+        assert_ports_unique(&topo);
+    }
+
+    #[test]
+    fn torus_node_wiring_and_properties() {
+        let topo = Topology::torus_node();
+        assert_eq!(topo.links().len(), 8 * 3);
+        assert_ports_unique(&topo);
+        // every neighbor pair has exactly 3 parallel links
+        for i in 0..8u32 {
+            let j = (i + 1) % 8;
+            assert_eq!(topo.links_between(TspId(i), TspId(j)).len(), 3);
+        }
+        // non-neighbors have no direct link
+        assert!(topo.links_between(TspId(0), TspId(2)).is_empty());
+        // each TSP uses 6 local ports
+        for t in topo.tsps() {
+            assert_eq!(topo.neighbors(t).len(), 6);
+        }
+        // ring of 8: diameter 4
+        assert_eq!(crate::route::eccentricity(&topo, TspId(0)), 4);
+    }
+
+    #[test]
+    fn torus_triples_nearest_neighbor_paths() {
+        // The §4.4 rationale: 3 edge-disjoint single-hop paths to the ring
+        // neighbor (vs 1 in the mesh), so nearest-neighbor tensors spread
+        // 3x wider without leaving minimal routes.
+        let torus = Topology::torus_node();
+        let paths = crate::route::edge_disjoint_paths(&torus, TspId(0), TspId(1), 7);
+        let one_hop = paths.iter().filter(|p| p.hops() == 1).count();
+        assert_eq!(one_hop, 3);
+        let mesh = Topology::single_node();
+        let mesh_paths = crate::route::edge_disjoint_paths(&mesh, TspId(0), TspId(1), 7);
+        assert_eq!(mesh_paths.iter().filter(|p| p.hops() == 1).count(), 1);
+    }
+
+    #[test]
+    fn inter_rack_ports_constant_matches_paper() {
+        // "partition half of the 288-ports ... remaining 144 ports are used
+        // to connect to other racks" (paper §2.2)
+        assert_eq!(INTER_RACK_PORTS, 144);
+    }
+}

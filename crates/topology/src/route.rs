@@ -1,0 +1,321 @@
+//! Route computation over an explicit [`Topology`].
+//!
+//! All routes are computed *at compile time* in the software-scheduled
+//! network (paper §4.2 "Scheduled, Not Routed"), so this module is the only
+//! place that ever makes a path decision — the simulator in `tsm-net` only
+//! follows schedules that reference the paths produced here.
+//!
+//! Two families of routes are provided:
+//!
+//! * **minimal** paths ([`shortest_path`]): BFS over the wiring, giving the
+//!   ≤3-hop routes of the fully-connected-node regime and ≤5-hop routes of
+//!   the rack Dragonfly (paper §2.2),
+//! * **non-minimal** paths ([`edge_disjoint_paths`]): the path diversity
+//!   unlocked by deterministic load-balancing (paper §4.3), computed as
+//!   edge-disjoint alternatives so that spreading a tensor across them
+//!   never double-books a cable.
+
+use crate::{LinkId, Topology, TopologyError, TspId};
+use std::collections::{HashSet, VecDeque};
+
+/// A hop-by-hop path through the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The links traversed, in order.
+    pub links: Vec<LinkId>,
+    /// The TSPs visited, starting with the source and ending with the
+    /// destination; `tsps.len() == links.len() + 1`.
+    pub tsps: Vec<TspId>,
+}
+
+impl Path {
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Source TSP.
+    pub fn source(&self) -> TspId {
+        *self.tsps.first().expect("path has at least one TSP")
+    }
+
+    /// Destination TSP.
+    pub fn dest(&self) -> TspId {
+        *self.tsps.last().expect("path has at least one TSP")
+    }
+
+    /// Sum of base cable latencies along the path, in core cycles,
+    /// excluding per-hop switching time.
+    pub fn wire_latency_cycles(&self, topo: &Topology) -> u64 {
+        self.links.iter().map(|&l| topo.link(l).class.base_latency_cycles()).sum()
+    }
+}
+
+/// Computes a minimal path from `from` to `to`, avoiding failed nodes.
+///
+/// BFS with deterministic neighbor order, so the same topology always yields
+/// the same path. A zero-hop path is returned when `from == to`.
+pub fn shortest_path(topo: &Topology, from: TspId, to: TspId) -> Result<Path, TopologyError> {
+    shortest_path_avoiding(topo, from, to, &HashSet::new())
+}
+
+/// Like [`shortest_path`] but treating the links in `excluded` as absent.
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    from: TspId,
+    to: TspId,
+    excluded: &HashSet<LinkId>,
+) -> Result<Path, TopologyError> {
+    if from == to {
+        return Ok(Path { links: Vec::new(), tsps: vec![from] });
+    }
+    let n = topo.num_tsps();
+    // prev[t] = (link, predecessor) on the BFS tree.
+    let mut prev: Vec<Option<(LinkId, TspId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(t) = queue.pop_front() {
+        for &(lid, peer) in topo.neighbors(t) {
+            if seen[peer.index()] || excluded.contains(&lid) {
+                continue;
+            }
+            if topo.is_failed(peer) && peer != to {
+                continue;
+            }
+            seen[peer.index()] = true;
+            prev[peer.index()] = Some((lid, t));
+            if peer == to {
+                return Ok(reconstruct(from, to, &prev));
+            }
+            queue.push_back(peer);
+        }
+    }
+    Err(TopologyError::NoRoute { from, to })
+}
+
+fn reconstruct(from: TspId, to: TspId, prev: &[Option<(LinkId, TspId)>]) -> Path {
+    let mut links = Vec::new();
+    let mut tsps = vec![to];
+    let mut cur = to;
+    while cur != from {
+        let (lid, p) = prev[cur.index()].expect("BFS reached this TSP");
+        links.push(lid);
+        tsps.push(p);
+        cur = p;
+    }
+    links.reverse();
+    tsps.reverse();
+    Path { links, tsps }
+}
+
+/// Computes up to `k` pairwise edge-disjoint paths from `from` to `to`,
+/// shortest first.
+///
+/// The first path is minimal; subsequent paths are the non-minimal
+/// alternatives that deterministic load-balancing spreads vectors across
+/// (paper §4.3). Within a fully-connected node this yields the 1 minimal +
+/// up to 7 two-hop non-minimal paths of Fig 10.
+pub fn edge_disjoint_paths(topo: &Topology, from: TspId, to: TspId, k: usize) -> Vec<Path> {
+    let mut used = HashSet::new();
+    let mut out = Vec::new();
+    for _ in 0..k {
+        match shortest_path_avoiding(topo, from, to, &used) {
+            Ok(p) => {
+                for &l in &p.links {
+                    used.insert(l);
+                }
+                out.push(p);
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Eccentricity of one TSP: the maximum minimal-hop distance to any other
+/// (non-failed) TSP. The topology diameter is the maximum eccentricity; by
+/// symmetry of the constructions it equals the eccentricity of TSP 0.
+pub fn eccentricity(topo: &Topology, from: TspId) -> usize {
+    let n = topo.num_tsps();
+    let mut dist = vec![usize::MAX; n];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    let mut max = 0;
+    while let Some(t) = queue.pop_front() {
+        for &(_, peer) in topo.neighbors(t) {
+            if dist[peer.index()] != usize::MAX || topo.is_failed(peer) {
+                continue;
+            }
+            dist[peer.index()] = dist[t.index()] + 1;
+            max = max.max(dist[peer.index()]);
+            queue.push_back(peer);
+        }
+    }
+    max
+}
+
+/// Structural upper bound on minimal hop count for the regime.
+///
+/// Paper §2.2 quotes 1 within a node, 3 in the fully-connected-node regime
+/// and 5 in the rack Dragonfly ("two in the source-rack, one global hop,
+/// and two in the destination-rack"). The rack-regime figure counts
+/// *chassis-level* hops; at TSP granularity a route may additionally need
+/// up to one intra-node adjustment hop inside the source and destination
+/// chassis to reach the specific TSP hosting the next cable, so the
+/// TSP-level bound is 5 + 2 = 7. The other regimes need no adjustment hops
+/// and their bounds are exact at TSP granularity.
+pub fn diameter_bound(topo: &Topology) -> usize {
+    match topo.regime() {
+        crate::ScaleRegime::SingleNode => 1,
+        crate::ScaleRegime::TorusNode => 4,
+        crate::ScaleRegime::FullyConnectedNodes => 3,
+        crate::ScaleRegime::RackDragonfly => 7,
+    }
+}
+
+/// Chassis-level hop bound quoted by paper §2.2 (counts inter-node cables
+/// plus one hop per rack traversal; excludes intra-node adjustment hops).
+pub fn chassis_diameter_bound(topo: &Topology) -> usize {
+    match topo.regime() {
+        crate::ScaleRegime::SingleNode => 1,
+        crate::ScaleRegime::TorusNode => 4,
+        crate::ScaleRegime::FullyConnectedNodes => 3,
+        crate::ScaleRegime::RackDragonfly => 5,
+    }
+}
+
+/// Number of inter-node cables (intra-rack or inter-rack class) on a path —
+/// the paper's chassis-level hop count.
+pub fn inter_node_hops(topo: &Topology, path: &Path) -> usize {
+    path.links.iter().filter(|&&l| topo.link(l).is_global()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, Topology};
+
+    #[test]
+    fn zero_hop_path_to_self() {
+        let topo = Topology::single_node();
+        let p = shortest_path(&topo, TspId(3), TspId(3)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), p.dest());
+    }
+
+    #[test]
+    fn single_node_all_pairs_one_hop() {
+        let topo = Topology::single_node();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i == j {
+                    continue;
+                }
+                let p = shortest_path(&topo, TspId(i), TspId(j)).unwrap();
+                assert_eq!(p.hops(), 1, "{i}->{j}");
+                assert_eq!(p.source(), TspId(i));
+                assert_eq!(p.dest(), TspId(j));
+            }
+        }
+        assert_eq!(eccentricity(&topo, TspId(0)), diameter_bound(&topo));
+    }
+
+    #[test]
+    fn fully_connected_nodes_diameter_three() {
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        assert!(eccentricity(&topo, TspId(0)) <= 3);
+        let topo33 = Topology::fully_connected_nodes(33).unwrap();
+        assert!(eccentricity(&topo33, TspId(0)) <= diameter_bound(&topo33));
+    }
+
+    #[test]
+    fn rack_dragonfly_diameter_bounds() {
+        let topo = Topology::rack_dragonfly(3).unwrap();
+        let e = eccentricity(&topo, TspId(0));
+        assert!(e <= diameter_bound(&topo), "eccentricity {e} > 7");
+        // Chassis-level hops stay within the paper's 5-hop budget: check a
+        // far pair (rack 0 -> rack 2).
+        let p = shortest_path(&topo, TspId(0), TspId(2 * 72 + 70)).unwrap();
+        assert!(inter_node_hops(&topo, &p) <= 3, "inter-node cables on minimal route");
+        assert!(p.hops() <= 7);
+    }
+
+    #[test]
+    fn path_endpoints_and_continuity() {
+        let topo = Topology::fully_connected_nodes(3).unwrap();
+        let p = shortest_path(&topo, TspId(0), TspId(23)).unwrap();
+        assert_eq!(p.tsps.len(), p.links.len() + 1);
+        // consecutive TSPs joined by the listed link
+        for (i, &lid) in p.links.iter().enumerate() {
+            let l = topo.link(lid);
+            assert!(l.touches(p.tsps[i]) && l.touches(p.tsps[i + 1]));
+        }
+    }
+
+    #[test]
+    fn edge_disjoint_paths_within_node_are_seven() {
+        // Paper Fig 10 speaks of "one minimal path and seven non-minimal
+        // paths"; counting *edge-disjoint* paths, the source's degree of 7
+        // caps the total at 7 (1 direct + 6 via the other peers). The Fig 10
+        // sweep therefore spreads over up to 7 paths total.
+        let topo = Topology::single_node();
+        let paths = edge_disjoint_paths(&topo, TspId(0), TspId(1), 16);
+        assert_eq!(paths.len(), 7);
+        assert_eq!(paths[0].hops(), 1);
+        for p in &paths[1..] {
+            assert_eq!(p.hops(), 2);
+        }
+        // pairwise edge-disjoint
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for &l in &p.links {
+                assert!(seen.insert(l), "link reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_avoids_failed_nodes() {
+        let mut topo = Topology::fully_connected_nodes(3).unwrap();
+        // Force traffic node0 -> node2; fail node 1 and ensure no path
+        // transits it.
+        topo.fail_node(NodeId(1));
+        let p = shortest_path(&topo, TspId(0), TspId(16)).unwrap();
+        for t in &p.tsps {
+            assert_ne!(t.node(), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn no_route_when_destination_isolated() {
+        // Two nodes, exclude every global link: no inter-node route.
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        let excluded: HashSet<_> = topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_global())
+            .map(|(i, _)| LinkId(i as u32))
+            .collect();
+        let r = shortest_path_avoiding(&topo, TspId(0), TspId(8), &excluded);
+        assert!(matches!(r, Err(TopologyError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn wire_latency_accumulates_cable_classes() {
+        let topo = Topology::single_node();
+        let p = shortest_path(&topo, TspId(0), TspId(1)).unwrap();
+        assert_eq!(p.wire_latency_cycles(&topo), 216);
+    }
+
+    #[test]
+    fn max_config_eccentricity_is_bounded() {
+        // Full 10,440-TSP system: one BFS is cheap enough even in debug.
+        let topo = Topology::rack_dragonfly(crate::MAX_RACKS).unwrap();
+        let e = eccentricity(&topo, TspId(0));
+        assert!(e <= 7, "max-config eccentricity {e} exceeds the TSP-level bound");
+    }
+}

@@ -1,0 +1,271 @@
+//! BERT transformer workloads (paper §5.4, Figs 17–18, 20).
+//!
+//! The encoder stack is described by its GEMM shapes; everything the
+//! scheduler needs (cycles, activation traffic) derives from those. The
+//! paper's experiments map onto:
+//!
+//! * **Fig 17** — BERT-Large (24 encoders) pipelined over 4 TSPs,
+//!   SQuAD-shaped inputs over PCIe,
+//! * **Fig 18** — stacks of 6/24/48/96 encoders on 1/4/8/16 TSPs
+//!   (6 encoders per TSP), realized TOPs scaling linearly,
+//! * **Fig 20** — the FLOPs-only vs spatial-aware stage balance on the
+//!   same BERT-Large.
+
+use tsm_chip::mxm::{gemm_timing, GemmShape};
+use tsm_compiler::balance::LayerCost;
+use tsm_compiler::graph::{Graph, OpKind};
+use tsm_isa::ElemType;
+use tsm_topology::TspId;
+
+/// Published BERT variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BertVariant {
+    /// 12 encoders, hidden 768 — runs on a single TSP (§5.4).
+    Base,
+    /// 24 encoders, hidden 1024 — runs on 4 TSPs (§5.4).
+    Large,
+}
+
+/// A transformer encoder stack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Encoder (layer) count.
+    pub encoders: usize,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Feed-forward intermediate dimension.
+    pub intermediate: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Sequence length (SQuAD1.1 uses 384).
+    pub seq: u64,
+    /// Batch size per inference.
+    pub batch: u64,
+}
+
+impl BertConfig {
+    /// BERT-Base: 12 × hidden 768.
+    pub fn base() -> Self {
+        BertConfig { encoders: 12, hidden: 768, intermediate: 3072, heads: 12, seq: 384, batch: 1 }
+    }
+
+    /// BERT-Large: 24 × hidden 1024.
+    pub fn large() -> Self {
+        BertConfig { encoders: 24, hidden: 1024, intermediate: 4096, heads: 16, seq: 384, batch: 1 }
+    }
+
+    /// A named variant.
+    pub fn variant(v: BertVariant) -> Self {
+        match v {
+            BertVariant::Base => Self::base(),
+            BertVariant::Large => Self::large(),
+        }
+    }
+
+    /// The Fig 18 scaling family: BERT-Large-shaped encoders, `n` of them.
+    pub fn with_encoders(n: usize) -> Self {
+        BertConfig { encoders: n, ..Self::large() }
+    }
+
+    /// The GEMMs of one encoder: Q/K/V/output projections, the two
+    /// attention batched matmuls, and the two FFN layers.
+    pub fn encoder_gemms(&self) -> Vec<GemmShape> {
+        let t = self.batch * self.seq;
+        let h = self.hidden;
+        let head_dim = h / self.heads;
+        let mut v = vec![
+            // Q, K, V, attention-output projections
+            GemmShape::new(t, h, h),
+            GemmShape::new(t, h, h),
+            GemmShape::new(t, h, h),
+            GemmShape::new(t, h, h),
+            // FFN up / down
+            GemmShape::new(t, h, self.intermediate),
+            GemmShape::new(t, self.intermediate, h),
+        ];
+        // attention scores and weighted values, per head
+        for _ in 0..self.heads * self.batch {
+            v.push(GemmShape::new(self.seq, head_dim, self.seq));
+            v.push(GemmShape::new(self.seq, self.seq, head_dim));
+        }
+        v
+    }
+
+    /// Useful FLOPs of one encoder.
+    pub fn encoder_flops(&self) -> u64 {
+        self.encoder_gemms().iter().map(|g| g.flops()).sum()
+    }
+
+    /// Useful FLOPs of one full inference.
+    pub fn total_flops(&self) -> u64 {
+        self.encoder_flops() * self.encoders as u64
+    }
+
+    /// MXM cycles of one encoder, plus a 10 % VXM/SXM allowance for
+    /// layernorm, softmax, residuals and transposes.
+    pub fn encoder_cycles(&self) -> u64 {
+        let mxm: u64 =
+            self.encoder_gemms().iter().map(|g| gemm_timing(*g, ElemType::F16).cycles).sum();
+        mxm + mxm / 10
+    }
+
+    /// Bytes of activations flowing between consecutive encoders (FP16).
+    pub fn activation_bytes(&self) -> u64 {
+        self.batch * self.seq * self.hidden * 2
+    }
+
+    /// Bytes of one inference's host input (token ids + masks) and output
+    /// (start/end logits for SQuAD).
+    pub fn host_io_bytes(&self) -> (u64, u64) {
+        let input = self.batch * self.seq * 8; // ids + type + mask, int16-ish
+        let output = self.batch * self.seq * 4 * 2; // two fp32 logit vectors
+        (input, output)
+    }
+
+    /// On-chip operand-movement cycles per encoder: SXM transposes of the
+    /// attention operands and stream staging between hemispheres, ~14 % of
+    /// the MXM-busy time (the component the Fig 20 "unoptimized" compiler
+    /// serialized behind compute).
+    pub fn encoder_movement_cycles(&self) -> u64 {
+        self.encoder_cycles() * 14 / 100
+    }
+
+    /// The per-encoder cost vector for the stage balancer (Fig 20).
+    pub fn layer_costs(&self) -> Vec<LayerCost> {
+        vec![
+            LayerCost {
+                compute_cycles: self.encoder_cycles(),
+                movement_cycles: self.encoder_movement_cycles(),
+                activation_bytes: self.activation_bytes(),
+            };
+            self.encoders
+        ]
+    }
+
+    /// Builds the pipelined inference graph over `n_tsps` devices:
+    /// encoders split evenly into contiguous stages, activations
+    /// transferred between stages, host I/O on the first and last device.
+    ///
+    /// # Panics
+    /// Panics unless `n_tsps` divides the encoder count.
+    pub fn build_pipeline_graph(&self, n_tsps: usize) -> Graph {
+        assert!(n_tsps >= 1 && self.encoders % n_tsps == 0, "encoders must split evenly");
+        let per_stage = self.encoders / n_tsps;
+        let mut g = Graph::new();
+        let (in_bytes, out_bytes) = self.host_io_bytes();
+        let mut prev = g
+            .add(TspId(0), OpKind::HostInput { bytes: in_bytes }, vec![])
+            .expect("first node");
+        for stage in 0..n_tsps {
+            let dev = TspId(stage as u32);
+            for _ in 0..per_stage {
+                prev = g
+                    .add(dev, OpKind::Compute { cycles: self.encoder_cycles() }, vec![prev])
+                    .expect("deps exist");
+            }
+            if stage + 1 < n_tsps {
+                prev = g
+                    .add(
+                        dev,
+                        OpKind::Transfer {
+                            to: TspId(stage as u32 + 1),
+                            bytes: self.activation_bytes(),
+                            allow_nonminimal: true,
+                        },
+                        vec![prev],
+                    )
+                    .expect("deps exist");
+            }
+        }
+        g.add(TspId(n_tsps as u32 - 1), OpKind::HostOutput { bytes: out_bytes }, vec![prev])
+            .expect("deps exist");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_compiler::schedule::{compile, CompileOptions};
+    use tsm_topology::Topology;
+
+    #[test]
+    fn published_shapes() {
+        let base = BertConfig::base();
+        assert_eq!((base.encoders, base.hidden), (12, 768));
+        let large = BertConfig::large();
+        assert_eq!((large.encoders, large.hidden), (24, 1024));
+        assert_eq!(large.activation_bytes(), 384 * 1024 * 2);
+    }
+
+    #[test]
+    fn encoder_flops_match_analytic_form() {
+        // ≈ 24·s·h² + 4·s²·h for batch 1 (projections + FFN + attention)
+        let c = BertConfig::large();
+        let analytic = 24 * c.seq * c.hidden * c.hidden + 4 * c.seq * c.seq * c.hidden;
+        let actual = c.encoder_flops();
+        let ratio = actual as f64 / analytic as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn bert_large_on_4_tsps_latency_is_about_a_millisecond() {
+        // Fig 17: measured latency ≈ 1.2–1.3 ms including PCIe I/O. Our
+        // model should land in the same regime (hundreds of µs to ~2 ms).
+        let g = BertConfig::large().build_pipeline_graph(4);
+        let topo = Topology::single_node();
+        let p = compile(&g, &topo, CompileOptions::default()).unwrap();
+        let s = p.estimated_seconds();
+        assert!(s > 0.5e-3 && s < 3e-3, "latency {s} s");
+    }
+
+    #[test]
+    fn pipeline_graph_structure() {
+        let g = BertConfig::large().build_pipeline_graph(4);
+        // 1 host-in + 24 encoders + 3 transfers + 1 host-out
+        assert_eq!(g.len(), 29);
+        assert_eq!(g.devices().len(), 4);
+    }
+
+    #[test]
+    fn fig18_throughput_scales_linearly() {
+        // 6 encoders per TSP at every point: the pipeline beat is constant,
+        // so realized TOPs scale with the TSP count.
+        let tops: Vec<f64> = [(6usize, 1usize), (24, 4), (48, 8), (96, 16)]
+            .iter()
+            .map(|&(enc, tsps)| {
+                let c = BertConfig::with_encoders(enc);
+                let costs = c.layer_costs();
+                let plan = tsm_compiler::balance::partition_stages(
+                    &costs,
+                    tsps,
+                    tsm_compiler::schedule::OptLevel::SpatialAware,
+                );
+                plan.throughput_per_second() * c.total_flops() as f64 / 1e12
+            })
+            .collect();
+        let norm: Vec<f64> = tops.iter().map(|t| t / tops[0]).collect();
+        for (i, expect) in [1.0, 4.0, 8.0, 16.0].iter().enumerate() {
+            assert!(
+                (norm[i] / expect - 1.0).abs() < 0.05,
+                "normalized TOPs {norm:?} should be ~[1,4,8,16]"
+            );
+        }
+    }
+
+    #[test]
+    fn compiler_estimate_is_deterministic() {
+        let run = || {
+            let g = BertConfig::large().build_pipeline_graph(4);
+            let topo = Topology::single_node();
+            compile(&g, &topo, CompileOptions::default()).unwrap().span_cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn uneven_stage_split_rejected() {
+        let _ = BertConfig::large().build_pipeline_graph(5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Cholesky factorization on TSPs (paper §5.5, Fig 19).
+//!
+//! Cholesky "is difficult to efficiently parallelize due to a loop-carried
+//! dependence of a vector-matrix multiplication on the inner-loop": each
+//! iteration's update vector must flow through the MXM, then the VXM
+//! (subtract, rsqrt, splat, multiply — the kernel quoted in §5.5), and be
+//! broadcast, before the next iteration can begin. The matrix is
+//! distributed block-cyclically in 320-row blocks (Fig 19(a)/(b)).
+//!
+//! The timing model follows that algorithm literally: per iteration, the
+//! parallelizable vector-matrix MXM work divides across TSPs while the
+//! pivot chain (VXM pipeline + gather/broadcast over the node mesh) does
+//! not — which is exactly why the measured speedups in Fig 19(c) are far
+//! below linear.
+
+use tsm_isa::timing::{cycles_to_seconds, CLOCK_HZ};
+
+/// Rows per distribution block (paper: "block-cyclic distribution of 320
+/// rows on each TSP").
+pub const BLOCK_ROWS: u64 = 320;
+
+/// VXM pipeline cost of one iteration's pivot chain (subtract → rsqrt →
+/// splat → multiply, single fly-by through the chained ALUs).
+const PIVOT_CHAIN_CYCLES: u64 = 220;
+
+/// One network hop (722 ns, paper §5.6) in cycles; gathers/broadcasts pay
+/// this once per tree level.
+const HOP_CYCLES: u64 = 650;
+
+/// A Cholesky execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyPlan {
+    /// Matrix dimension `p` (the input is `p × p`).
+    pub p: u64,
+    /// Participating TSPs.
+    pub tsps: u64,
+}
+
+impl CholeskyPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    /// Panics if `p` or `tsps` is zero.
+    pub fn new(p: u64, tsps: u64) -> Self {
+        assert!(p > 0 && tsps > 0, "plan dimensions must be nonzero");
+        CholeskyPlan { p, tsps }
+    }
+
+    /// Useful FLOPs: `p³/3` (paper §5.5).
+    pub fn flops(&self) -> u64 {
+        self.p * self.p * self.p / 3
+    }
+
+    /// Total execution cycles under the per-iteration model.
+    pub fn cycles(&self) -> u64 {
+        let k = self.tsps;
+        let mut total = 0u64;
+        for i in 0..self.p {
+            let r = self.p - i; // trailing column length
+            // Parallel part: the vector-matrix product generating the
+            // update vector. [r × i]×[i × 1] on the MXM: r·⌈i/160⌉ sub-ops
+            // at 2/cycle, row blocks divided block-cyclically over k TSPs.
+            let tiles = i.div_ceil(160).max(1);
+            let rows_here = r.div_ceil(k); // worst-owner share
+            let mxm = (rows_here * tiles).div_ceil(2);
+            // Sequential part: the pivot chain.
+            let mut seq = PIVOT_CHAIN_CYCLES;
+            if k > 1 {
+                // Gather partial products (log₂k reduction tree) and
+                // broadcast the update column (one hop; peers are directly
+                // connected in the node mesh), plus serialization of the
+                // 2r-byte FP16 column.
+                let tree = (k as f64).log2().ceil() as u64;
+                let column_vectors = (2 * r).div_ceil(320);
+                seq += tree * HOP_CYCLES + HOP_CYCLES + column_vectors * 24 / k;
+            }
+            total += mxm + seq;
+        }
+        total
+    }
+
+    /// Wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        cycles_to_seconds(self.cycles())
+    }
+
+    /// Realized FP16 TFLOPs.
+    pub fn tflops(&self) -> f64 {
+        self.flops() as f64 / self.seconds() / 1e12
+    }
+
+    /// Speedup over the single-TSP plan at the same size.
+    pub fn speedup(&self) -> f64 {
+        CholeskyPlan::new(self.p, 1).seconds() / self.seconds()
+    }
+
+    /// Which TSP owns row-block `b` under the block-cyclic distribution.
+    pub fn block_owner(&self, block: u64) -> u64 {
+        block % self.tsps
+    }
+
+    /// Row-blocks owned by TSP `t`.
+    pub fn blocks_of(&self, t: u64) -> Vec<u64> {
+        let total_blocks = self.p.div_ceil(BLOCK_ROWS);
+        (0..total_blocks).filter(|b| b % self.tsps == t).collect()
+    }
+}
+
+/// The Fig 19(c) sweep: execution time vs problem size for each TSP count.
+pub fn fig19_sweep(sizes: &[u64], tsp_counts: &[u64]) -> Vec<(u64, u64, f64)> {
+    let mut out = Vec::new();
+    for &p in sizes {
+        for &k in tsp_counts {
+            out.push((p, k, CholeskyPlan::new(p, k).seconds()));
+        }
+    }
+    out
+}
+
+/// Cycles-per-second sanity anchor for doc examples.
+pub fn clock_hz() -> u64 {
+    CLOCK_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_are_p_cubed_over_three() {
+        assert_eq!(CholeskyPlan::new(300, 1).flops(), 9_000_000);
+    }
+
+    #[test]
+    fn block_cyclic_distribution() {
+        let plan = CholeskyPlan::new(3200, 4);
+        // 10 blocks of 320 rows, dealt round-robin to 4 TSPs
+        assert_eq!(plan.blocks_of(0), vec![0, 4, 8]);
+        assert_eq!(plan.blocks_of(1), vec![1, 5, 9]);
+        assert_eq!(plan.blocks_of(3), vec![3, 7]);
+        assert_eq!(plan.block_owner(7), 3);
+    }
+
+    #[test]
+    fn speedups_are_sublinear_and_diminishing() {
+        // Fig 19(c): "a net speedup of 1.2×, 1.4×, and 1.5× for 2, 4, and
+        // 8 TSPs" — strongly sublinear with diminishing returns. Our model
+        // reproduces the shape; see EXPERIMENTS.md for measured values.
+        let p = 4096;
+        let s2 = CholeskyPlan::new(p, 2).speedup();
+        let s4 = CholeskyPlan::new(p, 4).speedup();
+        let s8 = CholeskyPlan::new(p, 8).speedup();
+        assert!(s2 > 1.0 && s4 > s2 && s8 > s4, "{s2} {s4} {s8}");
+        assert!(s8 < 4.0, "speedup must stay far from linear: {s8}");
+        assert!(s2 < 2.0, "{s2}");
+    }
+
+    #[test]
+    fn small_problems_do_not_benefit_from_more_tsps() {
+        // Below a crossover the per-iteration communication dominates and
+        // extra TSPs hurt — the reason Fig 19(c) starts its curves at
+        // moderate sizes.
+        let s = CholeskyPlan::new(512, 8).speedup();
+        assert!(s < 1.0, "512×512 over 8 TSPs should slow down, got {s}");
+    }
+
+    #[test]
+    fn execution_time_grows_cubically_on_one_tsp() {
+        // On one TSP the O(p³) MXM work dominates; multi-TSP runs flatten
+        // toward the O(p) per-iteration pivot chain, which is the whole
+        // point of Fig 19(c)'s sublinear curves.
+        let t1 = CholeskyPlan::new(2048, 1).seconds();
+        let t2 = CholeskyPlan::new(4096, 1).seconds();
+        let ratio = t2 / t1;
+        assert!(ratio > 5.0 && ratio < 9.0, "doubling p should ~7x time, got {ratio}");
+    }
+
+    #[test]
+    fn multi_tsp_tflops_improve_with_scale() {
+        // Paper: "good scaling from 14.9 FP16 TFlops on 4 TSPs to 22.4 ...
+        // on 8 TSPs" (ratio 1.5). Our 4→8 ratio at large p lands in the
+        // same 1.1–1.6 band.
+        let p = 8192;
+        let t4 = CholeskyPlan::new(p, 4).tflops();
+        let t8 = CholeskyPlan::new(p, 8).tflops();
+        let ratio = t8 / t4;
+        assert!(ratio > 1.1 && ratio < 1.7, "4->8 TSP TFlops ratio {ratio}");
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let rows = fig19_sweep(&[1024, 2048], &[1, 2, 4, 8]);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|&(_, _, s)| s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_plan_rejected() {
+        let _ = CholeskyPlan::new(0, 1);
+    }
+}

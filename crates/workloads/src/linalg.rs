@@ -1,0 +1,243 @@
+//! Dense linear-algebra references.
+//!
+//! Small, obviously correct f64 implementations used to validate the
+//! workload kernels (the TSP executes the same math through its VXM/MXM
+//! models; these are the oracles).
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data, `rows × cols`.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Horizontal concatenation (the column-split recomposition of §5.2).
+    pub fn hcat(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows));
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut base = 0;
+        for p in parts {
+            for r in 0..rows {
+                for c in 0..p.cols {
+                    out.set(r, base + c, p.get(r, c));
+                }
+            }
+            base += p.cols;
+        }
+        out
+    }
+
+    /// Column slice `[lo, hi)`.
+    pub fn col_slice(&self, lo: usize, hi: usize) -> Matrix {
+        Matrix::from_fn(self.rows, hi - lo, |r, c| self.get(r, lo + c))
+    }
+
+    /// Row slice `[lo, hi)`.
+    pub fn row_slice(&self, lo: usize, hi: usize) -> Matrix {
+        Matrix::from_fn(hi - lo, self.cols, |r, c| self.get(lo + r, c))
+    }
+
+    /// Maximum absolute element difference.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// A symmetric positive-definite test matrix (diagonally dominant).
+    pub fn spd(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                n as f64 + 1.0
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        })
+    }
+}
+
+/// Reference Cholesky factorization: returns lower-triangular `L` with
+/// `L·Lᵀ = A`.
+///
+/// # Panics
+/// Panics if `a` is not square or not positive definite.
+pub fn cholesky(a: &Matrix) -> Matrix {
+    assert_eq!(a.rows, a.cols, "Cholesky needs a square matrix");
+    let n = a.rows;
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                assert!(sum > 0.0, "matrix is not positive definite");
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    l
+}
+
+/// Reference all-reduce: element-wise sum of every participant's buffer,
+/// returned to all of them.
+pub fn allreduce_sum(buffers: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!buffers.is_empty());
+    let len = buffers[0].len();
+    assert!(buffers.iter().all(|b| b.len() == len));
+    (0..len).map(|i| buffers.iter().map(|b| b[i]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix { rows: 2, cols: 2, data: vec![1.0, 2.0, 3.0, 4.0] };
+        let b = Matrix { rows: 2, cols: 2, data: vec![5.0, 6.0, 7.0, 8.0] };
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn column_split_matmul_equals_whole() {
+        // The §5.2 column-wise weight split: concatenating the partial
+        // results reproduces the full product exactly.
+        let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(6, 9, |r, c| (r as f64 - c as f64) * 0.5);
+        let full = a.matmul(&b);
+        let parts: Vec<Matrix> =
+            [(0, 3), (3, 6), (6, 9)].iter().map(|&(lo, hi)| a.matmul(&b.col_slice(lo, hi))).collect();
+        let recomposed = Matrix::hcat(&parts);
+        assert!(full.max_abs_diff(&recomposed) < 1e-12);
+    }
+
+    #[test]
+    fn row_split_matmul_sums_partials() {
+        // The §5.2 row-wise weight split: partial products sum to the full
+        // product.
+        let a = Matrix::from_fn(4, 6, |r, c| (r * 7 + c) as f64 * 0.25);
+        let b = Matrix::from_fn(6, 5, |r, c| 1.0 / (1 + r + c) as f64);
+        let full = a.matmul(&b);
+        let p1 = a.col_slice(0, 3).matmul(&b.row_slice(0, 3));
+        let p2 = a.col_slice(3, 6).matmul(&b.row_slice(3, 6));
+        assert!(full.max_abs_diff(&p1.add(&p2)) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrix() {
+        let a = Matrix::spd(12);
+        let l = cholesky(&a);
+        let reconstructed = l.matmul(&l.transpose());
+        assert!(a.max_abs_diff(&reconstructed) < 1e-9);
+        // lower triangular
+        for r in 0..12 {
+            for c in (r + 1)..12 {
+                assert_eq!(l.get(r, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_fn(2, 2, |r, c| if r == c { -1.0 } else { 0.0 });
+        let _ = cholesky(&a);
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let out = allreduce_sum(&[vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
+        assert_eq!(out, vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

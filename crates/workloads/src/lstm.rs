@@ -1,0 +1,199 @@
+//! LSTM / sequence-to-sequence workloads.
+//!
+//! Paper §5: "The matrix-matrix, vector-matrix, and matrix transpose
+//! operations are representative of and commonly used by many machine
+//! learning models, like sequence-to-sequence models (e.g. LSTMs) and
+//! transformers." The LSTM is the *vector-matrix* stress case: at batch 1
+//! each time step is a pair of `[1×H]×[H×4H]` products with a loop-carried
+//! dependence on `h_{t−1}` — the same structural bottleneck as Cholesky's
+//! pivot chain, which is why the TSP's deterministic fine-grained
+//! communication matters for it.
+
+use tsm_chip::mxm::{gemm_timing, GemmShape};
+use tsm_compiler::balance::LayerCost;
+use tsm_compiler::graph::{Graph, OpKind};
+use tsm_isa::ElemType;
+use tsm_topology::TspId;
+
+/// An LSTM stack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmConfig {
+    /// Hidden (and cell) width.
+    pub hidden: u64,
+    /// Stacked layers.
+    pub layers: usize,
+    /// Sequence length per inference.
+    pub seq_len: u64,
+    /// Batch size.
+    pub batch: u64,
+}
+
+impl LstmConfig {
+    /// A representative translation-model stack (4 × 1024, seq 64).
+    pub fn translation() -> Self {
+        LstmConfig { hidden: 1024, layers: 4, seq_len: 64, batch: 1 }
+    }
+
+    /// The two GEMMs of one time step of one layer: the input projection
+    /// `x_t·W` and the recurrent projection `h_{t−1}·U`, each onto the
+    /// four stacked gates.
+    pub fn step_gemms(&self) -> [GemmShape; 2] {
+        [
+            GemmShape::new(self.batch, self.hidden, 4 * self.hidden),
+            GemmShape::new(self.batch, self.hidden, 4 * self.hidden),
+        ]
+    }
+
+    /// MXM cycles of one time step of one layer, plus a gate-ALU pass
+    /// (sigmoid/tanh/elementwise on the VXM, ~4·H/80 vector ops).
+    pub fn step_cycles(&self) -> u64 {
+        let mxm: u64 =
+            self.step_gemms().iter().map(|&g| gemm_timing(g, ElemType::F16).cycles).sum();
+        let vxm = 4 * self.hidden * self.batch / 80 + 16;
+        mxm + vxm
+    }
+
+    /// Useful FLOPs of one full inference.
+    pub fn total_flops(&self) -> u64 {
+        let per_step: u64 = self.step_gemms().iter().map(|g| g.flops()).sum();
+        per_step * self.layers as u64 * self.seq_len
+    }
+
+    /// Bytes of the hidden state passed between stacked layers each step.
+    pub fn activation_bytes(&self) -> u64 {
+        self.batch * self.hidden * 2
+    }
+
+    /// Per-layer cost (one *full sequence* per layer) for the pipeline
+    /// balancer: layer-parallel LSTM inference streams the sequence
+    /// through the layer pipeline.
+    pub fn layer_costs(&self) -> Vec<LayerCost> {
+        vec![
+            LayerCost {
+                compute_cycles: self.step_cycles() * self.seq_len,
+                movement_cycles: self.step_cycles() * self.seq_len / 20,
+                activation_bytes: self.activation_bytes() * self.seq_len,
+            };
+            self.layers
+        ]
+    }
+
+    /// Builds the layer-pipelined inference graph over `n_tsps` devices:
+    /// each device runs a contiguous block of layers; every time step's
+    /// hidden state crosses to the next device. The per-step transfers are
+    /// the fine-grained (2·H-byte ≈ 2 KB) communications that motivate the
+    /// low-overhead wire format (paper Fig 11).
+    ///
+    /// # Panics
+    /// Panics unless `n_tsps` divides the layer count.
+    pub fn build_pipeline_graph(&self, n_tsps: usize) -> Graph {
+        assert!(n_tsps >= 1 && self.layers % n_tsps == 0, "layers must split evenly");
+        let per_stage = self.layers / n_tsps;
+        let mut g = Graph::new();
+        // op handle of the previous step's output per stage (loop-carried)
+        let mut stage_state: Vec<Option<tsm_compiler::graph::OpId>> = vec![None; n_tsps];
+        for _t in 0..self.seq_len {
+            let mut carried = None; // inter-stage activation for this step
+            for stage in 0..n_tsps {
+                let dev = TspId(stage as u32);
+                let mut deps = Vec::new();
+                if let Some(prev) = stage_state[stage] {
+                    deps.push(prev); // recurrent dependence h_{t-1}
+                }
+                if let Some(c) = carried {
+                    deps.push(c); // this step's input from the stage below
+                }
+                let compute = g
+                    .add(dev, OpKind::Compute { cycles: self.step_cycles() * per_stage as u64 }, deps)
+                    .expect("valid deps");
+                stage_state[stage] = Some(compute);
+                if stage + 1 < n_tsps {
+                    carried = Some(
+                        g.add(
+                            dev,
+                            OpKind::Transfer {
+                                to: TspId(stage as u32 + 1),
+                                bytes: self.activation_bytes(),
+                                allow_nonminimal: false,
+                            },
+                            vec![compute],
+                        )
+                        .expect("valid deps"),
+                    );
+                } else {
+                    carried = None;
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_compiler::schedule::{compile, CompileOptions};
+    use tsm_topology::Topology;
+
+    #[test]
+    fn step_flops_match_analytic() {
+        let c = LstmConfig::translation();
+        // 2 gemms x 2·B·H·4H flops
+        let per_step: u64 = c.step_gemms().iter().map(|g| g.flops()).sum();
+        assert_eq!(per_step, 2 * 2 * c.batch * c.hidden * 4 * c.hidden);
+        assert_eq!(c.total_flops(), per_step * 4 * 64);
+    }
+
+    #[test]
+    fn batch_one_utilization_is_low() {
+        // [1×1024]×[1024×4096]: one row of sub-ops — the MXM runs nearly
+        // empty, the known weakness of recurrent nets at batch 1.
+        let c = LstmConfig::translation();
+        let t = gemm_timing(c.step_gemms()[0], ElemType::F16);
+        assert!(t.utilization < 0.01, "{}", t.utilization);
+    }
+
+    #[test]
+    fn pipeline_graph_compiles_and_respects_recurrence() {
+        let c = LstmConfig { hidden: 512, layers: 4, seq_len: 8, batch: 1 };
+        let g = c.build_pipeline_graph(4);
+        // per step: 4 computes + 3 transfers
+        assert_eq!(g.len(), 8 * (4 + 3));
+        let topo = Topology::single_node();
+        let p = compile(&g, &topo, CompileOptions::default()).unwrap();
+        // The loop-carried dependence serializes steps within a stage:
+        // span must cover seq_len steps of one stage's compute.
+        assert!(p.span_cycles >= c.step_cycles() * 8);
+    }
+
+    #[test]
+    fn pipelining_layers_hides_inter_stage_latency() {
+        // With 4 stages, steady-state throughput is one step per stage
+        // beat; the span should be far below 4x the single-device span.
+        let c = LstmConfig { hidden: 512, layers: 4, seq_len: 32, batch: 1 };
+        let topo = Topology::single_node();
+        let pipelined = compile(&c.build_pipeline_graph(4), &topo, CompileOptions::default())
+            .unwrap()
+            .span_cycles;
+        let single = compile(&c.build_pipeline_graph(1), &topo, CompileOptions::default())
+            .unwrap()
+            .span_cycles;
+        // single-device: all 4 layers' compute serialize per step
+        assert!(pipelined < single + c.step_cycles() * 8, "pipelined {pipelined} vs single {single}");
+    }
+
+    #[test]
+    fn fine_grained_transfers_fit_one_wire_packet_budget() {
+        // batch-1 hidden state of 1024 fp16 = 2 KB = 7 vectors; the SSN
+        // overhead per step transfer is bounded by the fill latency.
+        let c = LstmConfig::translation();
+        assert_eq!(c.activation_bytes(), 2048);
+        assert_eq!(tsm_isa::vector::vectors_for_bytes(c.activation_bytes()), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn uneven_layer_split_rejected() {
+        let _ = LstmConfig::translation().build_pipeline_graph(3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic traffic patterns for network experiments.
+//!
+//! The SSN-vs-dynamic comparisons and the load-balance studies need
+//! reproducible offered traffic; these generators emit the classic
+//! patterns (uniform random, all-to-all, nearest-neighbor ring, incast)
+//! over a topology's endpoints.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tsm_net::dynamic::OfferedPacket;
+use tsm_topology::{Topology, TspId};
+
+/// Uniform-random traffic: `packets` flits, each with independently drawn
+/// distinct source/destination, injected at a fixed rate.
+pub fn uniform_random<R: Rng>(
+    topo: &Topology,
+    packets: u32,
+    inject_interval: u64,
+    rng: &mut R,
+) -> Vec<OfferedPacket> {
+    let n = topo.num_tsps() as u32;
+    assert!(n >= 2);
+    (0..packets)
+        .map(|id| {
+            let src = rng.gen_range(0..n);
+            let mut dst = rng.gen_range(0..n - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            OfferedPacket {
+                id,
+                src: TspId(src),
+                dst: TspId(dst),
+                inject: id as u64 / n as u64 * inject_interval,
+            }
+        })
+        .collect()
+}
+
+/// All-to-all: every TSP sends `per_pair` flits to every other TSP, in a
+/// deterministic round-robin that staggers injections.
+pub fn all_to_all(topo: &Topology, per_pair: u32, inject_interval: u64) -> Vec<OfferedPacket> {
+    let n = topo.num_tsps() as u32;
+    let mut out = Vec::new();
+    let mut id = 0;
+    for k in 0..per_pair {
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                out.push(OfferedPacket {
+                    id,
+                    src: TspId(s),
+                    dst: TspId(d),
+                    inject: k as u64 * inject_interval,
+                });
+                id += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbor ring: TSP `i` sends to `i+1 (mod n)` — the pipelined
+/// model-parallelism pattern (paper §4.4: "efficient nearest-neighbor
+/// communication ... for inference using pipelined model parallelism").
+pub fn nearest_neighbor(topo: &Topology, per_source: u32, inject_interval: u64) -> Vec<OfferedPacket> {
+    let n = topo.num_tsps() as u32;
+    let mut out = Vec::new();
+    let mut id = 0;
+    for k in 0..per_source {
+        for s in 0..n {
+            out.push(OfferedPacket {
+                id,
+                src: TspId(s),
+                dst: TspId((s + 1) % n),
+                inject: k as u64 * inject_interval,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+/// A random permutation pattern: each source sends to exactly one
+/// destination, a derangement drawn from `rng`.
+pub fn permutation<R: Rng>(topo: &Topology, per_source: u32, rng: &mut R) -> Vec<OfferedPacket> {
+    let n = topo.num_tsps();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    loop {
+        perm.shuffle(rng);
+        if perm.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let mut id = 0;
+    for k in 0..per_source {
+        for (s, &d) in perm.iter().enumerate() {
+            out.push(OfferedPacket {
+                id,
+                src: TspId(s as u32),
+                dst: TspId(d),
+                inject: k as u64 * 24,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsm_topology::Topology;
+
+    #[test]
+    fn uniform_random_has_distinct_endpoints() {
+        let topo = Topology::single_node();
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in uniform_random(&topo, 500, 24, &mut rng) {
+            assert_ne!(p.src, p.dst);
+            assert!(p.src.index() < 8 && p.dst.index() < 8);
+        }
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let topo = Topology::single_node();
+        let t = all_to_all(&topo, 3, 24);
+        assert_eq!(t.len(), 3 * 8 * 7);
+    }
+
+    #[test]
+    fn nearest_neighbor_wraps() {
+        let topo = Topology::single_node();
+        let t = nearest_neighbor(&topo, 1, 24);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[7].src, TspId(7));
+        assert_eq!(t[7].dst, TspId(0));
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let topo = Topology::single_node();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = permutation(&topo, 1, &mut rng);
+        assert_eq!(t.len(), 8);
+        let mut dsts: Vec<_> = t.iter().map(|p| p.dst).collect();
+        dsts.sort();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 8, "destinations must be a permutation");
+        assert!(t.iter().all(|p| p.src != p.dst));
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let topo = Topology::single_node();
+        let a = uniform_random(&topo, 100, 24, &mut StdRng::seed_from_u64(7));
+        let b = uniform_random(&topo, 100, 24, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

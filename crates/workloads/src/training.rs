@@ -1,0 +1,172 @@
+//! Data-parallel training (weak scaling).
+//!
+//! The abstract positions the system for "a variety of workloads, both
+//! training and inference", and the intro frames training as *weak
+//! scaling*: more replicas process more mini-batches, coupled each step by
+//! a gradient all-reduce. The model here composes the MXM timing model
+//! (forward + backward ≈ 3× forward FLOPs) with the scheduled hierarchical
+//! all-reduce of `tsm-compiler` to produce step times and weak-scaling
+//! efficiency.
+
+use crate::bert::BertConfig;
+use tsm_compiler::collective::{allreduce_hierarchical, allreduce_intra_node, AllReduceReport};
+use tsm_isa::timing::cycles_to_seconds;
+use tsm_net::ssn::SsnError;
+use tsm_topology::{NodeId, Topology};
+
+/// A data-parallel training configuration: one model replica per TSP.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingConfig {
+    /// The model being trained.
+    pub model: BertConfig,
+    /// Mini-batch per replica per step.
+    pub local_batch: u64,
+}
+
+impl TrainingConfig {
+    /// BERT-Large pre-training-style setup.
+    pub fn bert_large(local_batch: u64) -> Self {
+        TrainingConfig { model: BertConfig::large(), local_batch }
+    }
+
+    /// Trainable parameter bytes (FP16) of the encoder stack: per encoder
+    /// 4·H² (Q/K/V/output projections) + 2·H·I (FFN up/down) + 13·H
+    /// (biases and layernorm gains), plus a 5 % pad for the pooler-scale
+    /// odds and ends.
+    pub fn param_bytes(&self) -> u64 {
+        let h = self.model.hidden;
+        let i = self.model.intermediate;
+        let per_encoder = 4 * h * h + 2 * h * i + 13 * h;
+        let raw = per_encoder * self.model.encoders as u64 * 2;
+        raw + raw / 20
+    }
+
+    /// Compute cycles of one training step on one replica: forward plus
+    /// backward ≈ 3× the forward pass, times the local batch.
+    pub fn step_compute_cycles(&self) -> u64 {
+        let fwd: u64 = self.model.encoder_cycles() * self.model.encoders as u64;
+        3 * fwd * self.local_batch
+    }
+
+    /// One training step on `topo`, gradients all-reduced across every TSP
+    /// (intra-node plan for a single node, hierarchical beyond).
+    pub fn step(&self, topo: &Topology) -> Result<TrainingStep, SsnError> {
+        let comm = if topo.num_nodes() <= 1 {
+            allreduce_intra_node(topo, NodeId(0), self.param_bytes())?
+        } else {
+            allreduce_hierarchical(topo, self.param_bytes())?
+        };
+        Ok(TrainingStep { config: *self, replicas: topo.num_tsps(), comm })
+    }
+}
+
+/// One resolved training step.
+#[derive(Debug, Clone)]
+pub struct TrainingStep {
+    /// The configuration.
+    pub config: TrainingConfig,
+    /// Participating replicas.
+    pub replicas: usize,
+    /// The gradient all-reduce plan.
+    pub comm: AllReduceReport,
+}
+
+impl TrainingStep {
+    /// Step time with compute and the all-reduce serialized (gradient
+    /// exchange after the full backward pass).
+    pub fn serialized_seconds(&self) -> f64 {
+        cycles_to_seconds(self.config.step_compute_cycles()) + self.comm.seconds
+    }
+
+    /// Step time with the all-reduce overlapped behind the backward pass
+    /// (bucketed gradient exchange — the data-movement-aware schedule).
+    pub fn overlapped_seconds(&self) -> f64 {
+        cycles_to_seconds(self.config.step_compute_cycles()).max(self.comm.seconds)
+    }
+
+    /// Samples per second across the system (overlapped schedule).
+    pub fn throughput(&self) -> f64 {
+        self.replicas as f64 * self.config.local_batch as f64 / self.overlapped_seconds()
+    }
+
+    /// Weak-scaling efficiency vs an ideal communication-free replica.
+    pub fn weak_scaling_efficiency(&self) -> f64 {
+        let ideal = cycles_to_seconds(self.config.step_compute_cycles());
+        ideal / self.overlapped_seconds()
+    }
+}
+
+/// Weak-scaling sweep over system sizes, returning
+/// `(tsps, samples/s, efficiency)` rows.
+pub fn weak_scaling_sweep(
+    config: TrainingConfig,
+    node_counts: &[usize],
+) -> Result<Vec<(usize, f64, f64)>, SsnError> {
+    let mut out = Vec::new();
+    for &n in node_counts {
+        let topo = if n <= 1 {
+            Topology::single_node()
+        } else {
+            Topology::fully_connected_nodes(n).expect("node count in regime")
+        };
+        let step = config.step(&topo)?;
+        out.push((topo.num_tsps(), step.throughput(), step.weak_scaling_efficiency()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_is_bert_large_scale() {
+        // BERT-Large ≈ 340 M params ≈ 680 MB fp16; encoder-only (no
+        // embeddings) lands at ~300 M.
+        let c = TrainingConfig::bert_large(1);
+        let params = c.param_bytes() / 2;
+        assert!((250_000_000..400_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn backward_costs_twice_the_forward() {
+        let c = TrainingConfig::bert_large(1);
+        let fwd = c.model.encoder_cycles() * c.model.encoders as u64;
+        assert_eq!(c.step_compute_cycles(), 3 * fwd);
+    }
+
+    #[test]
+    fn overlap_never_loses_to_serialization() {
+        let c = TrainingConfig::bert_large(4);
+        let topo = Topology::single_node();
+        let step = c.step(&topo).unwrap();
+        assert!(step.overlapped_seconds() <= step.serialized_seconds());
+        assert!(step.throughput() > 0.0);
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_stays_high_then_degrades_gently() {
+        // Each added node adds both replicas and links; efficiency falls
+        // with the growing all-reduce but stays useful — the weak-scaling
+        // claim of the intro.
+        let c = TrainingConfig::bert_large(8);
+        let rows = weak_scaling_sweep(c, &[1, 2, 4, 8]).unwrap();
+        assert_eq!(rows[0].0, 8);
+        assert_eq!(rows[3].0, 64);
+        // throughput grows with scale
+        assert!(rows[3].1 > rows[0].1 * 3.0, "{rows:?}");
+        // efficiency is monotone non-increasing and stays above 50%
+        for w in rows.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-9, "{rows:?}");
+        }
+        assert!(rows[3].2 > 0.5, "{rows:?}");
+    }
+
+    #[test]
+    fn bigger_local_batch_amortizes_communication() {
+        let topo = Topology::fully_connected_nodes(4).unwrap();
+        let small = TrainingConfig::bert_large(1).step(&topo).unwrap();
+        let large = TrainingConfig::bert_large(16).step(&topo).unwrap();
+        assert!(large.weak_scaling_efficiency() > small.weak_scaling_efficiency());
+    }
+}

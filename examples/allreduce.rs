@@ -1,0 +1,39 @@
+//! 8-way All-Reduce bandwidth (paper §5.3, Fig 16).
+//!
+//! Sweeps the tensor size and prints the realized bus bandwidth of the
+//! TSP's scheduled all-reduce against the NCCL-ring model of an 8×A100
+//! node — raw and pin-normalized.
+//!
+//! ```sh
+//! cargo run --release --example allreduce
+//! ```
+
+use tsm::baseline::nccl;
+use tsm::compiler::collective::allreduce_intra_node;
+use tsm::prelude::*;
+
+fn main() {
+    let topo = Topology::single_node();
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "bytes", "TSP bus GB/s", "A100 bus GB/s", "A100-norm GB/s"
+    );
+    let mut crossover_reported = false;
+    for shift in [10u32, 12, 14, 16, 18, 20, 22, 24, 26] {
+        let bytes = 1u64 << shift;
+        let tsp = allreduce_intra_node(&topo, NodeId(0), bytes).expect("schedules");
+        let a100 = nccl::allreduce_bus_gbs(bytes);
+        let a100_norm = nccl::allreduce_bus_gbs_pin_normalized(bytes, 87.5);
+        println!(
+            "{:>12} {:>14.2} {:>14.2} {:>16.2}",
+            bytes, tsp.bus_gbs, a100, a100_norm
+        );
+        if !crossover_reported && a100 > tsp.bus_gbs {
+            crossover_reported = true;
+            println!("{:>12}   ^ raw A100 overtakes on sheer pin bandwidth here", "");
+        }
+    }
+    println!();
+    println!("small tensors: the TSP's barrier-free schedule wins (no launch/fence overhead);");
+    println!("large tensors: pin-normalized A100 converges to the TSP (Fig 16 zoom).");
+}

@@ -1,0 +1,56 @@
+//! BERT-Large on 4 TSPs: the Fig 17 latency histogram.
+//!
+//! Runs one compiled inference 24,240 times (the paper's count), bins the
+//! measured latencies into 5 µs buckets, and reports the compiler
+//! estimate's accuracy.
+//!
+//! ```sh
+//! cargo run --release --example bert_inference
+//! ```
+
+use tsm::prelude::*;
+
+fn main() {
+    let config = BertConfig::large();
+    let graph = config.build_pipeline_graph(4);
+    let system = System::single_node();
+    let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+    let estimate_us = program.estimated_seconds() * 1e6;
+    println!(
+        "BERT-Large ({} encoders, hidden {}) on 4 TSPs",
+        config.encoders, config.hidden
+    );
+    println!("compiler estimate: {estimate_us:.0} µs");
+
+    const RUNS: usize = 24_240;
+    let reports = system.execute_many(&program, &graph, RUNS, 2022);
+
+    // 5 µs bins, like the paper's histogram.
+    let mut bins = std::collections::BTreeMap::<u64, u32>::new();
+    let mut latencies: Vec<f64> = Vec::with_capacity(RUNS);
+    for r in &reports {
+        let us = r.measured_seconds() * 1e6;
+        latencies.push(us);
+        *bins.entry((us / 5.0) as u64 * 5).or_insert(0) += 1;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let p50 = latencies[RUNS / 2];
+    let p99 = latencies[RUNS * 99 / 100];
+    let max = latencies[RUNS - 1];
+
+    println!("runs: {RUNS}");
+    println!("p50 {p50:.0} µs | p99 {p99:.0} µs | max {max:.0} µs");
+    println!("all runs return by the estimate: {}", max <= estimate_us + 0.5);
+    let within_2pct = reports.iter().filter(|r| r.estimate_error() <= 0.02).count();
+    println!(
+        "estimate within 2% of measurement in {:.1}% of runs",
+        within_2pct as f64 / RUNS as f64 * 100.0
+    );
+
+    println!("\nhistogram (5 µs bins):");
+    let peak = *bins.values().max().unwrap_or(&1);
+    for (bin, count) in &bins {
+        let bar = "#".repeat((count * 60 / peak) as usize);
+        println!("{bin:>6} µs |{bar} {count}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Cholesky factorization on multiple TSPs (paper §5.5, Fig 19).
+//!
+//! Validates the kernel numerically against the reference factorization,
+//! then prints the Fig 19(c) scaling table.
+//!
+//! ```sh
+//! cargo run --release --example cholesky
+//! ```
+
+use tsm::prelude::*;
+use tsm::workloads::linalg::{cholesky, Matrix};
+
+fn main() {
+    // --- numerical check ---------------------------------------------------
+    let a = Matrix::spd(64);
+    let l = cholesky(&a);
+    let err = a.max_abs_diff(&l.matmul(&l.transpose()));
+    println!("reference Cholesky on a 64x64 SPD matrix: |A - LLᵀ|max = {err:.2e}");
+    assert!(err < 1e-9);
+
+    // --- block-cyclic distribution -----------------------------------------
+    let plan = CholeskyPlan::new(3200, 4);
+    println!(
+        "3200x3200 over 4 TSPs: TSP0 owns 320-row blocks {:?}",
+        plan.blocks_of(0)
+    );
+
+    // --- Fig 19(c): execution time vs problem size ---------------------------
+    println!("\n{:>7} {:>12} {:>12} {:>12} {:>12}", "p", "1 TSP (ms)", "2 TSPs", "4 TSPs", "8 TSPs");
+    for p in [1024u64, 2048, 4096, 8192, 16384] {
+        let ms: Vec<f64> =
+            [1u64, 2, 4, 8].iter().map(|&k| CholeskyPlan::new(p, k).seconds() * 1e3).collect();
+        println!("{:>7} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", p, ms[0], ms[1], ms[2], ms[3]);
+    }
+
+    println!("\nspeedups at p = 8192:");
+    for k in [2u64, 4, 8] {
+        let plan = CholeskyPlan::new(8192, k);
+        println!(
+            "  {k} TSPs: {:.2}x speedup, {:.1} FP16 TFLOPs",
+            plan.speedup(),
+            plan.tflops()
+        );
+    }
+    println!("\nthe loop-carried pivot chain keeps scaling strongly sublinear (Fig 19c).");
+}

@@ -1,0 +1,85 @@
+//! Multi-chip co-simulation: the full compile → assemble → execute loop.
+//!
+//! Schedules tensor movements on the software-scheduled network, lowers
+//! them to per-TSP instruction programs, assembles one program into the
+//! binary format, and co-executes all chips with real vector payloads —
+//! verifying bit-exact delivery at the scheduled cycles.
+//!
+//! ```sh
+//! cargo run --release --example cosim
+//! ```
+
+use tsm::core::cosim::{run_transfers, CosimTransfer};
+use tsm::isa::encode as asm;
+use tsm::isa::{Instruction, StreamId, Vector};
+use tsm::prelude::*;
+
+fn main() {
+    let topo = Topology::fully_connected_nodes(2).expect("two nodes");
+
+    // Three concurrent tensor movements, including a cross-node one that
+    // must be forwarded through an intermediate TSP.
+    let transfers = vec![
+        CosimTransfer {
+            from: TspId(0),
+            to: TspId(3),
+            src_slice: 0,
+            src_offset: 0,
+            dst_slice: 2,
+            dst_offset: 0,
+            data: (0..64).map(|i| Vector::splat(i as u8)).collect(),
+        },
+        CosimTransfer {
+            from: TspId(5),
+            to: TspId(6),
+            src_slice: 1,
+            src_offset: 100,
+            dst_slice: 1,
+            dst_offset: 200,
+            data: (0..32).map(|i| Vector::from_fn(|b| (b as u8).wrapping_mul(i as u8))).collect(),
+        },
+        CosimTransfer {
+            from: TspId(1),
+            to: TspId(9), // other node, not directly cabled to TSP 1's peer set
+            src_slice: 3,
+            src_offset: 0,
+            dst_slice: 3,
+            dst_offset: 0,
+            data: (0..16).map(|i| Vector::splat(0xA0 | i as u8)).collect(),
+        },
+    ];
+
+    let report = run_transfers(&topo, &transfers).expect("co-simulation succeeds");
+    println!("co-simulated {} transfers over {} chips", transfers.len(), report.retire_cycles.len());
+    println!("{} instructions lowered in total", report.instructions);
+    for (i, arrival) in report.arrivals.iter().enumerate() {
+        println!(
+            "transfer {i}: last vector arrives at cycle {arrival} ({:.2} µs) — bit-exact (verified)",
+            *arrival as f64 / 900.0
+        );
+    }
+
+    // The assembler view (paper Fig 12): a tiny hand-written program and
+    // its machine-code binary.
+    let program = vec![
+        (0u64, Instruction::Deskew),
+        (252, Instruction::Read {
+            slice: 0,
+            offset: 0,
+            stream: StreamId::new(0).unwrap(),
+            dir: tsm::isa::Direction::East,
+        }),
+        (257, Instruction::Send { port: 2, stream: StreamId::new(0).unwrap() }),
+        (300, Instruction::Sync),
+        (350, Instruction::Notify),
+    ];
+    let binary = asm::assemble(&program);
+    println!("\nassembled {} instructions into {} bytes:", program.len(), binary.len());
+    for rec in binary.chunks(16) {
+        let hex: String = rec.iter().map(|b| format!("{b:02x}")).collect();
+        println!("  {hex}");
+    }
+    let back = asm::disassemble(&binary).expect("round trips");
+    assert_eq!(back, program);
+    println!("disassembly round-trips: ok");
+}

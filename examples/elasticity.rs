@@ -1,0 +1,58 @@
+//! Elasticity: inference and training tenants sharing one fabric.
+//!
+//! The abstract's promise — "a parallel machine learning system with
+//! elasticity to support a variety of workloads, both training and
+//! inference" — as a running demo: two inference tenants co-scheduled
+//! conflict-free on one node (with a Gantt view of the interleaved
+//! schedule), then a data-parallel training sweep showing weak scaling.
+//!
+//! ```sh
+//! cargo run --release --example elasticity
+//! ```
+
+use tsm::compiler::dump::ScheduleDump;
+use tsm::compiler::gantt;
+use tsm::compiler::tenancy::compile_tenants;
+use tsm::prelude::*;
+use tsm::workloads::training::{weak_scaling_sweep, TrainingConfig};
+
+fn inference_tenant(first: u32, second: u32, bytes: u64) -> Graph {
+    let mut g = Graph::new();
+    let a = g.add(TspId(first), OpKind::Compute { cycles: 40_000 }, vec![]).expect("valid");
+    let t = g
+        .add(TspId(first), OpKind::Transfer { to: TspId(second), bytes, allow_nonminimal: true }, vec![a])
+        .expect("valid");
+    g.add(TspId(second), OpKind::Compute { cycles: 40_000 }, vec![t]).expect("valid");
+    g
+}
+
+fn main() {
+    // --- two tenants, one node ----------------------------------------------
+    let topo = Topology::single_node();
+    let tenant_a = inference_tenant(0, 1, 2_000_000);
+    let tenant_b = inference_tenant(4, 5, 2_000_000);
+    let programs = compile_tenants(&[&tenant_a, &tenant_b], &topo, CompileOptions::default())
+        .expect("disjoint tenants co-schedule");
+    println!("== two inference tenants on one 8-TSP node ==");
+    for (i, p) in programs.iter().enumerate() {
+        println!(
+            "tenant {i}: span {} cycles ({:.1} µs), comm fraction {:.0}%",
+            p.span_cycles,
+            p.estimated_seconds() * 1e6,
+            p.comm_fraction() * 100.0
+        );
+    }
+    println!("\nschedule of tenant B (its transfers interleave with tenant A's on shared links):");
+    print!("{}", gantt::render(&ScheduleDump::capture(&tenant_b, &programs[1]), 72));
+
+    // --- weak-scaling training sweep -----------------------------------------
+    println!("\n== data-parallel BERT-Large training (batch 8 per replica) ==");
+    println!("{:>6} {:>14} {:>12}", "TSPs", "samples/s", "efficiency");
+    let rows = weak_scaling_sweep(TrainingConfig::bert_large(8), &[1, 2, 4, 8, 16])
+        .expect("sweep schedules");
+    for (tsps, throughput, eff) in rows {
+        println!("{tsps:>6} {throughput:>14.1} {:>11.1}%", eff * 100.0);
+    }
+    println!("\neach added node brings replicas AND links: throughput scales while the");
+    println!("gradient all-reduce is hidden behind the backward pass (weak scaling).");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a system, compile a graph, execute it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tsm::prelude::*;
+
+fn main() {
+    // An 8-TSP GroqNode: 28 intra-node C2C cables, fully connected.
+    let system = System::single_node();
+    let topo = system.topology();
+    println!(
+        "system: {} TSPs, {} cables, {} GiB global SRAM",
+        topo.num_tsps(),
+        topo.links().len(),
+        topo.global_memory_bytes() / (1 << 30)
+    );
+
+    // One-time initial program alignment (paper §3.2).
+    let align = system.plan_alignment();
+    println!(
+        "initial alignment: spanning tree height {}, overhead {} epochs ({} cycles)",
+        align.tree.height, align.overhead_epochs, align.overhead_cycles
+    );
+
+    // A three-op pipeline: GEMM on TSP0 -> ship activations -> GEMM on TSP1.
+    let mut graph = Graph::new();
+    let a = graph
+        .add(
+            TspId(0),
+            OpKind::Gemm { shape: GemmShape::new(800, 1024, 1024), ty: ElemType::F16 },
+            vec![],
+        )
+        .expect("valid graph");
+    let t = graph
+        .add(
+            TspId(0),
+            OpKind::Transfer { to: TspId(1), bytes: 800 * 1024 * 2, allow_nonminimal: true },
+            vec![a],
+        )
+        .expect("valid graph");
+    graph
+        .add(
+            TspId(1),
+            OpKind::Gemm { shape: GemmShape::new(800, 1024, 1024), ty: ElemType::F16 },
+            vec![t],
+        )
+        .expect("valid graph");
+
+    let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+    println!(
+        "compiled: span {} cycles ({:.2} µs), comm fraction {:.1}%",
+        program.span_cycles,
+        program.estimated_seconds() * 1e6,
+        program.comm_fraction() * 100.0
+    );
+
+    // Execute three times: the network is deterministic, so without host
+    // I/O every run measures exactly the estimate.
+    for seed in 0..3 {
+        let report = system.execute_with_graph(&program, &graph, seed);
+        println!(
+            "run {}: measured {} cycles, estimate error {:.3}%, fec: {} clean / {} corrected",
+            seed,
+            report.measured_cycles,
+            report.estimate_error() * 100.0,
+            report.fec.clean,
+            report.fec.corrected,
+        );
+        assert!(report.succeeded);
+    }
+}

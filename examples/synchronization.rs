@@ -1,0 +1,59 @@
+//! Clock synchronization walkthrough (paper §3): link characterization
+//! (Table 2), HAC convergence, initial program alignment, and runtime
+//! deskew.
+//!
+//! ```sh
+//! cargo run --release --example synchronization
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsm::link::LatencyModel;
+use tsm::prelude::*;
+use tsm::sync::align::{align_pair, characterize_link, InitialAlignment};
+use tsm::sync::clock::LocalClock;
+use tsm::sync::deskew::RuntimeDeskew;
+use tsm::topology::CableClass;
+
+fn main() {
+    // --- Table 2: characterize the 7 intra-node links --------------------
+    println!("== link latency characterization (100K HAC reflections per link) ==");
+    println!("{:>4} {:>5} {:>8} {:>5} {:>6}", "link", "min", "mean", "max", "std");
+    let model = LatencyModel::for_class(CableClass::IntraNode);
+    let mut rng = StdRng::seed_from_u64(2022);
+    for link in ["A", "B", "C", "D", "E", "F", "G"] {
+        let s = characterize_link(&model, 100_000, &mut rng);
+        println!("{:>4} {:>5} {:>8.2} {:>5} {:>6.2}", link, s.min, s.mean, s.max, s.std);
+    }
+
+    // --- HAC parent/child convergence ------------------------------------
+    println!("\n== HAC alignment of a child running 80 ppm fast ==");
+    let trace = align_pair(&model, 217, LocalClock::with_ppm(80.0), 100, 4, 120, &mut rng);
+    for (i, e) in trace.errors.iter().enumerate().step_by(15) {
+        println!("exchange {i:>3}: |error| = {e:>5.1} cycles");
+    }
+    println!(
+        "converged to the jitter neighborhood after {} exchanges",
+        trace.converged_after.expect("converges")
+    );
+
+    // --- initial program alignment over a 264-TSP system ------------------
+    println!("\n== initial program alignment (33 nodes / 264 TSPs) ==");
+    let topo = Topology::fully_connected_nodes(33).expect("fits");
+    let plan = InitialAlignment::plan(&topo, TspId(0));
+    println!(
+        "spanning tree height {}, worst link {} cycles -> overhead {} epochs ({:.2} µs)",
+        plan.tree.height,
+        plan.max_link_latency,
+        plan.overhead_epochs,
+        plan.overhead_cycles as f64 / 900.0e6 * 1e6
+    );
+
+    // --- runtime deskew ----------------------------------------------------
+    println!("\n== runtime deskew across 50 segments of 1M cycles at 100 ppm ==");
+    let deskew = RuntimeDeskew::new(500);
+    let drifts = deskew.simulate_program(LocalClock::with_ppm(100.0), 1_000_000, 50);
+    let max = drifts.iter().cloned().fold(0.0, f64::max);
+    println!("max drift before any deskew: {max:.1} cycles (never accumulates)");
+    assert!(max < 101.0);
+}

@@ -1,0 +1,102 @@
+//! End-to-end determinism: the property the whole paper is built on.
+//!
+//! The software-scheduled system must be bit-reproducible — identical
+//! schedules, identical cycle counts, identical data — while the
+//! conventionally-routed baseline shows run-to-run variance under the same
+//! offered traffic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsm::net::dynamic;
+use tsm::net::ssn::{completion, LinkOccupancy};
+use tsm::prelude::*;
+use tsm::topology::route::edge_disjoint_paths;
+use tsm::workloads::traffic;
+
+#[test]
+fn ssn_schedules_are_bit_identical_across_runs() {
+    let topo = Topology::fully_connected_nodes(4).unwrap();
+    let build = || {
+        let mut occ = LinkOccupancy::new();
+        let mut arrivals = Vec::new();
+        for (i, src) in topo.tsps().enumerate().take(16) {
+            let dst = TspId(((src.0 + 9) as usize % topo.num_tsps()) as u32);
+            let paths = edge_disjoint_paths(&topo, src, dst, 7);
+            let shards = occ.schedule_spread(&topo, &paths, 100 + i as u64, 0).unwrap();
+            arrivals.push(completion(&shards));
+        }
+        (arrivals, occ.reservations().len())
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn compiled_bert_program_is_identical_across_compilations() {
+    let graph = BertConfig::large().build_pipeline_graph(4);
+    let sys = System::single_node();
+    let a = sys.compile(&graph, CompileOptions::default()).unwrap();
+    let b = sys.compile(&graph, CompileOptions::default()).unwrap();
+    assert_eq!(a.span_cycles, b.span_cycles);
+    assert_eq!(a.op_start, b.op_start);
+    assert_eq!(a.op_end, b.op_end);
+    assert_eq!(a.occupancy.reservations(), b.occupancy.reservations());
+}
+
+#[test]
+fn network_only_execution_has_zero_variance() {
+    // No host I/O -> every run measures exactly the compiler estimate.
+    let sys = System::single_node();
+    let mut g = Graph::new();
+    let mut prev = None;
+    for i in 0..6u32 {
+        let deps = prev.into_iter().collect();
+        prev = Some(
+            g.add(
+                TspId(i % 8),
+                OpKind::Transfer { to: TspId((i + 1) % 8), bytes: 64_000, allow_nonminimal: true },
+                deps,
+            )
+            .unwrap(),
+        );
+    }
+    let p = sys.compile(&g, CompileOptions::default()).unwrap();
+    let measured: Vec<u64> =
+        (0..50).map(|s| sys.execute_with_graph(&p, &g, s).measured_cycles).collect();
+    assert!(measured.iter().all(|&m| m == measured[0]), "SSN execution must not vary");
+    assert_eq!(measured[0], p.span_cycles);
+}
+
+#[test]
+fn dynamic_baseline_varies_where_ssn_does_not() {
+    // Same offered traffic through the conventionally-routed network:
+    // different seeds (different physical jitter) give different latencies.
+    let topo = Topology::fully_connected_nodes(2).unwrap();
+    let offered = traffic::all_to_all(&topo, 4, 12);
+    let lat = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        dynamic::simulate(&topo, &offered, &mut rng)
+            .delivered
+            .iter()
+            .map(|d| d.latency)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(lat(1), lat(1));
+    let a = lat(1);
+    let b = lat(2);
+    assert_ne!(a, b, "dynamic network must show run-to-run variance");
+    // and the variance is not trivial: some packet differs by >1 cycle
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.abs_diff(*y) > 2),
+        "expected visible latency differences"
+    );
+}
+
+#[test]
+fn full_execution_reports_reproduce_given_seed() {
+    let graph = BertConfig::base().build_pipeline_graph(1);
+    let sys = System::single_node();
+    let p = sys.compile(&graph, CompileOptions::default()).unwrap();
+    let a = sys.execute_with_graph(&p, &graph, 777);
+    let b = sys.execute_with_graph(&p, &graph, 777);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,134 @@
+//! The paper's evaluation workloads, end to end: compile, execute, and
+//! check both timing structure and numerical correctness.
+
+use tsm::compiler::collective::allreduce_hierarchical;
+use tsm::compiler::partition::{build_cluster_gemm, build_distributed_gemm};
+use tsm::compiler::schedule::{compile, OptLevel};
+use tsm::prelude::*;
+use tsm::workloads::linalg::{allreduce_sum, cholesky, Matrix};
+
+#[test]
+fn distributed_matmul_scales_and_schedules_cleanly() {
+    let shape = GemmShape::new(800, 32_576, 8192);
+    let mut spans = Vec::new();
+    for row_splits in [1u64, 2, 4, 8] {
+        let g = build_distributed_gemm(shape, 8, row_splits, ElemType::F16);
+        assert_eq!(g.total_flops(), shape.flops(), "splits must conserve FLOPs");
+        let nodes = ((8 * row_splits) as usize).div_ceil(8).max(2);
+        let topo = Topology::fully_connected_nodes(nodes).unwrap();
+        let p = compile(&g, &topo, CompileOptions::default()).unwrap();
+        spans.push(p.span_cycles);
+    }
+    for w in spans.windows(2) {
+        assert!(w[1] < w[0], "Fig 14: latency falls with row splits: {spans:?}");
+    }
+}
+
+#[test]
+fn matmul_split_numerics_match_reference() {
+    // The decomposition the scheduler times is numerically exact: checked
+    // on a small instance through the f64 reference.
+    let a = Matrix::from_fn(8, 12, |r, c| ((r * 13 + c * 7) % 5) as f64 - 2.0);
+    let b = Matrix::from_fn(12, 10, |r, c| ((r * 3 + c) % 7) as f64 * 0.5);
+    let full = a.matmul(&b);
+    // 2 column splits x 3 row splits, reduced then concatenated
+    let mut cols = Vec::new();
+    for (clo, chi) in [(0, 5), (5, 10)] {
+        let bcol = b.col_slice(clo, chi);
+        let mut acc: Option<Matrix> = None;
+        for (rlo, rhi) in [(0, 4), (4, 8), (8, 12)] {
+            let partial = a.col_slice(rlo, rhi).matmul(&bcol.row_slice(rlo, rhi));
+            acc = Some(match acc {
+                None => partial,
+                Some(s) => s.add(&partial),
+            });
+        }
+        cols.push(acc.unwrap());
+    }
+    let recomposed = Matrix::hcat(&cols);
+    assert!(full.max_abs_diff(&recomposed) < 1e-12);
+}
+
+#[test]
+fn cluster_gemm_throughput_grows_with_cluster_size() {
+    // Fig 15: larger clusters sustain more TFLOPs on big square GEMMs —
+    // near-linearly while compute-bound, then flattening once the
+    // per-device PCIe stream becomes the bottleneck (the §5.2 traversal
+    // discussion: compute-bound needs N ≳ 5850·X at Gen4 ×16 rates; the
+    // paper's N = 650,000 sits right at that edge for hundreds of TSPs).
+    let n = 650_000;
+    let tflops: Vec<f64> = [50usize, 100, 200]
+        .iter()
+        .map(|&x| {
+            let g = build_cluster_gemm(n, x as u64, ElemType::F16);
+            let topo = Topology::fully_connected_nodes(x.div_ceil(8).max(2)).unwrap();
+            let p = compile(&g, &topo, CompileOptions::default()).unwrap();
+            p.realized_tflops(g.total_flops())
+        })
+        .collect();
+    // compute-bound doubling from 50 -> 100 TSPs
+    assert!(tflops[1] > tflops[0] * 1.8, "{tflops:?}");
+    // diminishing but positive gain once PCIe streaming binds
+    assert!(tflops[2] > tflops[1] * 1.05, "{tflops:?}");
+    // and the 100-TSP cluster alone is an order of magnitude above the
+    // 432-GPU V100 reference (Fig 15 discussion)
+    assert!(tsm::baseline::v100::tsp_speedup(tflops[1]) > 5.0, "{tflops:?}");
+}
+
+#[test]
+fn bert_pipeline_runs_on_two_nodes() {
+    // 16-TSP (two-node) pipeline: cross-node activation transfers ride
+    // global links; the program still compiles conflict-free and executes.
+    let config = BertConfig::with_encoders(48);
+    let graph = config.build_pipeline_graph(16);
+    let sys = System::with_nodes(2).unwrap();
+    let p = sys.compile(&graph, CompileOptions::default()).unwrap();
+    let r = sys.execute_with_graph(&p, &graph, 5);
+    assert!(r.succeeded);
+    assert!(r.measured_cycles <= r.estimated_cycles);
+}
+
+#[test]
+fn hierarchical_allreduce_schedules_at_scale() {
+    let topo = Topology::fully_connected_nodes(8).unwrap();
+    let small = allreduce_hierarchical(&topo, 64 << 10).unwrap();
+    let large = allreduce_hierarchical(&topo, 16 << 20).unwrap();
+    assert_eq!(small.participants, 64);
+    assert!(large.bus_gbs > small.bus_gbs, "bandwidth grows with size");
+    assert!(large.seconds < 0.01, "16 MB all-reduce stays in milliseconds");
+}
+
+#[test]
+fn allreduce_numerics_reference() {
+    let buffers: Vec<Vec<f64>> =
+        (0..8).map(|d| (0..64).map(|i| (d * 64 + i) as f64).collect()).collect();
+    let sum = allreduce_sum(&buffers);
+    assert_eq!(sum[0], (0..8).map(|d| (d * 64) as f64).sum::<f64>());
+    assert_eq!(sum.len(), 64);
+}
+
+#[test]
+fn cholesky_numerics_and_timing_model_agree_on_shape() {
+    // Numerics: exact factorization.
+    let a = Matrix::spd(48);
+    let l = cholesky(&a);
+    assert!(a.max_abs_diff(&l.matmul(&l.transpose())) < 1e-9);
+    // Timing: speedups monotone in TSPs, sublinear (Fig 19(c)).
+    let p = 4096;
+    let speedups: Vec<f64> =
+        [2u64, 4, 8].iter().map(|&k| CholeskyPlan::new(p, k).speedup()).collect();
+    assert!(speedups.windows(2).all(|w| w[1] > w[0]), "{speedups:?}");
+    assert!(speedups[2] < 4.0, "{speedups:?}");
+}
+
+#[test]
+fn fig20_optimization_levels_differ_as_measured() {
+    // The unoptimized (FLOPs-only) compiler yields a longer pipeline beat
+    // on BERT-Large over 4 TSPs; the paper measured ≈26 % improvement.
+    let costs = BertConfig::large().layer_costs();
+    let slow = tsm::compiler::balance::partition_stages(&costs, 4, OptLevel::FlopsOnly);
+    let fast = tsm::compiler::balance::partition_stages(&costs, 4, OptLevel::SpatialAware);
+    let speedup = slow.beat_cycles as f64 / fast.beat_cycles as f64;
+    assert!(speedup > 1.0, "optimized compiler must win: {speedup}");
+    assert!(speedup < 2.0, "overlap can at most double throughput: {speedup}");
+}

@@ -1,0 +1,102 @@
+//! Scale invariants: construction, routing, synchronization and memory at
+//! every packaging regime, up to the maximal 10,440-TSP configuration.
+
+use tsm::mem::{system_capacity_bytes, GlobalAddress, VECTORS_PER_DEVICE};
+use tsm::prelude::*;
+use tsm::sync::align::{InitialAlignment, SpanningTree};
+use tsm::topology::route::{eccentricity, shortest_path};
+
+#[test]
+fn every_regime_constructs_and_routes() {
+    let configs: Vec<Topology> = vec![
+        Topology::single_node(),
+        Topology::fully_connected_nodes(2).unwrap(),
+        Topology::fully_connected_nodes(33).unwrap(),
+        Topology::rack_dragonfly(2).unwrap(),
+        Topology::rack_dragonfly(5).unwrap(),
+    ];
+    for topo in &configs {
+        let n = topo.num_tsps() as u32;
+        // spot-check routes between far corners
+        for (a, b) in [(0, n - 1), (1, n / 2), (n / 3, n - 2)] {
+            let p = shortest_path(topo, TspId(a), TspId(b)).unwrap();
+            assert!(p.hops() <= tsm::topology::route::diameter_bound(topo));
+        }
+    }
+}
+
+#[test]
+fn max_configuration_structural_invariants() {
+    let topo = Topology::rack_dragonfly(145).unwrap();
+    assert_eq!(topo.num_tsps(), 10_440);
+    assert_eq!(topo.num_nodes(), 145 * 9);
+    // every TSP uses exactly 7 local links
+    for t in [TspId(0), TspId(5_000), TspId(10_439)] {
+        let locals = topo
+            .neighbors(t)
+            .iter()
+            .filter(|&&(l, _)| !topo.link(l).is_global())
+            .count();
+        assert_eq!(locals, 7);
+    }
+    // TSP-level eccentricity within the bound (chassis bound 5 + 2)
+    assert!(eccentricity(&topo, TspId(0)) <= 7);
+}
+
+#[test]
+fn max_configuration_sync_overhead_is_microseconds() {
+    // Initial program alignment on the largest machine stays trivial
+    // relative to any inference: tree height ~7, a few epochs per hop.
+    let topo = Topology::rack_dragonfly(145).unwrap();
+    let plan = InitialAlignment::plan(&topo, TspId(0));
+    assert_eq!(plan.tree.reached(), 10_440);
+    let us = plan.overhead_cycles as f64 / 900.0;
+    assert!(us < 10.0, "alignment overhead {us} µs");
+}
+
+#[test]
+fn spanning_tree_covers_every_regime() {
+    for topo in [
+        Topology::single_node(),
+        Topology::fully_connected_nodes(16).unwrap(),
+        Topology::rack_dragonfly(3).unwrap(),
+    ] {
+        let tree = SpanningTree::build(&topo, TspId(0));
+        assert_eq!(tree.reached(), topo.num_tsps());
+        assert!(tree.height <= tsm::topology::route::diameter_bound(&topo));
+    }
+}
+
+#[test]
+fn global_memory_addressing_spans_the_full_machine() {
+    // 10,440 devices x 220 MiB = 2.25 TB; the rank-5 address walks it all.
+    assert!(system_capacity_bytes(10_440) > 2_250_000_000_000);
+    let last = GlobalAddress::from_device_linear(TspId(10_439), VECTORS_PER_DEVICE - 1).unwrap();
+    assert_eq!(last.system_linear(), 10_440 * VECTORS_PER_DEVICE - 1);
+    assert_eq!(last.hemisphere, 1);
+    assert_eq!(last.slice, 43);
+    assert_eq!(last.bank, 1);
+    assert_eq!(last.offset, 4095);
+}
+
+#[test]
+fn compile_executes_on_a_rack_scale_system() {
+    // A cross-rack pipeline on a 144-TSP, 2-rack Dragonfly.
+    let sys = System::with_racks(2).unwrap();
+    let mut g = Graph::new();
+    let a = g.add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
+    let t = g
+        .add(TspId(0), OpKind::Transfer { to: TspId(100), bytes: 640_000, allow_nonminimal: true }, vec![a])
+        .unwrap();
+    g.add(TspId(100), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+    let p = sys.compile(&g, CompileOptions::default()).unwrap();
+    let r = sys.execute_with_graph(&p, &g, 9);
+    assert!(r.succeeded);
+    // cross-rack transfer must traverse at least one optical cable
+    let has_optical = p
+        .occupancy
+        .reservations()
+        .iter()
+        .any(|res| sys.topology().link(res.link).class == tsm::topology::CableClass::InterRack);
+    assert!(has_optical);
+}
