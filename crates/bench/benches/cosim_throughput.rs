@@ -1,0 +1,30 @@
+//! Criterion bench for the single-pass co-simulation engine.
+//!
+//! The canonical workload (2-node system, 16 concurrent multi-hop
+//! transfers — see `tsm_bench::cosim_bench`) runs through both the serial
+//! and the parallel engine; the same workload backs the `BENCH_cosim.json`
+//! record emitted by `repro bench-cosim`, so criterion's statistics and
+//! the tracked JSON number come from identical work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm_bench::cosim_bench;
+use tsm::core::cosim::{run_transfers, run_transfers_serial};
+
+fn bench(c: &mut Criterion) {
+    for line in cosim_bench::lines() {
+        eprintln!("{line}");
+    }
+    let (topo, transfers) = cosim_bench::workload();
+    let mut group = c.benchmark_group("cosim_throughput");
+    group.sample_size(20);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_transfers_serial(&topo, &transfers).expect("serial run"))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| run_transfers(&topo, &transfers).expect("parallel run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

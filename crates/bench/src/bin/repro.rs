@@ -5,7 +5,20 @@
 //! cargo run --release -p tsm-bench --bin repro fig16 fig17
 //! ```
 
-use tsm_bench::figures;
+use tsm_bench::{cosim_bench, figures};
+
+/// Measures the canonical co-simulation workload and records the sample in
+/// `BENCH_cosim.json` (current directory), the file tracked PR-to-PR for
+/// the engine's perf trajectory.
+fn emit_bench_cosim() -> Vec<String> {
+    let result = cosim_bench::measure(5);
+    let mut out = cosim_bench::lines_for(&result);
+    match std::fs::write("BENCH_cosim.json", result.to_json()) {
+        Ok(()) => out.push("wrote BENCH_cosim.json".to_string()),
+        Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +48,7 @@ fn main() {
         ("ablate-fec", "Ablation — FEC vs link-layer retry", Box::new(tsm_bench::ablations::fec_vs_retry)),
         ("ext-training", "Extension — data-parallel training weak scaling", Box::new(figures::ext_training)),
         ("ext-lstm", "Extension — LSTM batch-1 regime", Box::new(figures::ext_lstm)),
+        ("bench-cosim", "Bench — co-simulation engine throughput (writes BENCH_cosim.json)", Box::new(emit_bench_cosim)),
     ];
 
     let mut matched = false;

@@ -1,0 +1,181 @@
+//! Co-simulation engine throughput benchmark.
+//!
+//! One canonical workload — a 2-node system with 16 concurrent multi-hop
+//! transfers (every TSP sources one flow to a non-adjacent TSP on the
+//! other node, so each flow forwards through an intermediate chip) —
+//! shared by the `cosim_throughput` criterion bench and the `repro`
+//! binary's `BENCH_cosim.json` emitter, so the perf trajectory of the
+//! single-pass engine is tracked by one number series from PR to PR.
+
+use std::collections::HashSet;
+use std::time::Instant;
+use tsm::core::cosim::{run_transfers, run_transfers_serial, CosimTransfer};
+use tsm::isa::Vector;
+use tsm::topology::{Topology, TspId};
+
+/// Builds the canonical benchmark workload: 16 concurrent multi-hop
+/// transfers on a 2-node fully-connected system. Destinations are chosen
+/// deterministically (first unused non-adjacent cross-node TSP), so the
+/// workload — and therefore the measured schedule — is identical on every
+/// run and every machine.
+pub fn workload() -> (Topology, Vec<CosimTransfer>) {
+    let topo = Topology::fully_connected_nodes(2).expect("two nodes");
+    let mut taken: HashSet<TspId> = HashSet::new();
+    let transfers: Vec<CosimTransfer> = (0..16u32)
+        .map(|i| {
+            let from = TspId(i);
+            let to = topo
+                .tsps()
+                .find(|&t| {
+                    t.node() != from.node()
+                        && !taken.contains(&t)
+                        && topo.links_between(from, t).is_empty()
+                })
+                .expect("non-adjacent cross-node peer");
+            taken.insert(to);
+            CosimTransfer {
+                from,
+                to,
+                src_slice: 0,
+                src_offset: (i * 32) as u16,
+                dst_slice: 2,
+                dst_offset: (i * 32) as u16,
+                data: (0..8 + (i as usize % 4))
+                    .map(|v| {
+                        Vector::from_fn(|b| {
+                            (b as u8) ^ (i as u8).wrapping_mul(31).wrapping_add(v as u8)
+                        })
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    (topo, transfers)
+}
+
+/// One measured sample of the canonical workload.
+#[derive(Debug, Clone)]
+pub struct CosimBenchResult {
+    /// Transfers in the workload.
+    pub transfers: usize,
+    /// Chips that executed a program.
+    pub chips: usize,
+    /// Instructions lowered across all chips.
+    pub instructions: usize,
+    /// Best-of-N wall time for the serial engine, nanoseconds.
+    pub serial_ns: u128,
+    /// Best-of-N wall time for the parallel engine, nanoseconds.
+    pub parallel_ns: u128,
+    /// Whether the serial and parallel reports (including destination SRAM
+    /// digests) were bit-identical on every sample.
+    pub bit_identical: bool,
+}
+
+impl CosimBenchResult {
+    /// Lowered instructions executed per second, serial engine.
+    pub fn serial_instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / (self.serial_ns as f64 / 1e9)
+    }
+
+    /// Lowered instructions executed per second, parallel engine.
+    pub fn parallel_instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / (self.parallel_ns as f64 / 1e9)
+    }
+
+    /// The JSON record written to `BENCH_cosim.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"bit_identical\": {}\n}}\n",
+            self.transfers,
+            self.chips,
+            self.instructions,
+            self.serial_ns,
+            self.parallel_ns,
+            self.serial_instr_per_sec(),
+            self.parallel_instr_per_sec(),
+            self.serial_ns as f64 / self.parallel_ns as f64,
+            self.bit_identical,
+        )
+    }
+}
+
+/// Runs the canonical workload `samples` times through both engines and
+/// returns best-of-N timings plus the bit-identity verdict.
+pub fn measure(samples: usize) -> CosimBenchResult {
+    let (topo, transfers) = workload();
+    let reference = run_transfers_serial(&topo, &transfers).expect("workload schedules cleanly");
+    let mut serial_ns = u128::MAX;
+    let mut parallel_ns = u128::MAX;
+    let mut bit_identical = true;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let s = run_transfers_serial(&topo, &transfers).expect("serial run");
+        serial_ns = serial_ns.min(t0.elapsed().as_nanos());
+        let t1 = Instant::now();
+        let p = run_transfers(&topo, &transfers).expect("parallel run");
+        parallel_ns = parallel_ns.min(t1.elapsed().as_nanos());
+        bit_identical &= s == reference && p == reference;
+    }
+    CosimBenchResult {
+        transfers: transfers.len(),
+        chips: reference.retire_cycles.len(),
+        instructions: reference.instructions,
+        serial_ns,
+        parallel_ns,
+        bit_identical,
+    }
+}
+
+/// Printable report lines for the `repro` binary and the criterion bench.
+pub fn lines() -> Vec<String> {
+    lines_for(&measure(5))
+}
+
+/// Formats an already-measured sample.
+pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
+    vec![
+        format!(
+            "{} transfers over {} chips, {} instructions lowered",
+            r.transfers, r.chips, r.instructions
+        ),
+        format!(
+            "serial:   {:>10} ns  ({:>12.0} instr/s)",
+            r.serial_ns,
+            r.serial_instr_per_sec()
+        ),
+        format!(
+            "parallel: {:>10} ns  ({:>12.0} instr/s, {:.2}x)",
+            r.parallel_ns,
+            r.parallel_instr_per_sec(),
+            r.serial_ns as f64 / r.parallel_ns as f64
+        ),
+        format!("serial == parallel (bit-identical reports): {}", r.bit_identical),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_workload_is_multi_hop_and_deterministic() {
+        let (topo, transfers) = workload();
+        assert_eq!(transfers.len(), 16);
+        for tr in &transfers {
+            // every flow must forward through at least one intermediate chip
+            assert!(topo.links_between(tr.from, tr.to).is_empty());
+        }
+        let (_, again) = workload();
+        for (a, b) in transfers.iter().zip(again.iter()) {
+            assert_eq!((a.from, a.to, &a.data), (b.from, b.to, &b.data));
+        }
+    }
+
+    #[test]
+    fn measure_reports_bit_identical_engines() {
+        let r = measure(1);
+        assert!(r.bit_identical);
+        assert!(r.instructions > 0);
+        assert!(r.to_json().contains("\"bit_identical\": true"));
+    }
+}

@@ -8,4 +8,5 @@
 //! paper-vs-measured record in its log).
 
 pub mod ablations;
+pub mod cosim_bench;
 pub mod figures;

@@ -12,9 +12,19 @@
 
 use crate::vxm;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use tsm_isa::instr::{FunctionalUnit, Instruction};
 use tsm_isa::timing::HAC_PERIOD;
 use tsm_isa::{StreamId, Vector};
+
+/// A reference-counted 320-byte payload.
+///
+/// Vectors flow through SRAM, streams, deliveries and emissions by `Arc`
+/// handle: moving a payload through a multi-hop forwarding chain costs one
+/// pointer clone per step instead of a 320-byte copy per step. The bytes
+/// themselves are immutable once wrapped — every producing instruction
+/// allocates a fresh vector — so sharing is safe and bit-exact.
+pub type Payload = Arc<Vector>;
 
 /// The C2C port an instruction occupies (0 for non-C2C instructions,
 /// which each own a single engine).
@@ -173,20 +183,20 @@ pub struct Emission {
     pub cycle: u64,
     /// C2C port.
     pub port: u8,
-    /// Payload.
-    pub vector: Vector,
+    /// Payload (shared handle; clone is a pointer copy).
+    pub vector: Payload,
 }
 
 /// Deterministic single-chip simulator.
 #[derive(Debug, Clone)]
 pub struct ChipSim {
     /// SRAM content, keyed by (chip slice 0..88, offset).
-    sram: HashMap<(u8, u16), Vector>,
+    sram: HashMap<(u8, u16), Payload>,
     /// Stream registers (single direction modelled; direction is a
     /// scheduling concern handled by the compiler).
-    streams: Vec<Option<Vector>>,
+    streams: Vec<Option<Payload>>,
     /// Pending inbound deliveries: port -> (arrival cycle, vector), sorted.
-    inbound: BTreeMap<u8, Vec<(u64, Vector)>>,
+    inbound: BTreeMap<u8, Vec<(u64, Payload)>>,
     /// Vectors emitted on C2C ports.
     emissions: Vec<Emission>,
     /// Per-resource next-free cycle. C2C instructions occupy one port
@@ -199,7 +209,7 @@ pub struct ChipSim {
     deskew_boundary: HashMap<FunctionalUnit, u64>,
     /// Weight rows currently installed in the MXM array (FP32-lane
     /// granularity: up to 80 rows of 80 lanes).
-    mxm_weights: Vec<Vector>,
+    mxm_weights: Vec<Payload>,
     /// Cycle of the last executed instruction.
     horizon: u64,
 }
@@ -227,21 +237,23 @@ impl ChipSim {
     }
 
     /// Preloads SRAM before execution (the runtime "emplaces all program
-    /// collateral", paper §5.1).
-    pub fn preload(&mut self, slice: u8, offset: u16, v: Vector) {
-        self.sram.insert((slice, offset), v);
+    /// collateral", paper §5.1). Accepts a plain [`Vector`] or an already
+    /// shared [`Payload`] handle.
+    pub fn preload(&mut self, slice: u8, offset: u16, v: impl Into<Payload>) {
+        self.sram.insert((slice, offset), v.into());
     }
 
     /// Reads SRAM after execution.
     pub fn sram(&self, slice: u8, offset: u16) -> Option<&Vector> {
-        self.sram.get(&(slice, offset))
+        self.sram.get(&(slice, offset)).map(|v| v.as_ref())
     }
 
     /// Registers an inbound delivery: `vector` arrives on `port` at
     /// `cycle`. A RECEIVE scheduled at or after `cycle` consumes it.
-    pub fn deliver(&mut self, port: u8, cycle: u64, vector: Vector) {
+    /// Accepts a plain [`Vector`] or a shared [`Payload`] handle.
+    pub fn deliver(&mut self, port: u8, cycle: u64, vector: impl Into<Payload>) {
         let q = self.inbound.entry(port).or_default();
-        q.push((cycle, vector));
+        q.push((cycle, vector.into()));
         q.sort_by_key(|&(c, _)| c);
     }
 
@@ -252,7 +264,7 @@ impl ChipSim {
 
     /// Current value on a stream.
     pub fn stream(&self, s: StreamId) -> Option<&Vector> {
-        self.streams[s.index()].as_ref()
+        self.streams[s.index()].as_deref()
     }
 
     /// Cycle of the last executed instruction.
@@ -290,9 +302,9 @@ impl ChipSim {
                 return Err(ExecError::UnitBusy { unit, cycle, free_at: free });
             }
 
-            let mut write_stream = |streams: &mut Vec<Option<Vector>>,
+            let mut write_stream = |streams: &mut Vec<Option<Payload>>,
                                     s: StreamId,
-                                    v: Vector|
+                                    v: Payload|
              -> Result<(), ExecError> {
                 if stream_writes.insert((s.index(), cycle), ()).is_some() {
                     return Err(ExecError::StreamConflict { stream: s, cycle });
@@ -318,7 +330,11 @@ impl ChipSim {
                     // Timing handled via min/max latency below.
                 }
                 Instruction::Transmit { port } => {
-                    self.emissions.push(Emission { cycle, port: *port, vector: Vector::zeroed() });
+                    self.emissions.push(Emission {
+                        cycle,
+                        port: *port,
+                        vector: Arc::new(Vector::zeroed()),
+                    });
                 }
                 Instruction::Receive { port, stream } => {
                     let available = self
@@ -343,7 +359,7 @@ impl ChipSim {
                         .sram
                         .get(&(*slice, *offset))
                         .cloned()
-                        .unwrap_or_else(Vector::zeroed);
+                        .unwrap_or_else(|| Arc::new(Vector::zeroed()));
                     write_stream(&mut self.streams, *stream, v)?;
                 }
                 Instruction::Write { slice, offset, stream } => {
@@ -385,7 +401,11 @@ impl ChipSim {
                             *o += a * wj;
                         }
                     }
-                    write_stream(&mut self.streams, *output, crate::vxm::from_f32_lanes(&out))?;
+                    write_stream(
+                        &mut self.streams,
+                        *output,
+                        Arc::new(crate::vxm::from_f32_lanes(&out)),
+                    )?;
                 }
                 Instruction::VectorOp { op, a, b, dest } => {
                     let va = self.streams[a.index()]
@@ -395,7 +415,7 @@ impl ChipSim {
                         .clone()
                         .ok_or(ExecError::StreamEmpty { stream: *b, cycle })?;
                     let out = vxm::execute(*op, &va, &vb);
-                    write_stream(&mut self.streams, *dest, out)?;
+                    write_stream(&mut self.streams, *dest, Arc::new(out))?;
                 }
                 Instruction::Permute { input, output } => {
                     let v = self.streams[input.index()]
@@ -520,7 +540,7 @@ mod tests {
         sim.run(&prog).unwrap();
         assert_eq!(sim.emissions().len(), 1);
         assert_eq!(sim.emissions()[0].port, 7);
-        assert_eq!(sim.emissions()[0].vector, Vector::splat(9));
+        assert_eq!(*sim.emissions()[0].vector, Vector::splat(9));
     }
 
     #[test]

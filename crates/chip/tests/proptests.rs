@@ -93,7 +93,7 @@ proptest! {
         sim.run(&prog).unwrap();
         prop_assert_eq!(sim.emissions().len(), count);
         for (i, e) in sim.emissions().iter().enumerate() {
-            prop_assert_eq!(&e.vector, &Vector::splat(i as u8));
+            prop_assert_eq!(e.vector.as_ref(), &Vector::splat(i as u8));
             prop_assert_eq!(e.port, port);
         }
     }

@@ -10,16 +10,43 @@
 //! RECEIVE preceded by its delivery) while the payload bytes flow through
 //! end to end.
 //!
-//! Because every timing is static, the co-simulation needs no global event
-//! loop: deliveries at hop `h` depend only on emissions at hop `h−1`, so
-//! the driver resolves chips in hop rounds and the result is exact.
+//! # Single-pass execution
+//!
+//! Because the network is statically scheduled, every delivery — the cycle
+//! a vector lands on a port, and which vector it is — is known before any
+//! chip runs. The driver therefore materializes all deliveries directly
+//! from the schedule and executes **each chip exactly once**, in ascending
+//! hop-depth order (sources first, then first-hop forwarders, …). There is
+//! no fixpoint, no event loop and no re-execution: a cluster-wide run
+//! costs one pass over the lowered instructions.
+//!
+//! The schedule's *claim* that an intermediate chip forwards the right
+//! bytes at the right cycle is still verified, not assumed: after a chip
+//! executes, its actual C2C emissions are compared bit-for-bit against the
+//! emissions the schedule promised. A chip that emits the wrong payload,
+//! at the wrong cycle, or on the wrong port fails the run with
+//! [`CosimError::EmissionMismatch`] before any downstream chip's inputs
+//! are trusted; destination SRAM is additionally checked bit-for-bit at
+//! the end.
+//!
+//! # Determinism contract
+//!
+//! Chips at the same hop depth are independent (their inputs come only
+//! from shallower depths), so each depth level executes in parallel on
+//! scoped threads. Parallel and serial runs are **bit-identical**: every
+//! chip's execution is a pure function of its program and materialized
+//! deliveries, and per-level results are merged in ascending [`TspId`]
+//! order regardless of thread completion order — the first error in
+//! (depth, TspId) order is the one reported, in both modes.
 
 use std::collections::HashMap;
-use tsm_chip::exec::{ChipProgram, ChipSim, ExecError};
+use std::sync::Arc;
+use tsm_chip::exec::{ChipProgram, ChipSim, ExecError, Payload};
 use tsm_isa::instr::Instruction;
+use tsm_isa::vector::MAX_STREAMS;
 use tsm_isa::{Direction, StreamId, Vector};
 use tsm_net::ssn::{scheduled_link_latency, vector_slot_cycles, LinkOccupancy, SsnError};
-use tsm_topology::route::shortest_path;
+use tsm_topology::route::{shortest_path, Path};
 use tsm_topology::{Topology, TopologyError, TspId};
 
 /// One tensor movement to co-simulate: `data` travels from `from`'s SRAM
@@ -56,6 +83,25 @@ pub enum CosimError {
         /// The executor's verdict.
         error: ExecError,
     },
+    /// A chip would need more simultaneously-live stream registers than
+    /// the hardware has. The old round-robin allocator silently wrapped
+    /// and corrupted data here; exhaustion is now a hard error.
+    StreamExhausted {
+        /// The overloaded TSP.
+        tsp: TspId,
+        /// First cycle of the flow that could not be assigned a register.
+        cycle: u64,
+    },
+    /// A chip's actual C2C emissions deviated from what the schedule
+    /// promised (wrong cycle, port, payload, or count).
+    EmissionMismatch {
+        /// The offending TSP.
+        tsp: TspId,
+        /// Cycle of the first divergent emission.
+        cycle: u64,
+        /// Port of the first divergent emission.
+        port: u8,
+    },
     /// A destination's SRAM did not end up with the expected payload.
     DataMismatch {
         /// The offending transfer (index into the input slice).
@@ -71,6 +117,12 @@ impl std::fmt::Display for CosimError {
             CosimError::Route(e) => write!(f, "route: {e}"),
             CosimError::Schedule(e) => write!(f, "schedule: {e}"),
             CosimError::Chip { tsp, error } => write!(f, "{tsp} rejected program: {error}"),
+            CosimError::StreamExhausted { tsp, cycle } => {
+                write!(f, "{tsp} needs a {}rd live stream register at cycle {cycle}", MAX_STREAMS + 1)
+            }
+            CosimError::EmissionMismatch { tsp, cycle, port } => {
+                write!(f, "{tsp} emissions deviate from schedule at cycle {cycle}, port {port}")
+            }
             CosimError::DataMismatch { transfer, vector } => {
                 write!(f, "transfer {transfer}, vector {vector}: payload mismatch")
             }
@@ -81,7 +133,7 @@ impl std::fmt::Display for CosimError {
 impl std::error::Error for CosimError {}
 
 /// Result of a co-simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CosimReport {
     /// Cycle at which the last instruction retired, per TSP.
     pub retire_cycles: HashMap<TspId, u64>,
@@ -89,6 +141,10 @@ pub struct CosimReport {
     pub instructions: usize,
     /// Per-transfer scheduled arrival cycle of the last vector.
     pub arrivals: Vec<u64>,
+    /// Per-transfer digest of the destination SRAM region after the run —
+    /// a compact fingerprint of the delivered bytes, used by the
+    /// serial-vs-parallel determinism tests.
+    pub dst_digests: Vec<u64>,
 }
 
 /// MEM read pipeline latency (must match `Instruction::Read::min_latency`).
@@ -105,62 +161,145 @@ fn scratch_base(next: &mut HashMap<TspId, u16>, tsp: TspId, vectors: u16) -> u16
     base
 }
 
+/// Per-chip stream-register allocator with liveness tracking.
+///
+/// A flow reserves the lowest-numbered register that is dead over its
+/// whole `[start, end]` live range; the register is recycled once the
+/// range has passed. Exhaustion (more than [`MAX_STREAMS`] simultaneously
+/// live flows through one chip) is reported to the caller instead of
+/// silently aliasing a live register, which is what the old modulo-32
+/// round-robin did.
+#[derive(Debug, Clone)]
+struct StreamAlloc {
+    /// `live_until[s]` = last cycle on which stream `s` still carries a
+    /// live value, or `None` if it was never used.
+    live_until: [Option<u64>; MAX_STREAMS],
+}
+
+impl StreamAlloc {
+    fn new() -> Self {
+        StreamAlloc { live_until: [None; MAX_STREAMS] }
+    }
+
+    /// Reserves the lowest-numbered stream free over `[start, end]`. A
+    /// stream is free only if its previous live range ended *strictly*
+    /// before `start` (a same-cycle read/write handoff would be
+    /// order-dependent, so it is not allowed).
+    fn alloc(&mut self, start: u64, end: u64) -> Option<StreamId> {
+        debug_assert!(start <= end);
+        for (s, slot) in self.live_until.iter_mut().enumerate() {
+            match *slot {
+                Some(until) if until >= start => continue,
+                _ => {
+                    *slot = Some(end);
+                    return Some(StreamId::new(s as u8).expect("stream id in range"));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn alloc_stream(
+    allocs: &mut HashMap<TspId, StreamAlloc>,
+    tsp: TspId,
+    start: u64,
+    end: u64,
+) -> Result<StreamId, CosimError> {
+    allocs
+        .entry(tsp)
+        .or_insert_with(StreamAlloc::new)
+        .alloc(start, end)
+        .ok_or(CosimError::StreamExhausted { tsp, cycle: start })
+}
+
 /// Lowers the transfers onto minimal paths, generates per-TSP chip
-/// programs, pre-computes every delivery, executes all chips, and checks
-/// destination SRAM bit-for-bit.
+/// programs, materializes every delivery from the static schedule,
+/// executes each chip exactly once — depth levels in parallel — and checks
+/// emissions and destination SRAM bit-for-bit.
 pub fn run_transfers(
     topo: &Topology,
     transfers: &[CosimTransfer],
+) -> Result<CosimReport, CosimError> {
+    run_transfers_impl(topo, transfers, true)
+}
+
+/// [`run_transfers`] with all chips executed on the calling thread, in
+/// ascending (depth, TspId) order. Bit-identical to the parallel engine —
+/// the determinism tests and benches compare the two.
+pub fn run_transfers_serial(
+    topo: &Topology,
+    transfers: &[CosimTransfer],
+) -> Result<CosimReport, CosimError> {
+    run_transfers_impl(topo, transfers, false)
+}
+
+fn run_transfers_impl(
+    topo: &Topology,
+    transfers: &[CosimTransfer],
+    parallel: bool,
 ) -> Result<CosimReport, CosimError> {
     let slot = vector_slot_cycles();
     let mut occupancy = LinkOccupancy::new();
     let mut programs: HashMap<TspId, ChipProgram> = HashMap::new();
     let mut sims: HashMap<TspId, ChipSim> = HashMap::new();
     let mut arrivals = Vec::with_capacity(transfers.len());
-
-    // Streams are assigned round-robin per TSP so concurrent transfers
-    // through one chip use distinct stream registers.
-    let mut next_stream: HashMap<TspId, u8> = HashMap::new();
+    // What the schedule promises each chip will emit: (cycle, port, payload).
+    let mut expected_emissions: HashMap<TspId, Vec<(u64, u8, Payload)>> = HashMap::new();
+    // Hop depth of each participating chip (max position over its paths).
+    let mut depth: HashMap<TspId, usize> = HashMap::new();
+    // Each (from, to) route is computed once and reused across transfers.
+    let mut routes: HashMap<(TspId, TspId), Path> = HashMap::new();
+    let mut streams: HashMap<TspId, StreamAlloc> = HashMap::new();
     // Forwarding scratch space, bump-allocated per chip.
     let mut scratch_next: HashMap<TspId, u16> = HashMap::new();
-    let stream_for = |tsp: TspId, m: &mut HashMap<TspId, u8>| -> StreamId {
-        let s = m.entry(tsp).or_insert(0);
-        let id = StreamId::new(*s).expect("stream budget");
-        *s = (*s + 1) % 32;
-        id
-    };
 
-    for (_idx, tr) in transfers.iter().enumerate() {
-        let path = shortest_path(topo, tr.from, tr.to).map_err(CosimError::Route)?;
+    for tr in transfers.iter() {
+        let path = match routes.entry((tr.from, tr.to)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(shortest_path(topo, tr.from, tr.to).map_err(CosimError::Route)?)
+            }
+        };
         assert!(!path.links.is_empty(), "cosim transfers must cross the network");
+        let n = tr.data.len() as u64;
         // Injection starts after the source's SRAM read pipeline has had
         // time to stage the first vector.
         let sched = occupancy
-            .schedule_transfer(topo, &path, tr.data.len() as u64, READ_LATENCY)
+            .schedule_transfer(topo, path, n, READ_LATENCY)
             .map_err(CosimError::Schedule)?;
         arrivals.push(sched.last_arrival);
-
-        // Recover each hop's block start from the reservations just added.
-        let hop_starts: Vec<u64> = occupancy
-            .reservations()
-            .iter()
-            .filter(|r| r.transfer == sched.transfer)
-            .map(|r| r.start)
-            .collect();
+        if n == 0 {
+            continue;
+        }
+        // Per-hop block starts come straight off the schedule.
+        let hop_starts = &sched.hop_starts;
         debug_assert_eq!(hop_starts.len(), path.links.len());
+
+        // One shared handle per payload vector: the same bytes back the
+        // source preload, every hop's delivery and every expected
+        // emission, at one Arc clone (no 320-byte copy) per use.
+        let payload: Vec<Payload> = tr.data.iter().map(|v| Arc::new(v.clone())).collect();
+
+        for (h, &tsp) in path.tsps.iter().enumerate() {
+            let d = depth.entry(tsp).or_insert(0);
+            *d = (*d).max(h);
+        }
 
         // Preload the source SRAM with the payload.
         let src_sim = sims.entry(tr.from).or_default();
-        for (v, vec) in tr.data.iter().enumerate() {
-            src_sim.preload(tr.src_slice, tr.src_offset + v as u16, vec.clone());
+        for (v, p) in payload.iter().enumerate() {
+            src_sim.preload(tr.src_slice, tr.src_offset + v as u16, Arc::clone(p));
         }
 
         // Source program: Read -> Send per vector.
-        let src_stream = stream_for(tr.from, &mut next_stream);
-        let src_port = port_of(topo, &path, 0, tr.from);
+        let send0 = hop_starts[0];
+        let src_stream =
+            alloc_stream(&mut streams, tr.from, send0 - READ_LATENCY, send0 + (n - 1) * slot)?;
+        let src_port = port_of(topo, path, 0, tr.from);
         let prog = programs.entry(tr.from).or_default();
-        for v in 0..tr.data.len() as u64 {
-            let send_at = hop_starts[0] + v * slot;
+        for v in 0..n {
+            let send_at = send0 + v * slot;
             prog.push(
                 send_at - READ_LATENCY,
                 Instruction::Read {
@@ -182,16 +321,24 @@ pub fn run_transfers(
         // per-hop overhead pays for.
         for h in 1..path.links.len() {
             let tsp = path.tsps[h];
-            let in_port = port_of(topo, &path, h - 1, tsp);
-            let out_port = port_of(topo, &path, h, tsp);
-            let in_stream = stream_for(tsp, &mut next_stream);
-            let out_stream = stream_for(tsp, &mut next_stream);
-            let scratch = scratch_base(&mut scratch_next, tsp, tr.data.len() as u16);
+            let in_port = port_of(topo, path, h - 1, tsp);
+            let out_port = port_of(topo, path, h, tsp);
             let in_latency = scheduled_link_latency(topo, path.links[h - 1]);
+            let arrive0 = hop_starts[h - 1] + slot + in_latency;
+            let forward0 = hop_starts[h];
+            let in_stream =
+                alloc_stream(&mut streams, tsp, arrive0, arrive0 + (n - 1) * slot + 1)?;
+            let out_stream = alloc_stream(
+                &mut streams,
+                tsp,
+                forward0 - READ_LATENCY,
+                forward0 + (n - 1) * slot,
+            )?;
+            let scratch = scratch_base(&mut scratch_next, tsp, n as u16);
             let prog = programs.entry(tsp).or_default();
-            for v in 0..tr.data.len() as u64 {
-                let arrive = hop_starts[h - 1] + (v + 1) * slot + in_latency;
-                let forward = hop_starts[h] + v * slot;
+            for v in 0..n {
+                let arrive = arrive0 + v * slot;
+                let forward = forward0 + v * slot;
                 debug_assert!(forward >= arrive + 1 + READ_LATENCY + 1);
                 prog.push(arrive, Instruction::Receive { port: in_port, stream: in_stream });
                 prog.push(
@@ -217,12 +364,14 @@ pub fn run_transfers(
 
         // Destination: Receive -> Write.
         let last = path.links.len() - 1;
-        let dst_port = port_of(topo, &path, last, tr.to);
-        let dst_stream = stream_for(tr.to, &mut next_stream);
+        let dst_port = port_of(topo, path, last, tr.to);
         let out_latency = scheduled_link_latency(topo, path.links[last]);
+        let dst_arrive0 = hop_starts[last] + slot + out_latency;
+        let dst_stream =
+            alloc_stream(&mut streams, tr.to, dst_arrive0, dst_arrive0 + (n - 1) * slot + 1)?;
         let prog = programs.entry(tr.to).or_default();
-        for v in 0..tr.data.len() as u64 {
-            let arrive = hop_starts[last] + (v + 1) * slot + out_latency;
+        for v in 0..n {
+            let arrive = dst_arrive0 + v * slot;
             prog.push(arrive, Instruction::Receive { port: dst_port, stream: dst_stream });
             prog.push(
                 arrive + 1,
@@ -233,69 +382,170 @@ pub fn run_transfers(
                 },
             );
         }
-    }
 
-    // Resolve deliveries in hop rounds: run every chip, harvest emissions,
-    // convert them into the next round's deliveries. Timing is static, so
-    // `max hops + 1` rounds reach the fixpoint.
-    let max_hops = transfers
-        .iter()
-        .map(|t| shortest_path(topo, t.from, t.to).map(|p| p.hops()).unwrap_or(0))
-        .max()
-        .unwrap_or(0);
-    let instructions: usize = programs.values().map(|p| p.len()).sum();
-    let mut deliveries: HashMap<TspId, Vec<(u8, u64, Vector)>> = HashMap::new();
-    let mut retire_cycles = HashMap::new();
-
-    for round in 0..=max_hops {
-        let mut emissions: HashMap<TspId, Vec<(u8, u64, Vector)>> = HashMap::new();
-        for (&tsp, prog) in &programs {
-            let mut sim = sims.get(&tsp).cloned().unwrap_or_default();
-            for (port, cycle, vec) in deliveries.get(&tsp).into_iter().flatten() {
-                sim.deliver(*port, *cycle, vec.clone());
+        // Materialize every delivery and every promised emission straight
+        // from the schedule: the O(1) topology port index maps each
+        // sending port to its (link, peer, peer port) once per hop — the
+        // old engine re-scanned the whole link table once per flit.
+        for h in 0..path.links.len() {
+            let sender = path.tsps[h];
+            let out_port = port_of(topo, path, h, sender);
+            let (link, peer, peer_port) =
+                topo.port_peer(sender, out_port).expect("scheduled port is wired");
+            debug_assert_eq!(link, path.links[h]);
+            debug_assert_eq!(peer, path.tsps[h + 1]);
+            let latency = scheduled_link_latency(topo, path.links[h]);
+            let promised = expected_emissions.entry(sender).or_default();
+            for (v, p) in payload.iter().enumerate() {
+                promised.push((hop_starts[h] + v as u64 * slot, out_port, Arc::clone(p)));
             }
-            match sim.run(prog) {
-                Ok(retire) => {
-                    retire_cycles.insert(tsp, retire);
-                }
-                Err(error) => {
-                    // Early rounds may legitimately miss upstream
-                    // deliveries; only the final round must be clean.
-                    if round == max_hops {
-                        return Err(CosimError::Chip { tsp, error });
-                    }
-                    continue;
-                }
-            }
-            for e in sim.emissions() {
-                let (peer, peer_port) = peer_of(topo, tsp, e.port);
-                let link = link_between(topo, tsp, e.port);
-                let arrive = e.cycle + slot + scheduled_link_latency(topo, link);
-                emissions.entry(peer).or_default().push((peer_port, arrive, e.vector.clone()));
-            }
-            if round == max_hops {
-                sims.insert(tsp, sim); // keep final state for verification
+            let peer_sim = sims.entry(peer).or_default();
+            for (v, p) in payload.iter().enumerate() {
+                let arrive = hop_starts[h] + (v as u64 + 1) * slot + latency;
+                peer_sim.deliver(peer_port, arrive, Arc::clone(p));
             }
         }
-        deliveries = emissions;
     }
 
-    // Verify destination SRAM contents bit-for-bit.
+    let instructions: usize = programs.values().map(|p| p.len()).sum();
+
+    // Group chips into hop-depth levels: a chip at depth d receives only
+    // from chips at depth < d, so levels execute in topological order and
+    // chips within a level are mutually independent.
+    let mut chips: Vec<TspId> = programs.keys().copied().collect();
+    chips.sort();
+    let mut levels: Vec<Vec<TspId>> = Vec::new();
+    for tsp in chips {
+        let d = depth[&tsp];
+        if levels.len() <= d {
+            levels.resize(d + 1, Vec::new());
+        }
+        levels[d].push(tsp);
+    }
+
+    let mut retire_cycles = HashMap::new();
+    for level in levels {
+        if level.is_empty() {
+            continue;
+        }
+        let work: Vec<(TspId, ChipSim, &ChipProgram)> = level
+            .iter()
+            .map(|&t| {
+                (t, sims.remove(&t).unwrap_or_default(), programs.get(&t).expect("leveled chip"))
+            })
+            .collect();
+        // Each chip runs exactly once; results merge in ascending TspId
+        // order whether executed serially or on scoped threads.
+        for (tsp, result, sim) in run_level(work, parallel) {
+            let retire = result.map_err(|error| CosimError::Chip { tsp, error })?;
+            verify_emissions(tsp, &sim, expected_emissions.remove(&tsp))?;
+            retire_cycles.insert(tsp, retire);
+            sims.insert(tsp, sim);
+        }
+    }
+
+    // Verify destination SRAM contents bit-for-bit and fingerprint them.
+    let mut dst_digests = Vec::with_capacity(transfers.len());
     for (idx, tr) in transfers.iter().enumerate() {
         let sim = sims.get(&tr.to).expect("destination simulated");
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
         for (v, expected) in tr.data.iter().enumerate() {
             match sim.sram(tr.dst_slice, tr.dst_offset + v as u16) {
-                Some(got) if got == expected => {}
+                Some(got) if got == expected => {
+                    acc = (acc ^ got.digest()).wrapping_mul(0x100_0000_01b3);
+                }
                 _ => return Err(CosimError::DataMismatch { transfer: idx, vector: v }),
             }
         }
+        dst_digests.push(acc);
     }
 
-    Ok(CosimReport { retire_cycles, instructions, arrivals })
+    Ok(CosimReport { retire_cycles, instructions, arrivals, dst_digests })
+}
+
+/// Executes one depth level of chips, each exactly once.
+///
+/// In parallel mode the level is split into contiguous chunks over scoped
+/// threads (`std::thread::scope`, no extra dependency); joining the chunks
+/// in spawn order restores ascending `TspId` order, so the merged result —
+/// and therefore every downstream observable — is bit-identical to the
+/// serial engine no matter how the OS schedules the workers.
+fn run_level(
+    work: Vec<(TspId, ChipSim, &ChipProgram)>,
+    parallel: bool,
+) -> Vec<(TspId, Result<u64, ExecError>, ChipSim)> {
+    fn exec_one(
+        (tsp, mut sim, prog): (TspId, ChipSim, &ChipProgram),
+    ) -> (TspId, Result<u64, ExecError>, ChipSim) {
+        let result = sim.run(prog);
+        (tsp, result, sim)
+    }
+
+    let threads = if parallel {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(work.len())
+    } else {
+        1
+    };
+    if threads <= 1 {
+        return work.into_iter().map(exec_one).collect();
+    }
+    let chunk_size = work.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(TspId, ChipSim, &ChipProgram)>> = Vec::with_capacity(threads);
+    let mut it = work.into_iter();
+    loop {
+        let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(exec_one).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chip worker panicked"))
+            .collect()
+    })
+}
+
+/// Compares a chip's actual emissions against the schedule's promise.
+///
+/// Both sides are sorted by (cycle, port) — a unique key, since a port
+/// engine serializes its sends — so the comparison is order-canonical.
+fn verify_emissions(
+    tsp: TspId,
+    sim: &ChipSim,
+    promised: Option<Vec<(u64, u8, Payload)>>,
+) -> Result<(), CosimError> {
+    let mut want = promised.unwrap_or_default();
+    want.sort_by_key(|&(cycle, port, _)| (cycle, port));
+    let mut got: Vec<(u64, u8, &Payload)> =
+        sim.emissions().iter().map(|e| (e.cycle, e.port, &e.vector)).collect();
+    got.sort_by_key(|&(cycle, port, _)| (cycle, port));
+    for i in 0..want.len().max(got.len()) {
+        match (want.get(i), got.get(i)) {
+            (Some(&(wc, wp, ref wv)), Some(&(gc, gp, gv))) => {
+                if wc != gc || wp != gp || wv.as_ref() != gv.as_ref() {
+                    return Err(CosimError::EmissionMismatch { tsp, cycle: gc.min(wc), port: gp });
+                }
+            }
+            (Some(&(wc, wp, _)), None) => {
+                return Err(CosimError::EmissionMismatch { tsp, cycle: wc, port: wp });
+            }
+            (None, Some(&(gc, gp, _))) => {
+                return Err(CosimError::EmissionMismatch { tsp, cycle: gc, port: gp });
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Ok(())
 }
 
 /// The port number `tsp` uses on hop `h`'s link.
-fn port_of(topo: &Topology, path: &tsm_topology::route::Path, h: usize, tsp: TspId) -> u8 {
+fn port_of(topo: &Topology, path: &Path, h: usize, tsp: TspId) -> u8 {
     let l = topo.link(path.links[h]);
     if l.a == tsp {
         l.a_port
@@ -303,29 +553,6 @@ fn port_of(topo: &Topology, path: &tsm_topology::route::Path, h: usize, tsp: Tsp
         debug_assert_eq!(l.b, tsp);
         l.b_port
     }
-}
-
-/// The (peer, peer port) at the other end of `tsp`'s `port`.
-fn peer_of(topo: &Topology, tsp: TspId, port: u8) -> (TspId, u8) {
-    for l in topo.links() {
-        if l.a == tsp && l.a_port == port {
-            return (l.b, l.b_port);
-        }
-        if l.b == tsp && l.b_port == port {
-            return (l.a, l.a_port);
-        }
-    }
-    panic!("{tsp} has no cable on port {port}");
-}
-
-/// The link on `tsp`'s `port`.
-fn link_between(topo: &Topology, tsp: TspId, port: u8) -> tsm_topology::LinkId {
-    for (i, l) in topo.links().iter().enumerate() {
-        if (l.a == tsp && l.a_port == port) || (l.b == tsp && l.b_port == port) {
-            return tsm_topology::LinkId(i as u32);
-        }
-    }
-    panic!("{tsp} has no cable on port {port}");
 }
 
 #[cfg(test)]
@@ -411,7 +638,7 @@ mod tests {
                 data: payload(32, 5),
             };
             let r = run_transfers(&topo, &[tr]).unwrap();
-            (r.arrivals, r.instructions)
+            (r.arrivals, r.instructions, r.dst_digests)
         };
         assert_eq!(run(), run());
     }
@@ -432,5 +659,107 @@ mod tests {
         let report = run_transfers(&topo, &[tr]).unwrap();
         // schedule starts after the 5-cycle SRAM read pipeline
         assert_eq!(report.arrivals[0], 5 + n * vector_slot_cycles() + 228);
+    }
+
+    /// The satellite determinism contract: a multi-node workload produces
+    /// a parallel `CosimReport` (retire cycles, arrivals, instruction
+    /// count) and destination SRAM bytes identical to a serial run.
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        // Cross-node perfect matching over direct cables: every node-0 TSP
+        // streams to a distinct node-1 TSP, so both depth levels hold 8
+        // independent chips — real work for the parallel engine.
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        let mut taken = std::collections::HashSet::new();
+        let transfers: Vec<CosimTransfer> = (0..8u32)
+            .map(|i| {
+                let from = TspId(i);
+                let to = topo
+                    .tsps()
+                    .find(|&t| {
+                        t.node() != from.node()
+                            && !taken.contains(&t)
+                            && !topo.links_between(from, t).is_empty()
+                    })
+                    .expect("unused direct cross-node peer");
+                taken.insert(to);
+                CosimTransfer {
+                    from,
+                    to,
+                    src_slice: 0,
+                    src_offset: (i * 64) as u16,
+                    dst_slice: 2,
+                    dst_offset: (i * 64) as u16,
+                    data: payload(12 + i as usize, i as u8),
+                }
+            })
+            .collect();
+        let serial = run_transfers_serial(&topo, &transfers).unwrap();
+        let parallel = run_transfers(&topo, &transfers).unwrap();
+        assert_eq!(serial, parallel);
+        // and the parallel engine is reproducible run to run
+        assert_eq!(parallel, run_transfers(&topo, &transfers).unwrap());
+    }
+
+    /// More flows than stream registers, serialized on one cable: liveness
+    /// tracking recycles registers, so 40 sequential flows through one
+    /// chip succeed bit-exactly (the old modulo-32 allocator would wrap
+    /// onto live registers under concurrency instead of recycling dead
+    /// ones).
+    #[test]
+    fn stream_registers_recycle_across_serialized_flows() {
+        let topo = Topology::single_node();
+        let transfers: Vec<CosimTransfer> = (0..40u32)
+            .map(|i| CosimTransfer {
+                from: TspId(0),
+                to: TspId(1),
+                src_slice: 0,
+                src_offset: (i * 4) as u16,
+                dst_slice: 1,
+                dst_offset: (i * 4) as u16,
+                data: payload(4, i as u8),
+            })
+            .collect();
+        let report = run_transfers(&topo, &transfers).unwrap();
+        assert_eq!(report.arrivals.len(), 40);
+    }
+
+    #[test]
+    fn stream_exhaustion_is_reported_not_wrapped() {
+        let mut a = StreamAlloc::new();
+        for _ in 0..MAX_STREAMS {
+            assert!(a.alloc(0, 100).is_some());
+        }
+        // a 33rd simultaneously-live flow has no register
+        assert!(a.alloc(50, 60).is_none());
+        // but once the live ranges end, registers recycle
+        assert_eq!(a.alloc(101, 200), StreamId::new(0).ok());
+    }
+
+    /// A forged delivery that disagrees with the payload the schedule
+    /// promised must surface as an error, not silent corruption.
+    #[test]
+    fn emission_verification_catches_payload_divergence() {
+        let sim_emits = |v: Vector| {
+            let mut sim = ChipSim::new();
+            sim.preload(0, 0, v);
+            let prog = ChipProgram::new()
+                .at(0, Instruction::Read {
+                    slice: 0,
+                    offset: 0,
+                    stream: StreamId::new(0).unwrap(),
+                    dir: Direction::East,
+                })
+                .at(10, Instruction::Send { port: 3, stream: StreamId::new(0).unwrap() });
+            sim.run(&prog).unwrap();
+            sim
+        };
+        let promise = vec![(10u64, 3u8, Arc::new(Vector::splat(7)))];
+        assert!(verify_emissions(TspId(0), &sim_emits(Vector::splat(7)), Some(promise.clone()))
+            .is_ok());
+        assert_eq!(
+            verify_emissions(TspId(0), &sim_emits(Vector::splat(8)), Some(promise)),
+            Err(CosimError::EmissionMismatch { tsp: TspId(0), cycle: 10, port: 3 })
+        );
     }
 }

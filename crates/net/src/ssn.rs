@@ -162,6 +162,7 @@ impl LinkOccupancy {
                 first_inject: earliest,
                 last_arrival: earliest,
                 hops: 0,
+                hop_starts: Vec::new(),
             });
         }
 
@@ -204,6 +205,7 @@ impl LinkOccupancy {
             first_inject: hop_starts[0],
             last_arrival: last_hop_start + vectors * slot + last_link_latency,
             hops: path.hops(),
+            hop_starts,
         })
     }
 
@@ -301,7 +303,7 @@ pub fn waterfill(latencies: &[u64], slot: u64, vectors: u64) -> Vec<u64> {
 }
 
 /// Timing summary of one scheduled transfer (or one spread shard).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferSchedule {
     /// Transfer id within its occupancy table.
     pub transfer: u32,
@@ -317,6 +319,11 @@ pub struct TransferSchedule {
     pub last_arrival: u64,
     /// Hops traversed.
     pub hops: usize,
+    /// Cycle each hop's flit train starts on its link, in path order (one
+    /// entry per link; empty for a zero-hop local transfer). Consumers that
+    /// lower the schedule to per-chip programs read hop timing from here
+    /// directly instead of re-filtering the occupancy's reservation table.
+    pub hop_starts: Vec<u64>,
 }
 
 impl TransferSchedule {
@@ -513,6 +520,26 @@ mod tests {
             (completion(&shards), occ.reservations().len())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hop_starts_mirror_the_reservation_table() {
+        let topo = Topology::fully_connected_nodes(2).unwrap();
+        let path = shortest_path(&topo, TspId(0), TspId(9)).unwrap();
+        let mut occ = LinkOccupancy::new();
+        let s = occ.schedule_transfer(&topo, &path, 12, 5).unwrap();
+        assert_eq!(s.hop_starts.len(), path.links.len());
+        let from_reservations: Vec<u64> = occ
+            .reservations()
+            .iter()
+            .filter(|r| r.transfer == s.transfer)
+            .map(|r| r.start)
+            .collect();
+        assert_eq!(s.hop_starts, from_reservations);
+        assert_eq!(s.first_inject, s.hop_starts[0]);
+        // local transfers have no hops to report
+        let local = shortest_path(&topo, TspId(3), TspId(3)).unwrap();
+        assert!(occ.schedule_transfer(&topo, &local, 4, 0).unwrap().hop_starts.is_empty());
     }
 
     #[test]

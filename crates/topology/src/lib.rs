@@ -303,6 +303,10 @@ pub struct Topology {
     /// adjacency: for each TSP, the (link, peer) pairs, sorted by peer then
     /// link id for determinism.
     adj: Vec<Vec<(LinkId, TspId)>>,
+    /// O(1) port index: for each TSP, port number → the cable on that port
+    /// as `(link, peer, peer_port)`. Every (TSP, port) pair hosts at most
+    /// one cable, so the entry is unique.
+    ports: Vec<[Option<(LinkId, TspId, u8)>; PORTS_PER_TSP]>,
     /// Nodes currently marked failed (excluded from routing).
     failed_nodes: Vec<NodeId>,
 }
@@ -310,14 +314,23 @@ pub struct Topology {
 impl Topology {
     pub(crate) fn from_links(regime: ScaleRegime, num_tsps: usize, links: Vec<Link>) -> Self {
         let mut adj: Vec<Vec<(LinkId, TspId)>> = vec![Vec::new(); num_tsps];
+        let mut ports: Vec<[Option<(LinkId, TspId, u8)>; PORTS_PER_TSP]> =
+            vec![[None; PORTS_PER_TSP]; num_tsps];
+        let mut plug = |t: TspId, port: u8, entry: (LinkId, TspId, u8)| {
+            let slot = &mut ports[t.index()][port as usize];
+            assert!(slot.is_none(), "{t} port {port} double-wired");
+            *slot = Some(entry);
+        };
         for (i, l) in links.iter().enumerate() {
             adj[l.a.index()].push((LinkId(i as u32), l.b));
             adj[l.b.index()].push((LinkId(i as u32), l.a));
+            plug(l.a, l.a_port, (LinkId(i as u32), l.b, l.b_port));
+            plug(l.b, l.b_port, (LinkId(i as u32), l.a, l.a_port));
         }
         for v in &mut adj {
             v.sort_by_key(|&(lid, peer)| (peer, lid));
         }
-        Topology { regime, num_tsps, links, adj, failed_nodes: Vec::new() }
+        Topology { regime, num_tsps, links, adj, ports, failed_nodes: Vec::new() }
     }
 
     /// The scale regime this topology was built in.
@@ -353,6 +366,23 @@ impl Topology {
     /// The (link, peer) adjacency of one TSP, in deterministic order.
     pub fn neighbors(&self, t: TspId) -> &[(LinkId, TspId)] {
         &self.adj[t.index()]
+    }
+
+    /// The cable plugged into `port` of `t`, as `(link, peer, peer_port)`,
+    /// or `None` for an unwired port. Constant time: this is the index the
+    /// co-simulation driver uses to map an emission on a port to its
+    /// delivery endpoint without scanning the link table.
+    pub fn port_peer(&self, t: TspId, port: u8) -> Option<(LinkId, TspId, u8)> {
+        self.ports
+            .get(t.index())
+            .and_then(|p| p.get(port as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// The link on `t`'s `port`, or `None` for an unwired port. O(1).
+    pub fn link_on_port(&self, t: TspId, port: u8) -> Option<LinkId> {
+        self.port_peer(t, port).map(|(lid, _, _)| lid)
     }
 
     /// All links directly connecting `a` to `b` (the torus local group
@@ -450,6 +480,39 @@ mod tests {
     fn other_end_panics_for_stranger() {
         let l = Link { a: TspId(0), a_port: 0, b: TspId(1), b_port: 0, class: CableClass::IntraNode };
         l.other_end(TspId(5));
+    }
+
+    #[test]
+    fn port_index_matches_link_table() {
+        let topo = Topology::single_node();
+        for l in topo.links() {
+            let lid = topo.links().iter().position(|x| x == l).unwrap();
+            assert_eq!(topo.port_peer(l.a, l.a_port), Some((LinkId(lid as u32), l.b, l.b_port)));
+            assert_eq!(topo.port_peer(l.b, l.b_port), Some((LinkId(lid as u32), l.a, l.a_port)));
+            assert_eq!(topo.link_on_port(l.a, l.a_port), Some(LinkId(lid as u32)));
+        }
+        // single node: global ports 7..11 are unwired
+        for t in topo.tsps() {
+            for p in 7..11 {
+                assert_eq!(topo.port_peer(t, p), None);
+            }
+        }
+        // out-of-range port numbers are None, not a panic
+        assert_eq!(topo.port_peer(TspId(0), 200), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-wired")]
+    fn double_wired_port_is_rejected() {
+        let l = |a_port: u8| Link {
+            a: TspId(0),
+            a_port,
+            b: TspId(1),
+            b_port: a_port,
+            class: CableClass::IntraNode,
+        };
+        // two cables on TSP 0 port 3
+        Topology::from_links(ScaleRegime::SingleNode, 8, vec![l(3), l(3)]);
     }
 
     #[test]

@@ -82,6 +82,36 @@ proptest! {
         }
     }
 
+    /// The O(1) port index agrees with a linear scan over the link table on
+    /// arbitrary generated topologies, for every (TSP, port) pair — wired
+    /// or not.
+    #[test]
+    fn port_index_agrees_with_linear_scan(
+        regime in 0usize..3,
+        size in 2usize..10,
+    ) {
+        let topo = match regime {
+            0 => Topology::fully_connected_nodes(size).unwrap(),
+            1 => Topology::rack_dragonfly(2 + size % 3).unwrap(),
+            _ => if size % 2 == 0 { Topology::single_node() } else { Topology::torus_node() },
+        };
+        for t in topo.tsps() {
+            for port in 0..16u8 {
+                // the old cosim peer_of/link_between scan, verbatim
+                let scanned = topo.links().iter().enumerate().find_map(|(i, l)| {
+                    if l.a == t && l.a_port == port {
+                        Some((tsm_topology::LinkId(i as u32), l.b, l.b_port))
+                    } else if l.b == t && l.b_port == port {
+                        Some((tsm_topology::LinkId(i as u32), l.a, l.a_port))
+                    } else {
+                        None
+                    }
+                });
+                prop_assert_eq!(topo.port_peer(t, port), scanned);
+            }
+        }
+    }
+
     /// Id arithmetic roundtrips: every TSP is inside its node and rack.
     #[test]
     fn id_arithmetic_consistent(raw in 0u32..10_440) {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build, every test must pass, clippy must be
+# clean at -D warnings. Run from the repo root.
+#
+# Offline environments: the workspace pulls rand/serde/proptest/criterion
+# from crates.io, so a machine without network access needs a vendored
+# registry first —
+#   cargo vendor vendor/ && mkdir -p .cargo &&
+#   printf '[source.crates-io]\nreplace-with = "vendored-sources"\n\n[source.vendored-sources]\ndirectory = "vendor"\n' >> .cargo/config.toml
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings

@@ -109,7 +109,10 @@ fn row_split_gemm_reduces_across_chips_with_real_transfers() {
         prog1.push(t + 6, Instruction::Send { port: 0, stream: s_tx });
     }
     dev1.run(&prog1).unwrap();
-    let partial_rows: Vec<Vector> = dev1.emissions().iter().map(|e| e.vector.clone()).collect();
+    // Shared payload handles: re-delivering them to device 0 below costs a
+    // pointer clone per row, not a 320-byte copy.
+    let partial_rows: Vec<tsm::chip::exec::Payload> =
+        dev1.emissions().iter().map(|e| e.vector.clone()).collect();
     assert_eq!(partial_rows.len(), M);
 
     // Device 0 computes its partial, receives device 1's rows (delivered
