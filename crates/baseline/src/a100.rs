@@ -48,7 +48,10 @@ pub fn gemm_tflops(m: u64, k: u64, n: u64) -> f64 {
 /// The Fig 13 sweep on the A100 side: utilization of
 /// `[2304×4096]×[4096×N]`.
 pub fn fig13_sweep(n_values: impl IntoIterator<Item = u64>) -> Vec<(u64, f64)> {
-    n_values.into_iter().map(|n| (n, gemm_utilization(2304, 4096, n))).collect()
+    n_values
+        .into_iter()
+        .map(|n| (n, gemm_utilization(2304, 4096, n)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("local_group", |b| b.iter(ablations::local_group));
     group.bench_function("spreading", |b| b.iter(ablations::spreading));
-    group.bench_function("routing_determinism", |b| b.iter(ablations::routing_determinism));
+    group.bench_function("routing_determinism", |b| {
+        b.iter(ablations::routing_determinism)
+    });
     group.finish();
 }
 

@@ -7,8 +7,8 @@
 //! the tracked JSON number come from identical work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tsm_bench::cosim_bench;
 use tsm::core::cosim::{run_transfers, run_transfers_serial};
+use tsm_bench::cosim_bench;
 
 fn bench(c: &mut Criterion) {
     for line in cosim_bench::lines() {

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig02_bandwidth_profile");
     group.sample_size(100);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig2()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig2));
     group.finish();
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig10_nonminimal");
     group.sample_size(30);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig10()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig10));
     group.finish();
 }
 

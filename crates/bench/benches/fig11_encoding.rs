@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig11_encoding");
     group.sample_size(100);
-    group.bench_function("regenerate", |b| b.iter(|| encode_decode_roundtrip()));
+    group.bench_function("regenerate", |b| b.iter(encode_decode_roundtrip));
     group.finish();
 }
 
@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
 fn encode_decode_roundtrip() -> u16 {
     use tsm::isa::{packet::WirePacket, Vector};
     let p = WirePacket::data(0x1234, Vector::splat(0x5A));
-    WirePacket::decode(&p.encode()).expect("roundtrips").sequence
+    WirePacket::decode(&p.encode())
+        .expect("roundtrips")
+        .sequence
 }
 
 criterion_group!(benches, bench);

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig14_distributed_matmul");
     group.sample_size(10);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig14()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig14));
     group.finish();
 }
 

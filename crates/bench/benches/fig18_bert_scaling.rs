@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig18_bert_scaling");
     group.sample_size(20);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig18()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig18));
     group.finish();
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig19_cholesky");
     group.sample_size(10);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig19()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig19));
     group.finish();
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig20_breakdown");
     group.sample_size(20);
-    group.bench_function("regenerate", |b| b.iter(|| figures::fig20()));
+    group.bench_function("regenerate", |b| b.iter(figures::fig20));
     group.finish();
 }
 

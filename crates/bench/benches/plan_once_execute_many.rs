@@ -1,0 +1,55 @@
+//! Criterion bench for the compile-once / execute-many pipeline.
+//!
+//! Three functions over the canonical workload (2-node system, 16
+//! concurrent multi-hop transfers — see `tsm_bench::cosim_bench`):
+//!
+//! * `compile_plan` — the cost paid once per transfer-shape set,
+//! * `cold` — one full one-shot invocation from the transfer
+//!   descriptors: shape extraction, payload materialization, compile,
+//!   fresh executor, one execution (what every one-shot call pays),
+//! * `warm` — one execution against a pre-compiled plan on a reused
+//!   executor (the amortized per-invocation cost).
+//!
+//! The warm/cold gap is the payoff of the [`CompiledPlan`] split; the same
+//! numbers are recorded by `repro bench-cosim` into `BENCH_cosim.json`.
+//!
+//! [`CompiledPlan`]: tsm::core::cosim::CompiledPlan
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsm::core::cosim::{compile_plan, CosimTransfer, PlanExecutor, TransferShape};
+use tsm_bench::cosim_bench;
+
+fn bench(c: &mut Criterion) {
+    let (topo, transfers) = cosim_bench::workload();
+    let shapes: Vec<TransferShape> = transfers.iter().map(TransferShape::from).collect();
+    let payloads: Vec<_> = transfers.iter().map(CosimTransfer::payload).collect();
+
+    let mut group = c.benchmark_group("plan_once_execute_many");
+    group.sample_size(20);
+    group.bench_function("compile_plan", |b| {
+        b.iter(|| compile_plan(&topo, &shapes).expect("plan compiles"))
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let shapes: Vec<TransferShape> = transfers.iter().map(TransferShape::from).collect();
+            let payloads: Vec<_> = transfers.iter().map(CosimTransfer::payload).collect();
+            let plan = compile_plan(&topo, &shapes).expect("plan compiles");
+            PlanExecutor::new()
+                .execute_serial(&plan, &payloads)
+                .expect("cold execute")
+        })
+    });
+    let plan = compile_plan(&topo, &shapes).expect("plan compiles");
+    let mut executor = PlanExecutor::new();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            executor
+                .execute_serial(&plan, &payloads)
+                .expect("warm execute")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -85,13 +85,20 @@ pub fn spreading() -> Vec<String> {
     let vectors = 16_384; // 5.2 MB
     let paths = edge_disjoint_paths(&topo, TspId(0), TspId(1), 7);
     let mut a = LinkOccupancy::new();
-    let minimal = a.schedule_transfer(&topo, &paths[0], vectors, 0).unwrap().last_arrival;
+    let minimal = a
+        .schedule_transfer(&topo, &paths[0], vectors, 0)
+        .unwrap()
+        .last_arrival;
     let mut b = LinkOccupancy::new();
     let spread = completion(&b.schedule_spread(&topo, &paths, vectors, 0).unwrap());
     vec![
         format!("5.2 MB tensor, TSP0 -> TSP1"),
         format!("minimal path only: {:>8} cycles", minimal),
-        format!("7-way spread:      {:>8} cycles ({:.2}x)", spread, minimal as f64 / spread as f64),
+        format!(
+            "7-way spread:      {:>8} cycles ({:.2}x)",
+            spread,
+            minimal as f64 / spread as f64
+        ),
     ]
 }
 
@@ -131,7 +138,10 @@ pub fn routing_determinism() -> Vec<String> {
             r.max_latency()
         ));
     }
-    out.push(format!("{:>8} {:>12} {:>10} {:>10}", "SSN", ssn_done, 0, ssn_done));
+    out.push(format!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "SSN", ssn_done, 0, ssn_done
+    ));
     out.push("SSN: zero variance across runs by construction; the dynamic network's".into());
     out.push("per-packet latencies differ run to run (same offered traffic).".into());
     out
@@ -175,9 +185,15 @@ pub fn fec_vs_retry() -> Vec<String> {
     let (fec_p50, fec_max, fec_mean) = stats(&mut fec_latencies);
     let (r_p50, r_max, r_mean) = stats(&mut retry_latencies);
     vec![
-        format!("{} packets at BER {:.0e} ({} saw errors)", packets, ber, corrected),
+        format!(
+            "{} packets at BER {:.0e} ({} saw errors)",
+            packets, ber, corrected
+        ),
         format!("{:>8} {:>8} {:>8} {:>10}", "", "p50", "max", "mean"),
-        format!("{:>8} {:>8} {:>8} {:>10.1}", "FEC", fec_p50, fec_max, fec_mean),
+        format!(
+            "{:>8} {:>8} {:>8} {:>10.1}",
+            "FEC", fec_p50, fec_max, fec_mean
+        ),
         format!("{:>8} {:>8} {:>8} {:>10.1}", "retry", r_p50, r_max, r_mean),
         format!(
             "retry adds a {}-cycle tail ({}x the FEC worst case) — the nondeterminism §4.5 rejects",

@@ -25,30 +25,123 @@ fn main() {
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
-    let sections: Vec<(&str, &str, Box<dyn Fn() -> Vec<String>>)> = vec![
-        ("abstract", "Abstract claims", Box::new(figures::abstract_claims)),
-        ("fig2", "Fig 2 — global bandwidth profile per TSP", Box::new(figures::fig2)),
-        ("table2", "Table 2 — HAC link-latency characterization (100K iters)", Box::new(|| figures::table2(100_000))),
-        ("fig7", "Fig 7 — HAC alignment convergence", Box::new(figures::fig7)),
-        ("fig9", "Fig 9 — push vs pull communication model", Box::new(figures::fig9)),
-        ("fig10", "Fig 10 — non-minimal routing benefit", Box::new(figures::fig10)),
-        ("fig11", "Fig 11 — wire-format efficiency", Box::new(figures::fig11)),
-        ("fig13", "Fig 13 — GEMM utilization, TSP vs A100", Box::new(|| figures::fig13(59))),
-        ("fig14", "Fig 14 — distributed matmul scaling", Box::new(figures::fig14)),
-        ("fig15", "Fig 15 — cluster GEMM TFLOPs", Box::new(figures::fig15)),
-        ("fig16", "Fig 16 — 8-way all-reduce bandwidth", Box::new(figures::fig16)),
-        ("fig17", "Fig 17 — BERT-Large latency distribution (24,240 runs)", Box::new(|| figures::fig17(24_240))),
-        ("fig18", "Fig 18 — BERT encoder scaling", Box::new(figures::fig18)),
-        ("fig19", "Fig 19 — Cholesky factorization", Box::new(figures::fig19)),
-        ("fig20", "Fig 20 — compiler optimization breakdown", Box::new(figures::fig20)),
-        ("sec56", "§5.6 — all-reduce pipelined latency", Box::new(figures::sec56)),
-        ("ablate-local-group", "Ablation — mesh vs torus local group", Box::new(tsm_bench::ablations::local_group)),
-        ("ablate-spreading", "Ablation — minimal vs spread routing", Box::new(tsm_bench::ablations::spreading)),
-        ("ablate-determinism", "Ablation — SSN vs dynamic routing", Box::new(tsm_bench::ablations::routing_determinism)),
-        ("ablate-fec", "Ablation — FEC vs link-layer retry", Box::new(tsm_bench::ablations::fec_vs_retry)),
-        ("ext-training", "Extension — data-parallel training weak scaling", Box::new(figures::ext_training)),
-        ("ext-lstm", "Extension — LSTM batch-1 regime", Box::new(figures::ext_lstm)),
-        ("bench-cosim", "Bench — co-simulation engine throughput (writes BENCH_cosim.json)", Box::new(emit_bench_cosim)),
+    type Section<'a> = (&'a str, &'a str, Box<dyn Fn() -> Vec<String>>);
+    let sections: Vec<Section> = vec![
+        (
+            "abstract",
+            "Abstract claims",
+            Box::new(figures::abstract_claims),
+        ),
+        (
+            "fig2",
+            "Fig 2 — global bandwidth profile per TSP",
+            Box::new(figures::fig2),
+        ),
+        (
+            "table2",
+            "Table 2 — HAC link-latency characterization (100K iters)",
+            Box::new(|| figures::table2(100_000)),
+        ),
+        (
+            "fig7",
+            "Fig 7 — HAC alignment convergence",
+            Box::new(figures::fig7),
+        ),
+        (
+            "fig9",
+            "Fig 9 — push vs pull communication model",
+            Box::new(figures::fig9),
+        ),
+        (
+            "fig10",
+            "Fig 10 — non-minimal routing benefit",
+            Box::new(figures::fig10),
+        ),
+        (
+            "fig11",
+            "Fig 11 — wire-format efficiency",
+            Box::new(figures::fig11),
+        ),
+        (
+            "fig13",
+            "Fig 13 — GEMM utilization, TSP vs A100",
+            Box::new(|| figures::fig13(59)),
+        ),
+        (
+            "fig14",
+            "Fig 14 — distributed matmul scaling",
+            Box::new(figures::fig14),
+        ),
+        (
+            "fig15",
+            "Fig 15 — cluster GEMM TFLOPs",
+            Box::new(figures::fig15),
+        ),
+        (
+            "fig16",
+            "Fig 16 — 8-way all-reduce bandwidth",
+            Box::new(figures::fig16),
+        ),
+        (
+            "fig17",
+            "Fig 17 — BERT-Large latency distribution (24,240 runs)",
+            Box::new(|| figures::fig17(24_240)),
+        ),
+        (
+            "fig18",
+            "Fig 18 — BERT encoder scaling",
+            Box::new(figures::fig18),
+        ),
+        (
+            "fig19",
+            "Fig 19 — Cholesky factorization",
+            Box::new(figures::fig19),
+        ),
+        (
+            "fig20",
+            "Fig 20 — compiler optimization breakdown",
+            Box::new(figures::fig20),
+        ),
+        (
+            "sec56",
+            "§5.6 — all-reduce pipelined latency",
+            Box::new(figures::sec56),
+        ),
+        (
+            "ablate-local-group",
+            "Ablation — mesh vs torus local group",
+            Box::new(tsm_bench::ablations::local_group),
+        ),
+        (
+            "ablate-spreading",
+            "Ablation — minimal vs spread routing",
+            Box::new(tsm_bench::ablations::spreading),
+        ),
+        (
+            "ablate-determinism",
+            "Ablation — SSN vs dynamic routing",
+            Box::new(tsm_bench::ablations::routing_determinism),
+        ),
+        (
+            "ablate-fec",
+            "Ablation — FEC vs link-layer retry",
+            Box::new(tsm_bench::ablations::fec_vs_retry),
+        ),
+        (
+            "ext-training",
+            "Extension — data-parallel training weak scaling",
+            Box::new(figures::ext_training),
+        ),
+        (
+            "ext-lstm",
+            "Extension — LSTM batch-1 regime",
+            Box::new(figures::ext_lstm),
+        ),
+        (
+            "bench-cosim",
+            "Bench — co-simulation engine throughput (writes BENCH_cosim.json)",
+            Box::new(emit_bench_cosim),
+        ),
     ];
 
     let mut matched = false;

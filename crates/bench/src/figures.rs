@@ -26,12 +26,18 @@ pub fn fig2() -> Vec<String> {
 
 /// Table 2 — HAC latency characterization of 7 intra-node links.
 pub fn table2(iterations: usize) -> Vec<String> {
-    let mut out = vec![format!("{:>4} {:>5} {:>8} {:>5} {:>6}", "link", "min", "mean", "max", "std")];
+    let mut out = vec![format!(
+        "{:>4} {:>5} {:>8} {:>5} {:>6}",
+        "link", "min", "mean", "max", "std"
+    )];
     let model = LatencyModel::for_class(CableClass::IntraNode);
     let mut rng = StdRng::seed_from_u64(2022);
     for name in ["A", "B", "C", "D", "E", "F", "G"] {
         let s = characterize_link(&model, iterations, &mut rng);
-        out.push(format!("{:>4} {:>5} {:>8.2} {:>5} {:>6.2}", name, s.min, s.mean, s.max, s.std));
+        out.push(format!(
+            "{:>4} {:>5} {:>8.2} {:>5} {:>6.2}",
+            name, s.min, s.mean, s.max, s.std
+        ));
     }
     out
 }
@@ -40,12 +46,23 @@ pub fn table2(iterations: usize) -> Vec<String> {
 pub fn fig7() -> Vec<String> {
     let model = LatencyModel::for_class(CableClass::IntraNode);
     let mut rng = StdRng::seed_from_u64(7);
-    let trace = align_pair(&model, 217, LocalClock::with_ppm(80.0), 100, 4, 120, &mut rng);
+    let trace = align_pair(
+        &model,
+        217,
+        LocalClock::with_ppm(80.0),
+        100,
+        4,
+        120,
+        &mut rng,
+    );
     let mut out = vec![format!("{:>9} {:>10}", "exchange", "|error|")];
     for (i, e) in trace.errors.iter().enumerate().step_by(10) {
         out.push(format!("{:>9} {:>10.1}", i, e));
     }
-    out.push(format!("converged after {:?} exchanges", trace.converged_after));
+    out.push(format!(
+        "converged after {:?} exchanges",
+        trace.converged_after
+    ));
     out
 }
 
@@ -76,7 +93,10 @@ pub fn fig9() -> Vec<String> {
 /// training and inference").
 pub fn ext_training() -> Vec<String> {
     use tsm::workloads::training::{weak_scaling_sweep, TrainingConfig};
-    let mut out = vec![format!("{:>6} {:>14} {:>12}", "TSPs", "samples/s", "efficiency")];
+    let mut out = vec![format!(
+        "{:>6} {:>14} {:>12}",
+        "TSPs", "samples/s", "efficiency"
+    )];
     for (tsps, thr, eff) in
         weak_scaling_sweep(TrainingConfig::bert_large(2), &[1, 2, 4, 8, 16, 33]).expect("sweep")
     {
@@ -91,10 +111,19 @@ pub fn ext_lstm() -> Vec<String> {
     let c = LstmConfig::translation();
     let util = tsm::chip::mxm::gemm_timing(c.step_gemms()[0], ElemType::F16).utilization;
     vec![
-        format!("LSTM {}x{} seq {}, batch {}", c.layers, c.hidden, c.seq_len, c.batch),
-        format!("per-step MXM utilization at batch 1: {:.2}% (install-bound)", util * 100.0),
-        format!("per-step activation transfer: {} B = {} vectors",
-            c.activation_bytes(), tsm::isa::vector::vectors_for_bytes(c.activation_bytes())),
+        format!(
+            "LSTM {}x{} seq {}, batch {}",
+            c.layers, c.hidden, c.seq_len, c.batch
+        ),
+        format!(
+            "per-step MXM utilization at batch 1: {:.2}% (install-bound)",
+            util * 100.0
+        ),
+        format!(
+            "per-step activation transfer: {} B = {} vectors",
+            c.activation_bytes(),
+            tsm::isa::vector::vectors_for_bytes(c.activation_bytes())
+        ),
         format!("total inference: {:.1} GFLOP", c.total_flops() as f64 / 1e9),
     ]
 }
@@ -102,8 +131,10 @@ pub fn ext_lstm() -> Vec<String> {
 /// Fig 10 — benefit of non-minimal routing vs message size and path count.
 pub fn fig10() -> Vec<String> {
     let topo = Topology::single_node();
-    let mut out =
-        vec![format!("{:>10} {:>8} {:>8} {:>8} {:>8}", "bytes", "1 path", "3 paths", "5 paths", "7 paths")];
+    let mut out = vec![format!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8}",
+        "bytes", "1 path", "3 paths", "5 paths", "7 paths"
+    )];
     for shift in [10u32, 12, 13, 14, 16, 18, 20, 22, 24] {
         let bytes = 1u64 << shift;
         let row: Vec<f64> = [1usize, 3, 5, 7]
@@ -125,8 +156,15 @@ pub fn fig10() -> Vec<String> {
 /// Fig 11 — wire format efficiency.
 pub fn fig11() -> Vec<String> {
     vec![
-        format!("payload {} B / wire {} B", tsm::isa::vector::VECTOR_BYTES, tsm::isa::packet::WIRE_BYTES),
-        format!("encoding efficiency {:.2}% (paper: 97.5%)", tsm::isa::packet::ENCODING_EFFICIENCY * 100.0),
+        format!(
+            "payload {} B / wire {} B",
+            tsm::isa::vector::VECTOR_BYTES,
+            tsm::isa::packet::WIRE_BYTES
+        ),
+        format!(
+            "encoding efficiency {:.2}% (paper: 97.5%)",
+            tsm::isa::packet::ENCODING_EFFICIENCY * 100.0
+        ),
     ]
 }
 
@@ -146,7 +184,10 @@ pub fn fig13(step: usize) -> Vec<String> {
 /// vs TSP count.
 pub fn fig14() -> Vec<String> {
     let shape = GemmShape::new(800, 32_576, 8192);
-    let mut out = vec![format!("{:>6} {:>6} {:>13} {:>10}", "TSPs", "rows", "latency (µs)", "TFLOPs")];
+    let mut out = vec![format!(
+        "{:>6} {:>6} {:>13} {:>10}",
+        "TSPs", "rows", "latency (µs)", "TFLOPs"
+    )];
     for row_splits in [1u64, 2, 4, 8, 13] {
         let graph = build_distributed_gemm(shape, 8, row_splits, ElemType::F16);
         let max_dev = graph.devices().iter().map(|d| d.index()).max().unwrap_or(0);
@@ -170,8 +211,10 @@ pub fn fig14() -> Vec<String> {
 
 /// Fig 15 — cluster GEMM FP16 TFLOPs vs matrix size for 100/200/300 TSPs.
 pub fn fig15() -> Vec<String> {
-    let mut out =
-        vec![format!("{:>9} {:>10} {:>10} {:>10}", "N", "100 TSPs", "200 TSPs", "300 TSPs")];
+    let mut out = vec![format!(
+        "{:>9} {:>10} {:>10} {:>10}",
+        "N", "100 TSPs", "200 TSPs", "300 TSPs"
+    )];
     for n in [65_000u64, 130_000, 260_000, 450_000, 650_000] {
         let row: Vec<f64> = [100u64, 200, 300]
             .iter()
@@ -189,7 +232,10 @@ pub fn fig15() -> Vec<String> {
                 p.realized_tflops(g.total_flops())
             })
             .collect();
-        out.push(format!("{:>9} {:>10.0} {:>10.0} {:>10.0}", n, row[0], row[1], row[2]));
+        out.push(format!(
+            "{:>9} {:>10.0} {:>10.0} {:>10.0}",
+            n, row[0], row[1], row[2]
+        ));
     }
     out.push(format!(
         "V100 cluster reference: {:.0} fp64 TFLOPs on 432 GPUs at N=650,000",
@@ -224,24 +270,43 @@ pub fn fig17(runs: usize) -> Vec<String> {
     let config = BertConfig::large();
     let graph = config.build_pipeline_graph(4);
     let system = System::single_node();
-    let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+    let program = system
+        .compile(&graph, CompileOptions::default())
+        .expect("compiles");
     let reports = system.execute_many(&program, &graph, runs, 2022);
     let mut lat: Vec<f64> = reports.iter().map(|r| r.measured_seconds() * 1e6).collect();
     lat.sort_by(f64::total_cmp);
     let est = program.estimated_seconds() * 1e6;
-    let within2 = reports.iter().filter(|r| r.estimate_error() <= 0.02).count();
+    let within2 = reports
+        .iter()
+        .filter(|r| r.estimate_error() <= 0.02)
+        .count();
     vec![
         format!("runs: {runs}"),
         format!("compiler estimate: {est:.0} µs"),
-        format!("p50 {:.0} µs  p99 {:.0} µs  max {:.0} µs", lat[runs / 2], lat[runs * 99 / 100], lat[runs - 1]),
-        format!("all runs bounded by the estimate: {}", lat[runs - 1] <= est + 0.5),
-        format!("estimate within 2% of measurement: {:.1}% of runs", within2 as f64 / runs as f64 * 100.0),
+        format!(
+            "p50 {:.0} µs  p99 {:.0} µs  max {:.0} µs",
+            lat[runs / 2],
+            lat[runs * 99 / 100],
+            lat[runs - 1]
+        ),
+        format!(
+            "all runs bounded by the estimate: {}",
+            lat[runs - 1] <= est + 0.5
+        ),
+        format!(
+            "estimate within 2% of measurement: {:.1}% of runs",
+            within2 as f64 / runs as f64 * 100.0
+        ),
     ]
 }
 
 /// Fig 18 — BERT encoder scaling on 1/4/8/16 TSPs, normalized TOPs.
 pub fn fig18() -> Vec<String> {
-    let mut out = vec![format!("{:>9} {:>6} {:>14} {:>12}", "encoders", "TSPs", "TOPs (abs)", "normalized")];
+    let mut out = vec![format!(
+        "{:>9} {:>6} {:>14} {:>12}",
+        "encoders", "TSPs", "TOPs (abs)", "normalized"
+    )];
     let mut first = None;
     for (enc, tsps) in [(6usize, 1usize), (24, 4), (48, 8), (96, 16)] {
         let c = BertConfig::with_encoders(enc);
@@ -251,7 +316,10 @@ pub fn fig18() -> Vec<String> {
         if first.is_none() {
             first = Some(tops);
         }
-        out.push(format!("{:>9} {:>6} {:>14.2} {:>12.2}", enc, tsps, tops, norm));
+        out.push(format!(
+            "{:>9} {:>6} {:>14.2} {:>12.2}",
+            enc, tsps, tops, norm
+        ));
     }
     out
 }
@@ -264,9 +332,14 @@ pub fn fig19() -> Vec<String> {
         "p", "1 TSP (ms)", "2 TSPs", "4 TSPs", "8 TSPs"
     )];
     for p in [1024u64, 2048, 4096, 8192, 16384] {
-        let ms: Vec<f64> =
-            [1u64, 2, 4, 8].iter().map(|&k| CholeskyPlan::new(p, k).seconds() * 1e3).collect();
-        out.push(format!("{:>7} {:>11.2} {:>11.2} {:>11.2} {:>11.2}", p, ms[0], ms[1], ms[2], ms[3]));
+        let ms: Vec<f64> = [1u64, 2, 4, 8]
+            .iter()
+            .map(|&k| CholeskyPlan::new(p, k).seconds() * 1e3)
+            .collect();
+        out.push(format!(
+            "{:>7} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+            p, ms[0], ms[1], ms[2], ms[3]
+        ));
     }
     for k in [2u64, 4, 8] {
         let plan = CholeskyPlan::new(4096, k);
@@ -288,7 +361,10 @@ pub fn fig20() -> Vec<String> {
     vec![
         format!("FLOPs-only compiler:    beat {} cycles", slow.beat_cycles),
         format!("spatial-aware compiler: beat {} cycles", fast.beat_cycles),
-        format!("realized-throughput improvement: {:.1}% (paper: ~26%)", (speedup - 1.0) * 100.0),
+        format!(
+            "realized-throughput improvement: {:.1}% (paper: ~26%)",
+            (speedup - 1.0) * 100.0
+        ),
     ]
 }
 
@@ -299,7 +375,10 @@ pub fn sec56() -> Vec<String> {
             "722 ns/hop × 3 hops = {:.0} ns ≈ 2.1 µs (256-TSP all-reduce)",
             pipelined_allreduce_latency_ns(3)
         ),
-        format!("per-hop model: {} cycles at 900 MHz", tsm::isa::timing::hop_latency_cycles()),
+        format!(
+            "per-hop model: {} cycles at 900 MHz",
+            tsm::isa::timing::hop_latency_cycles()
+        ),
     ]
 }
 

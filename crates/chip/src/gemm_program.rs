@@ -31,7 +31,10 @@ pub const ROW_STRIDE: u64 = 16;
 /// each activation row through the array and writes the product row.
 /// Returns the program and the cycle at which the last write retires.
 pub fn gemm_program(layout: GemmLayout, start: u64) -> (ChipProgram, u64) {
-    assert!(layout.k as usize <= F32_LANES, "K must fit the 80-lane array");
+    assert!(
+        layout.k as usize <= F32_LANES,
+        "K must fit the 80-lane array"
+    );
     let s_w = StreamId::new(30).expect("stream 30");
     let s_a = StreamId::new(28).expect("stream 28");
     let s_o = StreamId::new(29).expect("stream 29");
@@ -65,8 +68,21 @@ pub fn gemm_program(layout: GemmLayout, start: u64) -> (ChipProgram, u64) {
                 dir: Direction::East,
             },
         );
-        prog.push(t + 6, Instruction::MatMul { input: s_a, output: s_o });
-        prog.push(t + 8, Instruction::Write { slice: layout.out_slice, offset: r, stream: s_o });
+        prog.push(
+            t + 6,
+            Instruction::MatMul {
+                input: s_a,
+                output: s_o,
+            },
+        );
+        prog.push(
+            t + 8,
+            Instruction::Write {
+                slice: layout.out_slice,
+                offset: r,
+                stream: s_o,
+            },
+        );
     }
     let end = phase2 + layout.m as u64 * ROW_STRIDE + 13;
     (prog, end)
@@ -107,10 +123,12 @@ mod tests {
     #[test]
     fn on_chip_gemm_matches_reference() {
         let (m, k, n) = (12usize, 80usize, 80usize);
-        let a: Vec<Vec<f32>> =
-            (0..m).map(|r| (0..k).map(|c| ((r * 7 + c) % 5) as f32 - 2.0).collect()).collect();
-        let w: Vec<Vec<f32>> =
-            (0..k).map(|r| (0..n).map(|c| ((r + 3 * c) % 7) as f32 * 0.25).collect()).collect();
+        let a: Vec<Vec<f32>> = (0..m)
+            .map(|r| (0..k).map(|c| ((r * 7 + c) % 5) as f32 - 2.0).collect())
+            .collect();
+        let w: Vec<Vec<f32>> = (0..k)
+            .map(|r| (0..n).map(|c| ((r + 3 * c) % 7) as f32 * 0.25).collect())
+            .collect();
 
         let mut sim = ChipSim::new();
         for (i, row) in pack_matrix(k, n, |r, c| w[r][c]).into_iter().enumerate() {
@@ -119,21 +137,26 @@ mod tests {
         for (i, row) in pack_matrix(m, k, |r, c| a[r][c]).into_iter().enumerate() {
             sim.preload(1, i as u16, row);
         }
-        let layout =
-            GemmLayout { weight_slice: 0, act_slice: 1, out_slice: 2, k: k as u16, m: m as u16 };
+        let layout = GemmLayout {
+            weight_slice: 0,
+            act_slice: 1,
+            out_slice: 2,
+            k: k as u16,
+            m: m as u16,
+        };
         let (prog, end) = gemm_program(layout, 0);
         let retire = sim.run(&prog).unwrap();
         assert!(retire <= end);
 
         let expect = reference(m, k, n, &a, &w);
-        for r in 0..m {
+        for (r, expect_row) in expect.iter().enumerate().take(m) {
             let got = to_f32_lanes(sim.sram(2, r as u16).unwrap());
-            for c in 0..n {
+            for (c, &want) in expect_row.iter().enumerate().take(n) {
                 assert!(
-                    (got[c] as f64 - expect[r][c]).abs() < 1e-3,
+                    (got[c] as f64 - want).abs() < 1e-3,
                     "C[{r}][{c}] = {} vs {}",
                     got[c],
-                    expect[r][c]
+                    want
                 );
             }
         }
@@ -143,18 +166,27 @@ mod tests {
     fn partial_k_uses_only_installed_rows() {
         // K = 3: the product only sums the three installed weight rows.
         let mut sim = ChipSim::new();
-        for (i, row) in pack_matrix(3, 4, |r, c| (r * 4 + c) as f32).into_iter().enumerate() {
+        for (i, row) in pack_matrix(3, 4, |r, c| (r * 4 + c) as f32)
+            .into_iter()
+            .enumerate()
+        {
             sim.preload(0, i as u16, row);
         }
         sim.preload(1, 0, pack_matrix(1, 3, |_, c| (c + 1) as f32).remove(0));
-        let layout = GemmLayout { weight_slice: 0, act_slice: 1, out_slice: 2, k: 3, m: 1 };
+        let layout = GemmLayout {
+            weight_slice: 0,
+            act_slice: 1,
+            out_slice: 2,
+            k: 3,
+            m: 1,
+        };
         let (prog, _) = gemm_program(layout, 0);
         sim.run(&prog).unwrap();
         let got = to_f32_lanes(sim.sram(2, 0).unwrap());
         // out[c] = 1*W[0][c] + 2*W[1][c] + 3*W[2][c]
-        for c in 0..4 {
+        for (c, &g) in got.iter().enumerate().take(4) {
             let want = (c as f32) + 2.0 * (4 + c) as f32 + 3.0 * (8 + c) as f32;
-            assert_eq!(got[c], want, "c={c}");
+            assert_eq!(g, want, "c={c}");
         }
         // untouched lanes stay zero
         assert_eq!(got[4], 0.0);
@@ -166,8 +198,22 @@ mod tests {
         sim.preload(1, 0, Vector::splat(1));
         let s = StreamId::new(0).unwrap();
         let prog = ChipProgram::new()
-            .at(0, Instruction::Read { slice: 1, offset: 0, stream: s, dir: Direction::East })
-            .at(6, Instruction::MatMul { input: s, output: StreamId::new(1).unwrap() });
+            .at(
+                0,
+                Instruction::Read {
+                    slice: 1,
+                    offset: 0,
+                    stream: s,
+                    dir: Direction::East,
+                },
+            )
+            .at(
+                6,
+                Instruction::MatMul {
+                    input: s,
+                    output: StreamId::new(1).unwrap(),
+                },
+            );
         assert!(matches!(
             sim.run(&prog),
             Err(crate::exec::ExecError::NoWeightsInstalled { cycle: 6 })
@@ -180,7 +226,11 @@ mod tests {
         // product sees only the final row.
         let mut sim = ChipSim::new();
         for i in 0..81u16 {
-            sim.preload(0, i, pack_matrix(1, 2, |_, c| (i as usize * 2 + c) as f32).remove(0));
+            sim.preload(
+                0,
+                i,
+                pack_matrix(1, 2, |_, c| (i as usize * 2 + c) as f32).remove(0),
+            );
         }
         sim.preload(1, 0, pack_matrix(1, 1, |_, _| 1.0).remove(0));
         let s_w = StreamId::new(30).unwrap();
@@ -189,13 +239,42 @@ mod tests {
         let mut prog = ChipProgram::new();
         for i in 0..81u16 {
             let t = i as u64 * 8;
-            prog.push(t, Instruction::Read { slice: 0, offset: i, stream: s_w, dir: Direction::East });
+            prog.push(
+                t,
+                Instruction::Read {
+                    slice: 0,
+                    offset: i,
+                    stream: s_w,
+                    dir: Direction::East,
+                },
+            );
             prog.push(t + 6, Instruction::InstallWeight { stream: s_w });
         }
         let t = 81 * 8 + 8;
-        prog.push(t, Instruction::Read { slice: 1, offset: 0, stream: s_a, dir: Direction::East });
-        prog.push(t + 6, Instruction::MatMul { input: s_a, output: s_o });
-        prog.push(t + 8, Instruction::Write { slice: 2, offset: 0, stream: s_o });
+        prog.push(
+            t,
+            Instruction::Read {
+                slice: 1,
+                offset: 0,
+                stream: s_a,
+                dir: Direction::East,
+            },
+        );
+        prog.push(
+            t + 6,
+            Instruction::MatMul {
+                input: s_a,
+                output: s_o,
+            },
+        );
+        prog.push(
+            t + 8,
+            Instruction::Write {
+                slice: 2,
+                offset: 0,
+                stream: s_o,
+            },
+        );
         sim.run(&prog).unwrap();
         let got = to_f32_lanes(sim.sram(2, 0).unwrap());
         // only row 80 (values 160, 161) is installed

@@ -89,7 +89,13 @@ pub fn gemm_timing(shape: GemmShape, ty: ElemType) -> GemmTiming {
     let peak_per_cycle = spec.peak_flops_per_cycle(ty);
     let utilization = shape.flops() as f64 / (cycles as f64 * peak_per_cycle);
     let realized_tflops = utilization * spec.peak_tflops(ty);
-    GemmTiming { subops, install_cycles, cycles, utilization, realized_tflops }
+    GemmTiming {
+        subops,
+        install_cycles,
+        cycles,
+        utilization,
+        realized_tflops,
+    }
 }
 
 /// Seconds to execute `shape` on one TSP.
@@ -102,7 +108,12 @@ pub fn gemm_seconds(shape: GemmShape, ty: ElemType) -> f64 {
 pub fn fig13_sweep(n_values: impl IntoIterator<Item = u64>) -> Vec<(u64, f64)> {
     n_values
         .into_iter()
-        .map(|n| (n, gemm_timing(GemmShape::new(2304, 4096, n), ElemType::F16).utilization))
+        .map(|n| {
+            (
+                n,
+                gemm_timing(GemmShape::new(2304, 4096, n), ElemType::F16).utilization,
+            )
+        })
         .collect()
 }
 
@@ -125,7 +136,11 @@ mod tests {
     fn padding_quantization_costs_utilization() {
         // L = 321 wastes almost half the second tile column.
         let t = gemm_timing(GemmShape::new(640, 320, 321), ElemType::F16);
-        assert!(t.utilization > 0.50 && t.utilization < 0.51, "{}", t.utilization);
+        assert!(
+            t.utilization > 0.50 && t.utilization < 0.51,
+            "{}",
+            t.utilization
+        );
     }
 
     #[test]

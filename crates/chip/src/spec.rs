@@ -18,7 +18,11 @@ impl ChipSpec {
     /// The production configuration: 900 MHz, 320-byte vectors, 32 streams
     /// per direction.
     pub fn production() -> Self {
-        ChipSpec { clock_hz: CLOCK_HZ, vector_bytes: 320, streams_per_direction: 32 }
+        ChipSpec {
+            clock_hz: CLOCK_HZ,
+            vector_bytes: 320,
+            streams_per_direction: 32,
+        }
     }
 
     /// Peak multiply-accumulate FLOPs per cycle for an element type: each

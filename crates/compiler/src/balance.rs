@@ -46,7 +46,11 @@ pub fn transfer_cycles(bytes: u64) -> u64 {
 pub fn stage_cost(layers: &[LayerCost], lo: usize, hi: usize, last: bool, opt: OptLevel) -> u64 {
     let compute: u64 = layers[lo..hi].iter().map(|l| l.compute_cycles).sum();
     let movement: u64 = layers[lo..hi].iter().map(|l| l.movement_cycles).sum();
-    let comm = if last { 0 } else { transfer_cycles(layers[hi - 1].activation_bytes) };
+    let comm = if last {
+        0
+    } else {
+        transfer_cycles(layers[hi - 1].activation_bytes)
+    };
     match opt {
         // Movement-naive: every byte moved serializes behind compute.
         OptLevel::FlopsOnly => compute + movement + comm,
@@ -96,7 +100,10 @@ impl StagePlan {
 /// *pays* compute + comm at runtime; the spatial-aware compiler balances
 /// with the true overlapped cost. Both effects are modelled here.
 pub fn partition_stages(layers: &[LayerCost], n_stages: usize, opt: OptLevel) -> StagePlan {
-    assert!(n_stages >= 1 && n_stages <= layers.len(), "stage count out of range");
+    assert!(
+        n_stages >= 1 && n_stages <= layers.len(),
+        "stage count out of range"
+    );
     let n = layers.len();
     // The cost the *partitioner believes*:
     let believed = |lo: usize, hi: usize, last: bool| -> u64 {
@@ -138,7 +145,10 @@ pub fn partition_stages(layers: &[LayerCost], n_stages: usize, opt: OptLevel) ->
     }
     boundaries.reverse();
     // The *actual* beat uses the true runtime cost model for the level.
-    let plan = StagePlan { boundaries, beat_cycles: 0 };
+    let plan = StagePlan {
+        boundaries,
+        beat_cycles: 0,
+    };
     let beat = plan
         .ranges(n)
         .iter()
@@ -146,7 +156,10 @@ pub fn partition_stages(layers: &[LayerCost], n_stages: usize, opt: OptLevel) ->
         .map(|(s, &(lo, hi))| stage_cost(layers, lo, hi, s + 1 == n_stages, opt))
         .max()
         .expect("at least one stage");
-    StagePlan { beat_cycles: beat, ..plan }
+    StagePlan {
+        beat_cycles: beat,
+        ..plan
+    }
 }
 
 /// The Fig 20 comparison: realized-throughput improvement of the
@@ -164,7 +177,14 @@ mod tests {
     use super::*;
 
     fn uniform(n: usize, compute: u64, act: u64) -> Vec<LayerCost> {
-        vec![LayerCost { compute_cycles: compute, movement_cycles: 0, activation_bytes: act }; n]
+        vec![
+            LayerCost {
+                compute_cycles: compute,
+                movement_cycles: 0,
+                activation_bytes: act
+            };
+            n
+        ]
     }
 
     #[test]

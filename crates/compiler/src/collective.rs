@@ -180,7 +180,11 @@ mod tests {
         let topo = Topology::single_node();
         let r = allreduce_intra_node(&topo, NodeId(0), 256 << 20).unwrap();
         assert!(r.bus_gbs > 70.0, "bus bw {}", r.bus_gbs);
-        assert!(r.bus_gbs < 90.0, "bus bw {} exceeds wire capacity", r.bus_gbs);
+        assert!(
+            r.bus_gbs < 90.0,
+            "bus bw {} exceeds wire capacity",
+            r.bus_gbs
+        );
     }
 
     #[test]

@@ -215,7 +215,10 @@ mod tests {
         let b = broadcast_intra_node(&topo, TspId(0), 16 * MB).unwrap();
         let r = reduce_intra_node(&topo, TspId(0), 16 * MB).unwrap();
         let ratio = r.completion_cycles as f64 / b.completion_cycles as f64;
-        assert!((0.5..2.0).contains(&ratio), "reduce/broadcast ratio {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "reduce/broadcast ratio {ratio}"
+        );
     }
 
     #[test]
@@ -224,7 +227,10 @@ mod tests {
         let small = all_gather_intra_node(&topo, NodeId(0), 64 << 10).unwrap();
         let large = all_gather_intra_node(&topo, NodeId(0), 1 << 20).unwrap();
         let ratio = large.completion_cycles as f64 / small.completion_cycles as f64;
-        assert!((12.0..20.0).contains(&ratio), "16x data -> ~16x time, got {ratio}");
+        assert!(
+            (12.0..20.0).contains(&ratio),
+            "16x data -> ~16x time, got {ratio}"
+        );
     }
 
     #[test]
@@ -241,7 +247,7 @@ mod tests {
     #[test]
     fn collectives_validate_and_report_sane_bandwidth() {
         let topo = Topology::single_node();
-        for bytes in [4096u64, 1 * MB, 32 * MB] {
+        for bytes in [4096u64, MB, 32 * MB] {
             let r = reduce_scatter_intra_node(&topo, NodeId(0), bytes).unwrap();
             assert!(r.algo_gbs > 0.0 && r.algo_gbs < 500.0, "{bytes}: {r:?}");
         }
@@ -257,6 +263,9 @@ mod tests {
         assert!(r.completion_cycles > 0);
         let mesh = Topology::single_node();
         let m = broadcast_intra_node(&mesh, TspId(0), MB).unwrap();
-        assert!(m.completion_cycles < r.completion_cycles, "mesh broadcast must win");
+        assert!(
+            m.completion_cycles < r.completion_cycles,
+            "mesh broadcast must win"
+        );
     }
 }

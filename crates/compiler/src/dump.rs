@@ -87,7 +87,11 @@ impl ScheduleDump {
                 hop: r.hop,
             })
             .collect();
-        ScheduleDump { span_cycles: program.span_cycles, ops, reservations }
+        ScheduleDump {
+            span_cycles: program.span_cycles,
+            ops,
+            reservations,
+        }
     }
 
     /// Serializes to pretty JSON.
@@ -109,9 +113,19 @@ mod tests {
 
     fn program() -> (Graph, CompiledProgram) {
         let mut g = Graph::new();
-        let a = g.add(TspId(0), OpKind::Compute { cycles: 100 }, vec![]).unwrap();
-        g.add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 64_000, allow_nonminimal: true }, vec![a])
+        let a = g
+            .add(TspId(0), OpKind::Compute { cycles: 100 }, vec![])
             .unwrap();
+        g.add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 64_000,
+                allow_nonminimal: true,
+            },
+            vec![a],
+        )
+        .unwrap();
         let topo = Topology::single_node();
         let p = compile(&g, &topo, CompileOptions::default()).unwrap();
         (g, p)

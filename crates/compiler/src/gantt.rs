@@ -16,7 +16,9 @@ pub fn render(dump: &ScheduleDump, width: usize) -> String {
     let span = dump.span_cycles.max(1);
     let mut rows: BTreeMap<u32, Vec<char>> = BTreeMap::new();
     for op in &dump.ops {
-        let row = rows.entry(op.device).or_insert_with(|| vec!['\u{b7}'; width]);
+        let row = rows
+            .entry(op.device)
+            .or_insert_with(|| vec!['\u{b7}'; width]);
         let glyph = match op.kind.as_str() {
             "gemm" => 'G',
             "compute" => 'C',
@@ -26,7 +28,11 @@ pub fn render(dump: &ScheduleDump, width: usize) -> String {
         };
         let lo = (op.start as u128 * width as u128 / span as u128) as usize;
         let hi = (op.end as u128 * width as u128 / span as u128) as usize;
-        for cell in row.iter_mut().take(hi.max(lo + 1).min(width)).skip(lo.min(width - 1)) {
+        for cell in row
+            .iter_mut()
+            .take(hi.max(lo + 1).min(width))
+            .skip(lo.min(width - 1))
+        {
             *cell = glyph;
         }
     }
@@ -54,11 +60,22 @@ mod tests {
 
     fn pipeline_dump() -> ScheduleDump {
         let mut g = Graph::new();
-        let a = g.add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
-        let t = g
-            .add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 320_000, allow_nonminimal: true }, vec![a])
+        let a = g
+            .add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![])
             .unwrap();
-        g.add(TspId(1), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+        let t = g
+            .add(
+                TspId(0),
+                OpKind::Transfer {
+                    to: TspId(1),
+                    bytes: 320_000,
+                    allow_nonminimal: true,
+                },
+                vec![a],
+            )
+            .unwrap();
+        g.add(TspId(1), OpKind::Compute { cycles: 10_000 }, vec![t])
+            .unwrap();
         let topo = Topology::single_node();
         let p = compile(&g, &topo, CompileOptions::default()).unwrap();
         ScheduleDump::capture(&g, &p)

@@ -135,7 +135,12 @@ impl Graph {
 
     /// Adds a node; dependencies must already exist, which keeps the graph
     /// acyclic by construction.
-    pub fn add(&mut self, device: TspId, kind: OpKind, deps: Vec<OpId>) -> Result<OpId, GraphError> {
+    pub fn add(
+        &mut self,
+        device: TspId,
+        kind: OpKind,
+        deps: Vec<OpId>,
+    ) -> Result<OpId, GraphError> {
         let id = OpId(self.nodes.len() as u32);
         for &d in &deps {
             if d.index() >= self.nodes.len() {
@@ -218,7 +223,10 @@ mod tests {
     use super::*;
 
     fn gemm(m: u64, n: u64, l: u64) -> OpKind {
-        OpKind::Gemm { shape: GemmShape::new(m, n, l), ty: ElemType::F16 }
+        OpKind::Gemm {
+            shape: GemmShape::new(m, n, l),
+            ty: ElemType::F16,
+        }
     }
 
     #[test]
@@ -228,7 +236,11 @@ mod tests {
         let t = g
             .add(
                 TspId(0),
-                OpKind::Transfer { to: TspId(1), bytes: 1024, allow_nonminimal: true },
+                OpKind::Transfer {
+                    to: TspId(1),
+                    bytes: 1024,
+                    allow_nonminimal: true,
+                },
                 vec![a],
             )
             .unwrap();
@@ -252,18 +264,29 @@ mod tests {
     fn compute_cycles_for_each_kind() {
         assert_eq!(OpKind::Compute { cycles: 77 }.compute_cycles(), 77);
         assert_eq!(
-            OpKind::Transfer { to: TspId(0), bytes: 640, allow_nonminimal: false }
-                .compute_cycles(),
+            OpKind::Transfer {
+                to: TspId(0),
+                bytes: 640,
+                allow_nonminimal: false
+            }
+            .compute_cycles(),
             0
         );
         // 31.5 GB over PCIe Gen4 x16 = 1 s = 900M cycles.
-        let c = OpKind::HostInput { bytes: 31_500_000_000 }.compute_cycles();
+        let c = OpKind::HostInput {
+            bytes: 31_500_000_000,
+        }
+        .compute_cycles();
         assert_eq!(c, 900_000_000);
     }
 
     #[test]
     fn transfer_vectors_round_up() {
-        let t = OpKind::Transfer { to: TspId(1), bytes: 321, allow_nonminimal: false };
+        let t = OpKind::Transfer {
+            to: TspId(1),
+            bytes: 321,
+            allow_nonminimal: false,
+        };
         assert_eq!(t.transfer_vectors(), 2);
         assert_eq!(OpKind::Compute { cycles: 1 }.transfer_vectors(), 0);
     }

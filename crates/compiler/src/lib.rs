@@ -34,4 +34,4 @@ pub mod spread;
 pub mod tenancy;
 
 pub use graph::{Graph, OpId, OpKind, OpNode};
-pub use schedule::{CompiledProgram, CompileError};
+pub use schedule::{CompileError, CompiledProgram};

@@ -128,7 +128,11 @@ fn pairwise_reduce(
             let t = g
                 .add(
                     b_dev,
-                    OpKind::Transfer { to: a_dev, bytes: partial_bytes, allow_nonminimal: true },
+                    OpKind::Transfer {
+                        to: a_dev,
+                        bytes: partial_bytes,
+                        allow_nonminimal: true,
+                    },
                     vec![b_id],
                 )
                 .expect("deps exist");
@@ -162,7 +166,8 @@ pub fn build_cluster_gemm(n: u64, x: u64, ty: ElemType) -> Graph {
         let dev = TspId(i as u32);
         // This device's PCIe stripe of A (the node's eight links share the
         // injection; see the doc comment).
-        g.add(dev, OpKind::HostInput { bytes: stripe }, vec![]).expect("no deps");
+        g.add(dev, OpKind::HostInput { bytes: stripe }, vec![])
+            .expect("no deps");
         // Redistribute the stripe to the node peers over the mesh,
         // overlapped with compute.
         let node_base = (i / 8) * 8;
@@ -173,12 +178,17 @@ pub fn build_cluster_gemm(n: u64, x: u64, ty: ElemType) -> Graph {
             }
             g.add(
                 dev,
-                OpKind::Transfer { to: TspId(peer_idx as u32), bytes: stripe, allow_nonminimal: false },
+                OpKind::Transfer {
+                    to: TspId(peer_idx as u32),
+                    bytes: stripe,
+                    allow_nonminimal: false,
+                },
                 vec![],
             )
             .expect("no deps");
         }
-        g.add(dev, OpKind::Gemm { shape: cs, ty }, vec![]).expect("no deps");
+        g.add(dev, OpKind::Gemm { shape: cs, ty }, vec![])
+            .expect("no deps");
     }
     g
 }
@@ -242,11 +252,11 @@ mod tests {
             .iter()
             .map(|&r| {
                 let g = build_distributed_gemm(s, 8, r, ElemType::F16);
-                let topo = Topology::fully_connected_nodes(
-                    ((8 * r) as usize).div_ceil(8).max(2),
-                )
-                .unwrap();
-                compile(&g, &topo, CompileOptions::default()).unwrap().span_cycles
+                let topo =
+                    Topology::fully_connected_nodes(((8 * r) as usize).div_ceil(8).max(2)).unwrap();
+                compile(&g, &topo, CompileOptions::default())
+                    .unwrap()
+                    .span_cycles
             })
             .collect();
         for w in spans.windows(2) {

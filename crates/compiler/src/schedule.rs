@@ -39,7 +39,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { opt: OptLevel::SpatialAware, max_spread_paths: 7 }
+        CompileOptions {
+            opt: OptLevel::SpatialAware,
+            max_spread_paths: 7,
+        }
     }
 }
 
@@ -148,7 +151,12 @@ pub fn compile_with_occupancy(
 
     for id in order {
         let node = graph.node(id);
-        let ready = node.deps.iter().map(|d| op_end[d.index()]).max().unwrap_or(0);
+        let ready = node
+            .deps
+            .iter()
+            .map(|d| op_end[d.index()])
+            .max()
+            .unwrap_or(0);
         let (start, end) = match &node.kind {
             OpKind::Gemm { .. } | OpKind::Compute { .. } => {
                 let cycles = node.kind.compute_cycles();
@@ -159,16 +167,23 @@ pub fn compile_with_occupancy(
                 *compute_busy.entry(node.device).or_insert(0) += cycles;
                 (start, end)
             }
-            OpKind::Transfer { to, bytes, allow_nonminimal } => {
+            OpKind::Transfer {
+                to,
+                bytes,
+                allow_nonminimal,
+            } => {
                 let vectors = node.kind.transfer_vectors();
-                let spread_ok =
-                    *allow_nonminimal && options.opt == OptLevel::SpatialAware;
+                let spread_ok = *allow_nonminimal && options.opt == OptLevel::SpatialAware;
                 let paths = spread::decide_paths(
                     topo,
                     node.device,
                     *to,
                     *bytes,
-                    if spread_ok { options.max_spread_paths } else { 1 },
+                    if spread_ok {
+                        options.max_spread_paths
+                    } else {
+                        1
+                    },
                 )
                 .map_err(|e| CompileError::Network(e.to_string()))?;
                 let earliest = if options.opt == OptLevel::FlopsOnly {
@@ -181,7 +196,11 @@ pub fn compile_with_occupancy(
                 let shards = occupancy
                     .schedule_spread(topo, &paths, vectors, earliest)
                     .map_err(|e| CompileError::Network(e.to_string()))?;
-                let start = shards.iter().map(|s| s.first_inject).min().unwrap_or(earliest);
+                let start = shards
+                    .iter()
+                    .map(|s| s.first_inject)
+                    .min()
+                    .unwrap_or(earliest);
                 let end = ssn::completion(&shards).max(earliest);
                 if options.opt == OptLevel::FlopsOnly {
                     device_free.insert(node.device, end);
@@ -205,8 +224,7 @@ pub fn compile_with_occupancy(
         span = span.max(end);
     }
 
-    ssn::validate(occupancy.reservations())
-        .map_err(|e| CompileError::Network(e.to_string()))?;
+    ssn::validate(occupancy.reservations()).map_err(|e| CompileError::Network(e.to_string()))?;
 
     Ok(CompiledProgram {
         op_start,
@@ -248,7 +266,10 @@ mod tests {
     use tsm_isa::ElemType;
 
     fn gemm_kind(m: u64) -> OpKind {
-        OpKind::Gemm { shape: GemmShape::new(m, 320, 320), ty: ElemType::F16 }
+        OpKind::Gemm {
+            shape: GemmShape::new(m, 320, 320),
+            ty: ElemType::F16,
+        }
     }
 
     #[test]
@@ -280,7 +301,15 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add(TspId(0), gemm_kind(500), vec![]).unwrap();
         let t = g
-            .add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 320, allow_nonminimal: false }, vec![a])
+            .add(
+                TspId(0),
+                OpKind::Transfer {
+                    to: TspId(1),
+                    bytes: 320,
+                    allow_nonminimal: false,
+                },
+                vec![a],
+            )
             .unwrap();
         let b = g.add(TspId(1), gemm_kind(500), vec![t]).unwrap();
         let p = compile(&g, &topo, CompileOptions::default()).unwrap();
@@ -301,7 +330,11 @@ mod tests {
             let _t = g
                 .add(
                     TspId(0),
-                    OpKind::Transfer { to: TspId(1), bytes: 3_200_000, allow_nonminimal: false },
+                    OpKind::Transfer {
+                        to: TspId(1),
+                        bytes: 3_200_000,
+                        allow_nonminimal: false,
+                    },
                     vec![],
                 )
                 .unwrap();
@@ -312,7 +345,10 @@ mod tests {
         let slow = compile(
             &build(),
             &topo,
-            CompileOptions { opt: OptLevel::FlopsOnly, max_spread_paths: 7 },
+            CompileOptions {
+                opt: OptLevel::FlopsOnly,
+                max_spread_paths: 7,
+            },
         )
         .unwrap();
         assert!(
@@ -329,7 +365,11 @@ mod tests {
         let mut g = Graph::new();
         g.add(
             TspId(0),
-            OpKind::Transfer { to: TspId(1), bytes: 3_200_000, allow_nonminimal: true },
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 3_200_000,
+                allow_nonminimal: true,
+            },
             vec![],
         )
         .unwrap();
@@ -337,7 +377,11 @@ mod tests {
         let mut g2 = Graph::new();
         g2.add(
             TspId(0),
-            OpKind::Transfer { to: TspId(1), bytes: 3_200_000, allow_nonminimal: false },
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 3_200_000,
+                allow_nonminimal: false,
+            },
             vec![],
         )
         .unwrap();
@@ -349,8 +393,10 @@ mod tests {
     fn host_io_uses_pcie_port_timeline() {
         let topo = tsm_topology::Topology::single_node();
         let mut g = Graph::new();
-        g.add(TspId(0), OpKind::HostInput { bytes: 315_000_000 }, vec![]).unwrap();
-        g.add(TspId(0), OpKind::HostInput { bytes: 315_000_000 }, vec![]).unwrap();
+        g.add(TspId(0), OpKind::HostInput { bytes: 315_000_000 }, vec![])
+            .unwrap();
+        g.add(TspId(0), OpKind::HostInput { bytes: 315_000_000 }, vec![])
+            .unwrap();
         let p = compile(&g, &topo, CompileOptions::default()).unwrap();
         // two 10ms PCIe streams serialize on the port
         assert_eq!(p.op_start[1], p.op_end[0]);
@@ -362,8 +408,16 @@ mod tests {
         let topo = tsm_topology::Topology::single_node();
         let mut g = Graph::new();
         let a = g.add(TspId(0), gemm_kind(100), vec![]).unwrap();
-        g.add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 32_000, allow_nonminimal: false }, vec![a])
-            .unwrap();
+        g.add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 32_000,
+                allow_nonminimal: false,
+            },
+            vec![a],
+        )
+        .unwrap();
         let p = compile(&g, &topo, CompileOptions::default()).unwrap();
         assert!(p.comm_fraction() > 0.0 && p.comm_fraction() <= 1.0);
         assert!(p.comm_busy_cycles > 0);
@@ -393,7 +447,9 @@ mod tests {
                     .unwrap();
                 prev = Some(t);
             }
-            compile(&g, &topo, CompileOptions::default()).unwrap().span_cycles
+            compile(&g, &topo, CompileOptions::default())
+                .unwrap()
+                .span_cycles
         };
         assert_eq!(build(), build());
     }

@@ -60,7 +60,13 @@ pub fn decide_paths(
 /// routing to optimally spread routing over `n_paths` total paths
 /// (1 minimal + `n_paths − 1` non-minimal) for a message of `bytes`.
 /// Values > 1 mean non-minimal routing wins.
-pub fn nonminimal_benefit(topo: &Topology, from: TspId, to: TspId, bytes: u64, n_paths: usize) -> f64 {
+pub fn nonminimal_benefit(
+    topo: &Topology,
+    from: TspId,
+    to: TspId,
+    bytes: u64,
+    n_paths: usize,
+) -> f64 {
     let all = edge_disjoint_paths(topo, from, to, n_paths);
     let minimal = predicted_completion(topo, &all[..1], bytes);
     let spread = predicted_completion(topo, &all, bytes);

@@ -84,15 +84,30 @@ mod tests {
 
     fn tenant(devices: [u32; 2], bytes: u64) -> Graph {
         let mut g = Graph::new();
-        let a = g.add(TspId(devices[0]), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
+        let a = g
+            .add(
+                TspId(devices[0]),
+                OpKind::Compute { cycles: 10_000 },
+                vec![],
+            )
+            .unwrap();
         let t = g
             .add(
                 TspId(devices[0]),
-                OpKind::Transfer { to: TspId(devices[1]), bytes, allow_nonminimal: true },
+                OpKind::Transfer {
+                    to: TspId(devices[1]),
+                    bytes,
+                    allow_nonminimal: true,
+                },
                 vec![a],
             )
             .unwrap();
-        g.add(TspId(devices[1]), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+        g.add(
+            TspId(devices[1]),
+            OpKind::Compute { cycles: 10_000 },
+            vec![t],
+        )
+        .unwrap();
         g
     }
 
@@ -102,8 +117,7 @@ mod tests {
         let t1 = tenant([0, 1], 640_000);
         let t2 = tenant([2, 3], 640_000);
         let t3 = tenant([4, 5], 640_000);
-        let programs =
-            compile_tenants(&[&t1, &t2, &t3], &topo, CompileOptions::default()).unwrap();
+        let programs = compile_tenants(&[&t1, &t2, &t3], &topo, CompileOptions::default()).unwrap();
         assert_eq!(programs.len(), 3);
         for p in &programs {
             assert!(p.span_cycles > 0);

@@ -1,0 +1,205 @@
+//! Execute stage of the co-simulation pipeline: binding payload vectors to
+//! a [`CompiledPlan`] and running every chip exactly once.
+//!
+//! The executor owns the per-chip simulators and *resets* them between
+//! invocations instead of rebuilding them, so the marginal cost of one
+//! more execution is the chip passes themselves — no routing, scheduling,
+//! lowering or stream allocation happens here. This is the runtime half of
+//! the paper's compile-once / execute-many contract (§5, Fig 17).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use tsm_chip::exec::{ChipSim, ExecError, Payload};
+
+use super::plan::{ChipPlan, CompiledPlan, VecRef};
+use super::verify::{verify_destinations, verify_emissions};
+use super::{CosimError, CosimReport};
+
+/// Reusable payload-binding executor.
+///
+/// One `PlanExecutor` can run many plans and many payload sets; its chip
+/// simulators are reset (allocations retained) at the start of every
+/// execution, so no state leaks between invocations and no state is
+/// rebuilt. Serial and parallel execution are bit-identical — see the
+/// module docs of [`super`].
+#[derive(Debug, Default)]
+pub struct PlanExecutor {
+    /// Per-chip simulators, aligned by index with the executing plan's
+    /// chip list (grown on demand), reset and re-bound on every
+    /// execution. Indexing by position instead of TSP id keeps the warm
+    /// path free of hash lookups.
+    sims: Vec<ChipSim>,
+}
+
+impl PlanExecutor {
+    /// An executor with no chip state yet; simulators are created on first
+    /// use and recycled thereafter.
+    pub fn new() -> Self {
+        PlanExecutor::default()
+    }
+
+    /// Binds `payloads` to `plan` and executes it, chips within a hop
+    /// level in parallel on scoped threads.
+    ///
+    /// `payloads[t][v]` is vector `v` of transfer `t` and must match the
+    /// plan's [`TransferShape`]s exactly.
+    ///
+    /// [`TransferShape`]: super::plan::TransferShape
+    pub fn execute(
+        &mut self,
+        plan: &CompiledPlan,
+        payloads: &[Vec<Payload>],
+    ) -> Result<CosimReport, CosimError> {
+        self.execute_impl(plan, payloads, true)
+    }
+
+    /// [`PlanExecutor::execute`] with all chips run on the calling thread,
+    /// in ascending (depth, TspId) order. Bit-identical to the parallel
+    /// path — the determinism tests and benches compare the two.
+    pub fn execute_serial(
+        &mut self,
+        plan: &CompiledPlan,
+        payloads: &[Vec<Payload>],
+    ) -> Result<CosimReport, CosimError> {
+        self.execute_impl(plan, payloads, false)
+    }
+
+    fn execute_impl(
+        &mut self,
+        plan: &CompiledPlan,
+        payloads: &[Vec<Payload>],
+        parallel: bool,
+    ) -> Result<CosimReport, CosimError> {
+        // The payloads must match the shapes the plan was compiled for.
+        if payloads.len() != plan.shapes.len() {
+            return Err(CosimError::PayloadCount {
+                expected: plan.shapes.len(),
+                got: payloads.len(),
+            });
+        }
+        for (t, (shape, data)) in plan.shapes.iter().zip(payloads).enumerate() {
+            if data.len() != shape.vectors as usize {
+                return Err(CosimError::PayloadShape {
+                    transfer: t,
+                    expected: shape.vectors as usize,
+                    got: data.len(),
+                });
+            }
+        }
+
+        let bind = |r: &VecRef| Arc::clone(&payloads[r.transfer as usize][r.vector as usize]);
+
+        // Reset-not-rebuild: each chip's simulator keeps its allocations
+        // across invocations; preloads and deliveries bind the new
+        // payloads by Arc clone (pointer copies, no byte copies).
+        if self.sims.len() < plan.chips.len() {
+            self.sims.resize_with(plan.chips.len(), ChipSim::default);
+        }
+        for (chip, sim) in plan.chips.iter().zip(&mut self.sims) {
+            sim.reset();
+            for p in &chip.preloads {
+                sim.preload(p.slice, p.offset, bind(&p.vec));
+            }
+            for d in &chip.deliveries {
+                // Deliveries are stored sorted by (port, cycle), so each
+                // port queue is fed in order — no per-delivery re-sort.
+                sim.deliver_in_order(d.port, d.cycle, bind(&d.vec));
+            }
+        }
+
+        // Each chip runs exactly once, levels in topological order;
+        // results merge in ascending TspId order whether executed serially
+        // or on scoped threads, so the first error in (depth, TspId) order
+        // is the one reported in both modes.
+        let mut retire_cycles = HashMap::new();
+        for level in &plan.levels {
+            if level.is_empty() {
+                continue;
+            }
+            let work: Vec<(&ChipPlan, ChipSim)> = level
+                .iter()
+                .map(|&i| {
+                    let chip = &plan.chips[i as usize];
+                    // mem::take moves the sim out for the level run; the
+                    // slot gets it back below (run_level preserves order).
+                    (chip, std::mem::take(&mut self.sims[i as usize]))
+                })
+                .collect();
+            for (k, (chip, result, sim)) in run_level(work, parallel).into_iter().enumerate() {
+                self.sims[level[k] as usize] = sim;
+                let retire = result.map_err(|error| CosimError::Chip {
+                    tsp: chip.tsp,
+                    error,
+                })?;
+                verify_emissions(
+                    chip.tsp,
+                    &self.sims[level[k] as usize],
+                    &chip.emissions,
+                    payloads,
+                )?;
+                retire_cycles.insert(chip.tsp, retire);
+            }
+        }
+
+        // Verify destination SRAM contents bit-for-bit and fingerprint them.
+        let dst_digests = verify_destinations(plan, payloads, &self.sims)?;
+
+        Ok(CosimReport {
+            retire_cycles,
+            instructions: plan.instructions,
+            arrivals: plan.arrivals.clone(),
+            dst_digests,
+        })
+    }
+}
+
+/// Executes one depth level of chips, each exactly once.
+///
+/// In parallel mode the level is split into contiguous chunks over scoped
+/// threads (`std::thread::scope`, no extra dependency); joining the chunks
+/// in spawn order restores ascending `TspId` order, so the merged result —
+/// and therefore every downstream observable — is bit-identical to the
+/// serial engine no matter how the OS schedules the workers.
+fn run_level(
+    work: Vec<(&ChipPlan, ChipSim)>,
+    parallel: bool,
+) -> Vec<(&ChipPlan, Result<u64, ExecError>, ChipSim)> {
+    fn exec_one(
+        (chip, mut sim): (&ChipPlan, ChipSim),
+    ) -> (&ChipPlan, Result<u64, ExecError>, ChipSim) {
+        let result = sim.run(&chip.program);
+        (chip, result, sim)
+    }
+
+    let threads = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(work.len())
+    } else {
+        1
+    };
+    if threads <= 1 {
+        return work.into_iter().map(exec_one).collect();
+    }
+    let chunk_size = work.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(&ChipPlan, ChipSim)>> = Vec::with_capacity(threads);
+    let mut it = work.into_iter();
+    loop {
+        let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(exec_one).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chip worker panicked"))
+            .collect()
+    })
+}

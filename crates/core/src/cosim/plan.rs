@@ -1,0 +1,499 @@
+//! Compile stage of the co-simulation pipeline: lowering transfers into a
+//! payload-independent, serializable [`CompiledPlan`].
+//!
+//! A plan captures everything the paper's compiler decides ahead of time —
+//! routes, link schedules, per-chip instruction sequences, stream-register
+//! assignments, and the full delivery/emission manifest — but references
+//! payload bytes only *symbolically*, as `(transfer, vector)` coordinates
+//! ([`VecRef`]). Binding actual vectors happens per invocation in the
+//! executor, so one compile amortizes over arbitrarily many executions:
+//! "the same schedule is reused across runs" (paper §5, Fig 17 runs one
+//! BERT schedule 24,240 times).
+
+use std::collections::HashMap;
+use tsm_chip::exec::ChipProgram;
+use tsm_isa::instr::Instruction;
+use tsm_isa::vector::MAX_STREAMS;
+use tsm_isa::{Direction, StreamId};
+use tsm_net::ssn::{scheduled_link_latency, vector_slot_cycles, LinkOccupancy};
+use tsm_topology::route::{shortest_path, Path};
+use tsm_topology::{Topology, TspId};
+
+use super::{CosimError, CosimTransfer, READ_LATENCY, SCRATCH_SLICE};
+
+/// The payload-independent description of one transfer: endpoints, SRAM
+/// layout, and vector count — everything the compiler needs, nothing the
+/// payload bytes touch.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransferShape {
+    /// Source TSP.
+    pub from: TspId,
+    /// Destination TSP.
+    pub to: TspId,
+    /// Source SRAM slice.
+    pub src_slice: u8,
+    /// Source SRAM base offset (vectors laid out contiguously).
+    pub src_offset: u16,
+    /// Destination SRAM slice.
+    pub dst_slice: u8,
+    /// Destination SRAM base offset.
+    pub dst_offset: u16,
+    /// Number of vectors the transfer moves.
+    pub vectors: u32,
+}
+
+impl From<&CosimTransfer> for TransferShape {
+    fn from(tr: &CosimTransfer) -> Self {
+        TransferShape {
+            from: tr.from,
+            to: tr.to,
+            src_slice: tr.src_slice,
+            src_offset: tr.src_offset,
+            dst_slice: tr.dst_slice,
+            dst_offset: tr.dst_offset,
+            vectors: tr.data.len() as u32,
+        }
+    }
+}
+
+/// Symbolic reference to one payload vector: `vector` within `transfer`.
+/// The executor resolves it against the payloads bound at invocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VecRef {
+    /// Index into the plan's transfer list.
+    pub transfer: u32,
+    /// Vector index within that transfer.
+    pub vector: u32,
+}
+
+/// A source-SRAM preload the runtime performs before execution.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlannedPreload {
+    /// SRAM slice.
+    pub slice: u8,
+    /// SRAM offset.
+    pub offset: u16,
+    /// Which payload vector lands there.
+    pub vec: VecRef,
+}
+
+/// A scheduled inbound delivery: `vec` lands on `port` at `cycle`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlannedDelivery {
+    /// Local C2C port.
+    pub port: u8,
+    /// Arrival cycle.
+    pub cycle: u64,
+    /// Which payload vector arrives.
+    pub vec: VecRef,
+}
+
+/// An emission the schedule promises: the chip sends `vec` out `port` at
+/// `cycle`. The executor verifies actual emissions against these.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlannedEmission {
+    /// Issue cycle of the SEND.
+    pub cycle: u64,
+    /// Local C2C port.
+    pub port: u8,
+    /// Which payload vector is promised.
+    pub vec: VecRef,
+}
+
+/// Everything one chip needs across every execution of the plan.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChipPlan {
+    /// The chip.
+    pub tsp: TspId,
+    /// Hop depth (0 = pure source); chips execute level by level.
+    pub depth: u32,
+    /// The chip's static schedule, pre-sorted into issue order so the
+    /// executor never clones or re-sorts it.
+    pub program: ChipProgram,
+    /// Source-SRAM preloads.
+    pub preloads: Vec<PlannedPreload>,
+    /// Inbound deliveries, sorted by (port, cycle) so the executor can
+    /// feed each port queue in order.
+    pub deliveries: Vec<PlannedDelivery>,
+    /// Promised emissions, sorted by (cycle, port) — the canonical order
+    /// emission verification compares in.
+    pub emissions: Vec<PlannedEmission>,
+}
+
+/// The reusable compile artifact: per-chip programs and manifests plus the
+/// level structure and scheduled arrivals. Payload-independent — compile
+/// once, execute with as many different payload sets as you like — and
+/// serde-serializable, so a plan can be built offline and shipped to the
+/// runtime like the paper's machine-code binaries.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompiledPlan {
+    /// The transfer shapes the plan was compiled for; execution payloads
+    /// must match them exactly.
+    pub shapes: Vec<TransferShape>,
+    /// Per-chip plans, in ascending [`TspId`] order.
+    pub chips: Vec<ChipPlan>,
+    /// Hop-depth levels: indices into `chips`. Chips within a level are
+    /// mutually independent; levels execute in order.
+    pub levels: Vec<Vec<u32>>,
+    /// Per-transfer scheduled arrival cycle of the last vector.
+    pub arrivals: Vec<u64>,
+    /// Total instructions lowered across all chips.
+    pub instructions: usize,
+}
+
+impl CompiledPlan {
+    /// Serializes the plan as pretty-printed JSON (same conventions as
+    /// `tsm-compiler::dump`).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes a plan previously produced by [`CompiledPlan::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Allocates `vectors` scratch offsets on `tsp`.
+fn scratch_base(next: &mut HashMap<TspId, u16>, tsp: TspId, vectors: u16) -> u16 {
+    let e = next.entry(tsp).or_insert(0);
+    let base = *e;
+    *e += vectors;
+    base
+}
+
+/// Per-chip stream-register allocator with liveness tracking.
+///
+/// A flow reserves the lowest-numbered register that is dead over its
+/// whole `[start, end]` live range; the register is recycled once the
+/// range has passed. Exhaustion (more than [`MAX_STREAMS`] simultaneously
+/// live flows through one chip) is reported to the caller instead of
+/// silently aliasing a live register, which is what the old modulo-32
+/// round-robin did.
+#[derive(Debug, Clone)]
+pub(super) struct StreamAlloc {
+    /// `live_until[s]` = last cycle on which stream `s` still carries a
+    /// live value, or `None` if it was never used.
+    live_until: [Option<u64>; MAX_STREAMS],
+}
+
+impl StreamAlloc {
+    pub(super) fn new() -> Self {
+        StreamAlloc {
+            live_until: [None; MAX_STREAMS],
+        }
+    }
+
+    /// Reserves the lowest-numbered stream free over `[start, end]`. A
+    /// stream is free only if its previous live range ended *strictly*
+    /// before `start` (a same-cycle read/write handoff would be
+    /// order-dependent, so it is not allowed).
+    pub(super) fn alloc(&mut self, start: u64, end: u64) -> Option<StreamId> {
+        debug_assert!(start <= end);
+        for (s, slot) in self.live_until.iter_mut().enumerate() {
+            match *slot {
+                Some(until) if until >= start => continue,
+                _ => {
+                    *slot = Some(end);
+                    return Some(StreamId::new(s as u8).expect("stream id in range"));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn alloc_stream(
+    allocs: &mut HashMap<TspId, StreamAlloc>,
+    tsp: TspId,
+    start: u64,
+    end: u64,
+) -> Result<StreamId, CosimError> {
+    allocs
+        .entry(tsp)
+        .or_insert_with(StreamAlloc::new)
+        .alloc(start, end)
+        .ok_or(CosimError::StreamExhausted { tsp, cycle: start })
+}
+
+/// Compiles transfer shapes into a [`CompiledPlan`]: routes each transfer
+/// onto a minimal path, reserves conflict-free link slots, lowers per-TSP
+/// chip programs (pre-sorted into issue order), assigns stream registers,
+/// and materializes the full symbolic delivery/emission manifest. No
+/// payload bytes are consulted; the result is reusable across executions.
+pub fn compile_plan(topo: &Topology, shapes: &[TransferShape]) -> Result<CompiledPlan, CosimError> {
+    let slot = vector_slot_cycles();
+    let mut occupancy = LinkOccupancy::new();
+    let mut programs: HashMap<TspId, ChipProgram> = HashMap::new();
+    let mut preloads: HashMap<TspId, Vec<PlannedPreload>> = HashMap::new();
+    let mut deliveries: HashMap<TspId, Vec<PlannedDelivery>> = HashMap::new();
+    // What the schedule promises each chip will emit.
+    let mut emissions: HashMap<TspId, Vec<PlannedEmission>> = HashMap::new();
+    // Hop depth of each participating chip (max position over its paths).
+    let mut depth: HashMap<TspId, usize> = HashMap::new();
+    // Each (from, to) route is computed once and reused across transfers.
+    let mut routes: HashMap<(TspId, TspId), Path> = HashMap::new();
+    let mut streams: HashMap<TspId, StreamAlloc> = HashMap::new();
+    // Forwarding scratch space, bump-allocated per chip.
+    let mut scratch_next: HashMap<TspId, u16> = HashMap::new();
+    let mut arrivals = Vec::with_capacity(shapes.len());
+
+    for (idx, tr) in shapes.iter().enumerate() {
+        let path = match routes.entry((tr.from, tr.to)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(shortest_path(topo, tr.from, tr.to).map_err(CosimError::Route)?)
+            }
+        };
+        if path.links.is_empty() {
+            // from == to: nothing crosses the network. The old engine hit
+            // a debug assertion here; it is a caller error, reported as one.
+            return Err(CosimError::LocalTransfer { transfer: idx });
+        }
+        let n = tr.vectors as u64;
+        // Injection starts after the source's SRAM read pipeline has had
+        // time to stage the first vector.
+        let sched = occupancy
+            .schedule_transfer(topo, path, n, READ_LATENCY)
+            .map_err(CosimError::Schedule)?;
+        arrivals.push(sched.last_arrival);
+        if n == 0 {
+            continue;
+        }
+        // Per-hop block starts come straight off the schedule.
+        let hop_starts = &sched.hop_starts;
+        debug_assert_eq!(hop_starts.len(), path.links.len());
+
+        let vref = |v: u64| VecRef {
+            transfer: idx as u32,
+            vector: v as u32,
+        };
+
+        for (h, &tsp) in path.tsps.iter().enumerate() {
+            let d = depth.entry(tsp).or_insert(0);
+            *d = (*d).max(h);
+        }
+
+        // Preload the source SRAM with the payload.
+        let src_pre = preloads.entry(tr.from).or_default();
+        for v in 0..n {
+            src_pre.push(PlannedPreload {
+                slice: tr.src_slice,
+                offset: tr.src_offset + v as u16,
+                vec: vref(v),
+            });
+        }
+
+        // Source program: Read -> Send per vector. The schedule is asked
+        // for an injection no earlier than READ_LATENCY, so the first read
+        // lands at cycle >= 0; `saturating_sub` makes the subtraction
+        // well-defined even at the boundary where send0 == READ_LATENCY.
+        let send0 = hop_starts[0];
+        debug_assert!(
+            send0 >= READ_LATENCY,
+            "schedule injected before the SRAM read pipeline could stage a vector"
+        );
+        let read0 = send0.saturating_sub(READ_LATENCY);
+        let src_stream = alloc_stream(&mut streams, tr.from, read0, send0 + (n - 1) * slot)?;
+        let src_port = port_of(topo, path, 0, tr.from);
+        let prog = programs.entry(tr.from).or_default();
+        for v in 0..n {
+            prog.push(
+                read0 + v * slot,
+                Instruction::Read {
+                    slice: tr.src_slice,
+                    offset: tr.src_offset + v as u16,
+                    stream: src_stream,
+                    dir: Direction::East,
+                },
+            );
+            prog.push(
+                send0 + v * slot,
+                Instruction::Send {
+                    port: src_port,
+                    stream: src_stream,
+                },
+            );
+        }
+
+        // Intermediate hops: Receive -> Write -> Read -> Send. The vector
+        // must be staged in local SRAM between arrival and forwarding
+        // ("we use the local SRAM storage on each TSP to provide
+        // intermediate buffering", §2.3) — a stream register alone would
+        // be overwritten by the next arriving flit long before the
+        // 398-cycle forwarding point. This staging is exactly what the
+        // per-hop overhead pays for.
+        for h in 1..path.links.len() {
+            let tsp = path.tsps[h];
+            let in_port = port_of(topo, path, h - 1, tsp);
+            let out_port = port_of(topo, path, h, tsp);
+            let in_latency = scheduled_link_latency(topo, path.links[h - 1]);
+            let arrive0 = hop_starts[h - 1] + slot + in_latency;
+            let forward0 = hop_starts[h];
+            debug_assert!(
+                forward0 >= READ_LATENCY,
+                "forwarding hop scheduled before the SRAM read pipeline"
+            );
+            let fread0 = forward0.saturating_sub(READ_LATENCY);
+            let in_stream = alloc_stream(&mut streams, tsp, arrive0, arrive0 + (n - 1) * slot + 1)?;
+            let out_stream = alloc_stream(&mut streams, tsp, fread0, forward0 + (n - 1) * slot)?;
+            let scratch = scratch_base(&mut scratch_next, tsp, n as u16);
+            let prog = programs.entry(tsp).or_default();
+            for v in 0..n {
+                let arrive = arrive0 + v * slot;
+                let forward = forward0 + v * slot;
+                debug_assert!(forward > arrive + 1 + READ_LATENCY);
+                prog.push(
+                    arrive,
+                    Instruction::Receive {
+                        port: in_port,
+                        stream: in_stream,
+                    },
+                );
+                prog.push(
+                    arrive + 1,
+                    Instruction::Write {
+                        slice: SCRATCH_SLICE,
+                        offset: scratch + v as u16,
+                        stream: in_stream,
+                    },
+                );
+                prog.push(
+                    fread0 + v * slot,
+                    Instruction::Read {
+                        slice: SCRATCH_SLICE,
+                        offset: scratch + v as u16,
+                        stream: out_stream,
+                        dir: Direction::East,
+                    },
+                );
+                prog.push(
+                    forward,
+                    Instruction::Send {
+                        port: out_port,
+                        stream: out_stream,
+                    },
+                );
+            }
+        }
+
+        // Destination: Receive -> Write.
+        let last = path.links.len() - 1;
+        let dst_port = port_of(topo, path, last, tr.to);
+        let out_latency = scheduled_link_latency(topo, path.links[last]);
+        let dst_arrive0 = hop_starts[last] + slot + out_latency;
+        let dst_stream = alloc_stream(
+            &mut streams,
+            tr.to,
+            dst_arrive0,
+            dst_arrive0 + (n - 1) * slot + 1,
+        )?;
+        let prog = programs.entry(tr.to).or_default();
+        for v in 0..n {
+            let arrive = dst_arrive0 + v * slot;
+            prog.push(
+                arrive,
+                Instruction::Receive {
+                    port: dst_port,
+                    stream: dst_stream,
+                },
+            );
+            prog.push(
+                arrive + 1,
+                Instruction::Write {
+                    slice: tr.dst_slice,
+                    offset: tr.dst_offset + v as u16,
+                    stream: dst_stream,
+                },
+            );
+        }
+
+        // Materialize every delivery and every promised emission straight
+        // from the schedule: the O(1) topology port index maps each
+        // sending port to its (link, peer, peer port) once per hop.
+        for (h, &hop_start) in hop_starts.iter().enumerate().take(path.links.len()) {
+            let sender = path.tsps[h];
+            let out_port = port_of(topo, path, h, sender);
+            let (link, peer, peer_port) = topo
+                .port_peer(sender, out_port)
+                .expect("scheduled port is wired");
+            debug_assert_eq!(link, path.links[h]);
+            debug_assert_eq!(peer, path.tsps[h + 1]);
+            let latency = scheduled_link_latency(topo, path.links[h]);
+            let promised = emissions.entry(sender).or_default();
+            for v in 0..n {
+                promised.push(PlannedEmission {
+                    cycle: hop_start + v * slot,
+                    port: out_port,
+                    vec: vref(v),
+                });
+            }
+            let inbox = deliveries.entry(peer).or_default();
+            for v in 0..n {
+                inbox.push(PlannedDelivery {
+                    port: peer_port,
+                    cycle: hop_start + (v + 1) * slot + latency,
+                    vec: vref(v),
+                });
+            }
+        }
+    }
+
+    // Assemble per-chip plans in ascending TspId order and group them into
+    // hop-depth levels: a chip at depth d receives only from chips at
+    // depth < d, so levels execute in topological order and chips within a
+    // level are mutually independent.
+    let mut tsps: Vec<TspId> = programs.keys().copied().collect();
+    tsps.sort();
+    let mut chips = Vec::with_capacity(tsps.len());
+    let mut levels: Vec<Vec<u32>> = Vec::new();
+    let mut instructions = 0usize;
+    for (i, &tsp) in tsps.iter().enumerate() {
+        let d = depth[&tsp];
+        if levels.len() <= d {
+            levels.resize(d + 1, Vec::new());
+        }
+        levels[d].push(i as u32);
+        let mut program = programs
+            .remove(&tsp)
+            .expect("program exists for listed chip");
+        // Issue-sort once at compile time; every execution then runs the
+        // program without cloning or re-sorting it.
+        program.sort_in_place();
+        instructions += program.len();
+        let mut dels = deliveries.remove(&tsp).unwrap_or_default();
+        // Stable (port, cycle) order: each port's queue is fed
+        // nondecreasing, and equal keys keep transfer order — consumption
+        // order is identical to the legacy per-delivery re-sort.
+        dels.sort_by_key(|d| (d.port, d.cycle));
+        let mut emis = emissions.remove(&tsp).unwrap_or_default();
+        emis.sort_by_key(|e| (e.cycle, e.port));
+        chips.push(ChipPlan {
+            tsp,
+            depth: d as u32,
+            program,
+            preloads: preloads.remove(&tsp).unwrap_or_default(),
+            deliveries: dels,
+            emissions: emis,
+        });
+    }
+
+    Ok(CompiledPlan {
+        shapes: shapes.to_vec(),
+        chips,
+        levels,
+        arrivals,
+        instructions,
+    })
+}
+
+/// The port number `tsp` uses on hop `h`'s link.
+fn port_of(topo: &Topology, path: &Path, h: usize, tsp: TspId) -> u8 {
+    let l = topo.link(path.links[h]);
+    if l.a == tsp {
+        l.a_port
+    } else {
+        debug_assert_eq!(l.b, tsp);
+        l.b_port
+    }
+}

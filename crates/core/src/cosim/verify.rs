@@ -1,0 +1,134 @@
+//! Verification stage of the co-simulation pipeline: the schedule's
+//! *claims* are checked against what the chips actually did.
+//!
+//! The plan promises, per chip, exactly which vector leaves which port on
+//! which cycle; after a chip executes, its real emissions are compared
+//! bit-for-bit against that promise before any downstream chip's inputs
+//! are trusted. Destination SRAM is additionally checked bit-for-bit at
+//! the end of the run and fingerprinted for the determinism tests.
+
+use tsm_chip::exec::{ChipSim, Emission, Payload};
+use tsm_topology::TspId;
+
+use super::plan::{CompiledPlan, PlannedEmission};
+use super::CosimError;
+
+fn emission_key(e: &Emission) -> (u64, u8) {
+    (e.cycle, e.port)
+}
+
+/// Compares a chip's actual emissions against the schedule's promise.
+///
+/// Both sides are ordered by (cycle, port) — a unique key, since a port
+/// engine serializes its sends — so the comparison is order-canonical.
+/// The promise is stored pre-sorted in the plan; actual emissions come out
+/// of the executor already cycle-ordered in practice, so the common case
+/// compares in place without allocating or sorting.
+pub(super) fn verify_emissions(
+    tsp: TspId,
+    sim: &ChipSim,
+    promised: &[PlannedEmission],
+    payloads: &[Vec<Payload>],
+) -> Result<(), CosimError> {
+    debug_assert!(
+        promised
+            .windows(2)
+            .all(|w| (w[0].cycle, w[0].port) <= (w[1].cycle, w[1].port)),
+        "plan emissions must be (cycle, port)-sorted"
+    );
+    let got = sim.emissions();
+    if got
+        .windows(2)
+        .all(|w| emission_key(&w[0]) <= emission_key(&w[1]))
+    {
+        check_emissions(tsp, promised, payloads, got.len(), got.iter())
+    } else {
+        let mut sorted: Vec<&Emission> = got.iter().collect();
+        sorted.sort_by_key(|e| emission_key(e));
+        check_emissions(tsp, promised, payloads, sorted.len(), sorted.into_iter())
+    }
+}
+
+fn check_emissions<'a>(
+    tsp: TspId,
+    promised: &[PlannedEmission],
+    payloads: &[Vec<Payload>],
+    got_len: usize,
+    mut got: impl Iterator<Item = &'a Emission>,
+) -> Result<(), CosimError> {
+    for i in 0..promised.len().max(got_len) {
+        match (promised.get(i), got.next()) {
+            (Some(want), Some(g)) => {
+                // A correct chip pass forwards the very handle that was
+                // bound in, so pointer equality usually settles the
+                // payload check without touching the bytes.
+                let wv = &payloads[want.vec.transfer as usize][want.vec.vector as usize];
+                let payload_ok = Payload::ptr_eq(wv, &g.vector) || wv.as_ref() == g.vector.as_ref();
+                if want.cycle != g.cycle || want.port != g.port || !payload_ok {
+                    return Err(CosimError::EmissionMismatch {
+                        tsp,
+                        cycle: g.cycle.min(want.cycle),
+                        port: g.port,
+                    });
+                }
+            }
+            (Some(want), None) => {
+                return Err(CosimError::EmissionMismatch {
+                    tsp,
+                    cycle: want.cycle,
+                    port: want.port,
+                });
+            }
+            (None, Some(g)) => {
+                return Err(CosimError::EmissionMismatch {
+                    tsp,
+                    cycle: g.cycle,
+                    port: g.port,
+                });
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+/// Checks every destination's SRAM region bit-for-bit against the bound
+/// payloads and returns the per-transfer FNV fingerprints of the delivered
+/// bytes (the serial-vs-parallel determinism tests compare these).
+///
+/// `sims` is aligned by index with `plan.chips`; destinations resolve by
+/// binary search over the plan's (TspId-ascending) chip list.
+pub(super) fn verify_destinations(
+    plan: &CompiledPlan,
+    payloads: &[Vec<Payload>],
+    sims: &[ChipSim],
+) -> Result<Vec<u64>, CosimError> {
+    let mut dst_digests = Vec::with_capacity(plan.shapes.len());
+    for (idx, (shape, data)) in plan.shapes.iter().zip(payloads).enumerate() {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        if !data.is_empty() {
+            let chip = plan
+                .chips
+                .binary_search_by_key(&shape.to, |c| c.tsp)
+                .expect("destination simulated");
+            let sim = &sims[chip];
+            for (v, expected) in data.iter().enumerate() {
+                match sim.sram_handle(shape.dst_slice, shape.dst_offset + v as u16) {
+                    Some(got)
+                        if Payload::ptr_eq(got, expected) || got.as_ref() == expected.as_ref() =>
+                    {
+                        acc = (acc ^ got.digest()).wrapping_mul(0x100_0000_01b3);
+                    }
+                    _ => {
+                        return Err(CosimError::DataMismatch {
+                            transfer: idx,
+                            vector: v,
+                        })
+                    }
+                }
+            }
+        }
+        dst_digests.push(acc);
+    }
+    Ok(dst_digests)
+}

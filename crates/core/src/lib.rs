@@ -26,6 +26,10 @@ pub mod report;
 pub mod runtime;
 pub mod system;
 
+pub use cosim::{
+    compile_plan, run_transfers, run_transfers_serial, CompiledPlan, CosimError, CosimReport,
+    CosimTransfer, PlanExecutor, TransferShape,
+};
 pub use report::ExecutionReport;
 pub use runtime::{LaunchOutcome, Runtime, RuntimeError, SparePolicy};
 pub use system::{System, SystemConfig, SystemError};

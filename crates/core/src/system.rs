@@ -4,7 +4,7 @@ use crate::report::ExecutionReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsm_compiler::graph::{Graph, OpKind};
-use tsm_compiler::schedule::{compile, CompileOptions, CompileError, CompiledProgram};
+use tsm_compiler::schedule::{compile, CompileError, CompileOptions, CompiledProgram};
 use tsm_fault::inject::{inject_schedule, InjectionConfig};
 use tsm_fault::replay::{run_with_replay, ReplayOutcome, ReplayPolicy};
 use tsm_sync::align::InitialAlignment;
@@ -23,7 +23,11 @@ pub struct SystemConfig {
 
 impl Default for SystemConfig {
     fn default() -> Self {
-        SystemConfig { max_clock_ppm: 100.0, bit_error_rate: 1e-9, max_replays: 2 }
+        SystemConfig {
+            max_clock_ppm: 100.0,
+            bit_error_rate: 1e-9,
+            max_replays: 2,
+        }
     }
 }
 
@@ -69,17 +73,26 @@ pub struct System {
 impl System {
     /// One 8-TSP GroqNode.
     pub fn single_node() -> System {
-        System { topo: Topology::single_node(), config: SystemConfig::default() }
+        System {
+            topo: Topology::single_node(),
+            config: SystemConfig::default(),
+        }
     }
 
     /// `n` fully-connected nodes (2–33; up to 264 TSPs).
     pub fn with_nodes(n: usize) -> Result<System, SystemError> {
-        Ok(System { topo: Topology::fully_connected_nodes(n)?, config: SystemConfig::default() })
+        Ok(System {
+            topo: Topology::fully_connected_nodes(n)?,
+            config: SystemConfig::default(),
+        })
     }
 
     /// `r` racks in the Dragonfly regime (2–145; up to 10,440 TSPs).
     pub fn with_racks(r: usize) -> Result<System, SystemError> {
-        Ok(System { topo: Topology::rack_dragonfly(r)?, config: SystemConfig::default() })
+        Ok(System {
+            topo: Topology::rack_dragonfly(r)?,
+            config: SystemConfig::default(),
+        })
     }
 
     /// Replaces the runtime configuration (builder style).
@@ -174,13 +187,20 @@ impl System {
 
         // Drive every scheduled wire packet through the FEC channel; on an
         // uncorrectable error the runtime replays the inference.
-        let injection = InjectionConfig { bit_error_rate: self.config.bit_error_rate };
+        let injection = InjectionConfig {
+            bit_error_rate: self.config.bit_error_rate,
+        };
         let reservations = program.occupancy.reservations();
         let mut attempts = 0u32;
-        let outcome = run_with_replay(ReplayPolicy { max_replays: self.config.max_replays }, |_| {
-            attempts += 1;
-            inject_schedule(&self.topo, reservations, injection, &mut rng)
-        });
+        let outcome = run_with_replay(
+            ReplayPolicy {
+                max_replays: self.config.max_replays,
+            },
+            |_| {
+                attempts += 1;
+                inject_schedule(&self.topo, reservations, injection, &mut rng)
+            },
+        );
         let (fec, replays, succeeded) = match &outcome {
             ReplayOutcome::CleanFirstTry { stats } => (*stats, 0, true),
             ReplayOutcome::RecoveredAfterReplay { replays, stats } => (*stats, *replays, true),
@@ -189,7 +209,13 @@ impl System {
         // A replay re-runs the whole inference.
         let measured = measured * (replays as u64 + 1);
 
-        ExecutionReport { estimated_cycles: estimated, measured_cycles: measured, fec, replays, succeeded }
+        ExecutionReport {
+            estimated_cycles: estimated,
+            measured_cycles: measured,
+            fec,
+            replays,
+            succeeded,
+        }
     }
 
     /// Executes a program `runs` times with distinct seeds (the Fig 17
@@ -221,7 +247,9 @@ mod tests {
     #[test]
     fn compile_and_execute_roundtrip() {
         let sys = System::single_node();
-        let p = sys.compile(&trivial_graph(5000), CompileOptions::default()).unwrap();
+        let p = sys
+            .compile(&trivial_graph(5000), CompileOptions::default())
+            .unwrap();
         let r = sys.execute(&p, 1);
         assert_eq!(r.estimated_cycles, 5000);
         assert!(r.succeeded);
@@ -231,11 +259,21 @@ mod tests {
     #[test]
     fn network_only_programs_measure_exactly_the_estimate() {
         // No host I/O, no errors: the system is bit-deterministic.
-        let sys = System::single_node()
-            .with_config(SystemConfig { bit_error_rate: 0.0, ..Default::default() });
+        let sys = System::single_node().with_config(SystemConfig {
+            bit_error_rate: 0.0,
+            ..Default::default()
+        });
         let mut g = Graph::new();
-        g.add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 64_000, allow_nonminimal: true }, vec![])
-            .unwrap();
+        g.add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 64_000,
+                allow_nonminimal: true,
+            },
+            vec![],
+        )
+        .unwrap();
         let p = sys.compile(&g, CompileOptions::default()).unwrap();
         for seed in 0..20 {
             let r = sys.execute_with_graph(&p, &g, seed);
@@ -247,22 +285,32 @@ mod tests {
     fn host_io_introduces_bounded_variance() {
         let sys = System::single_node();
         let mut g = trivial_graph(1_000_000);
-        g.add(TspId(0), OpKind::HostInput { bytes: 1 << 20 }, vec![]).unwrap();
+        g.add(TspId(0), OpKind::HostInput { bytes: 1 << 20 }, vec![])
+            .unwrap();
         let p = sys.compile(&g, CompileOptions::default()).unwrap();
         let reports = sys.execute_many(&p, &g, 200, 7);
         let est = reports[0].estimated_cycles;
-        assert!(reports.iter().all(|r| r.measured_cycles <= est), "estimate is an upper bound");
-        assert!(reports.iter().all(|r| r.measured_cycles >= est - est * 6 / 100));
+        assert!(
+            reports.iter().all(|r| r.measured_cycles <= est),
+            "estimate is an upper bound"
+        );
+        assert!(reports
+            .iter()
+            .all(|r| r.measured_cycles >= est - est * 6 / 100));
         let distinct: std::collections::HashSet<u64> =
             reports.iter().map(|r| r.measured_cycles).collect();
-        assert!(distinct.len() > 10, "PCIe jitter should vary the measurement");
+        assert!(
+            distinct.len() > 10,
+            "PCIe jitter should vary the measurement"
+        );
     }
 
     #[test]
     fn execution_is_seed_deterministic() {
         let sys = System::single_node();
         let mut g = trivial_graph(10_000);
-        g.add(TspId(0), OpKind::HostInput { bytes: 4096 }, vec![]).unwrap();
+        g.add(TspId(0), OpKind::HostInput { bytes: 4096 }, vec![])
+            .unwrap();
         let p = sys.compile(&g, CompileOptions::default()).unwrap();
         let a = sys.execute_with_graph(&p, &g, 99);
         let b = sys.execute_with_graph(&p, &g, 99);
@@ -277,8 +325,16 @@ mod tests {
             ..Default::default()
         });
         let mut g = Graph::new();
-        g.add(TspId(0), OpKind::Transfer { to: TspId(1), bytes: 320_000, allow_nonminimal: false }, vec![])
-            .unwrap();
+        g.add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 320_000,
+                allow_nonminimal: false,
+            },
+            vec![],
+        )
+        .unwrap();
         let p = sys.compile(&g, CompileOptions::default()).unwrap();
         let r = sys.execute_with_graph(&p, &g, 3);
         // With BER 5e-4 over 1000 packets, uncorrectables are certain; one

@@ -25,7 +25,9 @@ impl Default for InjectionConfig {
         // A pessimistic serdes BER; real links with FEC budget for 1e-12
         // or better. The default exists to exercise the machinery, not to
         // claim a field failure rate.
-        InjectionConfig { bit_error_rate: 1e-9 }
+        InjectionConfig {
+            bit_error_rate: 1e-9,
+        }
     }
 }
 
@@ -125,7 +127,9 @@ fn inject_one<R: Rng>(
     stats: &mut FecStats,
 ) {
     {
-        let config = InjectionConfig { bit_error_rate: ber };
+        let config = InjectionConfig {
+            bit_error_rate: ber,
+        };
         if config.bit_error_rate == 0.0 {
             stats.clean += r.vectors;
             return;
@@ -205,8 +209,14 @@ mod tests {
     fn zero_ber_is_always_clean() {
         let (topo, res) = schedule(500);
         let mut rng = StdRng::seed_from_u64(1);
-        let stats =
-            inject_schedule(&topo, &res, InjectionConfig { bit_error_rate: 0.0 }, &mut rng);
+        let stats = inject_schedule(
+            &topo,
+            &res,
+            InjectionConfig {
+                bit_error_rate: 0.0,
+            },
+            &mut rng,
+        );
         assert_eq!(stats.clean, 500);
         assert_eq!(stats.total(), 500);
         assert!(stats.is_clean_run());
@@ -218,8 +228,14 @@ mod tests {
         let (topo, res) = schedule(3000);
         let mut rng = StdRng::seed_from_u64(2);
         // λ ≈ 2560e-6 ≈ 0.0026 errors/packet: singles dominate.
-        let stats =
-            inject_schedule(&topo, &res, InjectionConfig { bit_error_rate: 1e-6 }, &mut rng);
+        let stats = inject_schedule(
+            &topo,
+            &res,
+            InjectionConfig {
+                bit_error_rate: 1e-6,
+            },
+            &mut rng,
+        );
         assert!(stats.corrected > 0, "{stats:?}");
         assert!(stats.corrected > stats.uncorrectable * 10, "{stats:?}");
     }
@@ -228,24 +244,47 @@ mod tests {
     fn harsh_ber_forces_replay() {
         let (topo, res) = schedule(500);
         let mut rng = StdRng::seed_from_u64(3);
-        let stats =
-            inject_schedule(&topo, &res, InjectionConfig { bit_error_rate: 1e-3 }, &mut rng);
+        let stats = inject_schedule(
+            &topo,
+            &res,
+            InjectionConfig {
+                bit_error_rate: 1e-3,
+            },
+            &mut rng,
+        );
         assert!(!stats.is_clean_run(), "{stats:?}");
     }
 
     #[test]
     fn stats_merge_adds_fields() {
-        let a = FecStats { clean: 1, corrected: 2, uncorrectable: 3 };
-        let b = FecStats { clean: 10, corrected: 20, uncorrectable: 30 };
+        let a = FecStats {
+            clean: 1,
+            corrected: 2,
+            uncorrectable: 3,
+        };
+        let b = FecStats {
+            clean: 10,
+            corrected: 20,
+            uncorrectable: 30,
+        };
         let m = a.merge(&b);
-        assert_eq!(m, FecStats { clean: 11, corrected: 22, uncorrectable: 33 });
+        assert_eq!(
+            m,
+            FecStats {
+                clean: 11,
+                corrected: 22,
+                uncorrectable: 33
+            }
+        );
         assert_eq!(m.total(), 66);
     }
 
     #[test]
     fn injection_is_seed_deterministic() {
         let (topo, res) = schedule(200);
-        let cfg = InjectionConfig { bit_error_rate: 1e-5 };
+        let cfg = InjectionConfig {
+            bit_error_rate: 1e-5,
+        };
         let a = inject_schedule(&topo, &res, cfg, &mut StdRng::seed_from_u64(9));
         let b = inject_schedule(&topo, &res, cfg, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);

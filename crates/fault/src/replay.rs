@@ -64,10 +64,15 @@ pub fn run_with_replay(
     for replay in 1..=policy.max_replays {
         let stats = execute(replay);
         if stats.is_clean_run() {
-            return ReplayOutcome::RecoveredAfterReplay { replays: replay, stats };
+            return ReplayOutcome::RecoveredAfterReplay {
+                replays: replay,
+                stats,
+            };
         }
     }
-    ReplayOutcome::Persistent { attempts: policy.max_replays + 1 }
+    ReplayOutcome::Persistent {
+        attempts: policy.max_replays + 1,
+    }
 }
 
 #[cfg(test)]
@@ -75,15 +80,27 @@ mod tests {
     use super::*;
 
     fn clean() -> FecStats {
-        FecStats { clean: 100, corrected: 0, uncorrectable: 0 }
+        FecStats {
+            clean: 100,
+            corrected: 0,
+            uncorrectable: 0,
+        }
     }
 
     fn corrected() -> FecStats {
-        FecStats { clean: 99, corrected: 1, uncorrectable: 0 }
+        FecStats {
+            clean: 99,
+            corrected: 1,
+            uncorrectable: 0,
+        }
     }
 
     fn broken() -> FecStats {
-        FecStats { clean: 99, corrected: 0, uncorrectable: 1 }
+        FecStats {
+            clean: 99,
+            corrected: 0,
+            uncorrectable: 1,
+        }
     }
 
     #[test]
@@ -117,7 +134,10 @@ mod tests {
         });
         assert_eq!(
             out,
-            ReplayOutcome::RecoveredAfterReplay { replays: 1, stats: clean() }
+            ReplayOutcome::RecoveredAfterReplay {
+                replays: 1,
+                stats: clean()
+            }
         );
         assert!(out.succeeded());
     }

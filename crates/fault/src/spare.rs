@@ -56,7 +56,11 @@ impl SparePlan {
                 mapping.push(node);
             }
         }
-        SparePlan { mapping, spares, failed: Vec::new() }
+        SparePlan {
+            mapping,
+            spares,
+            failed: Vec::new(),
+        }
     }
 
     /// Reserves a single spare for the whole system ("a redundant node per
@@ -163,7 +167,10 @@ mod tests {
         assert_eq!(plan.physical(5), NodeId(32));
         assert_eq!(plan.spares_left(), 0);
         assert!(topo.is_failed(TspId(5 * 8)));
-        assert!(plan.verify_connectivity(&topo), "Dragonfly must stay connected");
+        assert!(
+            plan.verify_connectivity(&topo),
+            "Dragonfly must stay connected"
+        );
     }
 
     #[test]

@@ -81,14 +81,23 @@ pub fn encode(instr: &Instruction) -> [u8; WORD_BYTES] {
             w[1] = *port;
             w[2] = stream.index() as u8;
         }
-        Instruction::Read { slice, offset, stream, dir } => {
+        Instruction::Read {
+            slice,
+            offset,
+            stream,
+            dir,
+        } => {
             w[0] = Opcode::Read as u8;
             w[1] = *slice;
             w[2] = stream.index() as u8;
             w[3] = matches!(dir, Direction::West) as u8;
             w[4..6].copy_from_slice(&offset.to_le_bytes());
         }
-        Instruction::Write { slice, offset, stream } => {
+        Instruction::Write {
+            slice,
+            offset,
+            stream,
+        } => {
             w[0] = Opcode::Write as u8;
             w[1] = *slice;
             w[2] = stream.index() as u8;
@@ -131,36 +140,46 @@ pub fn decode(w: &[u8; WORD_BYTES]) -> Result<Instruction, IsaError> {
             target_cycles: u32::from_le_bytes(w[4..8].try_into().expect("4 bytes")) as u64,
         },
         x if x == Opcode::Transmit as u8 => Instruction::Transmit { port: w[1] },
-        x if x == Opcode::Receive as u8 => {
-            Instruction::Receive { port: w[1], stream: stream(w[2])? }
-        }
-        x if x == Opcode::Send as u8 => Instruction::Send { port: w[1], stream: stream(w[2])? },
+        x if x == Opcode::Receive as u8 => Instruction::Receive {
+            port: w[1],
+            stream: stream(w[2])?,
+        },
+        x if x == Opcode::Send as u8 => Instruction::Send {
+            port: w[1],
+            stream: stream(w[2])?,
+        },
         x if x == Opcode::Read as u8 => Instruction::Read {
             slice: w[1],
             offset: u16::from_le_bytes(w[4..6].try_into().expect("2 bytes")),
             stream: stream(w[2])?,
-            dir: if w[3] == 0 { Direction::East } else { Direction::West },
+            dir: if w[3] == 0 {
+                Direction::East
+            } else {
+                Direction::West
+            },
         },
         x if x == Opcode::Write as u8 => Instruction::Write {
             slice: w[1],
             offset: u16::from_le_bytes(w[4..6].try_into().expect("2 bytes")),
             stream: stream(w[2])?,
         },
-        x if x == Opcode::MatMul as u8 => {
-            Instruction::MatMul { input: stream(w[1])?, output: stream(w[2])? }
-        }
-        x if x == Opcode::InstallWeight as u8 => {
-            Instruction::InstallWeight { stream: stream(w[1])? }
-        }
+        x if x == Opcode::MatMul as u8 => Instruction::MatMul {
+            input: stream(w[1])?,
+            output: stream(w[2])?,
+        },
+        x if x == Opcode::InstallWeight as u8 => Instruction::InstallWeight {
+            stream: stream(w[1])?,
+        },
         x if x == Opcode::VectorOp as u8 => Instruction::VectorOp {
             op: vop_decode(w[4])?,
             a: stream(w[1])?,
             b: stream(w[2])?,
             dest: stream(w[3])?,
         },
-        x if x == Opcode::Permute as u8 => {
-            Instruction::Permute { input: stream(w[1])?, output: stream(w[2])? }
-        }
+        x if x == Opcode::Permute as u8 => Instruction::Permute {
+            input: stream(w[1])?,
+            output: stream(w[2])?,
+        },
         _ => return Err(IsaError::CorruptHeader),
     })
 }
@@ -178,7 +197,7 @@ pub fn assemble(program: &[(u64, Instruction)]) -> Vec<u8> {
 
 /// Disassembles a binary produced by [`assemble`].
 pub fn disassemble(binary: &[u8]) -> Result<Vec<(u64, Instruction)>, IsaError> {
-    if binary.len() % 16 != 0 {
+    if !binary.len().is_multiple_of(16) {
         return Err(IsaError::BadPacketLength { got: binary.len() });
     }
     binary
@@ -205,16 +224,44 @@ mod tests {
             Instruction::Sync,
             Instruction::Notify,
             Instruction::Deskew,
-            Instruction::RuntimeDeskew { target_cycles: 123_456 },
+            Instruction::RuntimeDeskew {
+                target_cycles: 123_456,
+            },
             Instruction::Transmit { port: 10 },
-            Instruction::Receive { port: 3, stream: sid(5) },
-            Instruction::Send { port: 7, stream: sid(31) },
-            Instruction::Read { slice: 87, offset: 4095, stream: sid(1), dir: Direction::West },
-            Instruction::Write { slice: 0, offset: 0, stream: sid(0) },
-            Instruction::MatMul { input: sid(2), output: sid(3) },
+            Instruction::Receive {
+                port: 3,
+                stream: sid(5),
+            },
+            Instruction::Send {
+                port: 7,
+                stream: sid(31),
+            },
+            Instruction::Read {
+                slice: 87,
+                offset: 4095,
+                stream: sid(1),
+                dir: Direction::West,
+            },
+            Instruction::Write {
+                slice: 0,
+                offset: 0,
+                stream: sid(0),
+            },
+            Instruction::MatMul {
+                input: sid(2),
+                output: sid(3),
+            },
             Instruction::InstallWeight { stream: sid(11) },
-            Instruction::VectorOp { op: VectorOpcode::Rsqrt, a: sid(4), b: sid(5), dest: sid(6) },
-            Instruction::Permute { input: sid(8), output: sid(9) },
+            Instruction::VectorOp {
+                op: VectorOpcode::Rsqrt,
+                a: sid(4),
+                b: sid(5),
+                dest: sid(6),
+            },
+            Instruction::Permute {
+                input: sid(8),
+                output: sid(9),
+            },
         ]
     }
 
@@ -236,7 +283,10 @@ mod tests {
 
     #[test]
     fn invalid_stream_rejected() {
-        let mut w = encode(&Instruction::Send { port: 0, stream: sid(0) });
+        let mut w = encode(&Instruction::Send {
+            port: 0,
+            stream: sid(0),
+        });
         w[2] = 77; // stream out of range
         assert!(decode(&w).is_err());
     }

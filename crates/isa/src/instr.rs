@@ -39,13 +39,26 @@ impl FunctionalUnit {
         FunctionalUnit::C2c,
         FunctionalUnit::Icu,
     ];
+
+    /// Dense index into per-unit tables, matching [`FunctionalUnit::ALL`]
+    /// order.
+    pub const fn index(self) -> usize {
+        match self {
+            FunctionalUnit::Mxm => 0,
+            FunctionalUnit::Vxm => 1,
+            FunctionalUnit::Sxm => 2,
+            FunctionalUnit::Mem => 3,
+            FunctionalUnit::C2c => 4,
+            FunctionalUnit::Icu => 5,
+        }
+    }
 }
 
 /// One instruction of the scale-out TSP ISA.
 ///
 /// The first seven variants are exactly paper Table 1; the rest are the
 /// compute/stream operations the evaluation section exercises (§5.2–§5.5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Instruction {
     // ---- Table 1: determinism support -------------------------------------
     /// Intra-chip pause: park this functional unit until a NOTIFY arrives.
@@ -142,7 +155,7 @@ pub enum Instruction {
 }
 
 /// Pointwise opcodes supported by the VXM model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum VectorOpcode {
     /// Lane-wise addition.
     Add,
@@ -160,9 +173,13 @@ impl Instruction {
     /// The functional unit this instruction issues on.
     pub fn unit(&self) -> FunctionalUnit {
         match self {
-            Instruction::Sync | Instruction::Notify | Instruction::Deskew
-            | Instruction::RuntimeDeskew { .. } | Instruction::Nop => FunctionalUnit::Icu,
-            Instruction::Transmit { .. } | Instruction::Receive { .. }
+            Instruction::Sync
+            | Instruction::Notify
+            | Instruction::Deskew
+            | Instruction::RuntimeDeskew { .. }
+            | Instruction::Nop => FunctionalUnit::Icu,
+            Instruction::Transmit { .. }
+            | Instruction::Receive { .. }
             | Instruction::Send { .. } => FunctionalUnit::C2c,
             Instruction::Read { .. } | Instruction::Write { .. } => FunctionalUnit::Mem,
             Instruction::InstallWeight { .. } | Instruction::MatMul { .. } => FunctionalUnit::Mxm,
@@ -187,7 +204,7 @@ impl Instruction {
             Instruction::Read { .. } => 5,
             Instruction::Write { .. } => 5,
             Instruction::InstallWeight { .. } => 1, // one row per cycle
-            Instruction::MatMul { .. } => 1, // pipelined: 1 sub-op issue per cycle
+            Instruction::MatMul { .. } => 1,        // pipelined: 1 sub-op issue per cycle
             Instruction::VectorOp { .. } => 4,
             Instruction::Permute { .. } => 2,
             Instruction::Nop => 1,
@@ -237,22 +254,38 @@ mod tests {
             Instruction::RuntimeDeskew { target_cycles: 10 }.unit(),
             FunctionalUnit::Icu
         );
-        assert_eq!(Instruction::Transmit { port: 0 }.unit(), FunctionalUnit::C2c);
+        assert_eq!(
+            Instruction::Transmit { port: 0 }.unit(),
+            FunctionalUnit::C2c
+        );
     }
 
     #[test]
     fn compute_instructions_route_to_slices() {
         assert_eq!(
-            Instruction::MatMul { input: sid(0), output: sid(1) }.unit(),
+            Instruction::MatMul {
+                input: sid(0),
+                output: sid(1)
+            }
+            .unit(),
             FunctionalUnit::Mxm
         );
         assert_eq!(
-            Instruction::VectorOp { op: VectorOpcode::Add, a: sid(0), b: sid(1), dest: sid(2) }
-                .unit(),
+            Instruction::VectorOp {
+                op: VectorOpcode::Add,
+                a: sid(0),
+                b: sid(1),
+                dest: sid(2)
+            }
+            .unit(),
             FunctionalUnit::Vxm
         );
         assert_eq!(
-            Instruction::Permute { input: sid(0), output: sid(1) }.unit(),
+            Instruction::Permute {
+                input: sid(0),
+                output: sid(1)
+            }
+            .unit(),
             FunctionalUnit::Sxm
         );
     }
@@ -265,7 +298,9 @@ mod tests {
 
     #[test]
     fn runtime_deskew_absorbs_at_most_one_epoch() {
-        let i = Instruction::RuntimeDeskew { target_cycles: 1000 };
+        let i = Instruction::RuntimeDeskew {
+            target_cycles: 1000,
+        };
         assert_eq!(i.min_latency(), 1000);
         assert_eq!(i.max_latency(), 1000 + HAC_PERIOD);
     }
@@ -275,12 +310,21 @@ mod tests {
         assert!(Instruction::Sync.is_sync_support());
         assert!(Instruction::Notify.is_sync_support());
         assert!(!Instruction::Nop.is_sync_support());
-        assert!(!Instruction::Send { port: 0, stream: sid(0) }.is_sync_support());
+        assert!(!Instruction::Send {
+            port: 0,
+            stream: sid(0)
+        }
+        .is_sync_support());
     }
 
     #[test]
     fn fixed_latency_instructions_have_tight_bounds() {
-        let i = Instruction::Read { slice: 0, offset: 0, stream: sid(0), dir: crate::Direction::East };
+        let i = Instruction::Read {
+            slice: 0,
+            offset: 0,
+            stream: sid(0),
+            dir: crate::Direction::East,
+        };
         assert_eq!(i.min_latency(), i.max_latency());
     }
 }

@@ -48,11 +48,19 @@ impl core::fmt::Display for IsaError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             IsaError::BadPacketLength { got } => {
-                write!(f, "wire packet must be {} bytes, got {got}", packet::WIRE_BYTES)
+                write!(
+                    f,
+                    "wire packet must be {} bytes, got {got}",
+                    packet::WIRE_BYTES
+                )
             }
             IsaError::CorruptHeader => write!(f, "wire packet header failed integrity check"),
             IsaError::BadStream { got } => {
-                write!(f, "stream id {got} out of range (max {})", vector::MAX_STREAMS - 1)
+                write!(
+                    f,
+                    "stream id {got} out of range (max {})",
+                    vector::MAX_STREAMS - 1
+                )
             }
         }
     }
@@ -63,7 +71,9 @@ impl std::error::Error for IsaError {}
 /// Identifier of one of the 32 stream registers flowing in each direction
 /// across the chip (paper §2: the chip carries 32 streams eastward and 32
 /// westward).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct StreamId(u8);
 
 impl StreamId {
@@ -83,7 +93,7 @@ impl StreamId {
 }
 
 /// Direction a stream flows across the chip's superlanes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Direction {
     /// Toward increasing slice numbers.
     East,

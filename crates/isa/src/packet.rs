@@ -48,12 +48,20 @@ pub struct WirePacket {
 impl WirePacket {
     /// Frames a data vector with the given sequence number.
     pub fn data(sequence: u16, payload: Vector) -> Self {
-        WirePacket { sequence, tag: 0, payload }
+        WirePacket {
+            sequence,
+            tag: 0,
+            payload,
+        }
     }
 
     /// Frames a control packet (e.g. a HAC exchange) with a nonzero tag.
     pub fn control(sequence: u16, tag: u8, payload: Vector) -> Self {
-        WirePacket { sequence, tag, payload }
+        WirePacket {
+            sequence,
+            tag,
+            payload,
+        }
     }
 
     /// True if this packet carries a control code rather than tensor data.
@@ -90,7 +98,11 @@ impl WirePacket {
         let sequence = buf[0] as u16 | ((buf[1] as u16) << 8);
         let tag = buf[2];
         let payload = Vector::from_slice(&buf[8..]).expect("length checked");
-        Ok(WirePacket { sequence, tag, payload })
+        Ok(WirePacket {
+            sequence,
+            tag,
+            payload,
+        })
     }
 
     /// The stored FEC check symbols for `buf` (a full encoded packet).
@@ -121,6 +133,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the claim
     fn efficiency_is_97_5_percent() {
         assert_eq!(WIRE_BYTES, 328);
         assert_eq!(HEADER_BYTES, 8);
@@ -165,7 +178,11 @@ mod tests {
         let mut corrupted = *payload.as_bytes();
         corrupted[17] ^= 0xA5;
         let dirty = payload_check_symbols(&corrupted);
-        let differing = clean.iter().zip(dirty.iter()).filter(|(a, b)| a != b).count();
+        let differing = clean
+            .iter()
+            .zip(dirty.iter())
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(differing, 1);
     }
 

@@ -87,7 +87,11 @@ impl Channel {
         if flips == 0 {
             // Fast path: an unflipped payload always decodes Clean, so the
             // codec round-trip is skipped (bit-identical outcome).
-            return Delivery { arrival_cycle, packet: packet.clone(), outcome: FecOutcome::Clean };
+            return Delivery {
+                arrival_cycle,
+                packet: packet.clone(),
+                outcome: FecOutcome::Clean,
+            };
         }
 
         let codeword = FecCodeword::encode(packet.payload.as_bytes());
@@ -103,7 +107,11 @@ impl Channel {
             tag: packet.tag,
             payload: tsm_isa::Vector::from_slice(&payload).expect("length preserved"),
         };
-        Delivery { arrival_cycle, packet: received, outcome }
+        Delivery {
+            arrival_cycle,
+            packet: received,
+            outcome,
+        }
     }
 
     /// Draws the number of flipped bits for one packet: Poisson with
@@ -171,14 +179,20 @@ mod tests {
                 FecOutcome::Clean => assert_eq!(d.packet.payload, p.payload),
                 FecOutcome::Corrected { .. } => {
                     corrected += 1;
-                    assert_eq!(d.packet.payload, p.payload, "corrected payload must be exact");
+                    assert_eq!(
+                        d.packet.payload, p.payload,
+                        "corrected payload must be exact"
+                    );
                 }
                 FecOutcome::Uncorrectable => uncorrectable += 1,
             }
         }
         // λ = 1e-5 * 2560 ≈ 0.0256: expect ~50 corrected, ~0-3 uncorrectable.
         assert!(corrected > 10, "corrected {corrected}");
-        assert!(uncorrectable < corrected / 2, "uncorrectable {uncorrectable}");
+        assert!(
+            uncorrectable < corrected / 2,
+            "uncorrectable {uncorrectable}"
+        );
     }
 
     #[test]
@@ -187,7 +201,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let p = packet(2);
         let uncorrectable = (0..500)
-            .filter(|_| matches!(ch.transmit(&p, 0, &mut rng).outcome, FecOutcome::Uncorrectable))
+            .filter(|_| {
+                matches!(
+                    ch.transmit(&p, 0, &mut rng).outcome,
+                    FecOutcome::Uncorrectable
+                )
+            })
             .count();
         // λ ≈ 2.56: multi-bit errors dominate.
         assert!(uncorrectable > 200, "uncorrectable {uncorrectable}");
@@ -195,11 +214,16 @@ mod tests {
 
     #[test]
     fn transmissions_are_deterministic_given_seed() {
-        let ch = Channel::new(LatencyModel::for_class(tsm_topology::CableClass::IntraNode), 1e-6);
+        let ch = Channel::new(
+            LatencyModel::for_class(tsm_topology::CableClass::IntraNode),
+            1e-6,
+        );
         let p = packet(3);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..100).map(|i| ch.transmit(&p, i * 30, &mut rng)).collect::<Vec<_>>()
+            (0..100)
+                .map(|i| ch.transmit(&p, i * 30, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
         assert_ne!(

@@ -43,7 +43,10 @@ impl FecCodeword {
                 b &= b - 1;
             }
         }
-        FecCodeword { syndrome, parity: ones % 2 == 1 }
+        FecCodeword {
+            syndrome,
+            parity: ones % 2 == 1,
+        }
     }
 
     /// Packs the codeword into the packet's 4 check bytes.
@@ -64,7 +67,10 @@ impl FecCodeword {
         if b[3] != !b[0] {
             return None;
         }
-        Some(FecCodeword { syndrome: b[0] as u16 | ((b[1] as u16) << 8), parity: b[2] & 1 == 1 })
+        Some(FecCodeword {
+            syndrome: b[0] as u16 | ((b[1] as u16) << 8),
+            parity: b[2] & 1 == 1,
+        })
     }
 }
 
@@ -156,7 +162,11 @@ mod tests {
             let mut corrupted = original;
             corrupted[a / 8] ^= 1 << (a % 8);
             corrupted[b / 8] ^= 1 << (b % 8);
-            assert_eq!(decode(&mut corrupted, cw), FecOutcome::Uncorrectable, "({a},{b})");
+            assert_eq!(
+                decode(&mut corrupted, cw),
+                FecOutcome::Uncorrectable,
+                "({a},{b})"
+            );
         }
     }
 

@@ -37,7 +37,12 @@ impl LatencyModel {
 
     /// A latency model with no jitter (useful for schedule unit tests).
     pub fn fixed(cycles: u64) -> Self {
-        LatencyModel { base_cycles: cycles, jitter_sigma: 0.0, min_offset: 0, max_offset: 0 }
+        LatencyModel {
+            base_cycles: cycles,
+            jitter_sigma: 0.0,
+            min_offset: 0,
+            max_offset: 0,
+        }
     }
 
     /// Draws one observed latency.
@@ -95,9 +100,18 @@ impl LatencyStats {
         let min = *samples.iter().min().expect("nonempty");
         let max = *samples.iter().max().expect("nonempty");
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>()
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
             / samples.len() as f64;
-        LatencyStats { min, mean, max, std: var.sqrt(), count: samples.len() }
+        LatencyStats {
+            min,
+            mean,
+            max,
+            std: var.sqrt(),
+            count: samples.len(),
+        }
     }
 }
 

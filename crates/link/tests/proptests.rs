@@ -1,12 +1,17 @@
 //! Property-based tests for the FEC code and the channel.
 
+// In offline dev environments the proptest stub's `proptest!` macro
+// expands to nothing, making the helpers and imports below look unused;
+// the real proptest uses all of them.
+#![allow(dead_code, unused_imports)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tsm_link::fec::{decode, FecCodeword, FecOutcome, PAYLOAD_BITS};
-use tsm_link::{Channel, LatencyModel};
 use tsm_isa::packet::WirePacket;
 use tsm_isa::Vector;
+use tsm_link::fec::{decode, FecCodeword, FecOutcome, PAYLOAD_BITS};
+use tsm_link::{Channel, LatencyModel};
 
 proptest! {
     /// SEC: any single-bit error on any payload is corrected exactly.

@@ -100,9 +100,16 @@ impl DistributedTensor {
                 continue;
             }
             let base = alloc.allocate(share)?;
-            placements.push(Placement { device: alloc.device(), base, vectors: share });
+            placements.push(Placement {
+                device: alloc.device(),
+                base,
+                vectors: share,
+            });
         }
-        Ok(DistributedTensor { total_vectors, placements })
+        Ok(DistributedTensor {
+            total_vectors,
+            placements,
+        })
     }
 
     /// The device owning global vector index `idx` of this tensor, with the

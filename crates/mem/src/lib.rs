@@ -74,7 +74,11 @@ impl fmt::Display for MemError {
             MemError::OutOfRange { dim, got, extent } => {
                 write!(f, "{dim} = {got} out of range (extent {extent})")
             }
-            MemError::DeviceFull { device, requested, available } => write!(
+            MemError::DeviceFull {
+                device,
+                requested,
+                available,
+            } => write!(
                 f,
                 "{device} SRAM full: requested {requested} vectors, {available} available"
             ),
@@ -112,26 +116,47 @@ impl GlobalAddress {
         offset: u16,
     ) -> Result<Self, MemError> {
         if hemisphere as u64 >= HEMISPHERES {
-            return Err(MemError::OutOfRange { dim: "hemisphere", got: hemisphere as u64, extent: HEMISPHERES });
+            return Err(MemError::OutOfRange {
+                dim: "hemisphere",
+                got: hemisphere as u64,
+                extent: HEMISPHERES,
+            });
         }
         if slice as u64 >= SLICES {
-            return Err(MemError::OutOfRange { dim: "slice", got: slice as u64, extent: SLICES });
+            return Err(MemError::OutOfRange {
+                dim: "slice",
+                got: slice as u64,
+                extent: SLICES,
+            });
         }
         if bank as u64 >= BANKS {
-            return Err(MemError::OutOfRange { dim: "bank", got: bank as u64, extent: BANKS });
+            return Err(MemError::OutOfRange {
+                dim: "bank",
+                got: bank as u64,
+                extent: BANKS,
+            });
         }
         if offset as u64 >= OFFSETS {
-            return Err(MemError::OutOfRange { dim: "offset", got: offset as u64, extent: OFFSETS });
+            return Err(MemError::OutOfRange {
+                dim: "offset",
+                got: offset as u64,
+                extent: OFFSETS,
+            });
         }
-        Ok(GlobalAddress { device, hemisphere, slice, bank, offset })
+        Ok(GlobalAddress {
+            device,
+            hemisphere,
+            slice,
+            bank,
+            offset,
+        })
     }
 
     /// Linearizes the address within its device: a dense index in
     /// `[0, VECTORS_PER_DEVICE)`, row-major over
     /// (hemisphere, slice, bank, offset).
     pub fn device_linear(&self) -> u64 {
-        ((self.hemisphere as u64 * SLICES + self.slice as u64) * BANKS + self.bank as u64)
-            * OFFSETS
+        ((self.hemisphere as u64 * SLICES + self.slice as u64) * BANKS + self.bank as u64) * OFFSETS
             + self.offset as u64
     }
 
@@ -155,7 +180,13 @@ impl GlobalAddress {
         let rest = rest / BANKS;
         let slice = (rest % SLICES) as u8;
         let hemisphere = (rest / SLICES) as u8;
-        Ok(GlobalAddress { device, hemisphere, slice, bank, offset })
+        Ok(GlobalAddress {
+            device,
+            hemisphere,
+            slice,
+            bank,
+            offset,
+        })
     }
 
     /// The memory-slice index in the chip's flat 0..88 numbering (both
@@ -203,7 +234,11 @@ mod tests {
         assert!(GlobalAddress::new(TspId(0), 1, 43, 1, 4095).is_ok());
         assert_eq!(
             GlobalAddress::new(TspId(0), 2, 0, 0, 0),
-            Err(MemError::OutOfRange { dim: "hemisphere", got: 2, extent: 2 })
+            Err(MemError::OutOfRange {
+                dim: "hemisphere",
+                got: 2,
+                extent: 2
+            })
         );
         assert!(GlobalAddress::new(TspId(0), 0, 44, 0, 0).is_err());
         assert!(GlobalAddress::new(TspId(0), 0, 0, 2, 0).is_err());
@@ -238,10 +273,30 @@ mod tests {
 
     #[test]
     fn chip_slice_spans_both_hemispheres() {
-        assert_eq!(GlobalAddress::new(TspId(0), 0, 0, 0, 0).unwrap().chip_slice(), 0);
-        assert_eq!(GlobalAddress::new(TspId(0), 0, 43, 0, 0).unwrap().chip_slice(), 43);
-        assert_eq!(GlobalAddress::new(TspId(0), 1, 0, 0, 0).unwrap().chip_slice(), 44);
-        assert_eq!(GlobalAddress::new(TspId(0), 1, 43, 0, 0).unwrap().chip_slice(), 87);
+        assert_eq!(
+            GlobalAddress::new(TspId(0), 0, 0, 0, 0)
+                .unwrap()
+                .chip_slice(),
+            0
+        );
+        assert_eq!(
+            GlobalAddress::new(TspId(0), 0, 43, 0, 0)
+                .unwrap()
+                .chip_slice(),
+            43
+        );
+        assert_eq!(
+            GlobalAddress::new(TspId(0), 1, 0, 0, 0)
+                .unwrap()
+                .chip_slice(),
+            44
+        );
+        assert_eq!(
+            GlobalAddress::new(TspId(0), 1, 43, 0, 0)
+                .unwrap()
+                .chip_slice(),
+            87
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ pub fn encode(data: u64) -> ProtectedWord {
     let syndrome = data_syndrome(data);
     // Overall parity covers data and the 7 check bits.
     let parity = ((data.count_ones() + syndrome.count_ones()) & 1) as u8;
-    ProtectedWord { data, check: syndrome | (parity << 7) }
+    ProtectedWord {
+        data,
+        check: syndrome | (parity << 7),
+    }
 }
 
 /// Decodes a stored word, repairing a single flipped bit anywhere in the
@@ -140,7 +143,10 @@ pub fn decode(stored: ProtectedWord) -> ReadOutcome {
         (0, true) => ReadOutcome::Clean { data: stored.data },
         (0, false) => {
             // Only the parity bit flipped.
-            ReadOutcome::Corrected { data: stored.data, location: FlipLocation::Parity }
+            ReadOutcome::Corrected {
+                data: stored.data,
+                location: FlipLocation::Parity,
+            }
         }
         (d, false) => {
             if d.is_power_of_two() && (1..=64).contains(&d) {
@@ -152,7 +158,10 @@ pub fn decode(stored: ProtectedWord) -> ReadOutcome {
             } else if let Some(idx) = data_index(d) {
                 if idx < 64 {
                     let data = stored.data ^ (1u64 << idx);
-                    ReadOutcome::Corrected { data, location: FlipLocation::Data(idx) }
+                    ReadOutcome::Corrected {
+                        data,
+                        location: FlipLocation::Data(idx),
+                    }
                 } else {
                     ReadOutcome::DoubleError
                 }
@@ -199,12 +208,17 @@ mod tests {
         let data = 0x0123_4567_89AB_CDEFu64;
         let stored = encode(data);
         for bit in 0..64u8 {
-            let corrupted =
-                ProtectedWord { data: stored.data ^ (1u64 << bit), check: stored.check };
+            let corrupted = ProtectedWord {
+                data: stored.data ^ (1u64 << bit),
+                check: stored.check,
+            };
             let out = decode(corrupted);
             assert_eq!(
                 out,
-                ReadOutcome::Corrected { data, location: FlipLocation::Data(bit) },
+                ReadOutcome::Corrected {
+                    data,
+                    location: FlipLocation::Data(bit)
+                },
                 "bit {bit}"
             );
         }
@@ -215,7 +229,10 @@ mod tests {
         let data = 0xFFFF_0000_FFFF_0000u64;
         let stored = encode(data);
         for bit in 0..8u8 {
-            let corrupted = ProtectedWord { data: stored.data, check: stored.check ^ (1 << bit) };
+            let corrupted = ProtectedWord {
+                data: stored.data,
+                check: stored.check ^ (1 << bit),
+            };
             let out = decode(corrupted);
             assert_eq!(out.data(), Some(data), "check bit {bit}: {out:?}");
             assert!(matches!(out, ReadOutcome::Corrected { .. }));
@@ -230,8 +247,10 @@ mod tests {
             if a == b {
                 continue;
             }
-            let corrupted =
-                ProtectedWord { data: stored.data ^ (1u64 << a) ^ (1u64 << b), check: stored.check };
+            let corrupted = ProtectedWord {
+                data: stored.data ^ (1u64 << a) ^ (1u64 << b),
+                check: stored.check,
+            };
             assert_eq!(decode(corrupted), ReadOutcome::DoubleError, "({a},{b})");
         }
     }

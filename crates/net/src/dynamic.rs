@@ -100,7 +100,11 @@ pub enum Arbitration {
 #[derive(Debug)]
 enum Event {
     /// Packet `idx` is ready to depart its `hop`-th link.
-    Forward { idx: usize, hop: usize, at_tsp: TspId },
+    Forward {
+        idx: usize,
+        hop: usize,
+        at_tsp: TspId,
+    },
     /// `link` finished serializing a packet; arbitrate its waiters.
     LinkFree { link: LinkId },
 }
@@ -160,7 +164,13 @@ fn choose_route<R: Rng>(
 /// model. All randomness comes from `rng` — two runs with the same seed
 /// agree, two seeds model two real-world executions and generally do not.
 pub fn simulate<R: Rng>(topo: &Topology, offered: &[OfferedPacket], rng: &mut R) -> DynamicRun {
-    simulate_with(topo, offered, RoutingPolicy::Minimal, Arbitration::Fifo, rng)
+    simulate_with(
+        topo,
+        offered,
+        RoutingPolicy::Minimal,
+        Arbitration::Fifo,
+        rng,
+    )
 }
 
 /// [`simulate`] with explicit routing and arbitration policies.
@@ -184,7 +194,14 @@ pub fn simulate_with<R: Rng>(
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (idx, p) in offered.iter().enumerate() {
-        queue.push(p.inject, Event::Forward { idx, hop: 0, at_tsp: p.src });
+        queue.push(
+            p.inject,
+            Event::Forward {
+                idx,
+                hop: 0,
+                at_tsp: p.src,
+            },
+        );
     }
 
     while let Some((now, event)) = queue.pop() {
@@ -193,7 +210,14 @@ pub fn simulate_with<R: Rng>(
                 if hop == 0 && paths[idx].is_none() {
                     let p = &offered[idx];
                     paths[idx] = Some(choose_route(
-                        topo, p, routing, slot, &busy_until, &waiting, rng, now,
+                        topo,
+                        p,
+                        routing,
+                        slot,
+                        &busy_until,
+                        &waiting,
+                        rng,
+                        now,
                     ));
                 }
                 let path = paths[idx].as_ref().expect("route chosen at injection");
@@ -212,13 +236,24 @@ pub fn simulate_with<R: Rng>(
                     waiting.entry(link).or_default().push((idx, hop, at_tsp));
                 } else {
                     serve(
-                        topo, offered, &paths, idx, hop, at_tsp, now, slot, &mut busy_until,
-                        &mut queue, rng,
+                        topo,
+                        offered,
+                        &paths,
+                        idx,
+                        hop,
+                        at_tsp,
+                        now,
+                        slot,
+                        &mut busy_until,
+                        &mut queue,
+                        rng,
                     );
                 }
             }
             Event::LinkFree { link } => {
-                let Some(q) = waiting.get_mut(&link) else { continue };
+                let Some(q) = waiting.get_mut(&link) else {
+                    continue;
+                };
                 if q.is_empty() {
                     continue;
                 }
@@ -235,15 +270,27 @@ pub fn simulate_with<R: Rng>(
                 };
                 let (idx, hop, at_tsp) = q.remove(pick);
                 serve(
-                    topo, offered, &paths, idx, hop, at_tsp, now, slot, &mut busy_until,
-                    &mut queue, rng,
+                    topo,
+                    offered,
+                    &paths,
+                    idx,
+                    hop,
+                    at_tsp,
+                    now,
+                    slot,
+                    &mut busy_until,
+                    &mut queue,
+                    rng,
                 );
             }
         }
     }
 
     DynamicRun {
-        delivered: delivered.into_iter().map(|d| d.expect("all packets delivered")).collect(),
+        delivered: delivered
+            .into_iter()
+            .map(|d| d.expect("all packets delivered"))
+            .collect(),
     }
 }
 
@@ -270,7 +317,14 @@ fn serve<R: Rng>(
     let wire = LatencyModel::for_class(topo.link(link).class).sample(rng);
     let next_tsp = topo.link(link).other_end(at_tsp);
     let _ = offered;
-    queue.push(now + slot + wire, Event::Forward { idx, hop: hop + 1, at_tsp: next_tsp });
+    queue.push(
+        now + slot + wire,
+        Event::Forward {
+            idx,
+            hop: hop + 1,
+            at_tsp: next_tsp,
+        },
+    );
     now + slot + wire
 }
 
@@ -284,7 +338,12 @@ pub fn incast_traffic(topo: &Topology, dst: TspId, per_source: u32) -> Vec<Offer
             continue;
         }
         for k in 0..per_source {
-            out.push(OfferedPacket { id, src, dst, inject: k as u64 });
+            out.push(OfferedPacket {
+                id,
+                src,
+                dst,
+                inject: k as u64,
+            });
             id += 1;
         }
     }
@@ -301,13 +360,22 @@ mod tests {
     #[test]
     fn uncontended_packet_sees_wire_latency_only() {
         let topo = Topology::single_node();
-        let offered = [OfferedPacket { id: 0, src: TspId(0), dst: TspId(1), inject: 0 }];
+        let offered = [OfferedPacket {
+            id: 0,
+            src: TspId(0),
+            dst: TspId(1),
+            inject: 0,
+        }];
         let mut rng = StdRng::seed_from_u64(1);
         let run = simulate(&topo, &offered, &mut rng);
         let d = run.delivered[0];
         assert_eq!(d.hops, 1);
         // slot (24) + jittered latency (208..=228)
-        assert!(d.latency >= 24 + 208 && d.latency <= 24 + 228, "{}", d.latency);
+        assert!(
+            d.latency >= 24 + 208 && d.latency <= 24 + 228,
+            "{}",
+            d.latency
+        );
     }
 
     #[test]
@@ -364,7 +432,10 @@ mod tests {
             .collect();
         let mut rng = StdRng::seed_from_u64(3);
         let run = simulate(&topo, &offered, &mut rng);
-        assert!(run.latency_std() > 0.0, "dynamic network should show variance");
+        assert!(
+            run.latency_std() > 0.0,
+            "dynamic network should show variance"
+        );
     }
 
     #[test]
@@ -431,7 +502,12 @@ mod tests {
     #[test]
     fn mean_latency_sane_for_single_packet() {
         let topo = Topology::single_node();
-        let offered = [OfferedPacket { id: 0, src: TspId(2), dst: TspId(3), inject: 100 }];
+        let offered = [OfferedPacket {
+            id: 0,
+            src: TspId(2),
+            dst: TspId(3),
+            inject: 100,
+        }];
         let mut rng = StdRng::seed_from_u64(4);
         let run = simulate(&topo, &offered, &mut rng);
         assert_eq!(run.delivered.len(), 1);

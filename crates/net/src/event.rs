@@ -15,9 +15,13 @@ use std::collections::BinaryHeap;
 /// of the dynamic baseline expresses "oldest packet first".
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(u64, u64, u64, EventBox<E>)>>,
+    heap: BinaryHeap<Reverse<QueuedEvent<E>>>,
     next_seq: u64,
 }
+
+/// `(time, priority, sequence, event)` — the heap key that realizes the
+/// deterministic ordering contract above.
+type QueuedEvent<E> = (u64, u64, u64, EventBox<E>);
 
 // Wrapper so E doesn't need Ord; comparisons never reach the payload.
 #[derive(Debug)]
@@ -49,7 +53,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` at `time` with default priority.
@@ -62,13 +69,16 @@ impl<E> EventQueue<E> {
     pub fn push_prioritized(&mut self, time: u64, priority: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse((time, priority, seq, EventBox(event))));
+        self.heap
+            .push(Reverse((time, priority, seq, EventBox(event))));
     }
 
     /// Pops the earliest event, ties broken by priority then insertion
     /// order.
     pub fn pop(&mut self) -> Option<(u64, E)> {
-        self.heap.pop().map(|Reverse((t, _, _, EventBox(e)))| (t, e))
+        self.heap
+            .pop()
+            .map(|Reverse((t, _, _, EventBox(e)))| (t, e))
     }
 
     /// Time of the next event without removing it.

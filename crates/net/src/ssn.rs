@@ -92,7 +92,11 @@ pub enum SsnError {
 impl std::fmt::Display for SsnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SsnError::LinkConflict { link, a_start, b_start } => write!(
+            SsnError::LinkConflict {
+                link,
+                a_start,
+                b_start,
+            } => write!(
                 f,
                 "link {:?} double-booked: reservations at {a_start} and {b_start}",
                 link
@@ -269,7 +273,10 @@ pub fn waterfill(latencies: &[u64], slot: u64, vectors: u64) -> Vec<u64> {
     // Σᵢ ⌊(T − latᵢ)/slot⌋ covers the flits (O(K log) — gigabyte tensors
     // schedule as fast as kilobyte ones).
     let capacity = |t: u64| -> u64 {
-        latencies.iter().map(|&l| if t > l { (t - l) / slot } else { 0 }).sum()
+        latencies
+            .iter()
+            .map(|&l| if t > l { (t - l) / slot } else { 0 })
+            .sum()
     };
     let min_lat = *latencies.iter().min().expect("k >= 1");
     let mut lo = min_lat;
@@ -410,7 +417,10 @@ mod tests {
         let mut occ2 = LinkOccupancy::new();
         let s100 = occ2.schedule_transfer(&topo, &path, 100, 0).unwrap();
         // 99 extra vectors add exactly 99 serialization slots.
-        assert_eq!(s100.last_arrival, s1.last_arrival + 99 * vector_slot_cycles());
+        assert_eq!(
+            s100.last_arrival,
+            s1.last_arrival + 99 * vector_slot_cycles()
+        );
         validate(occ2.reservations()).unwrap();
     }
 
@@ -444,7 +454,9 @@ mod tests {
         let paths = edge_disjoint_paths(&topo, TspId(0), TspId(1), 7);
         let vectors = 1000; // 320 KB tensor
         let mut single = LinkOccupancy::new();
-        let s = single.schedule_transfer(&topo, &paths[0], vectors, 0).unwrap();
+        let s = single
+            .schedule_transfer(&topo, &paths[0], vectors, 0)
+            .unwrap();
         let mut spread = LinkOccupancy::new();
         let shards = spread.schedule_spread(&topo, &paths, vectors, 0).unwrap();
         let spread_done = completion(&shards);
@@ -475,8 +487,11 @@ mod tests {
         assert_eq!(n.iter().sum::<u64>(), 60);
         // Path 0 gets its 200-cycle head start worth of extra flits (20).
         assert!(n[0] > n[1]);
-        let finish: Vec<u64> =
-            latencies.iter().zip(&n).map(|(&l, &k)| l + k * 10).collect();
+        let finish: Vec<u64> = latencies
+            .iter()
+            .zip(&n)
+            .map(|(&l, &k)| l + k * 10)
+            .collect();
         let spread = finish.iter().max().unwrap() - finish.iter().min().unwrap();
         assert!(spread <= 10, "finishes {finish:?}");
     }
@@ -489,10 +504,18 @@ mod tests {
     #[test]
     fn validate_catches_forged_conflicts() {
         let res = |start, transfer, from| Reservation {
-            link: LinkId(0), from: TspId(from), start, transfer, vectors: 1, hop: 0,
+            link: LinkId(0),
+            from: TspId(from),
+            start,
+            transfer,
+            vectors: 1,
+            hop: 0,
         };
         // Same direction, overlapping: conflict.
-        assert!(matches!(validate(&[res(0, 0, 0), res(5, 1, 0)]), Err(SsnError::LinkConflict { .. })));
+        assert!(matches!(
+            validate(&[res(0, 0, 0), res(5, 1, 0)]),
+            Err(SsnError::LinkConflict { .. })
+        ));
         // Same direction, back-to-back: fine.
         assert!(validate(&[res(0, 0, 0), res(24, 1, 0)]).is_ok());
         // Opposite directions, overlapping: full duplex, fine.
@@ -539,7 +562,11 @@ mod tests {
         assert_eq!(s.first_inject, s.hop_starts[0]);
         // local transfers have no hops to report
         let local = shortest_path(&topo, TspId(3), TspId(3)).unwrap();
-        assert!(occ.schedule_transfer(&topo, &local, 4, 0).unwrap().hop_starts.is_empty());
+        assert!(occ
+            .schedule_transfer(&topo, &local, 4, 0)
+            .unwrap()
+            .hop_starts
+            .is_empty());
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub fn align_pair<R: Rng>(
             converged_after = Some(i + 1);
         }
     }
-    AlignmentTrace { errors, converged_after }
+    AlignmentTrace {
+        errors,
+        converged_after,
+    }
 }
 
 /// A spanning tree of parent/child HAC relationships over the topology
@@ -136,7 +139,12 @@ impl SpanningTree {
                 queue.push_back(peer);
             }
         }
-        SpanningTree { root, parent, depth, height }
+        SpanningTree {
+            root,
+            parent,
+            depth,
+            height,
+        }
     }
 
     /// Number of TSPs reached by the tree (all, unless nodes failed).
@@ -185,7 +193,9 @@ impl InitialAlignment {
 
 /// Convenience: the minimal-hop route used for discussion in docs/tests.
 pub fn tree_route_hops(topo: &Topology, from: TspId, to: TspId) -> usize {
-    route::shortest_path(topo, from, to).map(|p| p.hops()).unwrap_or(usize::MAX)
+    route::shortest_path(topo, from, to)
+        .map(|p| p.hops())
+        .unwrap_or(usize::MAX)
 }
 
 #[cfg(test)]
@@ -205,7 +215,11 @@ mod tests {
         for link in 0..7 {
             let s = characterize_link(&model, 100_000, &mut rng);
             assert!(s.min >= 208 && s.min <= 212, "link {link}: min {}", s.min);
-            assert!(s.mean > 215.5 && s.mean < 218.0, "link {link}: mean {}", s.mean);
+            assert!(
+                s.mean > 215.5 && s.mean < 218.0,
+                "link {link}: mean {}",
+                s.mean
+            );
             assert!(s.max >= 222 && s.max <= 229, "link {link}: max {}", s.max);
             assert!(s.std > 1.5 && s.std < 3.1, "link {link}: std {}", s.std);
         }
@@ -228,7 +242,10 @@ mod tests {
         assert!(converged < 100, "took {converged} exchanges");
         // After convergence the error stays bounded by the jitter window.
         let tail = &trace.errors[converged..];
-        assert!(tail.iter().all(|&e| e <= 14.0), "tail error too large: {tail:?}");
+        assert!(
+            tail.iter().all(|&e| e <= 14.0),
+            "tail error too large: {tail:?}"
+        );
     }
 
     #[test]
@@ -236,9 +253,11 @@ mod tests {
         let link = LatencyModel::for_class(CableClass::IntraNode);
         for ppm in [-100.0, -10.0, 10.0, 100.0] {
             let mut rng = StdRng::seed_from_u64(9);
-            let trace =
-                align_pair(&link, 217, LocalClock::with_ppm(ppm), 50, 4, 300, &mut rng);
-            assert!(trace.converged_after.is_some(), "ppm {ppm} failed to converge");
+            let trace = align_pair(&link, 217, LocalClock::with_ppm(ppm), 50, 4, 300, &mut rng);
+            assert!(
+                trace.converged_after.is_some(),
+                "ppm {ppm} failed to converge"
+            );
         }
     }
 

@@ -28,7 +28,9 @@ impl LocalClock {
     /// Draws a clock uniformly within ±`max_ppm` (typical C2C deployments
     /// specify ±100 ppm oscillators).
     pub fn random<R: Rng>(max_ppm: f64, rng: &mut R) -> Self {
-        LocalClock { ppm: rng.gen_range(-max_ppm..=max_ppm) }
+        LocalClock {
+            ppm: rng.gen_range(-max_ppm..=max_ppm),
+        }
     }
 
     /// Local cycles elapsed while `global_cycles` reference cycles pass.

@@ -24,7 +24,10 @@ pub struct AlignedCounter {
 impl AlignedCounter {
     /// A counter starting at `value` (reduced mod the period).
     pub fn starting_at(value: u64) -> Self {
-        AlignedCounter { value: value % HAC_PERIOD, epochs: 0 }
+        AlignedCounter {
+            value: value % HAC_PERIOD,
+            epochs: 0,
+        }
     }
 
     /// Current value in `[0, HAC_PERIOD)`.
@@ -142,7 +145,10 @@ mod tests {
     fn signed_mod_difference_range() {
         for raw in -600..600 {
             let d = signed_mod_difference(raw);
-            assert!(d > -(HAC_PERIOD as i64) / 2 && d <= HAC_PERIOD as i64 / 2, "raw {raw} -> {d}");
+            assert!(
+                d > -(HAC_PERIOD as i64) / 2 && d <= HAC_PERIOD as i64 / 2,
+                "raw {raw} -> {d}"
+            );
             assert_eq!((raw - d).rem_euclid(HAC_PERIOD as i64), 0);
         }
     }

@@ -44,9 +44,9 @@ pub fn simulate_tree_alignment<R: Rng>(
     let mut clocks = vec![LocalClock::reference(); n];
     let mut hacs: Vec<AlignedCounter> = Vec::with_capacity(n);
     let mut residue = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, clock) in clocks.iter_mut().enumerate() {
         if TspId(i as u32) != root {
-            clocks[i] = LocalClock::random(max_ppm, rng);
+            *clock = LocalClock::random(max_ppm, rng);
         }
         hacs.push(AlignedCounter::starting_at(rng.gen_range(0..HAC_PERIOD)));
     }
@@ -54,9 +54,7 @@ pub fn simulate_tree_alignment<R: Rng>(
 
     // Per-edge latency models and characterized means.
     let edge_models: Vec<Option<LatencyModel>> = (0..n)
-        .map(|i| {
-            tree.parent[i].map(|(_, lid)| LatencyModel::for_class(topo.link(lid).class))
-        })
+        .map(|i| tree.parent[i].map(|(_, lid)| LatencyModel::for_class(topo.link(lid).class)))
         .collect();
 
     // Neighborhood: per-edge jitter half-window accumulates down the tree.
@@ -76,15 +74,16 @@ pub fn simulate_tree_alignment<R: Rng>(
     for round in 0..rounds {
         // Clocks advance one exchange interval.
         for i in 0..n {
-            let local =
-                clocks[i].local_elapsed(HAC_EXCHANGE_INTERVAL as f64) + residue[i];
+            let local = clocks[i].local_elapsed(HAC_EXCHANGE_INTERVAL as f64) + residue[i];
             let whole = local.floor();
             residue[i] = local - whole;
             hacs[i].advance(whole as u64);
         }
         // Each child observes its parent's HAC and adjusts.
         for &i in &order {
-            let Some((parent, _)) = tree.parent[i] else { continue };
+            let Some((parent, _)) = tree.parent[i] else {
+                continue;
+            };
             let model = edge_models[i].as_ref().expect("edge model for child");
             let transmitted = hacs[parent.index()].value();
             let actual_latency = model.sample(rng);
@@ -103,7 +102,11 @@ pub fn simulate_tree_alignment<R: Rng>(
             converged_after = Some(round + 1);
         }
     }
-    TreeAlignmentTrace { max_errors, converged_after, neighborhood }
+    TreeAlignmentTrace {
+        max_errors,
+        converged_after,
+        neighborhood,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +125,10 @@ mod tests {
         assert!(c < 200, "took {c} rounds");
         // skew stays bounded after convergence
         let tail = &trace.max_errors[c..];
-        assert!(tail.iter().all(|&e| e <= trace.neighborhood * 1.5), "{tail:?}");
+        assert!(
+            tail.iter().all(|&e| e <= trace.neighborhood * 1.5),
+            "{tail:?}"
+        );
     }
 
     #[test]
@@ -130,7 +136,10 @@ mod tests {
         let topo = Topology::fully_connected_nodes(4).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let trace = simulate_tree_alignment(&topo, TspId(0), 100.0, 4, 400, &mut rng);
-        assert!(trace.converged_after.is_some(), "32 TSPs over ≤3-hop tree must converge");
+        assert!(
+            trace.converged_after.is_some(),
+            "32 TSPs over ≤3-hop tree must converge"
+        );
     }
 
     #[test]

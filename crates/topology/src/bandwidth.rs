@@ -18,8 +18,7 @@
 
 use crate::build::links_per_rack_pair;
 use crate::{
-    GLOBAL_LINKS_PER_TSP, LOCAL_LINKS_PER_TSP, MAX_FULL_CONNECT_NODES, TSPS_PER_NODE,
-    TSPS_PER_RACK,
+    GLOBAL_LINKS_PER_TSP, LOCAL_LINKS_PER_TSP, MAX_FULL_CONNECT_NODES, TSPS_PER_NODE, TSPS_PER_RACK,
 };
 
 /// Payload bandwidth of one C2C link direction at the deployed 25 Gbps lane
@@ -92,7 +91,10 @@ pub fn bandwidth_profile() -> Vec<ProfilePoint> {
     }
     sizes
         .into_iter()
-        .map(|tsps| ProfilePoint { tsps, gbs_per_tsp: global_bandwidth_per_tsp_gbs(tsps) })
+        .map(|tsps| ProfilePoint {
+            tsps,
+            gbs_per_tsp: global_bandwidth_per_tsp_gbs(tsps),
+        })
         .collect()
 }
 

@@ -81,7 +81,10 @@ impl Topology {
     /// global ports evenly.
     pub fn fully_connected_nodes(n_nodes: usize) -> Result<Topology, TopologyError> {
         if n_nodes < 2 {
-            return Err(TopologyError::TooFew { what: "nodes", min: 2 });
+            return Err(TopologyError::TooFew {
+                what: "nodes",
+                min: 2,
+            });
         }
         if n_nodes > MAX_FULL_CONNECT_NODES {
             return Err(TopologyError::TooManyNodes {
@@ -130,7 +133,10 @@ impl Topology {
     /// have at most 5 hops (2 + 1 + 2).
     pub fn rack_dragonfly(n_racks: usize) -> Result<Topology, TopologyError> {
         if n_racks < 2 {
-            return Err(TopologyError::TooFew { what: "racks", min: 2 });
+            return Err(TopologyError::TooFew {
+                what: "racks",
+                min: 2,
+            });
         }
         if n_racks > MAX_RACKS {
             return Err(TopologyError::TooManyRacks { requested: n_racks });
@@ -250,8 +256,18 @@ mod tests {
     fn assert_ports_unique(topo: &Topology) {
         let mut used = HashSet::new();
         for l in topo.links() {
-            assert!(used.insert((l.a, l.a_port)), "port reused: {:?} {}", l.a, l.a_port);
-            assert!(used.insert((l.b, l.b_port)), "port reused: {:?} {}", l.b, l.b_port);
+            assert!(
+                used.insert((l.a, l.a_port)),
+                "port reused: {:?} {}",
+                l.a,
+                l.a_port
+            );
+            assert!(
+                used.insert((l.b, l.b_port)),
+                "port reused: {:?} {}",
+                l.b,
+                l.b_port
+            );
         }
     }
 
@@ -318,9 +334,13 @@ mod tests {
         assert_ports_unique(&topo);
         let globals = topo.links().iter().filter(|l| l.is_global()).count();
         assert_eq!(globals, 32); // 32 parallel links between the two nodes
-        // every TSP's 4 global ports are in use
+                                 // every TSP's 4 global ports are in use
         for t in topo.tsps() {
-            let g = topo.neighbors(t).iter().filter(|&&(lid, _)| topo.link(lid).is_global()).count();
+            let g = topo
+                .neighbors(t)
+                .iter()
+                .filter(|&&(lid, _)| topo.link(lid).is_global())
+                .count();
             assert_eq!(g, 4);
         }
     }
@@ -346,9 +366,21 @@ mod tests {
         assert_eq!(topo.num_tsps(), 144);
         assert_ports_unique(&topo);
         assert_port_ranges(&topo);
-        let intra_node = topo.links().iter().filter(|l| l.class == CableClass::IntraNode).count();
-        let intra_rack = topo.links().iter().filter(|l| l.class == CableClass::IntraRack).count();
-        let inter_rack = topo.links().iter().filter(|l| l.class == CableClass::InterRack).count();
+        let intra_node = topo
+            .links()
+            .iter()
+            .filter(|l| l.class == CableClass::IntraNode)
+            .count();
+        let intra_rack = topo
+            .links()
+            .iter()
+            .filter(|l| l.class == CableClass::IntraRack)
+            .count();
+        let inter_rack = topo
+            .links()
+            .iter()
+            .filter(|l| l.class == CableClass::InterRack)
+            .count();
         assert_eq!(intra_node, 18 * 28);
         // per rack: C(9,2)=36 pairs x 2 copies = 72; two racks = 144
         assert_eq!(intra_rack, 144);
@@ -361,7 +393,11 @@ mod tests {
         assert_eq!(links_per_rack_pair(MAX_RACKS), 1);
         let topo = Topology::rack_dragonfly(MAX_RACKS).unwrap();
         assert_eq!(topo.num_tsps(), crate::MAX_TSPS);
-        let inter_rack = topo.links().iter().filter(|l| l.class == CableClass::InterRack).count();
+        let inter_rack = topo
+            .links()
+            .iter()
+            .filter(|l| l.class == CableClass::InterRack)
+            .count();
         // all-to-all between 145 racks, one link per pair
         assert_eq!(inter_rack, 145 * 144 / 2);
         assert_ports_unique(&topo);

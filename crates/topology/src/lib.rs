@@ -61,7 +61,9 @@ pub const MAX_TSPS: usize = MAX_RACKS * TSPS_PER_RACK;
 pub const INTRA_NODE_CABLES: usize = TSPS_PER_NODE * (TSPS_PER_NODE - 1) / 2;
 
 /// Identifier of one TSP in the system (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct TspId(pub u32);
 
 impl TspId {
@@ -277,10 +279,16 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::TooManyNodes { requested, max } => {
-                write!(f, "{requested} nodes requested, regime supports at most {max}")
+                write!(
+                    f,
+                    "{requested} nodes requested, regime supports at most {max}"
+                )
             }
             TopologyError::TooManyRacks { requested } => {
-                write!(f, "{requested} racks requested, maximum configuration is {MAX_RACKS}")
+                write!(
+                    f,
+                    "{requested} racks requested, maximum configuration is {MAX_RACKS}"
+                )
             }
             TopologyError::TooFew { what, min } => write!(f, "need at least {min} {what}"),
             TopologyError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
@@ -330,7 +338,14 @@ impl Topology {
         for v in &mut adj {
             v.sort_by_key(|&(lid, peer)| (peer, lid));
         }
-        Topology { regime, num_tsps, links, adj, ports, failed_nodes: Vec::new() }
+        Topology {
+            regime,
+            num_tsps,
+            links,
+            adj,
+            ports,
+            failed_nodes: Vec::new(),
+        }
     }
 
     /// The scale regime this topology was built in.
@@ -468,7 +483,13 @@ mod tests {
 
     #[test]
     fn link_other_end_and_touches() {
-        let l = Link { a: TspId(0), a_port: 0, b: TspId(1), b_port: 0, class: CableClass::IntraNode };
+        let l = Link {
+            a: TspId(0),
+            a_port: 0,
+            b: TspId(1),
+            b_port: 0,
+            class: CableClass::IntraNode,
+        };
         assert_eq!(l.other_end(TspId(0)), TspId(1));
         assert_eq!(l.other_end(TspId(1)), TspId(0));
         assert!(l.touches(TspId(0)) && l.touches(TspId(1)) && !l.touches(TspId(2)));
@@ -478,7 +499,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not an endpoint")]
     fn other_end_panics_for_stranger() {
-        let l = Link { a: TspId(0), a_port: 0, b: TspId(1), b_port: 0, class: CableClass::IntraNode };
+        let l = Link {
+            a: TspId(0),
+            a_port: 0,
+            b: TspId(1),
+            b_port: 0,
+            class: CableClass::IntraNode,
+        };
         l.other_end(TspId(5));
     }
 
@@ -487,8 +514,14 @@ mod tests {
         let topo = Topology::single_node();
         for l in topo.links() {
             let lid = topo.links().iter().position(|x| x == l).unwrap();
-            assert_eq!(topo.port_peer(l.a, l.a_port), Some((LinkId(lid as u32), l.b, l.b_port)));
-            assert_eq!(topo.port_peer(l.b, l.b_port), Some((LinkId(lid as u32), l.a, l.a_port)));
+            assert_eq!(
+                topo.port_peer(l.a, l.a_port),
+                Some((LinkId(lid as u32), l.b, l.b_port))
+            );
+            assert_eq!(
+                topo.port_peer(l.b, l.b_port),
+                Some((LinkId(lid as u32), l.a, l.a_port))
+            );
             assert_eq!(topo.link_on_port(l.a, l.a_port), Some(LinkId(lid as u32)));
         }
         // single node: global ports 7..11 are unwired

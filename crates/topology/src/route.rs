@@ -47,7 +47,10 @@ impl Path {
     /// Sum of base cable latencies along the path, in core cycles,
     /// excluding per-hop switching time.
     pub fn wire_latency_cycles(&self, topo: &Topology) -> u64 {
-        self.links.iter().map(|&l| topo.link(l).class.base_latency_cycles()).sum()
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).class.base_latency_cycles())
+            .sum()
     }
 }
 
@@ -67,7 +70,10 @@ pub fn shortest_path_avoiding(
     excluded: &HashSet<LinkId>,
 ) -> Result<Path, TopologyError> {
     if from == to {
-        return Ok(Path { links: Vec::new(), tsps: vec![from] });
+        return Ok(Path {
+            links: Vec::new(),
+            tsps: vec![from],
+        });
     }
     let n = topo.num_tsps();
     // prev[t] = (link, predecessor) on the BFS tree.
@@ -190,7 +196,10 @@ pub fn chassis_diameter_bound(topo: &Topology) -> usize {
 /// Number of inter-node cables (intra-rack or inter-rack class) on a path —
 /// the paper's chassis-level hop count.
 pub fn inter_node_hops(topo: &Topology, path: &Path) -> usize {
-    path.links.iter().filter(|&&l| topo.link(l).is_global()).count()
+    path.links
+        .iter()
+        .filter(|&&l| topo.link(l).is_global())
+        .count()
 }
 
 #[cfg(test)]
@@ -239,7 +248,10 @@ mod tests {
         // Chassis-level hops stay within the paper's 5-hop budget: check a
         // far pair (rack 0 -> rack 2).
         let p = shortest_path(&topo, TspId(0), TspId(2 * 72 + 70)).unwrap();
-        assert!(inter_node_hops(&topo, &p) <= 3, "inter-node cables on minimal route");
+        assert!(
+            inter_node_hops(&topo, &p) <= 3,
+            "inter-node cables on minimal route"
+        );
         assert!(p.hops() <= 7);
     }
 
@@ -316,6 +328,9 @@ mod tests {
         // Full 10,440-TSP system: one BFS is cheap enough even in debug.
         let topo = Topology::rack_dragonfly(crate::MAX_RACKS).unwrap();
         let e = eccentricity(&topo, TspId(0));
-        assert!(e <= 7, "max-config eccentricity {e} exceeds the TSP-level bound");
+        assert!(
+            e <= 7,
+            "max-config eccentricity {e} exceeds the TSP-level bound"
+        );
     }
 }

@@ -46,12 +46,26 @@ pub struct BertConfig {
 impl BertConfig {
     /// BERT-Base: 12 × hidden 768.
     pub fn base() -> Self {
-        BertConfig { encoders: 12, hidden: 768, intermediate: 3072, heads: 12, seq: 384, batch: 1 }
+        BertConfig {
+            encoders: 12,
+            hidden: 768,
+            intermediate: 3072,
+            heads: 12,
+            seq: 384,
+            batch: 1,
+        }
     }
 
     /// BERT-Large: 24 × hidden 1024.
     pub fn large() -> Self {
-        BertConfig { encoders: 24, hidden: 1024, intermediate: 4096, heads: 16, seq: 384, batch: 1 }
+        BertConfig {
+            encoders: 24,
+            hidden: 1024,
+            intermediate: 4096,
+            heads: 16,
+            seq: 384,
+            batch: 1,
+        }
     }
 
     /// A named variant.
@@ -64,7 +78,10 @@ impl BertConfig {
 
     /// The Fig 18 scaling family: BERT-Large-shaped encoders, `n` of them.
     pub fn with_encoders(n: usize) -> Self {
-        BertConfig { encoders: n, ..Self::large() }
+        BertConfig {
+            encoders: n,
+            ..Self::large()
+        }
     }
 
     /// The GEMMs of one encoder: Q/K/V/output projections, the two
@@ -104,8 +121,11 @@ impl BertConfig {
     /// MXM cycles of one encoder, plus a 10 % VXM/SXM allowance for
     /// layernorm, softmax, residuals and transposes.
     pub fn encoder_cycles(&self) -> u64 {
-        let mxm: u64 =
-            self.encoder_gemms().iter().map(|g| gemm_timing(*g, ElemType::F16).cycles).sum();
+        let mxm: u64 = self
+            .encoder_gemms()
+            .iter()
+            .map(|g| gemm_timing(*g, ElemType::F16).cycles)
+            .sum();
         mxm + mxm / 10
     }
 
@@ -149,7 +169,10 @@ impl BertConfig {
     /// # Panics
     /// Panics unless `n_tsps` divides the encoder count.
     pub fn build_pipeline_graph(&self, n_tsps: usize) -> Graph {
-        assert!(n_tsps >= 1 && self.encoders % n_tsps == 0, "encoders must split evenly");
+        assert!(
+            n_tsps >= 1 && self.encoders.is_multiple_of(n_tsps),
+            "encoders must split evenly"
+        );
         let per_stage = self.encoders / n_tsps;
         let mut g = Graph::new();
         let (in_bytes, out_bytes) = self.host_io_bytes();
@@ -160,7 +183,13 @@ impl BertConfig {
             let dev = TspId(stage as u32);
             for _ in 0..per_stage {
                 prev = g
-                    .add(dev, OpKind::Compute { cycles: self.encoder_cycles() }, vec![prev])
+                    .add(
+                        dev,
+                        OpKind::Compute {
+                            cycles: self.encoder_cycles(),
+                        },
+                        vec![prev],
+                    )
                     .expect("deps exist");
             }
             if stage + 1 < n_tsps {
@@ -177,8 +206,12 @@ impl BertConfig {
                     .expect("deps exist");
             }
         }
-        g.add(TspId(n_tsps as u32 - 1), OpKind::HostOutput { bytes: out_bytes }, vec![prev])
-            .expect("deps exist");
+        g.add(
+            TspId(n_tsps as u32 - 1),
+            OpKind::HostOutput { bytes: out_bytes },
+            vec![prev],
+        )
+        .expect("deps exist");
         g
     }
 }
@@ -258,7 +291,9 @@ mod tests {
         let run = || {
             let g = BertConfig::large().build_pipeline_graph(4);
             let topo = Topology::single_node();
-            compile(&g, &topo, CompileOptions::default()).unwrap().span_cycles
+            compile(&g, &topo, CompileOptions::default())
+                .unwrap()
+                .span_cycles
         };
         assert_eq!(run(), run());
     }

@@ -57,9 +57,9 @@ impl CholeskyPlan {
         let mut total = 0u64;
         for i in 0..self.p {
             let r = self.p - i; // trailing column length
-            // Parallel part: the vector-matrix product generating the
-            // update vector. [r × i]×[i × 1] on the MXM: r·⌈i/160⌉ sub-ops
-            // at 2/cycle, row blocks divided block-cyclically over k TSPs.
+                                // Parallel part: the vector-matrix product generating the
+                                // update vector. [r × i]×[i × 1] on the MXM: r·⌈i/160⌉ sub-ops
+                                // at 2/cycle, row blocks divided block-cyclically over k TSPs.
             let tiles = i.div_ceil(160).max(1);
             let rows_here = r.div_ceil(k); // worst-owner share
             let mxm = (rows_here * tiles).div_ceil(2);
@@ -172,7 +172,10 @@ mod tests {
         let t1 = CholeskyPlan::new(2048, 1).seconds();
         let t2 = CholeskyPlan::new(4096, 1).seconds();
         let ratio = t2 / t1;
-        assert!(ratio > 5.0 && ratio < 9.0, "doubling p should ~7x time, got {ratio}");
+        assert!(
+            ratio > 5.0 && ratio < 9.0,
+            "doubling p should ~7x time, got {ratio}"
+        );
     }
 
     #[test]

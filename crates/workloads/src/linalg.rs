@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a function of (row, col).
@@ -74,7 +78,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -161,7 +170,9 @@ pub fn allreduce_sum(buffers: &[Vec<f64>]) -> Vec<f64> {
     assert!(!buffers.is_empty());
     let len = buffers[0].len();
     assert!(buffers.iter().all(|b| b.len() == len));
-    (0..len).map(|i| buffers.iter().map(|b| b[i]).sum()).collect()
+    (0..len)
+        .map(|i| buffers.iter().map(|b| b[i]).sum())
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,8 +188,16 @@ mod tests {
 
     #[test]
     fn matmul_known_values() {
-        let a = Matrix { rows: 2, cols: 2, data: vec![1.0, 2.0, 3.0, 4.0] };
-        let b = Matrix { rows: 2, cols: 2, data: vec![5.0, 6.0, 7.0, 8.0] };
+        let a = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let b = Matrix {
+            rows: 2,
+            cols: 2,
+            data: vec![5.0, 6.0, 7.0, 8.0],
+        };
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
     }
@@ -190,8 +209,10 @@ mod tests {
         let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f64);
         let b = Matrix::from_fn(6, 9, |r, c| (r as f64 - c as f64) * 0.5);
         let full = a.matmul(&b);
-        let parts: Vec<Matrix> =
-            [(0, 3), (3, 6), (6, 9)].iter().map(|&(lo, hi)| a.matmul(&b.col_slice(lo, hi))).collect();
+        let parts: Vec<Matrix> = [(0, 3), (3, 6), (6, 9)]
+            .iter()
+            .map(|&(lo, hi)| a.matmul(&b.col_slice(lo, hi)))
+            .collect();
         let recomposed = Matrix::hcat(&parts);
         assert!(full.max_abs_diff(&recomposed) < 1e-12);
     }

@@ -31,7 +31,12 @@ pub struct LstmConfig {
 impl LstmConfig {
     /// A representative translation-model stack (4 × 1024, seq 64).
     pub fn translation() -> Self {
-        LstmConfig { hidden: 1024, layers: 4, seq_len: 64, batch: 1 }
+        LstmConfig {
+            hidden: 1024,
+            layers: 4,
+            seq_len: 64,
+            batch: 1,
+        }
     }
 
     /// The two GEMMs of one time step of one layer: the input projection
@@ -47,8 +52,11 @@ impl LstmConfig {
     /// MXM cycles of one time step of one layer, plus a gate-ALU pass
     /// (sigmoid/tanh/elementwise on the VXM, ~4·H/80 vector ops).
     pub fn step_cycles(&self) -> u64 {
-        let mxm: u64 =
-            self.step_gemms().iter().map(|&g| gemm_timing(g, ElemType::F16).cycles).sum();
+        let mxm: u64 = self
+            .step_gemms()
+            .iter()
+            .map(|&g| gemm_timing(g, ElemType::F16).cycles)
+            .sum();
         let vxm = 4 * self.hidden * self.batch / 80 + 16;
         mxm + vxm
     }
@@ -87,26 +95,35 @@ impl LstmConfig {
     /// # Panics
     /// Panics unless `n_tsps` divides the layer count.
     pub fn build_pipeline_graph(&self, n_tsps: usize) -> Graph {
-        assert!(n_tsps >= 1 && self.layers % n_tsps == 0, "layers must split evenly");
+        assert!(
+            n_tsps >= 1 && self.layers.is_multiple_of(n_tsps),
+            "layers must split evenly"
+        );
         let per_stage = self.layers / n_tsps;
         let mut g = Graph::new();
         // op handle of the previous step's output per stage (loop-carried)
         let mut stage_state: Vec<Option<tsm_compiler::graph::OpId>> = vec![None; n_tsps];
         for _t in 0..self.seq_len {
             let mut carried = None; // inter-stage activation for this step
-            for stage in 0..n_tsps {
+            for (stage, state) in stage_state.iter_mut().enumerate() {
                 let dev = TspId(stage as u32);
                 let mut deps = Vec::new();
-                if let Some(prev) = stage_state[stage] {
+                if let Some(prev) = *state {
                     deps.push(prev); // recurrent dependence h_{t-1}
                 }
                 if let Some(c) = carried {
                     deps.push(c); // this step's input from the stage below
                 }
                 let compute = g
-                    .add(dev, OpKind::Compute { cycles: self.step_cycles() * per_stage as u64 }, deps)
+                    .add(
+                        dev,
+                        OpKind::Compute {
+                            cycles: self.step_cycles() * per_stage as u64,
+                        },
+                        deps,
+                    )
                     .expect("valid deps");
-                stage_state[stage] = Some(compute);
+                *state = Some(compute);
                 if stage + 1 < n_tsps {
                     carried = Some(
                         g.add(
@@ -155,7 +172,12 @@ mod tests {
 
     #[test]
     fn pipeline_graph_compiles_and_respects_recurrence() {
-        let c = LstmConfig { hidden: 512, layers: 4, seq_len: 8, batch: 1 };
+        let c = LstmConfig {
+            hidden: 512,
+            layers: 4,
+            seq_len: 8,
+            batch: 1,
+        };
         let g = c.build_pipeline_graph(4);
         // per step: 4 computes + 3 transfers
         assert_eq!(g.len(), 8 * (4 + 3));
@@ -170,7 +192,12 @@ mod tests {
     fn pipelining_layers_hides_inter_stage_latency() {
         // With 4 stages, steady-state throughput is one step per stage
         // beat; the span should be far below 4x the single-device span.
-        let c = LstmConfig { hidden: 512, layers: 4, seq_len: 32, batch: 1 };
+        let c = LstmConfig {
+            hidden: 512,
+            layers: 4,
+            seq_len: 32,
+            batch: 1,
+        };
         let topo = Topology::single_node();
         let pipelined = compile(&c.build_pipeline_graph(4), &topo, CompileOptions::default())
             .unwrap()
@@ -179,7 +206,10 @@ mod tests {
             .unwrap()
             .span_cycles;
         // single-device: all 4 layers' compute serialize per step
-        assert!(pipelined < single + c.step_cycles() * 8, "pipelined {pipelined} vs single {single}");
+        assert!(
+            pipelined < single + c.step_cycles() * 8,
+            "pipelined {pipelined} vs single {single}"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn all_to_all(topo: &Topology, per_pair: u32, inject_interval: u64) -> Vec<O
 /// Nearest-neighbor ring: TSP `i` sends to `i+1 (mod n)` — the pipelined
 /// model-parallelism pattern (paper §4.4: "efficient nearest-neighbor
 /// communication ... for inference using pipelined model parallelism").
-pub fn nearest_neighbor(topo: &Topology, per_source: u32, inject_interval: u64) -> Vec<OfferedPacket> {
+pub fn nearest_neighbor(
+    topo: &Topology,
+    per_source: u32,
+    inject_interval: u64,
+) -> Vec<OfferedPacket> {
     let n = topo.num_tsps() as u32;
     let mut out = Vec::new();
     let mut id = 0;

@@ -26,7 +26,10 @@ pub struct TrainingConfig {
 impl TrainingConfig {
     /// BERT-Large pre-training-style setup.
     pub fn bert_large(local_batch: u64) -> Self {
-        TrainingConfig { model: BertConfig::large(), local_batch }
+        TrainingConfig {
+            model: BertConfig::large(),
+            local_batch,
+        }
     }
 
     /// Trainable parameter bytes (FP16) of the encoder stack: per encoder
@@ -56,7 +59,11 @@ impl TrainingConfig {
         } else {
             allreduce_hierarchical(topo, self.param_bytes())?
         };
-        Ok(TrainingStep { config: *self, replicas: topo.num_tsps(), comm })
+        Ok(TrainingStep {
+            config: *self,
+            replicas: topo.num_tsps(),
+            comm,
+        })
     }
 }
 
@@ -110,7 +117,11 @@ pub fn weak_scaling_sweep(
             Topology::fully_connected_nodes(n).expect("node count in regime")
         };
         let step = config.step(&topo)?;
-        out.push((topo.num_tsps(), step.throughput(), step.weak_scaling_efficiency()));
+        out.push((
+            topo.num_tsps(),
+            step.throughput(),
+            step.weak_scaling_efficiency(),
+        ));
     }
     Ok(out)
 }

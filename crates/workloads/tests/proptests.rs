@@ -1,12 +1,20 @@
 //! Property-based tests for the workload kernels' numerics and plans.
 
+// In offline dev environments the proptest stub's `proptest!` macro
+// expands to nothing, making the helpers and imports below look unused;
+// the real proptest uses all of them.
+#![allow(dead_code, unused_imports)]
+
 use proptest::prelude::*;
 use tsm_workloads::cholesky::CholeskyPlan;
 use tsm_workloads::linalg::{allreduce_sum, cholesky, Matrix};
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-4.0f64..4.0, rows * cols)
-        .prop_map(move |data| Matrix { rows, cols, data })
+    prop::collection::vec(-4.0f64..4.0, rows * cols).prop_map(move |data| Matrix {
+        rows,
+        cols,
+        data,
+    })
 }
 
 proptest! {

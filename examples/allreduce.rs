@@ -30,7 +30,10 @@ fn main() {
         );
         if !crossover_reported && a100 > tsp.bus_gbs {
             crossover_reported = true;
-            println!("{:>12}   ^ raw A100 overtakes on sheer pin bandwidth here", "");
+            println!(
+                "{:>12}   ^ raw A100 overtakes on sheer pin bandwidth here",
+                ""
+            );
         }
     }
     println!();

@@ -14,7 +14,9 @@ fn main() {
     let config = BertConfig::large();
     let graph = config.build_pipeline_graph(4);
     let system = System::single_node();
-    let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+    let program = system
+        .compile(&graph, CompileOptions::default())
+        .expect("compiles");
     let estimate_us = program.estimated_seconds() * 1e6;
     println!(
         "BERT-Large ({} encoders, hidden {}) on 4 TSPs",
@@ -40,8 +42,14 @@ fn main() {
 
     println!("runs: {RUNS}");
     println!("p50 {p50:.0} µs | p99 {p99:.0} µs | max {max:.0} µs");
-    println!("all runs return by the estimate: {}", max <= estimate_us + 0.5);
-    let within_2pct = reports.iter().filter(|r| r.estimate_error() <= 0.02).count();
+    println!(
+        "all runs return by the estimate: {}",
+        max <= estimate_us + 0.5
+    );
+    let within_2pct = reports
+        .iter()
+        .filter(|r| r.estimate_error() <= 0.02)
+        .count();
     println!(
         "estimate within 2% of measurement in {:.1}% of runs",
         within_2pct as f64 / RUNS as f64 * 100.0

@@ -26,11 +26,19 @@ fn main() {
     );
 
     // --- Fig 19(c): execution time vs problem size ---------------------------
-    println!("\n{:>7} {:>12} {:>12} {:>12} {:>12}", "p", "1 TSP (ms)", "2 TSPs", "4 TSPs", "8 TSPs");
+    println!(
+        "\n{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "p", "1 TSP (ms)", "2 TSPs", "4 TSPs", "8 TSPs"
+    );
     for p in [1024u64, 2048, 4096, 8192, 16384] {
-        let ms: Vec<f64> =
-            [1u64, 2, 4, 8].iter().map(|&k| CholeskyPlan::new(p, k).seconds() * 1e3).collect();
-        println!("{:>7} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", p, ms[0], ms[1], ms[2], ms[3]);
+        let ms: Vec<f64> = [1u64, 2, 4, 8]
+            .iter()
+            .map(|&k| CholeskyPlan::new(p, k).seconds() * 1e3)
+            .collect();
+        println!(
+            "{:>7} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            p, ms[0], ms[1], ms[2], ms[3]
+        );
     }
 
     println!("\nspeedups at p = 8192:");

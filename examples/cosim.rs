@@ -36,7 +36,9 @@ fn main() {
             src_offset: 100,
             dst_slice: 1,
             dst_offset: 200,
-            data: (0..32).map(|i| Vector::from_fn(|b| (b as u8).wrapping_mul(i as u8))).collect(),
+            data: (0..32)
+                .map(|i| Vector::from_fn(|b| (b as u8).wrapping_mul(i as u8)))
+                .collect(),
         },
         CosimTransfer {
             from: TspId(1),
@@ -50,7 +52,11 @@ fn main() {
     ];
 
     let report = run_transfers(&topo, &transfers).expect("co-simulation succeeds");
-    println!("co-simulated {} transfers over {} chips", transfers.len(), report.retire_cycles.len());
+    println!(
+        "co-simulated {} transfers over {} chips",
+        transfers.len(),
+        report.retire_cycles.len()
+    );
     println!("{} instructions lowered in total", report.instructions);
     for (i, arrival) in report.arrivals.iter().enumerate() {
         println!(
@@ -63,18 +69,31 @@ fn main() {
     // its machine-code binary.
     let program = vec![
         (0u64, Instruction::Deskew),
-        (252, Instruction::Read {
-            slice: 0,
-            offset: 0,
-            stream: StreamId::new(0).unwrap(),
-            dir: tsm::isa::Direction::East,
-        }),
-        (257, Instruction::Send { port: 2, stream: StreamId::new(0).unwrap() }),
+        (
+            252,
+            Instruction::Read {
+                slice: 0,
+                offset: 0,
+                stream: StreamId::new(0).unwrap(),
+                dir: tsm::isa::Direction::East,
+            },
+        ),
+        (
+            257,
+            Instruction::Send {
+                port: 2,
+                stream: StreamId::new(0).unwrap(),
+            },
+        ),
         (300, Instruction::Sync),
         (350, Instruction::Notify),
     ];
     let binary = asm::assemble(&program);
-    println!("\nassembled {} instructions into {} bytes:", program.len(), binary.len());
+    println!(
+        "\nassembled {} instructions into {} bytes:",
+        program.len(),
+        binary.len()
+    );
     for rec in binary.chunks(16) {
         let hex: String = rec.iter().map(|b| format!("{b:02x}")).collect();
         println!("  {hex}");

@@ -14,9 +14,15 @@ use tsm::prelude::*;
 
 fn main() {
     let shape = GemmShape::new(800, 32_576, 8192);
-    println!("operation: [800x32576] x [32576x8192]  ({} GFLOP)", shape.flops() / 1_000_000_000);
+    println!(
+        "operation: [800x32576] x [32576x8192]  ({} GFLOP)",
+        shape.flops() / 1_000_000_000
+    );
     println!();
-    println!("{:>5} {:>6} {:>12} {:>12} {:>10}", "TSPs", "rows", "latency(µs)", "TFLOPs", "util %");
+    println!(
+        "{:>5} {:>6} {:>12} {:>12} {:>10}",
+        "TSPs", "rows", "latency(µs)", "TFLOPs", "util %"
+    );
 
     let mut prev_latency = f64::INFINITY;
     for row_splits in [1u64, 2, 4, 8, 13] {
@@ -42,11 +48,17 @@ fn main() {
             tflops / peak * 100.0
         );
         if row_splits <= 8 {
-            assert!(latency_us < prev_latency, "latency must fall as TSPs are added");
+            assert!(
+                latency_us < prev_latency,
+                "latency must fall as TSPs are added"
+            );
         } else {
             // Beyond one node per cluster the reduction gains a cross-node
             // step; our cost model flattens here (see EXPERIMENTS.md).
-            assert!(latency_us < prev_latency * 1.3, "latency must not regress sharply");
+            assert!(
+                latency_us < prev_latency * 1.3,
+                "latency must not regress sharply"
+            );
         }
         prev_latency = latency_us;
     }

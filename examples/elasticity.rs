@@ -18,11 +18,22 @@ use tsm::workloads::training::{weak_scaling_sweep, TrainingConfig};
 
 fn inference_tenant(first: u32, second: u32, bytes: u64) -> Graph {
     let mut g = Graph::new();
-    let a = g.add(TspId(first), OpKind::Compute { cycles: 40_000 }, vec![]).expect("valid");
-    let t = g
-        .add(TspId(first), OpKind::Transfer { to: TspId(second), bytes, allow_nonminimal: true }, vec![a])
+    let a = g
+        .add(TspId(first), OpKind::Compute { cycles: 40_000 }, vec![])
         .expect("valid");
-    g.add(TspId(second), OpKind::Compute { cycles: 40_000 }, vec![t]).expect("valid");
+    let t = g
+        .add(
+            TspId(first),
+            OpKind::Transfer {
+                to: TspId(second),
+                bytes,
+                allow_nonminimal: true,
+            },
+            vec![a],
+        )
+        .expect("valid");
+    g.add(TspId(second), OpKind::Compute { cycles: 40_000 }, vec![t])
+        .expect("valid");
     g
 }
 
@@ -43,7 +54,10 @@ fn main() {
         );
     }
     println!("\nschedule of tenant B (its transfers interleave with tenant A's on shared links):");
-    print!("{}", gantt::render(&ScheduleDump::capture(&tenant_b, &programs[1]), 72));
+    print!(
+        "{}",
+        gantt::render(&ScheduleDump::capture(&tenant_b, &programs[1]), 72)
+    );
 
     // --- weak-scaling training sweep -----------------------------------------
     println!("\n== data-parallel BERT-Large training (batch 8 per replica) ==");

@@ -15,15 +15,23 @@ fn main() {
     graph
         .add(
             TspId(0),
-            OpKind::Transfer { to: TspId(1), bytes: 3_200_000, allow_nonminimal: true },
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 3_200_000,
+                allow_nonminimal: true,
+            },
             vec![],
         )
         .expect("valid graph");
 
     for ber in [0.0, 1e-7, 1e-5] {
-        let system = System::single_node()
-            .with_config(SystemConfig { bit_error_rate: ber, ..Default::default() });
-        let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+        let system = System::single_node().with_config(SystemConfig {
+            bit_error_rate: ber,
+            ..Default::default()
+        });
+        let program = system
+            .compile(&graph, CompileOptions::default())
+            .expect("compiles");
         let r = system.execute_with_graph(&program, &graph, 11);
         println!(
             "BER {ber:>8.0e}: {} packets — {} clean, {} corrected in situ, {} uncorrectable, {} replays, success={}",
@@ -47,7 +55,9 @@ fn main() {
         plan.overhead() * 100.0
     );
     let failed = NodeId(7);
-    let spare = plan.fail_over(system.topology_mut(), failed).expect("spare available");
+    let spare = plan
+        .fail_over(system.topology_mut(), failed)
+        .expect("spare available");
     println!("node {failed} failed -> remapped onto spare {spare}");
     println!(
         "logical TSP 7*8+3 now lives on physical {}",

@@ -29,26 +29,38 @@ fn main() {
     let a = graph
         .add(
             TspId(0),
-            OpKind::Gemm { shape: GemmShape::new(800, 1024, 1024), ty: ElemType::F16 },
+            OpKind::Gemm {
+                shape: GemmShape::new(800, 1024, 1024),
+                ty: ElemType::F16,
+            },
             vec![],
         )
         .expect("valid graph");
     let t = graph
         .add(
             TspId(0),
-            OpKind::Transfer { to: TspId(1), bytes: 800 * 1024 * 2, allow_nonminimal: true },
+            OpKind::Transfer {
+                to: TspId(1),
+                bytes: 800 * 1024 * 2,
+                allow_nonminimal: true,
+            },
             vec![a],
         )
         .expect("valid graph");
     graph
         .add(
             TspId(1),
-            OpKind::Gemm { shape: GemmShape::new(800, 1024, 1024), ty: ElemType::F16 },
+            OpKind::Gemm {
+                shape: GemmShape::new(800, 1024, 1024),
+                ty: ElemType::F16,
+            },
             vec![t],
         )
         .expect("valid graph");
 
-    let program = system.compile(&graph, CompileOptions::default()).expect("compiles");
+    let program = system
+        .compile(&graph, CompileOptions::default())
+        .expect("compiles");
     println!(
         "compiled: span {} cycles ({:.2} µs), comm fraction {:.1}%",
         program.span_cycles,

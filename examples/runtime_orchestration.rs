@@ -17,11 +17,22 @@ fn logical_program() -> Graph {
     // A logical 2-node pipeline: compute on logical node 0, ship 640 KB,
     // compute on logical node 1.
     let mut g = Graph::new();
-    let a = g.add(TspId(0), OpKind::Compute { cycles: 50_000 }, vec![]).expect("valid");
-    let t = g
-        .add(TspId(0), OpKind::Transfer { to: TspId(8), bytes: 640_000, allow_nonminimal: true }, vec![a])
+    let a = g
+        .add(TspId(0), OpKind::Compute { cycles: 50_000 }, vec![])
         .expect("valid");
-    g.add(TspId(8), OpKind::Compute { cycles: 50_000 }, vec![t]).expect("valid");
+    let t = g
+        .add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(8),
+                bytes: 640_000,
+                allow_nonminimal: true,
+            },
+            vec![a],
+        )
+        .expect("valid");
+    g.add(TspId(8), OpKind::Compute { cycles: 50_000 }, vec![t])
+        .expect("valid");
     g
 }
 
@@ -35,7 +46,9 @@ fn main() {
     );
 
     // --- healthy launch ----------------------------------------------------
-    let out = runtime.launch(&logical_program(), 1).expect("healthy launch");
+    let out = runtime
+        .launch(&logical_program(), 1)
+        .expect("healthy launch");
     println!(
         "\nhealthy launch: {} attempt(s), alignment {} cycles, span {} cycles, fec {:?}",
         out.attempts, out.alignment_cycles, out.span_cycles, out.fec
@@ -52,7 +65,9 @@ fn main() {
         }
     }
 
-    let out = runtime.launch(&logical_program(), 2).expect("recovers via spare");
+    let out = runtime
+        .launch(&logical_program(), 2)
+        .expect("recovers via spare");
     println!(
         "recovered launch: {} attempts, failovers {:?}",
         out.attempts, out.failovers

@@ -18,17 +18,31 @@ use tsm::topology::CableClass;
 fn main() {
     // --- Table 2: characterize the 7 intra-node links --------------------
     println!("== link latency characterization (100K HAC reflections per link) ==");
-    println!("{:>4} {:>5} {:>8} {:>5} {:>6}", "link", "min", "mean", "max", "std");
+    println!(
+        "{:>4} {:>5} {:>8} {:>5} {:>6}",
+        "link", "min", "mean", "max", "std"
+    );
     let model = LatencyModel::for_class(CableClass::IntraNode);
     let mut rng = StdRng::seed_from_u64(2022);
     for link in ["A", "B", "C", "D", "E", "F", "G"] {
         let s = characterize_link(&model, 100_000, &mut rng);
-        println!("{:>4} {:>5} {:>8.2} {:>5} {:>6.2}", link, s.min, s.mean, s.max, s.std);
+        println!(
+            "{:>4} {:>5} {:>8.2} {:>5} {:>6.2}",
+            link, s.min, s.mean, s.max, s.std
+        );
     }
 
     // --- HAC parent/child convergence ------------------------------------
     println!("\n== HAC alignment of a child running 80 ppm fast ==");
-    let trace = align_pair(&model, 217, LocalClock::with_ppm(80.0), 100, 4, 120, &mut rng);
+    let trace = align_pair(
+        &model,
+        217,
+        LocalClock::with_ppm(80.0),
+        100,
+        4,
+        120,
+        &mut rng,
+    );
     for (i, e) in trace.errors.iter().enumerate().step_by(15) {
         println!("exchange {i:>3}: |error| = {e:>5.1} cycles");
     }

@@ -12,4 +12,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
 cargo test --workspace -q
+# The compile-once / execute-many contract (plan reuse, payload isolation,
+# serde round-trip) has its own integration suite; run it by name so a
+# filtered `cargo test` invocation can never silently skip it.
+cargo test -p tsm-core --test plan_reuse -q
 cargo clippy --workspace -- -D warnings
+cargo fmt --all --check

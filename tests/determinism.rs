@@ -22,7 +22,9 @@ fn ssn_schedules_are_bit_identical_across_runs() {
         for (i, src) in topo.tsps().enumerate().take(16) {
             let dst = TspId(((src.0 + 9) as usize % topo.num_tsps()) as u32);
             let paths = edge_disjoint_paths(&topo, src, dst, 7);
-            let shards = occ.schedule_spread(&topo, &paths, 100 + i as u64, 0).unwrap();
+            let shards = occ
+                .schedule_spread(&topo, &paths, 100 + i as u64, 0)
+                .unwrap();
             arrivals.push(completion(&shards));
         }
         (arrivals, occ.reservations().len())
@@ -53,16 +55,24 @@ fn network_only_execution_has_zero_variance() {
         prev = Some(
             g.add(
                 TspId(i % 8),
-                OpKind::Transfer { to: TspId((i + 1) % 8), bytes: 64_000, allow_nonminimal: true },
+                OpKind::Transfer {
+                    to: TspId((i + 1) % 8),
+                    bytes: 64_000,
+                    allow_nonminimal: true,
+                },
                 deps,
             )
             .unwrap(),
         );
     }
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
-    let measured: Vec<u64> =
-        (0..50).map(|s| sys.execute_with_graph(&p, &g, s).measured_cycles).collect();
-    assert!(measured.iter().all(|&m| m == measured[0]), "SSN execution must not vary");
+    let measured: Vec<u64> = (0..50)
+        .map(|s| sys.execute_with_graph(&p, &g, s).measured_cycles)
+        .collect();
+    assert!(
+        measured.iter().all(|&m| m == measured[0]),
+        "SSN execution must not vary"
+    );
     assert_eq!(measured[0], p.span_cycles);
 }
 

@@ -20,7 +20,10 @@ fn distributed_matmul_scales_and_schedules_cleanly() {
         spans.push(p.span_cycles);
     }
     for w in spans.windows(2) {
-        assert!(w[1] < w[0], "Fig 14: latency falls with row splits: {spans:?}");
+        assert!(
+            w[1] < w[0],
+            "Fig 14: latency falls with row splits: {spans:?}"
+        );
     }
 }
 
@@ -72,7 +75,10 @@ fn cluster_gemm_throughput_grows_with_cluster_size() {
     assert!(tflops[2] > tflops[1] * 1.05, "{tflops:?}");
     // and the 100-TSP cluster alone is an order of magnitude above the
     // 432-GPU V100 reference (Fig 15 discussion)
-    assert!(tsm::baseline::v100::tsp_speedup(tflops[1]) > 5.0, "{tflops:?}");
+    assert!(
+        tsm::baseline::v100::tsp_speedup(tflops[1]) > 5.0,
+        "{tflops:?}"
+    );
 }
 
 #[test]
@@ -95,13 +101,17 @@ fn hierarchical_allreduce_schedules_at_scale() {
     let large = allreduce_hierarchical(&topo, 16 << 20).unwrap();
     assert_eq!(small.participants, 64);
     assert!(large.bus_gbs > small.bus_gbs, "bandwidth grows with size");
-    assert!(large.seconds < 0.01, "16 MB all-reduce stays in milliseconds");
+    assert!(
+        large.seconds < 0.01,
+        "16 MB all-reduce stays in milliseconds"
+    );
 }
 
 #[test]
 fn allreduce_numerics_reference() {
-    let buffers: Vec<Vec<f64>> =
-        (0..8).map(|d| (0..64).map(|i| (d * 64 + i) as f64).collect()).collect();
+    let buffers: Vec<Vec<f64>> = (0..8)
+        .map(|d| (0..64).map(|i| (d * 64 + i) as f64).collect())
+        .collect();
     let sum = allreduce_sum(&buffers);
     assert_eq!(sum[0], (0..8).map(|d| (d * 64) as f64).sum::<f64>());
     assert_eq!(sum.len(), 64);
@@ -115,8 +125,10 @@ fn cholesky_numerics_and_timing_model_agree_on_shape() {
     assert!(a.max_abs_diff(&l.matmul(&l.transpose())) < 1e-9);
     // Timing: speedups monotone in TSPs, sublinear (Fig 19(c)).
     let p = 4096;
-    let speedups: Vec<f64> =
-        [2u64, 4, 8].iter().map(|&k| CholeskyPlan::new(p, k).speedup()).collect();
+    let speedups: Vec<f64> = [2u64, 4, 8]
+        .iter()
+        .map(|&k| CholeskyPlan::new(p, k).speedup())
+        .collect();
     assert!(speedups.windows(2).all(|w| w[1] > w[0]), "{speedups:?}");
     assert!(speedups[2] < 4.0, "{speedups:?}");
 }
@@ -130,5 +142,8 @@ fn fig20_optimization_levels_differ_as_measured() {
     let fast = tsm::compiler::balance::partition_stages(&costs, 4, OptLevel::SpatialAware);
     let speedup = slow.beat_cycles as f64 / fast.beat_cycles as f64;
     assert!(speedup > 1.0, "optimized compiler must win: {speedup}");
-    assert!(speedup < 2.0, "overlap can at most double throughput: {speedup}");
+    assert!(
+        speedup < 2.0,
+        "overlap can at most double throughput: {speedup}"
+    );
 }

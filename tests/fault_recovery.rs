@@ -7,33 +7,53 @@ use tsm::prelude::*;
 
 fn transfer_graph(bytes: u64) -> Graph {
     let mut g = Graph::new();
-    g.add(TspId(0), OpKind::Transfer { to: TspId(1), bytes, allow_nonminimal: true }, vec![])
-        .unwrap();
+    g.add(
+        TspId(0),
+        OpKind::Transfer {
+            to: TspId(1),
+            bytes,
+            allow_nonminimal: true,
+        },
+        vec![],
+    )
+    .unwrap();
     g
 }
 
 #[test]
 fn clean_links_report_clean_runs() {
-    let sys = System::single_node()
-        .with_config(SystemConfig { bit_error_rate: 0.0, ..Default::default() });
+    let sys = System::single_node().with_config(SystemConfig {
+        bit_error_rate: 0.0,
+        ..Default::default()
+    });
     let g = transfer_graph(1 << 20);
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
     let r = sys.execute_with_graph(&p, &g, 0);
     assert!(r.succeeded);
     assert_eq!(r.fec.corrected, 0);
     assert_eq!(r.fec.uncorrectable, 0);
-    assert!(r.fec.clean > 3000, "1 MiB is ~3300 vectors: {}", r.fec.clean);
+    assert!(
+        r.fec.clean > 3000,
+        "1 MiB is ~3300 vectors: {}",
+        r.fec.clean
+    );
 }
 
 #[test]
 fn single_bit_errors_are_invisible_to_the_application() {
-    let sys = System::single_node()
-        .with_config(SystemConfig { bit_error_rate: 2e-7, ..Default::default() });
+    let sys = System::single_node().with_config(SystemConfig {
+        bit_error_rate: 2e-7,
+        ..Default::default()
+    });
     let g = transfer_graph(4 << 20);
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
     let r = sys.execute_with_graph(&p, &g, 1);
     assert!(r.succeeded);
-    assert!(r.fec.corrected > 0, "expected in-situ corrections: {:?}", r.fec);
+    assert!(
+        r.fec.corrected > 0,
+        "expected in-situ corrections: {:?}",
+        r.fec
+    );
     assert_eq!(r.replays, 0, "corrected errors must not trigger replay");
     // and timing is untouched: FEC is constant-latency
     assert_eq!(r.measured_cycles, r.estimated_cycles);
@@ -72,8 +92,16 @@ fn failover_then_recompile_runs_on_the_spare() {
     let dst = plan.physical_tsp(TspId(8)); // logical node 1, slot 0
     assert_eq!(dst, TspId(24));
     let mut g = Graph::new();
-    g.add(src, OpKind::Transfer { to: dst, bytes: 320_000, allow_nonminimal: true }, vec![])
-        .unwrap();
+    g.add(
+        src,
+        OpKind::Transfer {
+            to: dst,
+            bytes: 320_000,
+            allow_nonminimal: true,
+        },
+        vec![],
+    )
+    .unwrap();
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
     // no path may touch the failed node
     for res in p.occupancy.reservations() {
@@ -91,5 +119,8 @@ fn spare_exhaustion_is_surfaced() {
     let mut plan = SparePlan::per_system(sys.topology());
     plan.fail_over(sys.topology_mut(), NodeId(0)).unwrap();
     let second = plan.fail_over(sys.topology_mut(), NodeId(1));
-    assert!(second.is_err(), "second failure must report no spare available");
+    assert!(
+        second.is_err(),
+        "second failure must report no spare available"
+    );
 }

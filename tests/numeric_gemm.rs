@@ -8,19 +8,29 @@ use tsm::chip::exec::{ChipProgram, ChipSim};
 use tsm::chip::gemm_program::{gemm_program, pack_matrix, GemmLayout};
 use tsm::chip::vxm::to_f32_lanes;
 use tsm::isa::instr::{Instruction, VectorOpcode};
-use tsm::isa::{Direction, StreamId, Vector};
+use tsm::isa::{Direction, StreamId};
 use tsm::workloads::linalg::Matrix;
 
 const K: usize = 80; // inner dimension (the FP32-lane array height)
 const M: usize = 10; // activation rows
 
 fn a_matrix() -> Vec<Vec<f32>> {
-    (0..M).map(|r| (0..K).map(|c| (((r * 13 + c * 7) % 9) as f32 - 4.0) * 0.5).collect()).collect()
+    (0..M)
+        .map(|r| {
+            (0..K)
+                .map(|c| (((r * 13 + c * 7) % 9) as f32 - 4.0) * 0.5)
+                .collect()
+        })
+        .collect()
 }
 
 fn w_matrix(cols: usize, salt: usize) -> Vec<Vec<f32>> {
     (0..K)
-        .map(|r| (0..cols).map(|c| (((r * 3 + c * 5 + salt) % 11) as f32 - 5.0) * 0.25).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| (((r * 3 + c * 5 + salt) % 11) as f32 - 5.0) * 0.25)
+                .collect()
+        })
         .collect()
 }
 
@@ -40,10 +50,18 @@ fn run_device_gemm(a: &[Vec<f32>], w: &[Vec<f32>]) -> Vec<Vec<f32>> {
     for (i, row) in pack_matrix(M, K, |r, c| a[r][c]).into_iter().enumerate() {
         sim.preload(1, i as u16, row);
     }
-    let layout = GemmLayout { weight_slice: 0, act_slice: 1, out_slice: 2, k: K as u16, m: M as u16 };
+    let layout = GemmLayout {
+        weight_slice: 0,
+        act_slice: 1,
+        out_slice: 2,
+        k: K as u16,
+        m: M as u16,
+    };
     let (prog, _) = gemm_program(layout, 0);
     sim.run(&prog).unwrap();
-    (0..M).map(|r| to_f32_lanes(sim.sram(2, r as u16).unwrap())[..cols].to_vec()).collect()
+    (0..M)
+        .map(|r| to_f32_lanes(sim.sram(2, r as u16).unwrap())[..cols].to_vec())
+        .collect()
 }
 
 #[test]
@@ -57,8 +75,9 @@ fn column_split_gemm_concatenates_to_the_reference() {
     let c1 = run_device_gemm(&a, &w1);
 
     // reference of the combined [80×160] weight matrix
-    let w_full: Vec<Vec<f32>> =
-        (0..K).map(|r| w0[r].iter().chain(w1[r].iter()).copied().collect()).collect();
+    let w_full: Vec<Vec<f32>> = (0..K)
+        .map(|r| w0[r].iter().chain(w1[r].iter()).copied().collect())
+        .collect();
     let expect = reference(&a, &w_full);
 
     for r in 0..M {
@@ -80,10 +99,18 @@ fn row_split_gemm_reduces_across_chips_with_real_transfers() {
     // the wire (Send → Receive), and device 0 sums the partials on its VXM
     // — the §5.2 row-split reduction as actual instructions.
     let a_full: Vec<Vec<f32>> = (0..M)
-        .map(|r| (0..160).map(|c| (((r * 11 + c * 3) % 7) as f32 - 3.0) * 0.5).collect())
+        .map(|r| {
+            (0..160)
+                .map(|c| (((r * 11 + c * 3) % 7) as f32 - 3.0) * 0.5)
+                .collect()
+        })
         .collect();
     let w_full: Vec<Vec<f32>> = (0..160)
-        .map(|r| (0..80).map(|c| (((r * 5 + c * 2) % 13) as f32 - 6.0) * 0.125).collect())
+        .map(|r| {
+            (0..80)
+                .map(|c| (((r * 5 + c * 2) % 13) as f32 - 6.0) * 0.125)
+                .collect()
+        })
         .collect();
 
     // per-device shards
@@ -100,13 +127,33 @@ fn row_split_gemm_reduces_across_chips_with_real_transfers() {
     for (i, row) in pack_matrix(M, 80, |r, c| a1[r][c]).into_iter().enumerate() {
         dev1.preload(1, i as u16, row);
     }
-    let layout = GemmLayout { weight_slice: 0, act_slice: 1, out_slice: 2, k: 80, m: M as u16 };
+    let layout = GemmLayout {
+        weight_slice: 0,
+        act_slice: 1,
+        out_slice: 2,
+        k: 80,
+        m: M as u16,
+    };
     let (mut prog1, end1) = gemm_program(layout, 0);
     let s_tx = StreamId::new(5).unwrap();
     for r in 0..M as u16 {
         let t = end1 + r as u64 * 8;
-        prog1.push(t, Instruction::Read { slice: 2, offset: r, stream: s_tx, dir: Direction::East });
-        prog1.push(t + 6, Instruction::Send { port: 0, stream: s_tx });
+        prog1.push(
+            t,
+            Instruction::Read {
+                slice: 2,
+                offset: r,
+                stream: s_tx,
+                dir: Direction::East,
+            },
+        );
+        prog1.push(
+            t + 6,
+            Instruction::Send {
+                port: 0,
+                stream: s_tx,
+            },
+        );
     }
     dev1.run(&prog1).unwrap();
     // Shared payload handles: re-delivering them to device 0 below costs a
@@ -137,16 +184,39 @@ fn row_split_gemm_reduces_across_chips_with_real_transfers() {
     for (r, row) in partial_rows.iter().enumerate() {
         let arrive = reduce_start + r as u64 * 24;
         dev0.deliver(3, arrive, row.clone());
-        prog0.push(arrive, Instruction::Receive { port: 3, stream: s_rx });
+        prog0.push(
+            arrive,
+            Instruction::Receive {
+                port: 3,
+                stream: s_rx,
+            },
+        );
         prog0.push(
             arrive + 1,
-            Instruction::Read { slice: 2, offset: r as u16, stream: s_loc, dir: Direction::East },
+            Instruction::Read {
+                slice: 2,
+                offset: r as u16,
+                stream: s_loc,
+                dir: Direction::East,
+            },
         );
         prog0.push(
             arrive + 8,
-            Instruction::VectorOp { op: VectorOpcode::Add, a: s_rx, b: s_loc, dest: s_sum },
+            Instruction::VectorOp {
+                op: VectorOpcode::Add,
+                a: s_rx,
+                b: s_loc,
+                dest: s_sum,
+            },
         );
-        prog0.push(arrive + 13, Instruction::Write { slice: 3, offset: r as u16, stream: s_sum });
+        prog0.push(
+            arrive + 13,
+            Instruction::Write {
+                slice: 3,
+                offset: r as u16,
+                stream: s_sum,
+            },
+        );
     }
     dev0.run(&prog0).unwrap();
 
@@ -156,11 +226,11 @@ fn row_split_gemm_reduces_across_chips_with_real_transfers() {
     let expect = am.matmul(&wm);
     for r in 0..M {
         let got = to_f32_lanes(dev0.sram(3, r as u16).unwrap());
-        for c in 0..80 {
+        for (c, &g) in got.iter().enumerate().take(80) {
             assert!(
-                (got[c] as f64 - expect.get(r, c)).abs() < 1e-2,
+                (g as f64 - expect.get(r, c)).abs() < 1e-2,
                 "C[{r}][{c}]: {} vs {}",
-                got[c],
+                g,
                 expect.get(r, c)
             );
         }

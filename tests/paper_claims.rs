@@ -51,7 +51,10 @@ fn sec22_packaging_arithmetic() {
     // 28 intra-node cables; 44 of 60 cables per node are electrical
     // (intra-node 28 + intra-rack share): checked structurally instead —
     // every intra-node cable class is electrical.
-    assert!(Topology::single_node().links().iter().all(|l| l.class == CableClass::IntraNode));
+    assert!(Topology::single_node()
+        .links()
+        .iter()
+        .all(|l| l.class == CableClass::IntraNode));
 }
 
 #[test]
@@ -63,7 +66,11 @@ fn table2_link_characterization_statistics() {
     for link in 0..7 {
         let s = characterize_link(&model, 100_000, &mut rng);
         assert!((208..=212).contains(&s.min), "link {link} min {}", s.min);
-        assert!((215.5..218.0).contains(&s.mean), "link {link} mean {}", s.mean);
+        assert!(
+            (215.5..218.0).contains(&s.mean),
+            "link {link} mean {}",
+            s.mean
+        );
         assert!((222..=229).contains(&s.max), "link {link} max {}", s.max);
         assert!((1.5..3.2).contains(&s.std), "link {link} std {}", s.std);
     }
@@ -73,7 +80,10 @@ fn table2_link_characterization_statistics() {
 fn fig10_nonminimal_crossover_near_8kb() {
     let topo = Topology::single_node();
     let x = crossover_bytes(&topo, TspId(0), TspId(1), 7);
-    assert!((4 << 10..16 << 10).contains(&x), "crossover {x} B vs paper ~8 KB");
+    assert!(
+        (4 << 10..16 << 10).contains(&x),
+        "crossover {x} B vs paper ~8 KB"
+    );
     // below: no benefit; above: growing benefit
     assert!(nonminimal_benefit(&topo, TspId(0), TspId(1), 2 << 10, 7) <= 1.0);
     assert!(nonminimal_benefit(&topo, TspId(0), TspId(1), 256 << 10, 7) > 3.0);
@@ -106,13 +116,18 @@ fn fig13_tsp_beats_a100_utilization_consistency() {
 fn fig16_tsp_wins_small_messages_matches_normalized_at_large() {
     let topo = Topology::single_node();
     // small: TSP >> A100
-    let tsp_small = allreduce_intra_node(&topo, NodeId(0), 4096).unwrap().bus_gbs;
+    let tsp_small = allreduce_intra_node(&topo, NodeId(0), 4096)
+        .unwrap()
+        .bus_gbs;
     assert!(tsp_small > 5.0 * nccl::allreduce_bus_gbs(4096));
     // large: pin-normalized A100 within ~15% of TSP
     let big = 64 << 20;
     let tsp_big = allreduce_intra_node(&topo, NodeId(0), big).unwrap().bus_gbs;
     let a100_norm = nccl::allreduce_bus_gbs_pin_normalized(big, 87.5);
-    assert!((tsp_big / a100_norm - 1.0).abs() < 0.15, "tsp {tsp_big} vs norm {a100_norm}");
+    assert!(
+        (tsp_big / a100_norm - 1.0).abs() < 0.15,
+        "tsp {tsp_big} vs norm {a100_norm}"
+    );
 }
 
 #[test]
@@ -121,8 +136,13 @@ fn fig17_estimate_bounds_measurement() {
     let sys = System::single_node();
     let p = sys.compile(&graph, CompileOptions::default()).unwrap();
     let reports = sys.execute_many(&p, &graph, 1000, 17);
-    assert!(reports.iter().all(|r| r.measured_cycles <= r.estimated_cycles));
-    let within2 = reports.iter().filter(|r| r.estimate_error() <= 0.021).count();
+    assert!(reports
+        .iter()
+        .all(|r| r.measured_cycles <= r.estimated_cycles));
+    let within2 = reports
+        .iter()
+        .filter(|r| r.estimate_error() <= 0.021)
+        .count();
     assert!(
         within2 * 2 > reports.len(),
         "estimate within 2% in the majority of runs ({within2}/1000)"
@@ -138,9 +158,14 @@ fn sec54_bert_base_single_tsp_estimate_tracks_measurement() {
     let sys = System::single_node();
     let p = sys.compile(&graph, CompileOptions::default()).unwrap();
     let reports = sys.execute_many(&p, &graph, 500, 54);
-    let within2 = reports.iter().filter(|r| r.estimate_error() <= 0.021).count();
+    let within2 = reports
+        .iter()
+        .filter(|r| r.estimate_error() <= 0.021)
+        .count();
     assert!(within2 * 2 > reports.len(), "{within2}/500 within 2%");
-    assert!(reports.iter().all(|r| r.measured_cycles <= r.estimated_cycles));
+    assert!(reports
+        .iter()
+        .all(|r| r.measured_cycles <= r.estimated_cycles));
 }
 
 #[test]

@@ -17,11 +17,23 @@ fn runtime_survives_two_failovers_with_per_rack_spares() {
     assert_eq!(rt.spare_plan().spares_left(), 2);
 
     let mut logical = Graph::new();
-    let a = logical.add(TspId(0), OpKind::Compute { cycles: 20_000 }, vec![]).unwrap();
-    let t = logical
-        .add(TspId(0), OpKind::Transfer { to: TspId(8), bytes: 320_000, allow_nonminimal: true }, vec![a])
+    let a = logical
+        .add(TspId(0), OpKind::Compute { cycles: 20_000 }, vec![])
         .unwrap();
-    logical.add(TspId(8), OpKind::Compute { cycles: 20_000 }, vec![t]).unwrap();
+    let t = logical
+        .add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(8),
+                bytes: 320_000,
+                allow_nonminimal: true,
+            },
+            vec![a],
+        )
+        .unwrap();
+    logical
+        .add(TspId(8), OpKind::Compute { cycles: 20_000 }, vec![t])
+        .unwrap();
 
     // Degrade node 1's cables; recover.
     let wiring = System::with_racks(2).unwrap();
@@ -58,7 +70,9 @@ fn cosim_delivers_bit_exact_across_a_rack_boundary() {
         src_offset: 0,
         dst_slice: 5,
         dst_offset: 50,
-        data: (0..24).map(|i| Vector::from_fn(|b| (b as u8).rotate_left(i % 8))).collect(),
+        data: (0..24)
+            .map(|i| Vector::from_fn(|b| (b as u8).rotate_left(i % 8)))
+            .collect(),
     };
     let report = run_transfers(&topo, &[tr]).unwrap();
     assert!(report.retire_cycles.len() >= 2);

@@ -84,11 +84,22 @@ fn compile_executes_on_a_rack_scale_system() {
     // A cross-rack pipeline on a 144-TSP, 2-rack Dragonfly.
     let sys = System::with_racks(2).unwrap();
     let mut g = Graph::new();
-    let a = g.add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![]).unwrap();
-    let t = g
-        .add(TspId(0), OpKind::Transfer { to: TspId(100), bytes: 640_000, allow_nonminimal: true }, vec![a])
+    let a = g
+        .add(TspId(0), OpKind::Compute { cycles: 10_000 }, vec![])
         .unwrap();
-    g.add(TspId(100), OpKind::Compute { cycles: 10_000 }, vec![t]).unwrap();
+    let t = g
+        .add(
+            TspId(0),
+            OpKind::Transfer {
+                to: TspId(100),
+                bytes: 640_000,
+                allow_nonminimal: true,
+            },
+            vec![a],
+        )
+        .unwrap();
+    g.add(TspId(100), OpKind::Compute { cycles: 10_000 }, vec![t])
+        .unwrap();
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
     let r = sys.execute_with_graph(&p, &g, 9);
     assert!(r.succeeded);
