@@ -10,8 +10,10 @@
 use std::collections::HashSet;
 use std::time::Instant;
 use tsm::core::cosim::{
-    compile_plan, run_transfers, run_transfers_serial, CosimTransfer, PlanExecutor, TransferShape,
+    compile_plan, run_transfers, run_transfers_serial, CosimError, CosimTransfer, LinkFaultModel,
+    PlanExecutor, TransferShape,
 };
+use tsm::fault::inject::FecStats;
 use tsm::isa::Vector;
 use tsm::topology::{Topology, TspId};
 
@@ -84,6 +86,23 @@ pub struct CosimBenchResult {
     /// Whether the serial, parallel, and plan-reuse reports (including
     /// destination SRAM digests) were bit-identical on every sample.
     pub bit_identical: bool,
+    /// Best-of-N per-invocation wall time with datapath BER injection at
+    /// [`FAULT_BER`]: every delivery crosses its link's channel, flips are
+    /// sampled, FEC decodes, and uncorrectable attempts are replayed with
+    /// a fresh seed until they succeed. The faulty-vs-warm ratio is the
+    /// runtime cost of driving real bytes through a marginal fabric.
+    pub faulty_ns: u128,
+    /// Faulty invocations timed per sample.
+    pub fault_invocations: u32,
+    /// Replays consumed by uncorrectable-aborted attempts across one
+    /// sample's faulty invocations (deterministic: seeds derive from the
+    /// invocation index).
+    pub fault_replays: u64,
+    /// FEC tally across one sample's faulty invocations, replays included.
+    pub fault_stats: FecStats,
+    /// Whether every recovered faulty invocation delivered destination
+    /// SRAM digests bit-identical to the fault-free reference.
+    pub fault_bit_identical: bool,
 }
 
 impl CosimBenchResult {
@@ -103,10 +122,16 @@ impl CosimBenchResult {
         self.cold_ns as f64 / self.warm_ns as f64
     }
 
+    /// Faulty-run overhead: per-invocation cost with BER injection and
+    /// replay, relative to the fault-free warm path.
+    pub fn fault_overhead(&self) -> f64 {
+        self.faulty_ns as f64 / self.warm_ns as f64
+    }
+
     /// The JSON record written to `BENCH_cosim.json`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {}\n}}\n",
+            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {}\n}}\n",
             self.transfers,
             self.chips,
             self.instructions,
@@ -120,12 +145,32 @@ impl CosimBenchResult {
             self.invocations,
             self.plan_reuse_speedup(),
             self.bit_identical,
+            FAULT_BER,
+            self.faulty_ns,
+            self.fault_invocations,
+            self.fault_overhead(),
+            self.fault_replays,
+            self.fault_stats.corrected,
+            self.fault_stats.uncorrectable,
+            self.fault_bit_identical,
         )
     }
 }
 
 /// Warm invocations timed per sample when measuring plan reuse.
 pub const WARM_INVOCATIONS: u32 = 100;
+
+/// Faulty invocations timed per sample when measuring BER overhead.
+pub const FAULT_INVOCATIONS: u32 = 50;
+
+/// Uniform BER for the faulty-run measurement: ~0.026 expected flips per
+/// 2560-bit packet, so single-bit corrections are routine and the
+/// occasional double flip exercises the uncorrectable replay path.
+pub const FAULT_BER: f64 = 1e-5;
+
+/// Replay budget backstop for the faulty measurement (a runaway here
+/// would mean the BER maths are off by orders of magnitude).
+const FAULT_REPLAY_CAP: u64 = 64;
 
 /// Runs the canonical workload `samples` times through both one-shot
 /// engines and the compile-once / execute-many pipeline, returning
@@ -140,7 +185,11 @@ pub fn measure(samples: usize) -> CosimBenchResult {
     let mut parallel_ns = u128::MAX;
     let mut cold_ns = u128::MAX;
     let mut warm_ns = u128::MAX;
+    let mut faulty_ns = u128::MAX;
     let mut bit_identical = true;
+    let mut fault_replays = 0u64;
+    let mut fault_stats = FecStats::default();
+    let mut fault_bit_identical = true;
     for _ in 0..samples.max(1) {
         let t0 = Instant::now();
         let s = run_transfers_serial(&topo, &transfers).expect("serial run");
@@ -176,6 +225,41 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         }
         warm_ns = warm_ns.min(t3.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
         bit_identical &= executor.execute_serial(&plan, &payloads).expect("verify") == reference;
+
+        // Faulty: the same plan and payloads with every delivery crossing
+        // its link's BER channel. Uncorrectable attempts replay with a
+        // fresh derived seed, mirroring the runtime's recovery loop; the
+        // per-invocation time therefore includes replay cost. Seeds derive
+        // from the invocation index, so the flip pattern — and the tally —
+        // is identical on every sample and every machine.
+        let t4 = Instant::now();
+        let mut replays = 0u64;
+        let mut stats = FecStats::default();
+        for inv in 0..FAULT_INVOCATIONS {
+            let mut attempt = 0u64;
+            loop {
+                let faults = LinkFaultModel::uniform(FAULT_BER, (u64::from(inv) << 16) | attempt);
+                match executor.execute_with_faults_serial(&plan, &payloads, &faults) {
+                    Ok(rep) => {
+                        stats = stats.merge(&rep.fec);
+                        fault_bit_identical &= rep.dst_digests == reference.dst_digests;
+                        break;
+                    }
+                    Err(CosimError::Uncorrectable { fec, .. }) => {
+                        stats = stats.merge(&fec);
+                        replays += 1;
+                        attempt += 1;
+                        assert!(attempt < FAULT_REPLAY_CAP, "fault replay runaway");
+                    }
+                    Err(e) => panic!("faulty execute: {e}"),
+                }
+            }
+        }
+        faulty_ns = faulty_ns.min(t4.elapsed().as_nanos() / u128::from(FAULT_INVOCATIONS));
+        // Deterministic seeds make every sample's tally identical; keep
+        // one sample's worth rather than scaling with the sample count.
+        fault_replays = replays;
+        fault_stats = stats;
     }
     CosimBenchResult {
         transfers: transfers.len(),
@@ -187,6 +271,11 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         warm_ns,
         invocations: WARM_INVOCATIONS,
         bit_identical,
+        faulty_ns,
+        fault_invocations: FAULT_INVOCATIONS,
+        fault_replays,
+        fault_stats,
+        fault_bit_identical,
     }
 }
 
@@ -227,6 +316,20 @@ pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
             "serial == parallel == plan-reuse (bit-identical): {}",
             r.bit_identical
         ),
+        format!(
+            "faulty (BER {:e}, {}x): {:>10} ns/invocation  ({:.2}x warm; {} corrected, {} uncorrectable, {} replays)",
+            FAULT_BER,
+            r.fault_invocations,
+            r.faulty_ns,
+            r.fault_overhead(),
+            r.fault_stats.corrected,
+            r.fault_stats.uncorrectable,
+            r.fault_replays,
+        ),
+        format!(
+            "faulty recoveries == fault-free digests (bit-identical): {}",
+            r.fault_bit_identical
+        ),
     ]
 }
 
@@ -256,7 +359,13 @@ mod tests {
         assert!(r.to_json().contains("\"bit_identical\": true"));
         assert!(r.to_json().contains("\"cold_ns\""));
         assert!(r.to_json().contains("\"warm_ns\""));
+        assert!(r.to_json().contains("\"fault_replays\""));
+        assert!(r.to_json().contains("\"fault_bit_identical\": true"));
         assert!(r.cold_ns > 0 && r.warm_ns > 0);
+        // corruption must actually have been exercised and repaired
+        assert!(r.fault_stats.corrected > 0);
+        assert!(r.fault_bit_identical);
+        assert!(r.faulty_ns > 0);
         // reusing the plan must never cost more than compiling it anew
         assert!(
             r.warm_ns <= r.cold_ns,

@@ -7,13 +7,157 @@
 //! lowering or stream allocation happens here. This is the runtime half of
 //! the paper's compile-once / execute-many contract (§5, Fig 17).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tsm_chip::exec::{ChipSim, ExecError, Payload};
+use tsm_fault::inject::FecStats;
+use tsm_isa::packet::WirePacket;
+use tsm_link::channel::Channel;
+use tsm_link::fec::FecOutcome;
+use tsm_link::latency::LatencyModel;
+use tsm_topology::LinkId;
 
-use super::plan::{ChipPlan, CompiledPlan, VecRef};
+use super::plan::{ChipPlan, CompiledPlan, PlannedDelivery, VecRef};
 use super::verify::{verify_destinations, verify_emissions};
 use super::{CosimError, CosimReport};
+
+/// An exact, deterministic corruption: flip `bits` of the payload of
+/// vector `vector` of transfer `transfer` as it crosses `link`. Fault
+/// tests use these to place a single- or multi-bit error on a specific
+/// hop of a specific route, independent of any RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetedFlip {
+    /// Transfer index into the plan.
+    pub transfer: u32,
+    /// Vector index within the transfer.
+    pub vector: u32,
+    /// The hop (physical link) on which the corruption strikes.
+    pub link: LinkId,
+    /// Zero-based payload bit positions to flip.
+    pub bits: Vec<usize>,
+}
+
+/// Per-link bit-error configuration for datapath fault injection.
+///
+/// When a model is passed to [`PlanExecutor::execute_with_faults`], every
+/// inter-chip delivery traverses a [`Channel`] for its link: bit flips are
+/// sampled from the link's BER (Poisson over the 2560 payload bits),
+/// applied to a copy of the payload bytes, and run through the receiver's
+/// FEC decoder. Corrected payloads continue downstream — and must still
+/// verify bit-for-bit against the emission/destination manifests, which is
+/// the paper's "constant-latency in-situ correction" claim exercised on
+/// real data. An uncorrectable error aborts the run with
+/// [`CosimError::Uncorrectable`].
+///
+/// Every delivery's flip pattern is derived from `(seed, link, transfer,
+/// vector)` alone, so the injection is independent of chip iteration
+/// order, payload bytes, and parallelism — a given seed corrupts the same
+/// bits of the same vectors on the same hops, every run.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaultModel {
+    /// BER applied to every link not listed in `per_link`.
+    pub base_ber: f64,
+    /// Per-link BER overrides (marginal links).
+    pub per_link: HashMap<LinkId, f64>,
+    /// Master seed for the per-delivery error draws.
+    pub seed: u64,
+    /// Exact corruptions, applied instead of sampling on the deliveries
+    /// they name.
+    pub targeted: Vec<TargetedFlip>,
+}
+
+impl LinkFaultModel {
+    /// A model with one BER across every link.
+    pub fn uniform(ber: f64, seed: u64) -> Self {
+        LinkFaultModel {
+            base_ber: ber,
+            seed,
+            ..LinkFaultModel::default()
+        }
+    }
+
+    /// Overrides the BER of one (marginal) link.
+    pub fn with_link(mut self, link: LinkId, ber: f64) -> Self {
+        self.per_link.insert(link, ber);
+        self
+    }
+
+    /// A model that samples nothing and applies only the given exact flips.
+    pub fn targeted_only(flips: Vec<TargetedFlip>) -> Self {
+        LinkFaultModel {
+            targeted: flips,
+            ..LinkFaultModel::default()
+        }
+    }
+
+    /// The BER `link` operates at.
+    pub fn ber_for(&self, link: LinkId) -> f64 {
+        self.per_link.get(&link).copied().unwrap_or(self.base_ber)
+    }
+
+    /// Every targeted bit flip aimed at delivery `(vec, link)`.
+    fn targeted_bits(&self, vec: VecRef, link: LinkId) -> Vec<usize> {
+        self.targeted
+            .iter()
+            .filter(|t| t.transfer == vec.transfer && t.vector == vec.vector && t.link == link)
+            .flat_map(|t| t.bits.iter().copied())
+            .collect()
+    }
+
+    /// RNG for one delivery, keyed by (seed, link, transfer, vector) so the
+    /// draw does not depend on the order deliveries are bound in.
+    fn delivery_rng(&self, vec: VecRef, link: LinkId) -> StdRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for w in [link.0 as u64, vec.transfer as u64, vec.vector as u64] {
+            h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Carries one delivery's payload through its link's channel: returns the
+/// payload to hand the receiving chip and the FEC outcome observed.
+///
+/// `Clean` keeps the original `Arc` (the executor's pointer-equality fast
+/// path); `Corrected` re-wraps the repaired bytes in a fresh `Arc`, so the
+/// downstream manifest checks fall back to the byte comparison — which is
+/// exactly the bit-for-bit proof the fault mode exists to provide. A
+/// "correction" whose bytes do not match the transmitted payload (possible
+/// when ≥3 flips alias a valid single-error syndrome) is demoted to
+/// `Uncorrectable`: the engine never lets a plausible-but-wrong payload
+/// continue silently.
+fn transmit_delivery(
+    faults: &LinkFaultModel,
+    channel: &Channel,
+    d: &PlannedDelivery,
+    original: &Payload,
+) -> (Payload, FecOutcome) {
+    let packet = WirePacket::data(d.vec.vector as u16, original.as_ref().clone());
+    let targeted = faults.targeted_bits(d.vec, d.link);
+    let delivery = if targeted.is_empty() {
+        let mut rng = faults.delivery_rng(d.vec, d.link);
+        channel.transmit(&packet, d.cycle, &mut rng)
+    } else {
+        channel.transmit_with_flips(&packet, d.cycle, &targeted)
+    };
+    match delivery.outcome {
+        FecOutcome::Clean => (Arc::clone(original), FecOutcome::Clean),
+        FecOutcome::Corrected { bit }
+            if delivery.packet.payload.as_bytes() == original.as_bytes() =>
+        {
+            (
+                Arc::new(delivery.packet.payload),
+                FecOutcome::Corrected { bit },
+            )
+        }
+        // Either the decoder gave up, or it "repaired" the wrong bit — a
+        // miscorrection from ≥3 flips. Both force a replay; neither may
+        // deliver wrong bytes.
+        _ => (Arc::clone(original), FecOutcome::Uncorrectable),
+    }
+}
 
 /// Reusable payload-binding executor.
 ///
@@ -50,7 +194,7 @@ impl PlanExecutor {
         plan: &CompiledPlan,
         payloads: &[Vec<Payload>],
     ) -> Result<CosimReport, CosimError> {
-        self.execute_impl(plan, payloads, true)
+        self.execute_impl(plan, payloads, true, None)
     }
 
     /// [`PlanExecutor::execute`] with all chips run on the calling thread,
@@ -61,7 +205,31 @@ impl PlanExecutor {
         plan: &CompiledPlan,
         payloads: &[Vec<Payload>],
     ) -> Result<CosimReport, CosimError> {
-        self.execute_impl(plan, payloads, false)
+        self.execute_impl(plan, payloads, false, None)
+    }
+
+    /// [`PlanExecutor::execute`] with every inter-chip delivery passed
+    /// through its link's BER channel per `faults` — the datapath fault
+    /// mode. Corruption happens in the (serial) bind phase, so parallel
+    /// and serial execution remain bit-identical under injection.
+    pub fn execute_with_faults(
+        &mut self,
+        plan: &CompiledPlan,
+        payloads: &[Vec<Payload>],
+        faults: &LinkFaultModel,
+    ) -> Result<CosimReport, CosimError> {
+        self.execute_impl(plan, payloads, true, Some(faults))
+    }
+
+    /// [`PlanExecutor::execute_with_faults`], all chips on the calling
+    /// thread.
+    pub fn execute_with_faults_serial(
+        &mut self,
+        plan: &CompiledPlan,
+        payloads: &[Vec<Payload>],
+        faults: &LinkFaultModel,
+    ) -> Result<CosimReport, CosimError> {
+        self.execute_impl(plan, payloads, false, Some(faults))
     }
 
     fn execute_impl(
@@ -69,6 +237,7 @@ impl PlanExecutor {
         plan: &CompiledPlan,
         payloads: &[Vec<Payload>],
         parallel: bool,
+        faults: Option<&LinkFaultModel>,
     ) -> Result<CosimReport, CosimError> {
         // The payloads must match the shapes the plan was compiled for.
         if payloads.len() != plan.shapes.len() {
@@ -91,10 +260,20 @@ impl PlanExecutor {
 
         // Reset-not-rebuild: each chip's simulator keeps its allocations
         // across invocations; preloads and deliveries bind the new
-        // payloads by Arc clone (pointer copies, no byte copies).
+        // payloads by Arc clone (pointer copies, no byte copies). In fault
+        // mode each delivery additionally crosses its link's channel here,
+        // in the serial bind phase — so injection cannot perturb the
+        // parallel-vs-serial determinism contract.
         if self.sims.len() < plan.chips.len() {
             self.sims.resize_with(plan.chips.len(), ChipSim::default);
         }
+        let mut channels: HashMap<LinkId, Channel> = HashMap::new();
+        let mut fec = FecStats::default();
+        // Earliest uncorrectable delivery in (cycle, link, transfer) order;
+        // the whole bind completes first so `fec` tallies every packet of
+        // the aborted attempt.
+        let mut lost: Option<(u64, LinkId, usize)> = None;
+        let mut culprits: Vec<LinkId> = Vec::new();
         for (chip, sim) in plan.chips.iter().zip(&mut self.sims) {
             sim.reset();
             for p in &chip.preloads {
@@ -103,8 +282,39 @@ impl PlanExecutor {
             for d in &chip.deliveries {
                 // Deliveries are stored sorted by (port, cycle), so each
                 // port queue is fed in order — no per-delivery re-sort.
-                sim.deliver_in_order(d.port, d.cycle, bind(&d.vec));
+                let payload = match faults {
+                    None => bind(&d.vec),
+                    Some(fm) => {
+                        let channel = channels.entry(d.link).or_insert_with(|| {
+                            Channel::new(LatencyModel::fixed(0), fm.ber_for(d.link))
+                        });
+                        let (payload, outcome) = transmit_delivery(fm, channel, d, &bind(&d.vec));
+                        match outcome {
+                            FecOutcome::Clean => fec.clean += 1,
+                            FecOutcome::Corrected { .. } => fec.corrected += 1,
+                            FecOutcome::Uncorrectable => {
+                                fec.uncorrectable += 1;
+                                culprits.push(d.link);
+                                let key = (d.cycle, d.link, d.vec.transfer as usize);
+                                if lost.is_none_or(|worst| key < worst) {
+                                    lost = Some(key);
+                                }
+                            }
+                        }
+                        payload
+                    }
+                };
+                sim.deliver_in_order(d.port, d.cycle, payload);
             }
+        }
+        if let Some((cycle, link, transfer)) = lost {
+            return Err(CosimError::Uncorrectable {
+                link,
+                transfer,
+                cycle,
+                fec,
+                culprits,
+            });
         }
 
         // Each chip runs exactly once, levels in topological order;
@@ -149,6 +359,7 @@ impl PlanExecutor {
             instructions: plan.instructions,
             arrivals: plan.arrivals.clone(),
             dst_digests,
+            fec,
         })
     }
 }

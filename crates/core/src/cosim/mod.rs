@@ -65,7 +65,7 @@ pub mod exec;
 pub mod plan;
 mod verify;
 
-pub use exec::PlanExecutor;
+pub use exec::{LinkFaultModel, PlanExecutor, TargetedFlip};
 pub use plan::{
     compile_plan, ChipPlan, CompiledPlan, PlannedDelivery, PlannedEmission, PlannedPreload,
     TransferShape, VecRef,
@@ -74,10 +74,11 @@ pub use plan::{
 use std::collections::HashMap;
 use std::sync::Arc;
 use tsm_chip::exec::{ExecError, Payload};
+use tsm_fault::inject::FecStats;
 use tsm_isa::vector::MAX_STREAMS;
 use tsm_isa::Vector;
 use tsm_net::ssn::SsnError;
-use tsm_topology::{Topology, TopologyError, TspId};
+use tsm_topology::{LinkId, Topology, TopologyError, TspId};
 
 /// One tensor movement to co-simulate: `data` travels from `from`'s SRAM
 /// (slice/offset base) into `to`'s SRAM.
@@ -172,6 +173,28 @@ pub enum CosimError {
         /// Vector index within the transfer.
         vector: usize,
     },
+    /// A delivery crossed a link whose FEC detected a multi-bit error it
+    /// could not repair. The payload never reaches the destination chip;
+    /// the runtime must replay on known-good hardware (paper §4.5). The
+    /// error names the earliest such delivery in (cycle, link, transfer)
+    /// order, deterministically, and carries the FEC tally of the aborted
+    /// attempt so the runtime's health monitor sees every packet.
+    Uncorrectable {
+        /// The link whose FEC gave up.
+        link: LinkId,
+        /// The transfer whose vector was lost (index into the plan).
+        transfer: usize,
+        /// Scheduled arrival cycle of the lost vector.
+        cycle: u64,
+        /// Link-layer tally over the whole aborted attempt.
+        fec: FecStats,
+        /// The link of *every* uncorrectable delivery of the attempt, with
+        /// multiplicity, in bind order. Blame voting needs the full set: a
+        /// single cross-node culprit implicates both endpoints equally,
+        /// and only the victim's additional intra-node casualties break
+        /// the tie.
+        culprits: Vec<LinkId>,
+    },
 }
 
 impl std::fmt::Display for CosimError {
@@ -218,6 +241,18 @@ impl std::fmt::Display for CosimError {
             CosimError::DataMismatch { transfer, vector } => {
                 write!(f, "transfer {transfer}, vector {vector}: payload mismatch")
             }
+            CosimError::Uncorrectable {
+                link,
+                transfer,
+                cycle,
+                ..
+            } => {
+                write!(
+                    f,
+                    "uncorrectable FEC error on link {} (transfer {transfer}, cycle {cycle})",
+                    link.0
+                )
+            }
         }
     }
 }
@@ -237,6 +272,11 @@ pub struct CosimReport {
     /// a compact fingerprint of the delivered bytes, used by the
     /// serial-vs-parallel determinism tests.
     pub dst_digests: Vec<u64>,
+    /// Link-layer FEC tally over every inter-chip delivery. All-clean in
+    /// the fault-free mode; in datapath-BER mode the corrected count is
+    /// the number of packets whose single-bit flip was repaired in situ
+    /// without becoming visible to any downstream verification.
+    pub fec: FecStats,
 }
 
 /// MEM read pipeline latency (must match `Instruction::Read::min_latency`).

@@ -17,7 +17,7 @@ use tsm_isa::vector::MAX_STREAMS;
 use tsm_isa::{Direction, StreamId};
 use tsm_net::ssn::{scheduled_link_latency, vector_slot_cycles, LinkOccupancy};
 use tsm_topology::route::{shortest_path, Path};
-use tsm_topology::{Topology, TspId};
+use tsm_topology::{LinkId, Topology, TspId};
 
 use super::{CosimError, CosimTransfer, READ_LATENCY, SCRATCH_SLICE};
 
@@ -86,6 +86,10 @@ pub struct PlannedDelivery {
     pub cycle: u64,
     /// Which payload vector arrives.
     pub vec: VecRef,
+    /// The physical link the vector crossed to get here — the coordinate
+    /// the fault layer uses to look up per-link BER and to blame marginal
+    /// hardware when a delivery is uncorrectable.
+    pub link: LinkId,
 }
 
 /// An emission the schedule promises: the chip sends `vec` out `port` at
@@ -434,6 +438,7 @@ pub fn compile_plan(topo: &Topology, shapes: &[TransferShape]) -> Result<Compile
                     port: peer_port,
                     cycle: hop_start + (v + 1) * slot + latency,
                     vec: vref(v),
+                    link,
                 });
             }
         }

@@ -28,8 +28,8 @@ pub mod system;
 
 pub use cosim::{
     compile_plan, run_transfers, run_transfers_serial, CompiledPlan, CosimError, CosimReport,
-    CosimTransfer, PlanExecutor, TransferShape,
+    CosimTransfer, LinkFaultModel, PlanExecutor, TargetedFlip, TransferShape,
 };
 pub use report::ExecutionReport;
-pub use runtime::{LaunchOutcome, Runtime, RuntimeError, SparePolicy};
+pub use runtime::{graph_fingerprint, ExecMode, LaunchOutcome, Runtime, RuntimeError, SparePolicy};
 pub use system::{System, SystemConfig, SystemError};

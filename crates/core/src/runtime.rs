@@ -11,24 +11,64 @@
 //!
 //! [`Runtime::launch`] is that loop, end to end. Programs are expressed
 //! against *logical* devices; the runtime owns the logical→physical map.
+//!
+//! # Execution modes
+//!
+//! The health monitor can observe the links two ways ([`ExecMode`]):
+//!
+//! - **Statistical** (default): a per-packet FEC tally over the schedule's
+//!   link reservations. Fast — no payload bytes move — and what the big
+//!   benches use.
+//! - **Datapath**: every transfer's payload vectors actually stream
+//!   through the [`CompiledPlan`] engine, each inter-chip delivery
+//!   crossing its link's BER channel. Single-bit flips are corrected in
+//!   situ by the receiver FEC and the delivered bytes are verified
+//!   bit-for-bit against the manifest; an uncorrectable error aborts the
+//!   attempt as [`CosimError::Uncorrectable`] and drives the same
+//!   replay/blame/failover machinery. Any launch that completes — after
+//!   any number of replays and failovers — leaves destination SRAM
+//!   bit-identical to a fault-free run, because corrupted attempts never
+//!   contribute bytes and corrected ones are verified exact.
 
+use crate::cosim::{compile_plan, CompiledPlan, CosimError, LinkFaultModel, TransferShape};
 use crate::system::System;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tsm_chip::exec::Payload;
 use tsm_compiler::graph::{Graph, OpKind};
 use tsm_compiler::schedule::{CompileOptions, CompiledProgram};
 use tsm_fault::inject::{inject_schedule_with, FecStats};
-use tsm_fault::spare::SparePlan;
+use tsm_fault::replay::{run_with_replay_fallible, FallibleReplayOutcome, ReplayPolicy};
+use tsm_fault::spare::{SpareError, SparePlan};
+use tsm_isa::vector::VECTOR_BYTES;
+use tsm_isa::Vector;
 use tsm_topology::{LinkId, NodeId, TspId};
 
 /// Which spare-provisioning policy the deployment uses (paper §4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SparePolicy {
-    /// One spare node per rack (≈11 % overhead).
+    /// One spare node per rack (≈11 % overhead). On a topology smaller
+    /// than one rack — where the policy would reserve zero spares — the
+    /// runtime falls back to [`SparePolicy::PerSystem`] instead of
+    /// constructing a plan with no redundancy.
     PerRack,
     /// One spare node per system (≈3 % overhead).
     PerSystem,
+}
+
+/// How [`Runtime::launch`] exercises the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Statistical per-packet FEC tally over the schedule's reservations
+    /// (fast; no payload bytes move).
+    #[default]
+    Statistical,
+    /// Real datapath: payload vectors stream through the compiled plan
+    /// with per-link BER channels; corruption, correction and replay are
+    /// exercised on actual bytes.
+    Datapath,
 }
 
 /// Errors from the runtime.
@@ -41,6 +81,21 @@ pub enum RuntimeError {
         /// Nodes consumed before giving up.
         nodes_failed: usize,
     },
+    /// A fault persisted but blame voting could not name a *replaceable*
+    /// node: every culprit-link endpoint is a spare or otherwise unmapped.
+    /// Distinct from [`RuntimeError::OutOfSpares`] — spares remain, and
+    /// swapping one for a healthy node would not clear the fault, so the
+    /// operator must inspect the named cables instead.
+    BlameFailed {
+        /// Spares still in reserve when blaming failed.
+        spares_left: usize,
+        /// The links the failed attempts implicated.
+        culprits: Vec<LinkId>,
+    },
+    /// The datapath execution engine rejected the compiled plan for a
+    /// reason that is not a link fault (a lowering bug, a capacity limit):
+    /// replaying cannot help, so it surfaces directly.
+    Execution(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -53,6 +108,17 @@ impl std::fmt::Display for RuntimeError {
                     "fault persisted after {nodes_failed} failovers; no spares left"
                 )
             }
+            RuntimeError::BlameFailed {
+                spares_left,
+                culprits,
+            } => {
+                write!(
+                    f,
+                    "fault persisted but no culprit node is replaceable ({} culprit links, {spares_left} spares idle)",
+                    culprits.len()
+                )
+            }
+            RuntimeError::Execution(e) => write!(f, "execution: {e}"),
         }
     }
 }
@@ -64,6 +130,9 @@ impl std::error::Error for RuntimeError {}
 pub struct LaunchOutcome {
     /// FEC tally of the successful execution.
     pub fec: FecStats,
+    /// FEC tally accumulated over *every* attempt of this launch,
+    /// including aborted ones — what the health monitor actually saw.
+    pub fec_total: FecStats,
     /// Total executions (1 = clean first try).
     pub attempts: u32,
     /// Nodes failed over during this launch.
@@ -79,6 +148,22 @@ pub struct LaunchOutcome {
     pub compiles: u32,
     /// Compile-cache hits during this launch.
     pub reuses: u32,
+    /// In [`ExecMode::Datapath`], the per-transfer destination-SRAM
+    /// fingerprints of the successful run — bit-identical to a fault-free
+    /// run of the same graph by the determinism guarantee. Empty in
+    /// statistical mode.
+    pub dst_digests: Vec<u64>,
+}
+
+/// The datapath artifacts compiled alongside the program: the transfer
+/// plan and the synthetic payload vectors bound to it on every attempt.
+/// Payload bytes are a pure function of (transfer index, vector index), so
+/// fault-free and faulty launches move identical data — the basis of the
+/// bit-identical guarantee.
+#[derive(Debug)]
+struct DatapathArtifact {
+    plan: CompiledPlan,
+    payloads: Vec<Vec<Payload>>,
 }
 
 /// The compiled artifact of one logical graph against one
@@ -93,6 +178,8 @@ struct CompiledCache {
     epoch: u64,
     /// The compiled program.
     program: CompiledProgram,
+    /// Present when the cache was filled in [`ExecMode::Datapath`].
+    datapath: Option<DatapathArtifact>,
 }
 
 /// The runtime: a system plus its spare plan, health state, and the
@@ -110,19 +197,25 @@ pub struct Runtime {
     marginal_ber: f64,
     /// Replays to attempt before declaring a fault persistent.
     max_replays: u32,
+    /// How launches exercise the fabric.
+    mode: ExecMode,
     /// Bumped every time a failover changes the logical→physical mapping;
     /// invalidates [`CompiledCache`] entries from earlier epochs.
     mapping_epoch: u64,
     /// The last compiled program, reused while graph and mapping are
     /// unchanged.
     compiled: Option<CompiledCache>,
+    /// The payload-binding executor (datapath mode); chip simulators are
+    /// reset, not rebuilt, across attempts and launches.
+    executor: crate::cosim::PlanExecutor,
 }
 
 impl Runtime {
     /// Wraps a system with a spare plan.
     pub fn new(system: System, policy: SparePolicy) -> Self {
         let plan = match policy {
-            SparePolicy::PerRack => SparePlan::per_rack(system.topology()),
+            SparePolicy::PerRack => SparePlan::per_rack(system.topology())
+                .unwrap_or_else(|_| SparePlan::per_system(system.topology())),
             SparePolicy::PerSystem => SparePlan::per_system(system.topology()),
         };
         Runtime {
@@ -132,9 +225,38 @@ impl Runtime {
             base_ber: 1e-9,
             marginal_ber: 1e-4,
             max_replays: 2,
+            mode: ExecMode::default(),
             mapping_epoch: 0,
             compiled: None,
+            executor: crate::cosim::PlanExecutor::new(),
         }
+    }
+
+    /// Selects the execution mode for subsequent launches (builder style).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.set_exec_mode(mode);
+        self
+    }
+
+    /// Selects the execution mode for subsequent launches.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The execution mode in use.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Overrides the healthy/marginal bit error rates.
+    pub fn set_ber(&mut self, base: f64, marginal: f64) {
+        self.base_ber = base;
+        self.marginal_ber = marginal;
+    }
+
+    /// Overrides the replay budget.
+    pub fn set_max_replays(&mut self, max_replays: u32) {
+        self.max_replays = max_replays;
     }
 
     /// Marks a physical cable as marginal (the fault the health monitor
@@ -158,106 +280,237 @@ impl Runtime {
         &self.plan
     }
 
+    /// The underlying system (inspection — e.g. to enumerate physical
+    /// links when marking cables marginal).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
     /// Launches a logical-device program: align, compile against the
     /// current mapping, execute with health monitoring, and recover from
     /// faults by replay and failover.
     pub fn launch(&mut self, logical: &Graph, seed: u64) -> Result<LaunchOutcome, RuntimeError> {
         let alignment_cycles = self.system.plan_alignment().overhead_cycles;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut attempts = 0;
+        let mut attempts = 0u32;
         let mut failovers = Vec::new();
         let mut compiles = 0u32;
         let mut reuses = 0u32;
+        let mut fec_total = FecStats::default();
         let graph_fp = graph_fingerprint(logical);
 
         loop {
             // Compile only when the graph or the logical→physical mapping
-            // changed since the cached compile; a relaunch of an unchanged
-            // program reuses the artifact outright.
-            let program: CompiledProgram = match &self.compiled {
-                Some(c) if c.graph_fp == graph_fp && c.epoch == self.mapping_epoch => {
-                    reuses += 1;
-                    c.program.clone()
-                }
-                _ => {
-                    let physical = self.remap(logical);
-                    let program = self
-                        .system
-                        .compile(&physical, CompileOptions::default())
-                        .map_err(|e| RuntimeError::Compile(e.to_string()))?;
-                    compiles += 1;
-                    self.compiled = Some(CompiledCache {
-                        graph_fp,
-                        epoch: self.mapping_epoch,
-                        program: program.clone(),
-                    });
-                    program
+            // changed since the cached compile (or the cache lacks the
+            // datapath artifacts this mode needs); a relaunch of an
+            // unchanged program reuses the artifact outright.
+            let cache_current = matches!(
+                &self.compiled,
+                Some(c) if c.graph_fp == graph_fp
+                    && c.epoch == self.mapping_epoch
+                    && (self.mode == ExecMode::Statistical || c.datapath.is_some())
+            );
+            if cache_current {
+                reuses += 1;
+            } else {
+                let physical = self.remap(logical);
+                let program = self
+                    .system
+                    .compile(&physical, CompileOptions::default())
+                    .map_err(|e| RuntimeError::Compile(e.to_string()))?;
+                let datapath = match self.mode {
+                    ExecMode::Statistical => None,
+                    ExecMode::Datapath => Some(self.compile_datapath(&physical)?),
+                };
+                compiles += 1;
+                self.compiled = Some(CompiledCache {
+                    graph_fp,
+                    epoch: self.mapping_epoch,
+                    program,
+                    datapath,
+                });
+            }
+
+            // Replay budget against the current hardware mapping. The
+            // scope confines the cache borrow so the blame/failover path
+            // below can take `&mut self`.
+            let attempt_outcome = {
+                let cache = self.compiled.as_ref().expect("compiled above");
+                let span_cycles = cache.program.span_cycles;
+                match self.mode {
+                    ExecMode::Statistical => {
+                        let mut culprit_links: Vec<LinkId> = Vec::new();
+                        let mut success = None;
+                        for _ in 0..=self.max_replays {
+                            attempts += 1;
+                            let (stats, culprits) = inject_schedule_with(
+                                self.system.topology(),
+                                cache.program.occupancy.reservations(),
+                                |l| {
+                                    if self.marginal_links.contains(&l) {
+                                        self.marginal_ber
+                                    } else {
+                                        self.base_ber
+                                    }
+                                },
+                                &mut rng,
+                            );
+                            fec_total = fec_total.merge(&stats);
+                            if stats.is_clean_run() {
+                                success = Some((stats, Vec::new()));
+                                break;
+                            }
+                            culprit_links = culprits;
+                        }
+                        match success {
+                            Some((fec, digests)) => Ok((fec, digests, span_cycles)),
+                            None => Err(culprit_links),
+                        }
+                    }
+                    ExecMode::Datapath => {
+                        let art = cache
+                            .datapath
+                            .as_ref()
+                            .expect("datapath artifacts compiled above");
+                        let per_link: HashMap<LinkId, f64> = self
+                            .marginal_links
+                            .iter()
+                            .map(|&l| (l, self.marginal_ber))
+                            .collect();
+                        let base_ber = self.base_ber;
+                        let executor = &mut self.executor;
+                        let mut culprit_links: Vec<LinkId> = Vec::new();
+                        let mut fatal: Option<RuntimeError> = None;
+                        let outcome = run_with_replay_fallible(
+                            ReplayPolicy {
+                                max_replays: self.max_replays,
+                            },
+                            |_| {
+                                if fatal.is_some() {
+                                    return Err(());
+                                }
+                                attempts += 1;
+                                // Each attempt corrupts independently; the
+                                // flip pattern is a pure function of
+                                // (launch seed, attempt, link, vector).
+                                let faults = LinkFaultModel {
+                                    base_ber,
+                                    per_link: per_link.clone(),
+                                    seed: mix64(seed, attempts as u64),
+                                    targeted: Vec::new(),
+                                };
+                                match executor.execute_with_faults(
+                                    &art.plan,
+                                    &art.payloads,
+                                    &faults,
+                                ) {
+                                    Ok(report) => {
+                                        fec_total = fec_total.merge(&report.fec);
+                                        Ok((report.fec, report.dst_digests))
+                                    }
+                                    Err(CosimError::Uncorrectable { fec, culprits, .. }) => {
+                                        fec_total = fec_total.merge(&fec);
+                                        culprit_links.extend(culprits);
+                                        Err(())
+                                    }
+                                    Err(e) => {
+                                        fatal = Some(RuntimeError::Execution(e.to_string()));
+                                        Err(())
+                                    }
+                                }
+                            },
+                        );
+                        if let Some(e) = fatal {
+                            return Err(e);
+                        }
+                        match outcome {
+                            FallibleReplayOutcome::Recovered {
+                                value: (fec, digests),
+                                ..
+                            } => Ok((fec, digests, span_cycles)),
+                            FallibleReplayOutcome::Persistent { .. } => Err(culprit_links),
+                        }
+                    }
                 }
             };
 
-            // Replay budget against the current hardware mapping.
-            let mut culprit_links: Vec<LinkId> = Vec::new();
-            for _ in 0..=self.max_replays {
-                attempts += 1;
-                let (stats, culprits) = inject_schedule_with(
-                    self.system.topology(),
-                    program.occupancy.reservations(),
-                    |l| {
-                        if self.marginal_links.contains(&l) {
-                            self.marginal_ber
-                        } else {
-                            self.base_ber
-                        }
-                    },
-                    &mut rng,
-                );
-                if stats.is_clean_run() {
+            match attempt_outcome {
+                Ok((fec, dst_digests, span_cycles)) => {
                     return Ok(LaunchOutcome {
-                        fec: stats,
+                        fec,
+                        fec_total,
                         attempts,
                         failovers,
                         alignment_cycles,
-                        span_cycles: program.span_cycles,
+                        span_cycles,
                         compiles,
                         reuses,
+                        dst_digests,
                     });
                 }
-                culprit_links = culprits;
+                Err(culprit_links) => {
+                    // Persistent fault: vote, fail over, recompile, replay.
+                    self.blame_and_fail_over(&culprit_links, &mut failovers)?;
+                }
             }
+        }
+    }
 
-            // Persistent fault: the health monitor votes — every culprit
-            // link implicates both its endpoint nodes, and the most
-            // implicated node is swapped for a spare (paper §4.5:
-            // "replace a marginal cable … or TSP card" — at runtime
-            // granularity, the node).
-            let mut votes: std::collections::HashMap<NodeId, usize> = Default::default();
-            for &l in &culprit_links {
-                let link = self.system.topology().link(l);
-                *votes.entry(link.a.node()).or_insert(0) += 1;
-                *votes.entry(link.b.node()).or_insert(0) += 1;
-            }
-            let mut candidates: Vec<(NodeId, usize)> = votes.into_iter().collect();
-            candidates.sort_by_key(|&(n, count)| (std::cmp::Reverse(count), n));
-            let mut swapped = false;
-            for (blame, _) in candidates {
-                if self
-                    .plan
-                    .fail_over(self.system.topology_mut(), blame)
-                    .is_ok()
-                {
+    /// The health monitor's blame vote (paper §4.5): every culprit link
+    /// implicates both its endpoint nodes, and the most implicated
+    /// *replaceable* node is swapped for a spare ("replace a marginal
+    /// cable … or TSP card" — at runtime granularity, the node).
+    ///
+    /// Distinguishes two failure shapes the old code conflated into
+    /// `OutOfSpares`: spares genuinely exhausted vs. blame landing only on
+    /// nodes outside the logical mapping (spares, already-failed nodes) —
+    /// the latter is [`RuntimeError::BlameFailed`], so operators don't
+    /// burn healthy spares chasing it.
+    fn blame_and_fail_over(
+        &mut self,
+        culprit_links: &[LinkId],
+        failovers: &mut Vec<NodeId>,
+    ) -> Result<(), RuntimeError> {
+        let mut votes: HashMap<NodeId, usize> = HashMap::new();
+        for &l in culprit_links {
+            let link = self.system.topology().link(l);
+            *votes.entry(link.a.node()).or_insert(0) += 1;
+            *votes.entry(link.b.node()).or_insert(0) += 1;
+        }
+        let mut candidates: Vec<(NodeId, usize)> = votes.into_iter().collect();
+        candidates.sort_by_key(|&(n, count)| (std::cmp::Reverse(count), n));
+        for (blame, _) in candidates {
+            match self.plan.fail_over(self.system.topology_mut(), blame) {
+                Ok(_) => {
                     failovers.push(blame);
                     // The logical→physical mapping changed: cached
                     // compiles are stale from here on.
                     self.mapping_epoch += 1;
-                    swapped = true;
-                    break;
+                    return Ok(());
                 }
+                // The spare pool is shared: once empty for one candidate,
+                // it is empty for all.
+                Err(SpareError::NoSpareAvailable) => {
+                    return Err(RuntimeError::OutOfSpares {
+                        nodes_failed: failovers.len(),
+                    })
+                }
+                // This candidate is not a mapped node (a spare's own
+                // cables, or an already-failed node): try the next.
+                Err(_) => continue,
             }
-            if !swapped {
-                return Err(RuntimeError::OutOfSpares {
-                    nodes_failed: failovers.len(),
-                });
-            }
+        }
+        // No candidate was replaceable. If spares remain, replacing one
+        // would not clear the fault — report the blame failure itself.
+        if self.plan.spares_left() == 0 {
+            Err(RuntimeError::OutOfSpares {
+                nodes_failed: failovers.len(),
+            })
+        } else {
+            Err(RuntimeError::BlameFailed {
+                spares_left: self.plan.spares_left(),
+                culprits: culprit_links.to_vec(),
+            })
         }
     }
 
@@ -289,18 +542,145 @@ impl Runtime {
         }
         g
     }
+
+    /// Lowers the physical graph's transfers into a [`CompiledPlan`] plus
+    /// the synthetic payloads every attempt binds to it.
+    ///
+    /// Source vectors live on slice [`DATAPATH_SRC_SLICE`], delivered ones
+    /// on [`DATAPATH_DST_SLICE`]; offsets are bump-allocated per chip so
+    /// concurrent transfers never overlap. Payload bytes depend only on
+    /// the transfer and vector indices — not on the seed, the attempt, or
+    /// the mapping — so every run of the same logical graph moves the
+    /// same bits, which is what makes "bit-identical to a fault-free run"
+    /// a checkable property rather than a tautology.
+    fn compile_datapath(&self, physical: &Graph) -> Result<DatapathArtifact, RuntimeError> {
+        let mut shapes: Vec<TransferShape> = Vec::new();
+        let mut src_next: HashMap<TspId, u32> = HashMap::new();
+        let mut dst_next: HashMap<TspId, u32> = HashMap::new();
+        for node in physical.nodes() {
+            if let OpKind::Transfer { to, bytes, .. } = node.kind {
+                if to == node.device {
+                    // A local SRAM move never crosses the network.
+                    continue;
+                }
+                let vectors = bytes.div_ceil(VECTOR_BYTES as u64).max(1);
+                let vectors = u32::try_from(vectors)
+                    .map_err(|_| RuntimeError::Execution("transfer too large".into()))?;
+                let src = src_next.entry(node.device).or_insert(0);
+                let dst = dst_next.entry(to).or_insert(0);
+                let (src_offset, dst_offset) = (*src, *dst);
+                if src_offset + vectors > u16::MAX as u32 + 1
+                    || dst_offset + vectors > u16::MAX as u32 + 1
+                {
+                    return Err(RuntimeError::Execution(
+                        "datapath payloads exceed SRAM slice capacity".into(),
+                    ));
+                }
+                *src += vectors;
+                *dst += vectors;
+                shapes.push(TransferShape {
+                    from: node.device,
+                    to,
+                    src_slice: DATAPATH_SRC_SLICE,
+                    src_offset: src_offset as u16,
+                    dst_slice: DATAPATH_DST_SLICE,
+                    dst_offset: dst_offset as u16,
+                    vectors,
+                });
+            }
+        }
+        let plan = compile_plan(self.system.topology(), &shapes)
+            .map_err(|e| RuntimeError::Execution(e.to_string()))?;
+        let payloads = shapes
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                (0..s.vectors)
+                    .map(|v| Arc::new(synthetic_vector(t as u32, v)))
+                    .collect()
+            })
+            .collect();
+        Ok(DatapathArtifact { plan, payloads })
+    }
 }
 
-/// Deterministic fingerprint of a logical graph (`DefaultHasher` uses
-/// fixed keys, so the value is stable within and across processes of the
-/// same build).
-fn graph_fingerprint(g: &Graph) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+/// SRAM slice holding datapath source vectors.
+const DATAPATH_SRC_SLICE: u8 = 0;
+/// SRAM slice receiving datapath delivered vectors.
+const DATAPATH_DST_SLICE: u8 = 1;
+
+/// The deterministic payload for vector `v` of transfer `t`.
+fn synthetic_vector(t: u32, v: u32) -> Vector {
+    Vector::from_fn(|b| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [t as u64, v as u64, b as u64] {
+            h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+        }
+        (h >> 32) as u8
+    })
+}
+
+/// Word-combining mix for deriving per-attempt fault seeds.
+fn mix64(a: u64, b: u64) -> u64 {
+    (0xcbf2_9ce4_8422_2325u64 ^ a)
+        .wrapping_mul(0x100_0000_01b3)
+        .wrapping_add(b)
+        .wrapping_mul(0x100_0000_01b3)
+}
+
+/// Deterministic structural fingerprint of a logical graph.
+///
+/// Every node field is folded in as a separate word with the FNV-1a
+/// pattern (`Vector::digest` uses the same constants), with a tag word
+/// per op kind and an explicit dependency count. The previous
+/// implementation hashed `format!("{node:?}")`, which had no field
+/// separators inside a node — adjacent integer fields could collide
+/// (`cycles: 12, …1` vs `cycles: 1, …21` shapes) — and silently changed
+/// meaning whenever any `Debug` impl changed, aliasing or invalidating
+/// compile caches across builds.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let word = |h: &mut u64, w: u64| *h = (*h ^ w).wrapping_mul(PRIME);
     for node in g.nodes() {
-        format!("{node:?}").hash(&mut h);
+        word(&mut h, node.device.0 as u64);
+        match &node.kind {
+            OpKind::Gemm { shape, ty } => {
+                word(&mut h, 1);
+                word(&mut h, shape.m);
+                word(&mut h, shape.n);
+                word(&mut h, shape.l);
+                word(&mut h, *ty as u64);
+            }
+            OpKind::Compute { cycles } => {
+                word(&mut h, 2);
+                word(&mut h, *cycles);
+            }
+            OpKind::Transfer {
+                to,
+                bytes,
+                allow_nonminimal,
+            } => {
+                word(&mut h, 3);
+                word(&mut h, to.0 as u64);
+                word(&mut h, *bytes);
+                word(&mut h, *allow_nonminimal as u64);
+            }
+            OpKind::HostInput { bytes } => {
+                word(&mut h, 4);
+                word(&mut h, *bytes);
+            }
+            OpKind::HostOutput { bytes } => {
+                word(&mut h, 5);
+                word(&mut h, *bytes);
+            }
+        }
+        word(&mut h, node.deps.len() as u64);
+        for d in &node.deps {
+            word(&mut h, d.0 as u64);
+        }
     }
-    h.finish()
+    h
 }
 
 #[cfg(test)]
@@ -392,6 +772,9 @@ mod tests {
         // logical TSP 8 now lives on the spare node
         assert_eq!(rt.physical_tsp(TspId(8)).node(), NodeId(3));
         assert!(out.fec.is_clean_run());
+        // the health monitor saw the uncorrectable packets of the aborted
+        // attempts even though the final run was clean
+        assert!(out.fec_total.uncorrectable > 0);
         // each failover forces exactly one recompile against the new map
         assert_eq!(out.compiles, out.failovers.len() as u32 + 1);
         assert_eq!(rt.mapping_epoch(), 1);
@@ -428,5 +811,149 @@ mod tests {
     fn logical_capacity_excludes_spares() {
         let rt = runtime();
         assert_eq!(rt.logical_tsps(), 24); // 3 logical nodes of 4 physical
+    }
+
+    /// The per-rack policy on a sub-rack topology falls back to the
+    /// per-system plan instead of silently reserving zero spares.
+    #[test]
+    fn per_rack_on_small_topology_falls_back_to_per_system() {
+        let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerRack);
+        assert_eq!(rt.spare_plan().spares_left(), 1);
+        assert_eq!(rt.logical_tsps(), 24);
+    }
+
+    /// Blame voting that lands only on unmapped nodes (here: the spare's
+    /// own intra-node cables) is a distinct failure from spare
+    /// exhaustion: spares remain, and swapping one would not clear the
+    /// fault.
+    #[test]
+    fn blame_failure_with_spares_left_is_not_out_of_spares() {
+        let mut rt = runtime();
+        // Links internal to node 3 — the per-system spare, which is not in
+        // the logical mapping.
+        let spare_links: Vec<LinkId> = rt
+            .system
+            .topology()
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a.node() == NodeId(3) && l.b.node() == NodeId(3))
+            .map(|(i, _)| LinkId(i as u32))
+            .collect();
+        assert!(!spare_links.is_empty());
+        let mut failovers = Vec::new();
+        let err = rt
+            .blame_and_fail_over(&spare_links, &mut failovers)
+            .unwrap_err();
+        match err {
+            RuntimeError::BlameFailed {
+                spares_left,
+                culprits,
+            } => {
+                assert_eq!(spares_left, 1);
+                assert_eq!(culprits, spare_links);
+            }
+            other => panic!("expected BlameFailed, got {other:?}"),
+        }
+        assert!(failovers.is_empty());
+        // the spare was NOT consumed by the failed blame
+        assert_eq!(rt.spare_plan().spares_left(), 1);
+    }
+
+    /// Datapath mode on a healthy fabric: real payloads stream through the
+    /// compiled plan, every packet tallies clean, and the destination
+    /// digests are recorded.
+    #[test]
+    fn datapath_launch_on_healthy_fabric_is_clean() {
+        let mut rt = runtime().with_exec_mode(ExecMode::Datapath);
+        rt.set_ber(0.0, 0.0);
+        let out = rt.launch(&logical_pipeline(), 1).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.fec.is_clean_run());
+        assert!(out.fec.clean > 0, "packets actually moved");
+        assert_eq!(out.dst_digests.len(), 1);
+        // relaunching reuses both the program and the datapath plan
+        let warm = rt.launch(&logical_pipeline(), 2).unwrap();
+        assert_eq!((warm.compiles, warm.reuses), (0, 1));
+        assert_eq!(warm.dst_digests, out.dst_digests);
+    }
+
+    #[test]
+    fn structural_fingerprint_separates_adjacent_fields() {
+        // Same Debug-string "digit stream" shifted across field
+        // boundaries: the structural hash must separate them.
+        let mut a = Graph::new();
+        a.add(TspId(0), OpKind::Compute { cycles: 12 }, vec![])
+            .unwrap();
+        a.add(TspId(0), OpKind::Compute { cycles: 1 }, vec![])
+            .unwrap();
+        let mut b = Graph::new();
+        b.add(TspId(0), OpKind::Compute { cycles: 1 }, vec![])
+            .unwrap();
+        b.add(TspId(0), OpKind::Compute { cycles: 21 }, vec![])
+            .unwrap();
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+    }
+
+    #[test]
+    fn structural_fingerprint_is_sensitive_to_every_field() {
+        let base = || {
+            let mut g = Graph::new();
+            let a = g
+                .add(TspId(0), OpKind::Compute { cycles: 100 }, vec![])
+                .unwrap();
+            g.add(
+                TspId(1),
+                OpKind::Transfer {
+                    to: TspId(2),
+                    bytes: 320,
+                    allow_nonminimal: false,
+                },
+                vec![a],
+            )
+            .unwrap();
+            g
+        };
+        let fp = graph_fingerprint(&base());
+
+        let mut g = base();
+        g.add(TspId(0), OpKind::HostInput { bytes: 320 }, vec![])
+            .unwrap();
+        assert_ne!(graph_fingerprint(&g), fp, "extra node");
+
+        let mut g = Graph::new();
+        let a = g
+            .add(TspId(0), OpKind::Compute { cycles: 100 }, vec![])
+            .unwrap();
+        g.add(
+            TspId(1),
+            OpKind::Transfer {
+                to: TspId(2),
+                bytes: 320,
+                allow_nonminimal: true, // flipped
+            },
+            vec![a],
+        )
+        .unwrap();
+        assert_ne!(graph_fingerprint(&g), fp, "flag flip");
+
+        let mut g = Graph::new();
+        let a = g
+            .add(TspId(0), OpKind::Compute { cycles: 100 }, vec![])
+            .unwrap();
+        g.add(
+            TspId(1),
+            OpKind::Transfer {
+                to: TspId(3), // different destination
+                bytes: 320,
+                allow_nonminimal: false,
+            },
+            vec![a],
+        )
+        .unwrap();
+        assert_ne!(graph_fingerprint(&g), fp, "destination");
+
+        // and it is stable for identical graphs
+        assert_eq!(graph_fingerprint(&base()), fp);
     }
 }

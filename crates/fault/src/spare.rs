@@ -15,6 +15,14 @@ pub enum SpareError {
     NoSpareAvailable,
     /// The node is not part of this plan.
     UnknownNode(NodeId),
+    /// The requested provisioning policy would reserve zero spares on this
+    /// topology — the plan would silently provide no redundancy, so
+    /// construction refuses instead of deferring the surprise to the
+    /// first failover.
+    NoSparesProvisioned {
+        /// Nodes in the topology the policy was asked to cover.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for SpareError {
@@ -22,6 +30,9 @@ impl std::fmt::Display for SpareError {
         match self {
             SpareError::NoSpareAvailable => write!(f, "no spare node available"),
             SpareError::UnknownNode(n) => write!(f, "{n} is not managed by this plan"),
+            SpareError::NoSparesProvisioned { nodes } => {
+                write!(f, "policy reserves zero spares on a {nodes}-node topology")
+            }
         }
     }
 }
@@ -44,7 +55,13 @@ impl SparePlan {
     /// Reserves one spare node per rack ("a hot spare node in every
     /// deployed rack", 1/9 ≈ 11 % overhead): the last node of each rack is
     /// the spare.
-    pub fn per_rack(topo: &Topology) -> Self {
+    ///
+    /// Fails with [`SpareError::NoSparesProvisioned`] on a topology
+    /// smaller than one full rack, where the policy would reserve nothing:
+    /// the old constructor returned such a plan silently, and the first
+    /// failover then surprised the operator with `NoSpareAvailable`. Use
+    /// [`SparePlan::per_system`] on sub-rack systems.
+    pub fn per_rack(topo: &Topology) -> Result<Self, SpareError> {
         let n = topo.num_nodes();
         let mut mapping = Vec::new();
         let mut spares = Vec::new();
@@ -56,11 +73,14 @@ impl SparePlan {
                 mapping.push(node);
             }
         }
-        SparePlan {
+        if spares.is_empty() {
+            return Err(SpareError::NoSparesProvisioned { nodes: n });
+        }
+        Ok(SparePlan {
             mapping,
             spares,
             failed: Vec::new(),
-        }
+        })
     }
 
     /// Reserves a single spare for the whole system ("a redundant node per
@@ -140,10 +160,38 @@ mod tests {
     #[test]
     fn per_rack_overhead_is_11_percent() {
         let topo = Topology::rack_dragonfly(4).unwrap();
-        let plan = SparePlan::per_rack(&topo);
+        let plan = SparePlan::per_rack(&topo).unwrap();
         assert_eq!(plan.logical_nodes(), 32);
         assert_eq!(plan.spares_left(), 4);
         assert!((plan.overhead() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    /// A topology smaller than one rack cannot honor the per-rack policy:
+    /// construction reports it instead of reserving zero spares and
+    /// failing at the first failover.
+    #[test]
+    fn per_rack_on_sub_rack_topology_is_refused() {
+        for n in [2usize, 4, NODES_PER_RACK - 1] {
+            let topo = Topology::fully_connected_nodes(n).unwrap();
+            assert_eq!(
+                SparePlan::per_rack(&topo).unwrap_err(),
+                SpareError::NoSparesProvisioned { nodes: n },
+                "{n} nodes"
+            );
+            // the per-system policy covers the same topology
+            let fallback = SparePlan::per_system(&topo);
+            assert_eq!(fallback.spares_left(), 1);
+            assert_eq!(fallback.logical_nodes(), n - 1);
+        }
+    }
+
+    /// One full rack is the smallest topology the per-rack policy accepts.
+    #[test]
+    fn per_rack_on_exactly_one_rack_reserves_one_spare() {
+        let topo = Topology::fully_connected_nodes(NODES_PER_RACK).unwrap();
+        let plan = SparePlan::per_rack(&topo).unwrap();
+        assert_eq!(plan.spares_left(), 1);
+        assert_eq!(plan.logical_nodes(), NODES_PER_RACK - 1);
     }
 
     #[test]

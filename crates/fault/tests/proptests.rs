@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn failover_sequences_stay_connected(kills in prop::collection::vec(0u32..8, 0..4)) {
         let mut topo = Topology::rack_dragonfly(2).unwrap();
-        let mut plan = SparePlan::per_rack(&topo);
+        let mut plan = SparePlan::per_rack(&topo).unwrap();
         let spares = plan.spares_left();
         let mut killed = Vec::new();
         for k in kills {

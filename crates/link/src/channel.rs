@@ -114,6 +114,46 @@ impl Channel {
         }
     }
 
+    /// Transmits `packet` with an *exact* set of payload bit flips instead
+    /// of sampled errors — the deterministic injection mode fault tests
+    /// use to place a corruption on a specific hop of a specific vector.
+    ///
+    /// No RNG is consumed and no latency jitter is drawn: the arrival time
+    /// is `inject + serialization + base latency`, and the receiver-side
+    /// FEC sees precisely `bits` flipped. Duplicate bit positions cancel
+    /// (two flips of one bit restore it), exactly as on a real wire.
+    pub fn transmit_with_flips(
+        &self,
+        packet: &WirePacket,
+        inject_cycle: u64,
+        bits: &[usize],
+    ) -> Delivery {
+        let arrival_cycle = inject_cycle + self.serialization_cycles + self.latency.base_cycles;
+        if bits.is_empty() {
+            return Delivery {
+                arrival_cycle,
+                packet: packet.clone(),
+                outcome: FecOutcome::Clean,
+            };
+        }
+        let codeword = FecCodeword::encode(packet.payload.as_bytes());
+        let mut payload: [u8; VECTOR_BYTES] = *packet.payload.as_bytes();
+        for &bit in bits {
+            assert!(bit < fec::PAYLOAD_BITS, "flip position out of range");
+            payload[bit / 8] ^= 1 << (bit % 8);
+        }
+        let outcome = fec::decode(&mut payload, codeword);
+        Delivery {
+            arrival_cycle,
+            packet: WirePacket {
+                sequence: packet.sequence,
+                tag: packet.tag,
+                payload: tsm_isa::Vector::from_slice(&payload).expect("length preserved"),
+            },
+            outcome,
+        }
+    }
+
     /// Draws the number of flipped bits for one packet: Poisson with
     /// λ = BER × payload bits, sampled by inversion (λ is tiny for any
     /// realistic BER, so this is a handful of multiplications).
@@ -236,5 +276,36 @@ mod tests {
     #[should_panic(expected = "BER")]
     fn rejects_invalid_ber() {
         let _ = Channel::new(LatencyModel::fixed(1), 1.5);
+    }
+
+    #[test]
+    fn targeted_single_flip_is_corrected_transparently() {
+        let ch = Channel::ideal(LatencyModel::fixed(10));
+        let p = packet(4);
+        for bit in [0usize, 7, 1000, tsm_isa::vector::VECTOR_BYTES * 8 - 1] {
+            let d = ch.transmit_with_flips(&p, 100, &[bit]);
+            assert_eq!(d.outcome, FecOutcome::Corrected { bit });
+            assert_eq!(d.packet.payload, p.payload, "bit {bit} not repaired");
+            assert_eq!(d.arrival_cycle, 100 + ch.serialization_cycles() + 10);
+        }
+    }
+
+    #[test]
+    fn targeted_double_flip_is_deterministically_uncorrectable() {
+        let ch = Channel::ideal(LatencyModel::fixed(0));
+        let p = packet(5);
+        let d = ch.transmit_with_flips(&p, 0, &[3, 2000]);
+        assert_eq!(d.outcome, FecOutcome::Uncorrectable);
+        // and it is deterministic: no RNG is involved
+        assert_eq!(ch.transmit_with_flips(&p, 0, &[3, 2000]), d);
+    }
+
+    #[test]
+    fn targeted_no_flips_is_clean() {
+        let ch = Channel::ideal(LatencyModel::fixed(0));
+        let p = packet(6);
+        let d = ch.transmit_with_flips(&p, 0, &[]);
+        assert_eq!(d.outcome, FecOutcome::Clean);
+        assert_eq!(d.packet, p);
     }
 }

@@ -51,25 +51,34 @@ impl FecCodeword {
 
     /// Packs the codeword into the packet's 4 check bytes.
     pub fn to_bytes(self) -> [u8; 4] {
-        [
-            (self.syndrome & 0xff) as u8,
-            (self.syndrome >> 8) as u8,
-            self.parity as u8,
-            // Redundant complement byte guards the check bytes themselves.
-            !((self.syndrome & 0xff) as u8),
-        ]
+        let b0 = (self.syndrome & 0xff) as u8;
+        let b1 = (self.syndrome >> 8) as u8;
+        let b2 = self.parity as u8;
+        // The guard byte is the complemented XOR of all three check bytes,
+        // so corruption of *any* one of the four wire bytes — including
+        // the high syndrome byte, the parity byte, or the guard itself —
+        // breaks the relation. (The old guard complemented only b0:
+        // flipping b1 or b2 passed validation and could silently
+        // miscorrect the wrong payload bit.)
+        [b0, b1, b2, !(b0 ^ b1 ^ b2)]
     }
 
     /// Unpacks a codeword from the packet's check bytes. Returns `None` if
     /// the guard byte shows the check field itself was corrupted (treated
     /// as uncorrectable).
     pub fn from_bytes(b: [u8; 4]) -> Option<Self> {
-        if b[3] != !b[0] {
+        if b[3] != !(b[0] ^ b[1] ^ b[2]) {
+            return None;
+        }
+        // The encoder only ever emits a 12-bit syndrome and a 0/1 parity
+        // byte; anything else is corruption the XOR guard happened to
+        // miss (two compensating byte errors) — reject it as well.
+        if b[1] & 0xf0 != 0 || b[2] > 1 {
             return None;
         }
         Some(FecCodeword {
             syndrome: b[0] as u16 | ((b[1] as u16) << 8),
-            parity: b[2] & 1 == 1,
+            parity: b[2] == 1,
         })
     }
 }
@@ -182,6 +191,42 @@ mod tests {
         let mut b = FecCodeword::encode(&payload(1)).to_bytes();
         b[0] ^= 0x10; // guard byte no longer matches
         assert!(FecCodeword::from_bytes(b).is_none());
+    }
+
+    /// Exhaustive: corrupting any single wire byte — low syndrome, high
+    /// syndrome, parity, or the guard itself — to any wrong value is
+    /// detected. The old guard only covered `b[0]`, so a flipped bit in
+    /// `b[1]` or `b[2]` decoded "successfully" and miscorrected a healthy
+    /// payload bit.
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        for seed in [0u8, 1, 9, 200] {
+            let clean = FecCodeword::encode(&payload(seed)).to_bytes();
+            for byte in 0..4 {
+                for mask in 1..=255u8 {
+                    let mut b = clean;
+                    b[byte] ^= mask;
+                    assert!(
+                        FecCodeword::from_bytes(b).is_none(),
+                        "seed {seed}: corrupting byte {byte} with mask {mask:#04x} passed"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A corrupted check field must never repair the wrong payload bit:
+    /// with the full guard, a flipped high-syndrome or parity byte is
+    /// rejected before `decode` can trust the bogus codeword.
+    #[test]
+    fn check_byte_corruption_cannot_miscorrect() {
+        let original = payload(7);
+        let mut wire = FecCodeword::encode(&original).to_bytes();
+        wire[1] ^= 0x04; // high syndrome byte: would point at a distant bit
+        assert!(
+            FecCodeword::from_bytes(wire).is_none(),
+            "corrupt syndrome must not reach the corrector"
+        );
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl fmt::Display for RackId {
 }
 
 /// Index of a link in a [`Topology`]'s link table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct LinkId(pub u32);
 
 impl LinkId {

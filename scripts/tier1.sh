@@ -16,5 +16,10 @@ cargo test --workspace -q
 # serde round-trip) has its own integration suite; run it by name so a
 # filtered `cargo test` invocation can never silently skip it.
 cargo test -p tsm-core --test plan_reuse -q
+# Likewise the fault path: datapath BER injection, FEC bit-for-bit
+# verification, and the replay/blame/failover recovery loop.
+cargo test -p tsm-core --test fault_path -q
+cargo test -p tsm-fault -q
+cargo test -p tsm-link -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --all --check

@@ -200,6 +200,6 @@ fn sec45_spare_overhead_claims() {
     assert_eq!(per_system.logical_nodes() * 8, 256);
     assert!(per_system.overhead() < 0.031);
     let rack_topo = Topology::rack_dragonfly(2).unwrap();
-    let per_rack = tsm::fault::spare::SparePlan::per_rack(&rack_topo);
+    let per_rack = tsm::fault::spare::SparePlan::per_rack(&rack_topo).unwrap();
     assert!((per_rack.overhead() - 0.111).abs() < 0.001);
 }
