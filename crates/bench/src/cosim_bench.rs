@@ -8,6 +8,7 @@
 //! single-pass engine is tracked by one number series from PR to PR.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 use tsm::core::cosim::{
     compile_plan, run_transfers, run_transfers_serial, CosimError, CosimTransfer, LinkFaultModel,
@@ -16,6 +17,7 @@ use tsm::core::cosim::{
 use tsm::fault::inject::FecStats;
 use tsm::isa::Vector;
 use tsm::topology::{Topology, TspId};
+use tsm::trace::{NullSink, RingSink, RunMetrics};
 
 /// Builds the canonical benchmark workload: 16 concurrent multi-hop
 /// transfers on a 2-node fully-connected system. Destinations are chosen
@@ -103,6 +105,18 @@ pub struct CosimBenchResult {
     /// Whether every recovered faulty invocation delivered destination
     /// SRAM digests bit-identical to the fault-free reference.
     pub fault_bit_identical: bool,
+    /// Best-of-N warm per-invocation wall time with a [`NullSink`]
+    /// attached — the numeric check behind the "zero-cost when disabled"
+    /// claim of the trace layer: this should equal [`Self::warm_ns`] to
+    /// within noise.
+    pub trace_null_ns: u128,
+    /// Best-of-N warm per-invocation wall time with a recording
+    /// [`RingSink`] attached — what full event capture actually costs.
+    pub trace_ring_ns: u128,
+    /// Metrics snapshot of one warm invocation of the canonical workload
+    /// (instruction/delivery counters, retire-cycle histogram), recorded
+    /// PR-to-PR alongside the timings.
+    pub run_metrics: RunMetrics,
 }
 
 impl CosimBenchResult {
@@ -128,10 +142,23 @@ impl CosimBenchResult {
         self.faulty_ns as f64 / self.warm_ns as f64
     }
 
+    /// Disabled-tracing overhead: warm invocation with a `NullSink`
+    /// attached, relative to no sink at all. The trace layer's zero-cost
+    /// claim is this ratio staying within measurement noise of 1.0.
+    pub fn trace_null_overhead(&self) -> f64 {
+        self.trace_null_ns as f64 / self.warm_ns as f64
+    }
+
+    /// Recording-tracing overhead: warm invocation with a `RingSink`
+    /// capturing every event, relative to no sink.
+    pub fn trace_ring_overhead(&self) -> f64 {
+        self.trace_ring_ns as f64 / self.warm_ns as f64
+    }
+
     /// The JSON record written to `BENCH_cosim.json`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {}\n}}\n",
+            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {},\n  \"trace_null_ns\": {},\n  \"trace_ring_ns\": {},\n  \"trace_null_overhead\": {:.3},\n  \"trace_ring_overhead\": {:.3},\n  \"metrics\": {}\n}}\n",
             self.transfers,
             self.chips,
             self.instructions,
@@ -153,8 +180,28 @@ impl CosimBenchResult {
             self.fault_stats.corrected,
             self.fault_stats.uncorrectable,
             self.fault_bit_identical,
+            self.trace_null_ns,
+            self.trace_ring_ns,
+            self.trace_null_overhead(),
+            self.trace_ring_overhead(),
+            indent_block(&self.run_metrics.to_json(), 2),
         )
     }
+}
+
+/// Re-indents every line after the first by `n` extra spaces, so a
+/// pretty-printed sub-object nests readably inside the bench record.
+fn indent_block(s: &str, n: usize) -> String {
+    let pad = " ".repeat(n);
+    let mut out = String::with_capacity(s.len());
+    for (i, line) in s.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(&pad);
+        }
+        out.push_str(line);
+    }
+    out
 }
 
 /// Warm invocations timed per sample when measuring plan reuse.
@@ -186,6 +233,9 @@ pub fn measure(samples: usize) -> CosimBenchResult {
     let mut cold_ns = u128::MAX;
     let mut warm_ns = u128::MAX;
     let mut faulty_ns = u128::MAX;
+    let mut trace_null_ns = u128::MAX;
+    let mut trace_ring_ns = u128::MAX;
+    let mut run_metrics = RunMetrics::default();
     let mut bit_identical = true;
     let mut fault_replays = 0u64;
     let mut fault_stats = FecStats::default();
@@ -224,7 +274,30 @@ pub fn measure(samples: usize) -> CosimBenchResult {
                 .expect("warm execute");
         }
         warm_ns = warm_ns.min(t3.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
-        bit_identical &= executor.execute_serial(&plan, &payloads).expect("verify") == reference;
+        let verify = executor.execute_serial(&plan, &payloads).expect("verify");
+        bit_identical &= verify == reference;
+        run_metrics = verify.metrics;
+
+        // Trace overhead, same warm loop: first with a NullSink attached
+        // (the zero-cost-when-disabled claim, measured), then with a
+        // RingSink recording every event (the cost of full capture).
+        executor.set_trace_sink(Arc::new(NullSink));
+        let t5 = Instant::now();
+        for _ in 0..WARM_INVOCATIONS {
+            executor
+                .execute_serial(&plan, &payloads)
+                .expect("null-sink execute");
+        }
+        trace_null_ns = trace_null_ns.min(t5.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
+        executor.set_trace_sink(Arc::new(RingSink::new(1 << 14)));
+        let t6 = Instant::now();
+        for _ in 0..WARM_INVOCATIONS {
+            executor
+                .execute_serial(&plan, &payloads)
+                .expect("ring-sink execute");
+        }
+        trace_ring_ns = trace_ring_ns.min(t6.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
+        executor.clear_trace_sink();
 
         // Faulty: the same plan and payloads with every delivery crossing
         // its link's BER channel. Uncorrectable attempts replay with a
@@ -241,7 +314,7 @@ pub fn measure(samples: usize) -> CosimBenchResult {
                 let faults = LinkFaultModel::uniform(FAULT_BER, (u64::from(inv) << 16) | attempt);
                 match executor.execute_with_faults_serial(&plan, &payloads, &faults) {
                     Ok(rep) => {
-                        stats = stats.merge(&rep.fec);
+                        stats = stats.merge(&rep.fec());
                         fault_bit_identical &= rep.dst_digests == reference.dst_digests;
                         break;
                     }
@@ -276,6 +349,9 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         fault_replays,
         fault_stats,
         fault_bit_identical,
+        trace_null_ns,
+        trace_ring_ns,
+        run_metrics,
     }
 }
 
@@ -330,6 +406,16 @@ pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
             "faulty recoveries == fault-free digests (bit-identical): {}",
             r.fault_bit_identical
         ),
+        format!(
+            "trace disabled (NullSink): {:>10} ns/invocation  ({:.3}x warm — the zero-cost claim)",
+            r.trace_null_ns,
+            r.trace_null_overhead()
+        ),
+        format!(
+            "trace recording (RingSink): {:>9} ns/invocation  ({:.3}x warm)",
+            r.trace_ring_ns,
+            r.trace_ring_overhead()
+        ),
     ]
 }
 
@@ -361,7 +447,24 @@ mod tests {
         assert!(r.to_json().contains("\"warm_ns\""));
         assert!(r.to_json().contains("\"fault_replays\""));
         assert!(r.to_json().contains("\"fault_bit_identical\": true"));
+        assert!(r.to_json().contains("\"trace_null_ns\""));
+        assert!(r.to_json().contains("\"trace_ring_overhead\""));
+        assert!(r.to_json().contains("\"cosim.instructions\""));
         assert!(r.cold_ns > 0 && r.warm_ns > 0);
+        assert!(r.trace_null_ns > 0 && r.trace_ring_ns > 0);
+        // The metrics snapshot describes the canonical workload.
+        assert_eq!(
+            r.run_metrics.counter("cosim.instructions"),
+            r.instructions as u64
+        );
+        // Loose sanity bound only — single-sample CI timings are noisy;
+        // the enforced number is the one `repro bench-cosim` records into
+        // BENCH_cosim.json from a best-of-N run.
+        assert!(
+            r.trace_null_overhead() < 1.5,
+            "NullSink overhead {:.3}x is far beyond noise",
+            r.trace_null_overhead()
+        );
         // corruption must actually have been exercised and repaired
         assert!(r.fault_stats.corrected > 0);
         assert!(r.fault_bit_identical);

@@ -49,7 +49,9 @@ fn main() {
     };
     println!(
         "fault-free: attempts={} corrected={} dst_digests={:016x?}",
-        reference.attempts, reference.fec_total.corrected, reference.dst_digests
+        reference.attempts(),
+        reference.fec_total().corrected,
+        reference.dst_digests
     );
 
     for seed in 0..4u64 {
@@ -74,9 +76,9 @@ fn main() {
             Ok(out) => println!(
                 "seed {seed}    : attempts={} corrected={} uncorrectable={} \
                  failovers={:?} bit_identical={}",
-                out.attempts,
-                out.fec_total.corrected,
-                out.fec_total.uncorrectable,
+                out.attempts(),
+                out.fec_total().corrected,
+                out.fec_total().uncorrectable,
                 out.failovers,
                 out.dst_digests == reference.dst_digests
             ),

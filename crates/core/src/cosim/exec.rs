@@ -17,7 +17,9 @@ use tsm_isa::packet::WirePacket;
 use tsm_link::channel::Channel;
 use tsm_link::fec::FecOutcome;
 use tsm_link::latency::LatencyModel;
+use tsm_link::meter::LinkMeter;
 use tsm_topology::LinkId;
+use tsm_trace::{names, CycleHistogram, EventKind, Metrics, TraceSink, Tracer};
 
 use super::plan::{ChipPlan, CompiledPlan, PlannedDelivery, VecRef};
 use super::verify::{verify_destinations, verify_emissions};
@@ -118,44 +120,42 @@ impl LinkFaultModel {
 }
 
 /// Carries one delivery's payload through its link's channel: returns the
-/// payload to hand the receiving chip and the FEC outcome observed.
+/// payload to hand the receiving chip, the FEC outcome observed, and
+/// whether a miscorrection was demoted.
 ///
 /// `Clean` keeps the original `Arc` (the executor's pointer-equality fast
 /// path); `Corrected` re-wraps the repaired bytes in a fresh `Arc`, so the
 /// downstream manifest checks fall back to the byte comparison — which is
-/// exactly the bit-for-bit proof the fault mode exists to provide. A
-/// "correction" whose bytes do not match the transmitted payload (possible
-/// when ≥3 flips alias a valid single-error syndrome) is demoted to
-/// `Uncorrectable`: the engine never lets a plausible-but-wrong payload
-/// continue silently.
+/// exactly the bit-for-bit proof the fault mode exists to provide. The
+/// demoting channel APIs guarantee a surviving `Corrected` outcome carries
+/// the exact transmitted bytes: a "correction" that decodes to the wrong
+/// payload (possible when ≥3 flips alias a valid single-error syndrome)
+/// comes back `Uncorrectable` with `demoted = true` — the engine never
+/// lets a plausible-but-wrong payload continue silently.
 fn transmit_delivery(
     faults: &LinkFaultModel,
     channel: &Channel,
     d: &PlannedDelivery,
     original: &Payload,
-) -> (Payload, FecOutcome) {
+) -> (Payload, FecOutcome, bool) {
     let packet = WirePacket::data(d.vec.vector as u16, original.as_ref().clone());
     let targeted = faults.targeted_bits(d.vec, d.link);
-    let delivery = if targeted.is_empty() {
+    let (delivery, demoted) = if targeted.is_empty() {
         let mut rng = faults.delivery_rng(d.vec, d.link);
-        channel.transmit(&packet, d.cycle, &mut rng)
+        channel.transmit_demoting(&packet, d.cycle, &mut rng)
     } else {
-        channel.transmit_with_flips(&packet, d.cycle, &targeted)
+        channel.transmit_with_flips_demoting(&packet, d.cycle, &targeted)
     };
     match delivery.outcome {
-        FecOutcome::Clean => (Arc::clone(original), FecOutcome::Clean),
-        FecOutcome::Corrected { bit }
-            if delivery.packet.payload.as_bytes() == original.as_bytes() =>
-        {
-            (
-                Arc::new(delivery.packet.payload),
-                FecOutcome::Corrected { bit },
-            )
-        }
-        // Either the decoder gave up, or it "repaired" the wrong bit — a
-        // miscorrection from ≥3 flips. Both force a replay; neither may
-        // deliver wrong bytes.
-        _ => (Arc::clone(original), FecOutcome::Uncorrectable),
+        FecOutcome::Clean => (Arc::clone(original), FecOutcome::Clean, false),
+        FecOutcome::Corrected { bit } => (
+            Arc::new(delivery.packet.payload),
+            FecOutcome::Corrected { bit },
+            false,
+        ),
+        // Decoder give-up, or a demoted miscorrection. Both force a
+        // replay; neither may deliver wrong bytes.
+        FecOutcome::Uncorrectable => (Arc::clone(original), FecOutcome::Uncorrectable, demoted),
     }
 }
 
@@ -173,6 +173,13 @@ pub struct PlanExecutor {
     /// execution. Indexing by position instead of TSP id keeps the warm
     /// path free of hash lookups.
     sims: Vec<ChipSim>,
+    /// Where trace events go; `None` (the default) costs one branch per
+    /// emission point, as does an attached [`tsm_trace::NullSink`].
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Added to every emitted event's cycle — the runtime uses this to
+    /// place each replay epoch after the previous one on the launch
+    /// timeline. Metrics and reports are unaffected.
+    trace_offset: u64,
 }
 
 impl PlanExecutor {
@@ -180,6 +187,21 @@ impl PlanExecutor {
     /// use and recycled thereafter.
     pub fn new() -> Self {
         PlanExecutor::default()
+    }
+
+    /// Routes trace events from subsequent executions into `sink`.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the trace sink (tracing back to zero-cost disabled).
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Sets the cycle offset applied to subsequently emitted events.
+    pub fn set_trace_offset(&mut self, offset: u64) {
+        self.trace_offset = offset;
     }
 
     /// Binds `payloads` to `plan` and executes it, chips within a hop
@@ -258,6 +280,13 @@ impl PlanExecutor {
 
         let bind = |r: &VecRef| Arc::clone(&payloads[r.transfer as usize][r.vector as usize]);
 
+        // Per-run observability state. All emission points below sit on
+        // the serial spine (this bind loop and the post-level merge loop),
+        // so the event sequence — not just the sorted set — is identical
+        // between serial and parallel execution.
+        let metrics = Metrics::default();
+        let mut tracer = Tracer::new(self.sink.as_deref()).with_offset(self.trace_offset);
+
         // Reset-not-rebuild: each chip's simulator keeps its allocations
         // across invocations; preloads and deliveries bind the new
         // payloads by Arc clone (pointer copies, no byte copies). In fault
@@ -268,17 +297,19 @@ impl PlanExecutor {
             self.sims.resize_with(plan.chips.len(), ChipSim::default);
         }
         let mut channels: HashMap<LinkId, Channel> = HashMap::new();
-        let mut fec = FecStats::default();
         // Earliest uncorrectable delivery in (cycle, link, transfer) order;
-        // the whole bind completes first so `fec` tallies every packet of
-        // the aborted attempt.
+        // the whole bind completes first so the FEC tally covers every
+        // packet of the aborted attempt.
         let mut lost: Option<(u64, LinkId, usize)> = None;
         let mut culprits: Vec<LinkId> = Vec::new();
+        let mut delivered: u64 = 0;
         for (chip, sim) in plan.chips.iter().zip(&mut self.sims) {
             sim.reset();
+            let lane = chip.tsp.0;
             for p in &chip.preloads {
                 sim.preload(p.slice, p.offset, bind(&p.vec));
             }
+            delivered += chip.deliveries.len() as u64;
             for d in &chip.deliveries {
                 // Deliveries are stored sorted by (port, cycle), so each
                 // port queue is fed in order — no per-delivery re-sort.
@@ -288,12 +319,26 @@ impl PlanExecutor {
                         let channel = channels.entry(d.link).or_insert_with(|| {
                             Channel::new(LatencyModel::fixed(0), fm.ber_for(d.link))
                         });
-                        let (payload, outcome) = transmit_delivery(fm, channel, d, &bind(&d.vec));
+                        let (payload, outcome, demoted) =
+                            transmit_delivery(fm, channel, d, &bind(&d.vec));
+                        LinkMeter::new(&metrics, d.link.0).record(&outcome, demoted);
                         match outcome {
-                            FecOutcome::Clean => fec.clean += 1,
-                            FecOutcome::Corrected { .. } => fec.corrected += 1,
+                            FecOutcome::Clean => {}
+                            FecOutcome::Corrected { bit } => tracer.instant(
+                                d.cycle,
+                                lane,
+                                EventKind::LinkCorrected {
+                                    link: d.link.0,
+                                    bit: bit as u32,
+                                },
+                            ),
                             FecOutcome::Uncorrectable => {
-                                fec.uncorrectable += 1;
+                                let kind = if demoted {
+                                    EventKind::LinkDemoted { link: d.link.0 }
+                                } else {
+                                    EventKind::LinkUncorrectable { link: d.link.0 }
+                                };
+                                tracer.instant(d.cycle, lane, kind);
                                 culprits.push(d.link);
                                 let key = (d.cycle, d.link, d.vec.transfer as usize);
                                 if lost.is_none_or(|worst| key < worst) {
@@ -306,13 +351,25 @@ impl PlanExecutor {
                 };
                 sim.deliver_in_order(d.port, d.cycle, payload);
             }
+            if tracer.enabled() && !chip.deliveries.is_empty() {
+                let first = chip.deliveries.iter().map(|d| d.cycle).min().unwrap();
+                let last = chip.deliveries.iter().map(|d| d.cycle).max().unwrap();
+                tracer.span(
+                    first,
+                    (last - first).max(1),
+                    lane,
+                    EventKind::Deliveries {
+                        count: chip.deliveries.len() as u32,
+                    },
+                );
+            }
         }
         if let Some((cycle, link, transfer)) = lost {
             return Err(CosimError::Uncorrectable {
                 link,
                 transfer,
                 cycle,
-                fec,
+                fec: FecStats::from_metrics(&metrics.snapshot()),
                 culprits,
             });
         }
@@ -322,6 +379,7 @@ impl PlanExecutor {
         // or on scoped threads, so the first error in (depth, TspId) order
         // is the one reported in both modes.
         let mut retire_cycles = HashMap::new();
+        let mut retire_hist = CycleHistogram::default();
         for level in &plan.levels {
             if level.is_empty() {
                 continue;
@@ -348,18 +406,51 @@ impl PlanExecutor {
                     payloads,
                 )?;
                 retire_cycles.insert(chip.tsp, retire);
+                retire_hist.observe(retire);
+                if tracer.enabled() {
+                    let lane = chip.tsp.0;
+                    let instrs = chip.program.instrs();
+                    let start = instrs.first().map_or(0, |i| i.cycle);
+                    tracer.span(
+                        start,
+                        retire.saturating_sub(start).max(1),
+                        lane,
+                        EventKind::ChipExec {
+                            depth: chip.depth,
+                            instructions: instrs.len() as u32,
+                        },
+                    );
+                    if let (Some(first), Some(last)) =
+                        (chip.emissions.first(), chip.emissions.last())
+                    {
+                        // Emissions are stored sorted by (cycle, port).
+                        tracer.span(
+                            first.cycle,
+                            (last.cycle - first.cycle).max(1),
+                            lane,
+                            EventKind::Emissions {
+                                count: chip.emissions.len() as u32,
+                            },
+                        );
+                    }
+                }
             }
         }
 
         // Verify destination SRAM contents bit-for-bit and fingerprint them.
         let dst_digests = verify_destinations(plan, payloads, &self.sims)?;
 
+        metrics.inc(names::COSIM_INSTRUCTIONS, plan.instructions as u64);
+        metrics.inc(names::COSIM_DELIVERIES, delivered);
+        metrics.set_gauge(names::COSIM_CHIPS, plan.chips.len() as u64);
+        metrics.merge_histogram(names::COSIM_RETIRE_CYCLES, &retire_hist);
+
         Ok(CosimReport {
             retire_cycles,
             instructions: plan.instructions,
             arrivals: plan.arrivals.clone(),
             dst_digests,
-            fec,
+            metrics: metrics.snapshot(),
         })
     }
 }

@@ -79,6 +79,7 @@ use tsm_isa::vector::MAX_STREAMS;
 use tsm_isa::Vector;
 use tsm_net::ssn::SsnError;
 use tsm_topology::{LinkId, Topology, TopologyError, TspId};
+use tsm_trace::RunMetrics;
 
 /// One tensor movement to co-simulate: `data` travels from `from`'s SRAM
 /// (slice/offset base) into `to`'s SRAM.
@@ -272,11 +273,23 @@ pub struct CosimReport {
     /// a compact fingerprint of the delivered bytes, used by the
     /// serial-vs-parallel determinism tests.
     pub dst_digests: Vec<u64>,
-    /// Link-layer FEC tally over every inter-chip delivery. All-clean in
-    /// the fault-free mode; in datapath-BER mode the corrected count is
-    /// the number of packets whose single-bit flip was repaired in situ
-    /// without becoming visible to any downstream verification.
-    pub fec: FecStats,
+    /// The run's full metrics snapshot: per-link FEC counters, delivery
+    /// and instruction counts, per-chip retirement histogram. The single
+    /// source of tally truth — the old standalone `fec` field is now the
+    /// [`CosimReport::fec`] view over this.
+    pub metrics: RunMetrics,
+}
+
+impl CosimReport {
+    /// Link-layer FEC tally over every inter-chip delivery, as a view over
+    /// [`CosimReport::metrics`]. All-clean in the fault-free mode; in
+    /// datapath-BER mode the corrected count is the number of packets
+    /// whose single-bit flip was repaired in situ without becoming visible
+    /// to any downstream verification. Demoted miscorrections fold into
+    /// `uncorrectable`.
+    pub fn fec(&self) -> FecStats {
+        FecStats::from_metrics(&self.metrics)
+    }
 }
 
 /// MEM read pipeline latency (must match `Instruction::Read::min_latency`).

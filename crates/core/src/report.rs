@@ -1,24 +1,38 @@
 //! Execution reports.
 
 use tsm_fault::inject::FecStats;
+use tsm_trace::{names, RunMetrics};
 
 /// The outcome of one executed inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The FEC tally and replay count are views over the attached
+/// [`RunMetrics`] snapshot — the same registry the co-simulation and
+/// runtime layers aggregate into — so there is exactly one source of
+/// truth for "what happened on the wire".
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionReport {
     /// The compiler's cycle-exact estimate (schedule span).
     pub estimated_cycles: u64,
     /// The measured wall-clock, in cycles (differs from the estimate only
     /// through PCIe invocation variance and replays).
     pub measured_cycles: u64,
-    /// FEC tally of the (final) run.
-    pub fec: FecStats,
-    /// Replays consumed.
-    pub replays: u32,
     /// False if the fault persisted beyond the replay budget.
     pub succeeded: bool,
+    /// Aggregated metrics snapshot for this execution.
+    pub metrics: RunMetrics,
 }
 
 impl ExecutionReport {
+    /// FEC tally of the (final) run, derived from [`ExecutionReport::metrics`].
+    pub fn fec(&self) -> FecStats {
+        FecStats::from_metrics(&self.metrics)
+    }
+
+    /// Replays consumed, derived from [`ExecutionReport::metrics`].
+    pub fn replays(&self) -> u32 {
+        self.metrics.counter(names::RT_REPLAYS) as u32
+    }
+
     /// Measured latency in seconds.
     pub fn measured_seconds(&self) -> f64 {
         tsm_isa::timing::cycles_to_seconds(self.measured_cycles)
@@ -43,15 +57,15 @@ impl ExecutionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsm_trace::Metrics;
 
     #[test]
     fn estimate_error_math() {
         let r = ExecutionReport {
             estimated_cycles: 102,
             measured_cycles: 100,
-            fec: FecStats::default(),
-            replays: 0,
             succeeded: true,
+            metrics: RunMetrics::default(),
         };
         assert!((r.estimate_error() - 0.02).abs() < 1e-12);
         assert!(r.measured_seconds() > 0.0);
@@ -63,10 +77,29 @@ mod tests {
         let r = ExecutionReport {
             estimated_cycles: 0,
             measured_cycles: 0,
-            fec: FecStats::default(),
-            replays: 0,
             succeeded: true,
+            metrics: RunMetrics::default(),
         };
         assert_eq!(r.estimate_error(), 0.0);
+    }
+
+    #[test]
+    fn fec_and_replays_are_metric_views() {
+        let m = Metrics::default();
+        let stats = FecStats {
+            clean: 7,
+            corrected: 2,
+            uncorrectable: 1,
+        };
+        stats.record_into(&m);
+        m.inc(names::RT_REPLAYS, 3);
+        let r = ExecutionReport {
+            estimated_cycles: 10,
+            measured_cycles: 10,
+            succeeded: true,
+            metrics: m.snapshot(),
+        };
+        assert_eq!(r.fec(), stats);
+        assert_eq!(r.replays(), 3);
     }
 }

@@ -45,6 +45,7 @@ use tsm_fault::spare::{SpareError, SparePlan};
 use tsm_isa::vector::VECTOR_BYTES;
 use tsm_isa::Vector;
 use tsm_topology::{LinkId, NodeId, TspId};
+use tsm_trace::{names, EventKind, Metrics, RunMetrics, TraceSink, Tracer, RUNTIME_LANE};
 
 /// Which spare-provisioning policy the deployment uses (paper §4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,15 +127,19 @@ impl std::fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 /// The record of one successful launch.
+///
+/// All tallies live in [`LaunchOutcome::metrics`] — one source of truth —
+/// and the old standalone fields (`fec`, `fec_total`, `attempts`,
+/// `compiles`, `reuses`) are views over it.
 #[derive(Debug, Clone)]
 pub struct LaunchOutcome {
-    /// FEC tally of the successful execution.
-    pub fec: FecStats,
-    /// FEC tally accumulated over *every* attempt of this launch,
-    /// including aborted ones — what the health monitor actually saw.
-    pub fec_total: FecStats,
-    /// Total executions (1 = clean first try).
-    pub attempts: u32,
+    /// The launch's full metrics snapshot: `runtime.*` counters
+    /// (attempts/replays/compiles/reuses/blame votes/failovers),
+    /// `link.fec.*` cells accumulated over every attempt (per-link in
+    /// datapath mode), `launch.final.fec.*` for the successful run, and —
+    /// in datapath mode — the co-simulation's `cosim.*` counters and
+    /// retirement histogram.
+    pub metrics: RunMetrics,
     /// Nodes failed over during this launch.
     pub failovers: Vec<NodeId>,
     /// One-time initial-alignment overhead paid before the first attempt,
@@ -142,17 +147,50 @@ pub struct LaunchOutcome {
     pub alignment_cycles: u64,
     /// The compiled span of the (final) program.
     pub span_cycles: u64,
-    /// Compilations performed during this launch. A healthy relaunch of an
-    /// unchanged graph compiles zero times; each failover forces exactly
-    /// one recompile against the remapped devices.
-    pub compiles: u32,
-    /// Compile-cache hits during this launch.
-    pub reuses: u32,
     /// In [`ExecMode::Datapath`], the per-transfer destination-SRAM
     /// fingerprints of the successful run — bit-identical to a fault-free
     /// run of the same graph by the determinism guarantee. Empty in
     /// statistical mode.
     pub dst_digests: Vec<u64>,
+}
+
+impl LaunchOutcome {
+    /// Total executions (1 = clean first try).
+    pub fn attempts(&self) -> u32 {
+        self.metrics.counter(names::RT_ATTEMPTS) as u32
+    }
+
+    /// Replays consumed (attempts beyond each episode's first).
+    pub fn replays(&self) -> u32 {
+        self.metrics.counter(names::RT_REPLAYS) as u32
+    }
+
+    /// Compilations performed during this launch. A healthy relaunch of
+    /// an unchanged graph compiles zero times; each failover forces
+    /// exactly one recompile against the remapped devices.
+    pub fn compiles(&self) -> u32 {
+        self.metrics.counter(names::RT_COMPILES) as u32
+    }
+
+    /// Compile-cache hits during this launch.
+    pub fn reuses(&self) -> u32 {
+        self.metrics.counter(names::RT_REUSES) as u32
+    }
+
+    /// FEC tally of the successful execution.
+    pub fn fec(&self) -> FecStats {
+        FecStats {
+            clean: self.metrics.counter(names::FINAL_CLEAN),
+            corrected: self.metrics.counter(names::FINAL_CORRECTED),
+            uncorrectable: self.metrics.counter(names::FINAL_UNCORRECTABLE),
+        }
+    }
+
+    /// FEC tally accumulated over *every* attempt of this launch,
+    /// including aborted ones — what the health monitor actually saw.
+    pub fn fec_total(&self) -> FecStats {
+        FecStats::from_metrics(&self.metrics)
+    }
 }
 
 /// The datapath artifacts compiled alongside the program: the transfer
@@ -208,6 +246,11 @@ pub struct Runtime {
     /// The payload-binding executor (datapath mode); chip simulators are
     /// reset, not rebuilt, across attempts and launches.
     executor: crate::cosim::PlanExecutor,
+    /// Where launch-lifecycle trace events go. Shared with the executor so
+    /// one faulty launch renders as a single timeline: runtime lane events
+    /// (compile, replay epochs, blame, failover) interleaved with the
+    /// per-chip spans and link flips of each attempt.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Runtime {
@@ -229,7 +272,29 @@ impl Runtime {
             mapping_epoch: 0,
             compiled: None,
             executor: crate::cosim::PlanExecutor::new(),
+            sink: None,
         }
+    }
+
+    /// Routes trace events from subsequent launches into `sink` (builder
+    /// style).
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.set_trace_sink(sink);
+        self
+    }
+
+    /// Routes trace events from subsequent launches into `sink`: the
+    /// runtime's own lifecycle events plus, in datapath mode, the
+    /// executor's per-chip and per-link events of every attempt.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.executor.set_trace_sink(Arc::clone(&sink));
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the trace sink (tracing back to zero-cost disabled).
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = None;
+        self.executor.clear_trace_sink();
     }
 
     /// Selects the execution mode for subsequent launches (builder style).
@@ -294,10 +359,27 @@ impl Runtime {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut attempts = 0u32;
         let mut failovers = Vec::new();
-        let mut compiles = 0u32;
-        let mut reuses = 0u32;
-        let mut fec_total = FecStats::default();
+        let metrics = Metrics::default();
+        // Per-attempt executor snapshots (per-link FEC cells, cosim
+        // counters) absorbed across the launch; folded with `metrics` into
+        // the outcome at the end.
+        let mut attempt_metrics = RunMetrics::default();
         let graph_fp = graph_fingerprint(logical);
+
+        // The launch timeline is virtual simulated time: the alignment
+        // window first, then one window of `span_cycles` (plus a fixed
+        // presentation gap) per attempt. The executor's trace offset is
+        // re-aimed at each window so a replay's chip spans land after the
+        // aborted attempt's — one faulty launch reads left-to-right as
+        // flip → blame → failover → recompile → bit-identical replay.
+        let sink = self.sink.clone();
+        let mut tracer = Tracer::new(sink.as_deref());
+        let mut clock = 0u64;
+        tracer.instant(0, RUNTIME_LANE, EventKind::LaunchBegin { graph_fp });
+        if alignment_cycles > 0 {
+            tracer.span(0, alignment_cycles, RUNTIME_LANE, EventKind::Align);
+            clock = alignment_cycles;
+        }
 
         loop {
             // Compile only when the graph or the logical→physical mapping
@@ -311,7 +393,14 @@ impl Runtime {
                     && (self.mode == ExecMode::Statistical || c.datapath.is_some())
             );
             if cache_current {
-                reuses += 1;
+                metrics.inc(names::RT_REUSES, 1);
+                tracer.instant(
+                    clock,
+                    RUNTIME_LANE,
+                    EventKind::Reuse {
+                        epoch: self.mapping_epoch,
+                    },
+                );
             } else {
                 let physical = self.remap(logical);
                 let program = self
@@ -322,7 +411,14 @@ impl Runtime {
                     ExecMode::Statistical => None,
                     ExecMode::Datapath => Some(self.compile_datapath(&physical)?),
                 };
-                compiles += 1;
+                metrics.inc(names::RT_COMPILES, 1);
+                tracer.instant(
+                    clock,
+                    RUNTIME_LANE,
+                    EventKind::Compile {
+                        epoch: self.mapping_epoch,
+                    },
+                );
                 self.compiled = Some(CompiledCache {
                     graph_fp,
                     epoch: self.mapping_epoch,
@@ -337,12 +433,26 @@ impl Runtime {
             let attempt_outcome = {
                 let cache = self.compiled.as_ref().expect("compiled above");
                 let span_cycles = cache.program.span_cycles;
+                // Trace-timeline width of one attempt's window.
+                let window = span_cycles.max(1) + EPOCH_GAP_CYCLES;
                 match self.mode {
                     ExecMode::Statistical => {
                         let mut culprit_links: Vec<LinkId> = Vec::new();
                         let mut success = None;
                         for _ in 0..=self.max_replays {
                             attempts += 1;
+                            metrics.inc(names::RT_ATTEMPTS, 1);
+                            if attempts > 1 {
+                                metrics.inc(names::RT_REPLAYS, 1);
+                            }
+                            tracer.span(
+                                clock,
+                                span_cycles.max(1),
+                                RUNTIME_LANE,
+                                EventKind::ReplayEpoch {
+                                    attempt: attempts - 1,
+                                },
+                            );
                             let (stats, culprits) = inject_schedule_with(
                                 self.system.topology(),
                                 cache.program.occupancy.reservations(),
@@ -355,7 +465,8 @@ impl Runtime {
                                 },
                                 &mut rng,
                             );
-                            fec_total = fec_total.merge(&stats);
+                            stats.record_into(&metrics);
+                            clock += window;
                             if stats.is_clean_run() {
                                 success = Some((stats, Vec::new()));
                                 break;
@@ -390,6 +501,21 @@ impl Runtime {
                                     return Err(());
                                 }
                                 attempts += 1;
+                                metrics.inc(names::RT_ATTEMPTS, 1);
+                                if attempts > 1 {
+                                    metrics.inc(names::RT_REPLAYS, 1);
+                                }
+                                tracer.span(
+                                    clock,
+                                    span_cycles.max(1),
+                                    RUNTIME_LANE,
+                                    EventKind::ReplayEpoch {
+                                        attempt: attempts - 1,
+                                    },
+                                );
+                                // The executor's events land inside this
+                                // attempt's window on the launch timeline.
+                                executor.set_trace_offset(clock);
                                 // Each attempt corrupts independently; the
                                 // flip pattern is a pure function of
                                 // (launch seed, attempt, link, vector).
@@ -399,17 +525,17 @@ impl Runtime {
                                     seed: mix64(seed, attempts as u64),
                                     targeted: Vec::new(),
                                 };
-                                match executor.execute_with_faults(
-                                    &art.plan,
-                                    &art.payloads,
-                                    &faults,
-                                ) {
+                                let result =
+                                    executor.execute_with_faults(&art.plan, &art.payloads, &faults);
+                                clock += window;
+                                match result {
                                     Ok(report) => {
-                                        fec_total = fec_total.merge(&report.fec);
-                                        Ok((report.fec, report.dst_digests))
+                                        let fec = report.fec();
+                                        attempt_metrics.absorb(&report.metrics);
+                                        Ok((fec, report.dst_digests))
                                     }
                                     Err(CosimError::Uncorrectable { fec, culprits, .. }) => {
-                                        fec_total = fec_total.merge(&fec);
+                                        fec.record_into(&metrics);
                                         culprit_links.extend(culprits);
                                         Err(())
                                     }
@@ -436,21 +562,29 @@ impl Runtime {
 
             match attempt_outcome {
                 Ok((fec, dst_digests, span_cycles)) => {
+                    metrics.inc(names::FINAL_CLEAN, fec.clean);
+                    metrics.inc(names::FINAL_CORRECTED, fec.corrected);
+                    metrics.inc(names::FINAL_UNCORRECTABLE, fec.uncorrectable);
+                    tracer.instant(clock, RUNTIME_LANE, EventKind::LaunchEnd { attempts });
+                    let mut all = attempt_metrics;
+                    all.absorb(&metrics.snapshot());
                     return Ok(LaunchOutcome {
-                        fec,
-                        fec_total,
-                        attempts,
+                        metrics: all,
                         failovers,
                         alignment_cycles,
                         span_cycles,
-                        compiles,
-                        reuses,
                         dst_digests,
                     });
                 }
                 Err(culprit_links) => {
                     // Persistent fault: vote, fail over, recompile, replay.
-                    self.blame_and_fail_over(&culprit_links, &mut failovers)?;
+                    self.blame_and_fail_over(
+                        &culprit_links,
+                        &mut failovers,
+                        &metrics,
+                        &mut tracer,
+                        clock,
+                    )?;
                 }
             }
         }
@@ -470,6 +604,9 @@ impl Runtime {
         &mut self,
         culprit_links: &[LinkId],
         failovers: &mut Vec<NodeId>,
+        metrics: &Metrics,
+        tracer: &mut Tracer<'_>,
+        at: u64,
     ) -> Result<(), RuntimeError> {
         let mut votes: HashMap<NodeId, usize> = HashMap::new();
         for &l in culprit_links {
@@ -479,13 +616,34 @@ impl Runtime {
         }
         let mut candidates: Vec<(NodeId, usize)> = votes.into_iter().collect();
         candidates.sort_by_key(|&(n, count)| (std::cmp::Reverse(count), n));
-        for (blame, _) in candidates {
+        for (blame, count) in candidates {
             match self.plan.fail_over(self.system.topology_mut(), blame) {
                 Ok(_) => {
                     failovers.push(blame);
                     // The logical→physical mapping changed: cached
                     // compiles are stale from here on.
                     self.mapping_epoch += 1;
+                    // One blame event and one failover event per executed
+                    // failover — the candidates that were skipped above
+                    // never changed anything, so they don't trace.
+                    metrics.inc(names::RT_BLAME_VOTES, 1);
+                    metrics.inc(names::RT_FAILOVERS, 1);
+                    tracer.instant(
+                        at,
+                        RUNTIME_LANE,
+                        EventKind::BlameVote {
+                            node: blame.0,
+                            votes: count as u32,
+                        },
+                    );
+                    tracer.instant(
+                        at,
+                        RUNTIME_LANE,
+                        EventKind::Failover {
+                            node: blame.0,
+                            epoch: self.mapping_epoch,
+                        },
+                    );
                     return Ok(());
                 }
                 // The spare pool is shared: once empty for one candidate,
@@ -604,6 +762,11 @@ impl Runtime {
     }
 }
 
+/// Trace-timeline gap rendered between consecutive attempt windows so
+/// adjacent replay epochs don't visually abut in Perfetto. Purely
+/// presentational: no simulated quantity depends on it.
+const EPOCH_GAP_CYCLES: u64 = 64;
+
 /// SRAM slice holding datapath source vectors.
 const DATAPATH_SRC_SLICE: u8 = 0;
 /// SRAM slice receiving datapath delivered vectors.
@@ -717,12 +880,12 @@ mod tests {
     fn healthy_launch_is_one_attempt() {
         let mut rt = runtime();
         let out = rt.launch(&logical_pipeline(), 1).unwrap();
-        assert_eq!(out.attempts, 1);
+        assert_eq!(out.attempts(), 1);
         assert!(out.failovers.is_empty());
         assert!(out.alignment_cycles > 0);
-        assert!(out.fec.is_clean_run());
+        assert!(out.fec().is_clean_run());
         // a cold launch performs exactly one compile
-        assert_eq!((out.compiles, out.reuses), (1, 0));
+        assert_eq!((out.compiles(), out.reuses()), (1, 0));
     }
 
     /// Compile-once / execute-many at the launch level: relaunching an
@@ -732,10 +895,10 @@ mod tests {
         let mut rt = runtime();
         let g = logical_pipeline();
         let cold = rt.launch(&g, 1).unwrap();
-        assert_eq!((cold.compiles, cold.reuses), (1, 0));
+        assert_eq!((cold.compiles(), cold.reuses()), (1, 0));
         for seed in 2..6 {
             let warm = rt.launch(&g, seed).unwrap();
-            assert_eq!((warm.compiles, warm.reuses), (0, 1), "seed {seed}");
+            assert_eq!((warm.compiles(), warm.reuses()), (0, 1), "seed {seed}");
             assert_eq!(warm.span_cycles, cold.span_cycles);
         }
         // a different graph misses the cache
@@ -744,7 +907,7 @@ mod tests {
             .add(TspId(0), OpKind::Compute { cycles: 5_000 }, vec![])
             .unwrap();
         let out = rt.launch(&other, 7).unwrap();
-        assert_eq!((out.compiles, out.reuses), (1, 0));
+        assert_eq!((out.compiles(), out.reuses()), (1, 0));
     }
 
     #[test]
@@ -768,19 +931,19 @@ mod tests {
         }
         let out = rt.launch(&logical_pipeline(), 2).unwrap();
         assert_eq!(out.failovers, vec![victim]);
-        assert!(out.attempts > 1, "must have replayed before failing over");
+        assert!(out.attempts() > 1, "must have replayed before failing over");
         // logical TSP 8 now lives on the spare node
         assert_eq!(rt.physical_tsp(TspId(8)).node(), NodeId(3));
-        assert!(out.fec.is_clean_run());
+        assert!(out.fec().is_clean_run());
         // the health monitor saw the uncorrectable packets of the aborted
         // attempts even though the final run was clean
-        assert!(out.fec_total.uncorrectable > 0);
+        assert!(out.fec_total().uncorrectable > 0);
         // each failover forces exactly one recompile against the new map
-        assert_eq!(out.compiles, out.failovers.len() as u32 + 1);
+        assert_eq!(out.compiles(), out.failovers.len() as u32 + 1);
         assert_eq!(rt.mapping_epoch(), 1);
         // and the post-failover compile is itself cached for relaunch
         let warm = rt.launch(&logical_pipeline(), 4).unwrap();
-        assert_eq!((warm.compiles, warm.reuses), (0, 1));
+        assert_eq!((warm.compiles(), warm.reuses()), (0, 1));
     }
 
     #[test]
@@ -802,7 +965,7 @@ mod tests {
         let run = |seed| {
             let mut rt = runtime();
             let out = rt.launch(&logical_pipeline(), seed).unwrap();
-            (out.attempts, out.span_cycles)
+            (out.attempts(), out.span_cycles)
         };
         assert_eq!(run(9), run(9));
     }
@@ -842,8 +1005,10 @@ mod tests {
             .collect();
         assert!(!spare_links.is_empty());
         let mut failovers = Vec::new();
+        let metrics = Metrics::default();
+        let mut tracer = Tracer::new(None);
         let err = rt
-            .blame_and_fail_over(&spare_links, &mut failovers)
+            .blame_and_fail_over(&spare_links, &mut failovers, &metrics, &mut tracer, 0)
             .unwrap_err();
         match err {
             RuntimeError::BlameFailed {
@@ -868,13 +1033,13 @@ mod tests {
         let mut rt = runtime().with_exec_mode(ExecMode::Datapath);
         rt.set_ber(0.0, 0.0);
         let out = rt.launch(&logical_pipeline(), 1).unwrap();
-        assert_eq!(out.attempts, 1);
-        assert!(out.fec.is_clean_run());
-        assert!(out.fec.clean > 0, "packets actually moved");
+        assert_eq!(out.attempts(), 1);
+        assert!(out.fec().is_clean_run());
+        assert!(out.fec().clean > 0, "packets actually moved");
         assert_eq!(out.dst_digests.len(), 1);
         // relaunching reuses both the program and the datapath plan
         let warm = rt.launch(&logical_pipeline(), 2).unwrap();
-        assert_eq!((warm.compiles, warm.reuses), (0, 1));
+        assert_eq!((warm.compiles(), warm.reuses()), (0, 1));
         assert_eq!(warm.dst_digests, out.dst_digests);
     }
 

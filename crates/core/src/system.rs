@@ -9,6 +9,7 @@ use tsm_fault::inject::{inject_schedule, InjectionConfig};
 use tsm_fault::replay::{run_with_replay, ReplayOutcome, ReplayPolicy};
 use tsm_sync::align::InitialAlignment;
 use tsm_topology::{Topology, TopologyError, TspId};
+use tsm_trace::{names, Metrics};
 
 /// Configuration of a multi-TSP deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,12 +210,16 @@ impl System {
         // A replay re-runs the whole inference.
         let measured = measured * (replays as u64 + 1);
 
+        let metrics = Metrics::default();
+        fec.record_into(&metrics);
+        metrics.inc(names::RT_ATTEMPTS, attempts as u64);
+        metrics.inc(names::RT_REPLAYS, replays as u64);
+
         ExecutionReport {
             estimated_cycles: estimated,
             measured_cycles: measured,
-            fec,
-            replays,
             succeeded,
+            metrics: metrics.snapshot(),
         }
     }
 
@@ -253,7 +258,7 @@ mod tests {
         let r = sys.execute(&p, 1);
         assert_eq!(r.estimated_cycles, 5000);
         assert!(r.succeeded);
-        assert_eq!(r.replays, 0);
+        assert_eq!(r.replays(), 0);
     }
 
     #[test]

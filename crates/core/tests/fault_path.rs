@@ -100,10 +100,11 @@ fn single_flip_on_any_hop_of_a_multi_hop_route_is_invisible() {
                     panic!("flip bit {bit} of v{vector} on {link:?} not corrected: {e}")
                 });
             assert_eq!(
-                report.fec.corrected, 1,
+                report.fec().corrected,
+                1,
                 "exactly the struck packet repaired"
             );
-            assert_eq!(report.fec.uncorrectable, 0);
+            assert_eq!(report.fec().uncorrectable, 0);
             assert_eq!(
                 report.dst_digests, reference.dst_digests,
                 "bit {bit} of v{vector} on {link:?} leaked into destination SRAM"
@@ -189,7 +190,7 @@ fn marginal_link_launch_recovers_bit_identical_to_fault_free() {
         rt.launch(&logical_pipeline(), 0).unwrap()
     };
     assert_eq!(reference.dst_digests.len(), 1);
-    assert!(reference.fec.is_clean_run());
+    assert!(reference.fec().is_clean_run());
 
     let mut exercised = 0u32;
     for seed in 0..16u64 {
@@ -218,11 +219,11 @@ fn marginal_link_launch_recovers_bit_identical_to_fault_free() {
             out.dst_digests, reference.dst_digests,
             "seed {seed}: corrupted bytes reached destination SRAM"
         );
-        assert!(out.fec.is_clean_run(), "seed {seed}: final run not clean");
+        assert!(out.fec().is_clean_run(), "seed {seed}: final run not clean");
 
-        if out.attempts >= 2 && out.fec_total.corrected > 0 && out.failovers == vec![victim] {
+        if out.attempts() >= 2 && out.fec_total().corrected > 0 && out.failovers == vec![victim] {
             assert!(
-                out.fec_total.uncorrectable > 0,
+                out.fec_total().uncorrectable > 0,
                 "seed {seed}: failover without an uncorrectable packet"
             );
             exercised += 1;
@@ -254,7 +255,7 @@ fn transient_uncorrectable_recovers_by_replay_alone_for_some_seed() {
         match rt.launch(&logical_pipeline(), seed) {
             Ok(out) => {
                 assert_eq!(out.dst_digests, reference.dst_digests, "seed {seed}");
-                if out.attempts >= 2 && out.failovers.is_empty() {
+                if out.attempts() >= 2 && out.failovers.is_empty() {
                     replay_only += 1;
                 }
             }
@@ -368,7 +369,7 @@ mod proptests {
                 transfer, vector, link, bits: vec![bit],
             }]);
             let report = exec.execute_with_faults(&plan, &payloads, &single).unwrap();
-            prop_assert_eq!(report.fec.corrected, 1);
+            prop_assert_eq!(report.fec().corrected, 1);
             prop_assert_eq!(report.dst_digests, reference.dst_digests);
 
             if second != bit {

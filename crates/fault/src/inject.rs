@@ -70,6 +70,29 @@ impl FecStats {
             uncorrectable: self.uncorrectable + other.uncorrectable,
         }
     }
+
+    /// The paper's coarse triple as a *view* over a metrics snapshot: sums
+    /// the per-link `link.fec.*` counters, folding demoted miscorrections
+    /// into `uncorrectable` (neither may deliver bytes, both force replay).
+    pub fn from_metrics(metrics: &tsm_trace::RunMetrics) -> FecStats {
+        use tsm_trace::names;
+        FecStats {
+            clean: metrics.counter(names::LINK_CLEAN),
+            corrected: metrics.counter(names::LINK_CORRECTED),
+            uncorrectable: metrics.counter(names::LINK_UNCORRECTABLE)
+                + metrics.counter(names::LINK_DEMOTED),
+        }
+    }
+
+    /// Adds this tally into a registry's global (unlabeled) `link.fec.*`
+    /// cells — the inverse of [`FecStats::from_metrics`] for code that has
+    /// only the coarse triple (statistical injection, aborted attempts).
+    pub fn record_into(&self, metrics: &tsm_trace::Metrics) {
+        use tsm_trace::names;
+        metrics.inc(names::LINK_CLEAN, self.clean);
+        metrics.inc(names::LINK_CORRECTED, self.corrected);
+        metrics.inc(names::LINK_UNCORRECTABLE, self.uncorrectable);
+    }
 }
 
 /// Packet-count threshold below which every wire packet is driven through
@@ -277,6 +300,26 @@ mod tests {
             }
         );
         assert_eq!(m.total(), 66);
+    }
+
+    #[test]
+    fn metrics_round_trip_preserves_the_triple_and_folds_demotions() {
+        use tsm_trace::{names, Metrics};
+        let stats = FecStats {
+            clean: 10,
+            corrected: 3,
+            uncorrectable: 2,
+        };
+        let m = Metrics::default();
+        stats.record_into(&m);
+        assert_eq!(FecStats::from_metrics(&m.snapshot()), stats);
+
+        // Demotions (recorded per-link by the link meter) fold into
+        // uncorrectable in the view.
+        m.inc_labeled(names::LINK_DEMOTED, 4, 1);
+        let folded = FecStats::from_metrics(&m.snapshot());
+        assert_eq!(folded.uncorrectable, 3);
+        assert_eq!(folded.clean, 10);
     }
 
     #[test]

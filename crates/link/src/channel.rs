@@ -154,6 +154,44 @@ impl Channel {
         }
     }
 
+    /// [`Channel::transmit`] with miscorrection demotion: a `Corrected`
+    /// outcome whose decoded bytes do not match the transmitted payload
+    /// (possible when ≥3 flips alias a valid single-error syndrome) is
+    /// demoted to `Uncorrectable` — the link layer never reports a
+    /// plausible-but-wrong payload as repaired. Returns the delivery plus
+    /// whether a demotion happened (observability layers count demotions
+    /// separately from honest decoder give-ups).
+    pub fn transmit_demoting<R: Rng>(
+        &self,
+        packet: &WirePacket,
+        inject_cycle: u64,
+        rng: &mut R,
+    ) -> (Delivery, bool) {
+        Self::demote(packet, self.transmit(packet, inject_cycle, rng))
+    }
+
+    /// [`Channel::transmit_with_flips`] with miscorrection demotion; see
+    /// [`Channel::transmit_demoting`].
+    pub fn transmit_with_flips_demoting(
+        &self,
+        packet: &WirePacket,
+        inject_cycle: u64,
+        bits: &[usize],
+    ) -> (Delivery, bool) {
+        Self::demote(packet, self.transmit_with_flips(packet, inject_cycle, bits))
+    }
+
+    fn demote(sent: &WirePacket, mut delivery: Delivery) -> (Delivery, bool) {
+        if matches!(delivery.outcome, FecOutcome::Corrected { .. })
+            && delivery.packet.payload != sent.payload
+        {
+            delivery.outcome = FecOutcome::Uncorrectable;
+            (delivery, true)
+        } else {
+            (delivery, false)
+        }
+    }
+
     /// Draws the number of flipped bits for one packet: Poisson with
     /// λ = BER × payload bits, sampled by inversion (λ is tiny for any
     /// realistic BER, so this is a handful of multiplications).
@@ -298,6 +336,48 @@ mod tests {
         assert_eq!(d.outcome, FecOutcome::Uncorrectable);
         // and it is deterministic: no RNG is involved
         assert_eq!(ch.transmit_with_flips(&p, 0, &[3, 2000]), d);
+    }
+
+    #[test]
+    fn demoting_transmit_passes_honest_outcomes_through() {
+        let ch = Channel::ideal(LatencyModel::fixed(0));
+        let p = packet(8);
+        let (single, demoted) = ch.transmit_with_flips_demoting(&p, 0, &[42]);
+        assert_eq!(single.outcome, FecOutcome::Corrected { bit: 42 });
+        assert!(!demoted);
+        let (double, demoted) = ch.transmit_with_flips_demoting(&p, 0, &[3, 2000]);
+        assert_eq!(double.outcome, FecOutcome::Uncorrectable);
+        assert!(!demoted, "honest decoder give-up is not a demotion");
+    }
+
+    #[test]
+    fn triple_flip_miscorrections_are_demoted_to_uncorrectable() {
+        // Three flips have odd parity, so SEC-DED sees a "single" error and
+        // may repair the wrong bit. Whenever the decoder claims Corrected
+        // with wrong bytes, the demoting API must refuse to pass it off.
+        let ch = Channel::ideal(LatencyModel::fixed(0));
+        let p = packet(9);
+        let mut demotions = 0;
+        for a in 0..24usize {
+            let bits = [a, a + 311, a + 997];
+            let (d, demoted) = ch.transmit_with_flips_demoting(&p, 0, &bits);
+            if demoted {
+                demotions += 1;
+                assert_eq!(
+                    d.outcome,
+                    FecOutcome::Uncorrectable,
+                    "demotion must surface as uncorrectable"
+                );
+            }
+            assert!(
+                !matches!(d.outcome, FecOutcome::Corrected { .. }) || d.packet.payload == p.payload,
+                "no Corrected outcome may carry wrong bytes"
+            );
+        }
+        assert!(
+            demotions > 0,
+            "expected at least one miscorrection in 24 tries"
+        );
     }
 
     #[test]

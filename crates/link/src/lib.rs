@@ -21,7 +21,9 @@
 pub mod channel;
 pub mod fec;
 pub mod latency;
+pub mod meter;
 
 pub use channel::{Channel, Delivery};
 pub use fec::{FecCodeword, FecOutcome};
 pub use latency::{LatencyModel, LatencyStats};
+pub use meter::LinkMeter;

@@ -1,0 +1,65 @@
+//! Per-link FEC metering: the bridge between channel outcomes and the
+//! [`tsm_trace`] metrics registry.
+//!
+//! Demotions (miscorrections caught by the byte check) are counted under
+//! their own name, separate from honest decoder give-ups — a link whose
+//! errors routinely alias valid syndromes is a different physical problem
+//! (burst noise) than one that trips double-error detection. Consumers
+//! that want the paper's coarse clean/corrected/uncorrectable triple fold
+//! demotions into uncorrectable via `FecStats::from_metrics` in
+//! `tsm-fault`.
+
+use crate::fec::FecOutcome;
+use tsm_trace::{names, Metrics};
+
+/// Records one link's FEC outcomes into a metrics registry, labeled by the
+/// link's index. Cheap to construct per delivery (two references).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkMeter<'m> {
+    metrics: &'m Metrics,
+    link: u32,
+}
+
+impl<'m> LinkMeter<'m> {
+    /// A meter for physical link `link` recording into `metrics`.
+    pub fn new(metrics: &'m Metrics, link: u32) -> Self {
+        LinkMeter { metrics, link }
+    }
+
+    /// Tallies one delivery's outcome. `demoted` distinguishes a
+    /// miscorrection demoted to uncorrectable from an honest decoder
+    /// give-up (see [`crate::Channel::transmit_demoting`]).
+    pub fn record(&self, outcome: &FecOutcome, demoted: bool) {
+        let name = match outcome {
+            FecOutcome::Clean => names::LINK_CLEAN,
+            FecOutcome::Corrected { .. } => names::LINK_CORRECTED,
+            FecOutcome::Uncorrectable if demoted => names::LINK_DEMOTED,
+            FecOutcome::Uncorrectable => names::LINK_UNCORRECTABLE,
+        };
+        self.metrics.inc_labeled(name, self.link, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_land_in_per_link_cells() {
+        let m = Metrics::default();
+        let a = LinkMeter::new(&m, 3);
+        let b = LinkMeter::new(&m, 7);
+        a.record(&FecOutcome::Clean, false);
+        a.record(&FecOutcome::Clean, false);
+        a.record(&FecOutcome::Corrected { bit: 12 }, false);
+        b.record(&FecOutcome::Uncorrectable, false);
+        b.record(&FecOutcome::Uncorrectable, true);
+
+        let snap = m.snapshot();
+        assert_eq!(snap.counter_labeled(names::LINK_CLEAN, 3), 2);
+        assert_eq!(snap.counter_labeled(names::LINK_CORRECTED, 3), 1);
+        assert_eq!(snap.counter_labeled(names::LINK_UNCORRECTABLE, 7), 1);
+        assert_eq!(snap.counter_labeled(names::LINK_DEMOTED, 7), 1);
+        assert_eq!(snap.counter(names::LINK_UNCORRECTABLE), 1);
+    }
+}

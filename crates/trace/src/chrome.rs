@@ -1,0 +1,145 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Renders a slice of [`TraceEvent`]s as the Trace Event Format JSON that
+//! `chrome://tracing` and <https://ui.perfetto.dev> open directly. One
+//! timestamp unit equals one *simulated* cycle (the viewer labels it "µs";
+//! read it as cycles). Runtime-lane events render under process
+//! `"runtime"`, chip lanes under process `"chips"` with one thread row per
+//! chip. Hand-rolled because the offline toolchain stubs out serde_json —
+//! and the format is simple enough not to miss it.
+
+use crate::event::{EventKind, TraceEvent, RUNTIME_LANE};
+
+fn name_and_args(kind: &EventKind) -> (&'static str, String) {
+    match *kind {
+        EventKind::ChipExec {
+            depth,
+            instructions,
+        } => (
+            "chip.exec",
+            format!("\"depth\":{depth},\"instructions\":{instructions}"),
+        ),
+        EventKind::Deliveries { count } => ("chip.deliveries", format!("\"count\":{count}")),
+        EventKind::Emissions { count } => ("chip.emissions", format!("\"count\":{count}")),
+        EventKind::LinkCorrected { link, bit } => {
+            ("link.corrected", format!("\"link\":{link},\"bit\":{bit}"))
+        }
+        EventKind::LinkUncorrectable { link } => ("link.uncorrectable", format!("\"link\":{link}")),
+        EventKind::LinkDemoted { link } => ("link.demoted", format!("\"link\":{link}")),
+        EventKind::LaunchBegin { graph_fp } => {
+            ("launch.begin", format!("\"graph_fp\":\"{graph_fp:016x}\""))
+        }
+        EventKind::Align => ("launch.align", String::new()),
+        EventKind::Compile { epoch } => ("runtime.compile", format!("\"epoch\":{epoch}")),
+        EventKind::Reuse { epoch } => ("runtime.reuse", format!("\"epoch\":{epoch}")),
+        EventKind::ReplayEpoch { attempt } => {
+            ("runtime.replay_epoch", format!("\"attempt\":{attempt}"))
+        }
+        EventKind::BlameVote { node, votes } => (
+            "runtime.blame_vote",
+            format!("\"node\":{node},\"votes\":{votes}"),
+        ),
+        EventKind::Failover { node, epoch } => (
+            "runtime.failover",
+            format!("\"node\":{node},\"epoch\":{epoch}"),
+        ),
+        EventKind::LaunchEnd { attempts } => ("launch.end", format!("\"attempts\":{attempts}")),
+    }
+}
+
+/// Renders `events` as a complete Chrome-trace JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"runtime\"}},\n",
+    );
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"chips\"}}",
+    );
+    for e in events {
+        let (name, args) = name_and_args(&e.kind);
+        let (pid, tid) = if e.lane == RUNTIME_LANE {
+            (0, 0)
+        } else {
+            (1, e.lane)
+        };
+        let sep = if args.is_empty() { "" } else { "," };
+        out.push_str(",\n");
+        if e.dur > 0 {
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{},\"args\":{{{args}{sep}\"seq\":{}}}}}",
+                e.cycle, e.dur, e.seq
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{},\"args\":{{{args}{sep}\"seq\":{}}}}}",
+                e.cycle, e.seq
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 0,
+                lane: RUNTIME_LANE,
+                seq: 0,
+                dur: 0,
+                kind: EventKind::LaunchBegin { graph_fp: 0xabcd },
+            },
+            TraceEvent {
+                cycle: 10,
+                lane: 2,
+                seq: 1,
+                dur: 40,
+                kind: EventKind::ChipExec {
+                    depth: 0,
+                    instructions: 6,
+                },
+            },
+            TraceEvent {
+                cycle: 15,
+                lane: 2,
+                seq: 2,
+                dur: 0,
+                kind: EventKind::LinkCorrected { link: 3, bit: 17 },
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_spans_instants_and_metadata() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"chip.exec\",\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":40"));
+        assert!(json.contains("\"name\":\"link.corrected\",\"ph\":\"i\""));
+        assert!(json.contains("\"graph_fp\":\"000000000000abcd\""));
+    }
+
+    #[test]
+    fn runtime_lane_maps_to_pid_zero_chips_to_pid_one() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.contains("\"name\":\"launch.begin\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0"));
+        assert!(json.contains("\"pid\":1,\"tid\":2"));
+    }
+
+    #[test]
+    fn empty_event_list_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("traceEvents"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Structured trace events and the [`Tracer`] emission helper.
+
+use crate::sink::TraceSink;
+
+/// Lane carrying runtime-level orchestration events (compile, blame,
+/// failover, replay epochs). Chip lanes use the chip's `TspId` value, which
+/// is always far below this sentinel.
+pub const RUNTIME_LANE: u32 = u32::MAX;
+
+/// What happened. Identifiers are raw integers (`TspId.0`, `LinkId.0`,
+/// `NodeId.0`) so this crate stays a dependency leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// One chip's execution pass: issue of its first instruction through
+    /// retirement of its last.
+    ChipExec {
+        /// Dependency depth of the chip's slot in the transfer DAG.
+        depth: u32,
+        /// Instructions in the chip's compiled program.
+        instructions: u32,
+    },
+    /// The window in which a chip's scheduled inbound deliveries land.
+    Deliveries {
+        /// Deliveries bound into the chip this run.
+        count: u32,
+    },
+    /// The window of a chip's promised C2C emissions.
+    Emissions {
+        /// Emissions the chip's program promises.
+        count: u32,
+    },
+    /// FEC corrected a single-bit flip in one packet on `link`.
+    LinkCorrected {
+        /// Index of the physical link.
+        link: u32,
+        /// Bit position of the corrected flip.
+        bit: u32,
+    },
+    /// FEC flagged a packet on `link` as uncorrectable.
+    LinkUncorrectable {
+        /// Index of the physical link.
+        link: u32,
+    },
+    /// A claimed "correction" on `link` produced wrong bytes and was
+    /// demoted to uncorrectable rather than delivered.
+    LinkDemoted {
+        /// Index of the physical link.
+        link: u32,
+    },
+    /// A runtime launch began.
+    LaunchBegin {
+        /// Structural fingerprint of the logical graph.
+        graph_fp: u64,
+    },
+    /// The hardware-alignment window preceding epoch 0 (paper §4.2).
+    Align,
+    /// The runtime compiled the graph for the current mapping epoch.
+    Compile {
+        /// Mapping epoch the plan was compiled against.
+        epoch: u64,
+    },
+    /// The runtime reused a cached plan.
+    Reuse {
+        /// Mapping epoch of the reused plan.
+        epoch: u64,
+    },
+    /// One scheduled execution window (attempt 0 is the first try; higher
+    /// attempts are replays).
+    ReplayEpoch {
+        /// Zero-based attempt index within the launch.
+        attempt: u32,
+    },
+    /// The health monitor's blame vote elected a faulty node.
+    BlameVote {
+        /// Node that won the vote.
+        node: u32,
+        /// Endpoint votes the winner received.
+        votes: u32,
+    },
+    /// The runtime failed a node over to its spare.
+    Failover {
+        /// Node that was replaced.
+        node: u32,
+        /// Mapping epoch after the failover.
+        epoch: u64,
+    },
+    /// The launch concluded (successfully).
+    LaunchEnd {
+        /// Total execution attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// A single trace record. `cycle` is a *simulated* cycle count, never wall
+/// clock; `lane` is the chip (`TspId.0`) or [`RUNTIME_LANE`]; `seq` is a
+/// per-run emission counter that makes the `(cycle, lane, seq)` key unique
+/// and totally ordered. `dur == 0` marks an instant event, `dur > 0` a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event begins.
+    pub cycle: u64,
+    /// Chip lane (`TspId.0`) or [`RUNTIME_LANE`].
+    pub lane: u32,
+    /// Emission sequence number within the run.
+    pub seq: u32,
+    /// Span length in cycles; zero for instant events.
+    pub dur: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The unique, totally ordered merge key mandated by the determinism
+    /// contract: per-chip ordered buffers merge by `(cycle, chip, seq)`.
+    pub fn key(&self) -> (u64, u32, u32) {
+        (self.cycle, self.lane, self.seq)
+    }
+}
+
+/// Emission helper owned by one instrumented run: holds the optional sink,
+/// the monotone sequence counter, and a cycle offset that relocates the
+/// run onto a caller-chosen timeline (the runtime uses this to place each
+/// replay epoch after the previous one).
+///
+/// When no sink is attached — or the sink reports itself disabled, as
+/// [`crate::NullSink`] does — every emission is a single branch and the
+/// sequence counter never advances, so instrumented code does literally
+/// nothing beyond that branch.
+#[derive(Debug)]
+pub struct Tracer<'a> {
+    sink: Option<&'a dyn TraceSink>,
+    offset: u64,
+    seq: u32,
+}
+
+impl<'a> Tracer<'a> {
+    /// Wraps `sink`, treating a disabled sink the same as no sink.
+    pub fn new(sink: Option<&'a dyn TraceSink>) -> Self {
+        Tracer {
+            sink: sink.filter(|s| s.is_enabled()),
+            offset: 0,
+            seq: 0,
+        }
+    }
+
+    /// Builder form of [`Tracer::set_offset`].
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// All subsequently emitted events have `offset` added to their cycle.
+    pub fn set_offset(&mut self, offset: u64) {
+        self.offset = offset;
+    }
+
+    /// True when events are actually being recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an instant event at `cycle` (plus the configured offset).
+    pub fn instant(&mut self, cycle: u64, lane: u32, kind: EventKind) {
+        self.emit(cycle, 0, lane, kind);
+    }
+
+    /// Emits a span of `dur` cycles starting at `cycle`.
+    pub fn span(&mut self, cycle: u64, dur: u64, lane: u32, kind: EventKind) {
+        self.emit(cycle, dur, lane, kind);
+    }
+
+    fn emit(&mut self, cycle: u64, dur: u64, lane: u32, kind: EventKind) {
+        let Some(sink) = self.sink else { return };
+        let seq = self.seq;
+        self.seq += 1;
+        sink.record(TraceEvent {
+            cycle: cycle + self.offset,
+            lane,
+            seq,
+            dur,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{NullSink, RingSink};
+
+    #[test]
+    fn no_sink_is_inert_and_never_advances_seq() {
+        let mut t = Tracer::new(None);
+        assert!(!t.enabled());
+        t.instant(5, 0, EventKind::Align);
+        t.span(9, 3, 1, EventKind::Deliveries { count: 2 });
+    }
+
+    #[test]
+    fn null_sink_behaves_exactly_like_no_sink() {
+        let null = NullSink;
+        let mut t = Tracer::new(Some(&null));
+        assert!(!t.enabled());
+        t.instant(5, 0, EventKind::Align);
+    }
+
+    #[test]
+    fn offset_relocates_cycles_and_seq_orders_ties() {
+        let ring = RingSink::new(16);
+        let mut t = Tracer::new(Some(&ring)).with_offset(100);
+        assert!(t.enabled());
+        t.instant(5, 2, EventKind::LinkUncorrectable { link: 7 });
+        t.instant(5, 2, EventKind::LinkDemoted { link: 7 });
+        let ev = ring.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].cycle, 105);
+        assert_eq!(ev[1].cycle, 105);
+        assert!(ev[0].key() < ev[1].key(), "seq breaks the cycle tie");
+    }
+}

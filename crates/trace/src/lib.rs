@@ -1,0 +1,36 @@
+//! Cycle-resolved tracing and metrics for the TSM simulator.
+//!
+//! The paper's system is software-scheduled and fully deterministic, so its
+//! execution is *perfectly explainable* — this crate is the layer that does
+//! the explaining. It provides two complementary artifacts:
+//!
+//! - **Structured trace events** ([`TraceEvent`]) keyed by
+//!   `(cycle, lane, seq)` and pushed through a [`TraceSink`]. The default
+//!   [`NullSink`] makes tracing zero-cost when disabled (a single branch per
+//!   emission point); [`RingSink`] buffers events in memory;
+//!   [`chrome_trace_json`] renders any event slice as a Chrome-trace /
+//!   Perfetto JSON timeline.
+//! - **Deterministic metrics** ([`Metrics`]) — counters, gauges, and
+//!   cycle-bucketed histograms keyed by static `&str` names — snapshotted
+//!   into a serializable, order-independent [`RunMetrics`] that higher
+//!   layers attach to their reports as the single source of tally truth.
+//!
+//! Determinism discipline: every emission point in the simulator sits on a
+//! serial code path (plan binding, the post-level merge loop, the runtime's
+//! launch loop), so the event *sequence* — not just the sorted set — is
+//! bit-identical between serial and parallel execution. Tests in `tsm-core`
+//! enforce this, which makes the trace itself a correctness oracle.
+//!
+//! This crate is a leaf: it speaks raw `u32`/`u64` lane, link, and node
+//! identifiers so every other crate in the workspace can depend on it
+//! without cycles.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::chrome_trace_json;
+pub use event::{EventKind, TraceEvent, Tracer, RUNTIME_LANE};
+pub use metrics::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
+pub use sink::{NullSink, RingSink, TraceSink};

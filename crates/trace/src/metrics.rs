@@ -1,0 +1,480 @@
+//! Deterministic metrics registry and its serializable snapshot.
+//!
+//! A [`Metrics`] registry is created per instrumented run; counters,
+//! gauges, and histograms are keyed by `&'static str` names (see
+//! [`names`]) plus an optional numeric label (per-link counters use the
+//! link index). [`Metrics::snapshot`] freezes the registry into a
+//! [`RunMetrics`] — sorted vectors with value equality — which reports
+//! attach as their single source of tally truth.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Well-known metric names. One flat namespace, dot-separated by layer.
+pub mod names {
+    /// Packets that crossed a link without any bit error.
+    pub const LINK_CLEAN: &str = "link.fec.clean";
+    /// Packets whose single-bit flip FEC corrected in situ.
+    pub const LINK_CORRECTED: &str = "link.fec.corrected";
+    /// Packets FEC flagged uncorrectable.
+    pub const LINK_UNCORRECTABLE: &str = "link.fec.uncorrectable";
+    /// Claimed corrections demoted to uncorrectable because the decoded
+    /// bytes did not match the transmitted payload.
+    pub const LINK_DEMOTED: &str = "link.fec.demoted";
+
+    /// Instructions across all chip programs in a co-simulated run.
+    pub const COSIM_INSTRUCTIONS: &str = "cosim.instructions";
+    /// Chips that participated in the run (gauge).
+    pub const COSIM_CHIPS: &str = "cosim.chips";
+    /// Deliveries bound across all chips in the run.
+    pub const COSIM_DELIVERIES: &str = "cosim.deliveries";
+    /// Per-chip retirement cycles (histogram).
+    pub const COSIM_RETIRE_CYCLES: &str = "cosim.retire_cycles";
+
+    /// Graph compilations performed by the runtime.
+    pub const RT_COMPILES: &str = "runtime.compiles";
+    /// Cached-plan reuses.
+    pub const RT_REUSES: &str = "runtime.reuses";
+    /// Execution attempts (first tries plus replays).
+    pub const RT_ATTEMPTS: &str = "runtime.attempts";
+    /// Replays (attempts beyond each episode's first).
+    pub const RT_REPLAYS: &str = "runtime.replays";
+    /// Blame votes held by the health monitor.
+    pub const RT_BLAME_VOTES: &str = "runtime.blame_votes";
+    /// Spare failovers executed.
+    pub const RT_FAILOVERS: &str = "runtime.failovers";
+
+    /// FEC tally of the launch's final, successful attempt only.
+    pub const FINAL_CLEAN: &str = "launch.final.fec.clean";
+    /// See [`FINAL_CLEAN`].
+    pub const FINAL_CORRECTED: &str = "launch.final.fec.corrected";
+    /// See [`FINAL_CLEAN`].
+    pub const FINAL_UNCORRECTABLE: &str = "launch.final.fec.uncorrectable";
+}
+
+/// Number of power-of-two histogram buckets: bucket 0 holds zero-cycle
+/// observations, bucket `k` holds `[2^(k-1), 2^k)`, the last bucket
+/// absorbs everything at or above `2^31`.
+pub const CYCLE_BUCKETS: usize = 33;
+
+/// A power-of-two-bucketed histogram of cycle counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    /// Observation counts per bucket; see [`CYCLE_BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram {
+            buckets: vec![0; CYCLE_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(CYCLE_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean observed value, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<(&'static str, Option<u32>), u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, CycleHistogram>,
+}
+
+/// Interior-mutable metrics registry for one instrumented run. All mutation
+/// happens on serial code paths; the `Mutex` exists only so the registry is
+/// `Sync` and can be referenced from scoped-thread contexts without care.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Registry>,
+}
+
+impl Metrics {
+    /// Adds `by` to the unlabeled counter `name`.
+    pub fn inc(&self, name: &'static str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry((name, None))
+            .or_insert(0) += by;
+    }
+
+    /// Adds `by` to counter `name` labeled with `label` (e.g. a link index).
+    pub fn inc_labeled(&self, name: &'static str, label: u32, by: u64) {
+        if by == 0 {
+            return;
+        }
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry((name, Some(label)))
+            .or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &'static str, value: u64) {
+        self.inner.lock().unwrap().gauges.insert(name, value);
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe_cycles(&self, name: &'static str, value: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
+    /// Merges a locally accumulated histogram into histogram `name` in one
+    /// lock acquisition (hot paths tally locally, then fold here).
+    pub fn merge_histogram(&self, name: &'static str, hist: &CycleHistogram) {
+        if hist.count == 0 {
+            return;
+        }
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name)
+            .or_default()
+            .merge(hist);
+    }
+
+    /// Freezes the registry into a sorted, order-independent snapshot.
+    pub fn snapshot(&self) -> RunMetrics {
+        let g = self.inner.lock().unwrap();
+        RunMetrics {
+            counters: g
+                .counters
+                .iter()
+                .map(|(&(name, label), &value)| CounterEntry {
+                    name: name.to_string(),
+                    label,
+                    value,
+                })
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(&name, &value)| GaugeEntry {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(&name, hist)| (name.to_string(), hist.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// One counter cell of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Metric name (see [`names`]).
+    pub name: String,
+    /// Numeric label (per-link counters carry the link index), or `None`
+    /// for the global cell.
+    pub label: Option<u32>,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// One gauge cell of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeEntry {
+    /// Metric name (see [`names`]).
+    pub name: String,
+    /// Last value written.
+    pub value: u64,
+}
+
+/// A frozen, serializable metrics snapshot. Entries are sorted by name
+/// (then label), so two runs that did the same work compare equal with
+/// `==` regardless of emission order — reports derive their tally views
+/// (`fec()`, `attempts()`, …) from this one structure.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunMetrics {
+    /// Counter cells, sorted by `(name, label)`.
+    pub counters: Vec<CounterEntry>,
+    /// Gauge cells, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, CycleHistogram)>,
+}
+
+impl RunMetrics {
+    /// Sum of counter `name` across all labels.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Value of counter `name` for one specific label (zero if absent).
+    pub fn counter_labeled(&self, name: &str, label: u32) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == Some(label))
+            .map_or(0, |c| c.value)
+    }
+
+    /// All labeled cells of counter `name` as `(label, value)` pairs, in
+    /// label order.
+    pub fn labeled(&self, name: &str) -> Vec<(u32, u64)> {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .filter_map(|c| c.label.map(|l| (l, c.value)))
+            .collect()
+    }
+
+    /// Gauge `name`, or `None` if never set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Histogram `name`, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&CycleHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges `other` into `self`: counters and histograms add, gauges
+    /// take `other`'s value (last write wins). Sorted order is restored, so
+    /// absorption is associative and order-independent for counters.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        for c in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|m| m.name == c.name && m.label == c.label)
+            {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters
+            .sort_by(|a, b| (&a.name, a.label).cmp(&(&b.name, b.label)));
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(m) => m.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        for (name, hist) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.merge(hist),
+                None => self.histograms.push((name.clone(), hist.clone())),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Hand-rolled JSON rendering (the offline toolchain stubs out
+    /// serde_json, so every serializer in this workspace is explicit).
+    /// Deterministic: entries are already sorted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let key = match c.label {
+                Some(l) => format!("{}#{}", c.name, l),
+                None => c.name.clone(),
+            };
+            s.push_str(&format!("\n    \"{}\": {}", key, c.value));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", g.name, g.value));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                name,
+                h.count,
+                h.sum,
+                buckets.join(",")
+            ));
+        }
+        s.push_str("\n  }\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(CycleHistogram::bucket_index(0), 0);
+        assert_eq!(CycleHistogram::bucket_index(1), 1);
+        assert_eq!(CycleHistogram::bucket_index(2), 2);
+        assert_eq!(CycleHistogram::bucket_index(3), 2);
+        assert_eq!(CycleHistogram::bucket_index(4), 3);
+        assert_eq!(CycleHistogram::bucket_index(u64::MAX), CYCLE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        let a = Metrics::default();
+        a.inc(names::RT_COMPILES, 1);
+        a.inc_labeled(names::LINK_CORRECTED, 3, 2);
+        a.inc_labeled(names::LINK_CORRECTED, 1, 5);
+        let b = Metrics::default();
+        b.inc_labeled(names::LINK_CORRECTED, 1, 5);
+        b.inc(names::RT_COMPILES, 1);
+        b.inc_labeled(names::LINK_CORRECTED, 3, 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn counter_sums_across_labels() {
+        let m = Metrics::default();
+        m.inc_labeled(names::LINK_CLEAN, 0, 10);
+        m.inc_labeled(names::LINK_CLEAN, 4, 5);
+        m.inc(names::LINK_CLEAN, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::LINK_CLEAN), 16);
+        assert_eq!(snap.counter_labeled(names::LINK_CLEAN, 4), 5);
+        assert_eq!(snap.labeled(names::LINK_CLEAN), vec![(0, 10), (4, 5)]);
+    }
+
+    #[test]
+    fn zero_increments_leave_no_cells() {
+        let m = Metrics::default();
+        m.inc(names::RT_REPLAYS, 0);
+        m.inc_labeled(names::LINK_CLEAN, 2, 0);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_merges_histograms() {
+        let a = Metrics::default();
+        a.inc(names::RT_ATTEMPTS, 1);
+        a.observe_cycles(names::COSIM_RETIRE_CYCLES, 100);
+        let b = Metrics::default();
+        b.inc(names::RT_ATTEMPTS, 2);
+        b.inc_labeled(names::LINK_CLEAN, 0, 7);
+        b.observe_cycles(names::COSIM_RETIRE_CYCLES, 200);
+        b.set_gauge(names::COSIM_CHIPS, 4);
+
+        let mut total = a.snapshot();
+        total.absorb(&b.snapshot());
+        assert_eq!(total.counter(names::RT_ATTEMPTS), 3);
+        assert_eq!(total.counter_labeled(names::LINK_CLEAN, 0), 7);
+        assert_eq!(total.gauge(names::COSIM_CHIPS), Some(4));
+        let h = total.histogram(names::COSIM_RETIRE_CYCLES).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 300);
+    }
+
+    #[test]
+    fn absorb_is_counter_commutative() {
+        let a = Metrics::default();
+        a.inc(names::RT_ATTEMPTS, 1);
+        a.inc_labeled(names::LINK_CLEAN, 1, 3);
+        let b = Metrics::default();
+        b.inc(names::RT_REPLAYS, 4);
+        b.inc_labeled(names::LINK_CLEAN, 1, 2);
+
+        let mut ab = a.snapshot();
+        ab.absorb(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.absorb(&a.snapshot());
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_structured() {
+        let m = Metrics::default();
+        m.inc(names::RT_COMPILES, 2);
+        m.inc_labeled(names::LINK_CORRECTED, 5, 1);
+        m.set_gauge(names::COSIM_CHIPS, 3);
+        m.observe_cycles(names::COSIM_RETIRE_CYCLES, 7);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json, snap.to_json());
+        assert!(json.contains("\"runtime.compiles\": 2"));
+        assert!(json.contains("\"link.fec.corrected#5\": 1"));
+        assert!(json.contains("\"cosim.chips\": 3"));
+        assert!(json.contains("\"cosim.retire_cycles\""));
+    }
+
+    #[test]
+    fn histogram_mean_handles_empty() {
+        let h = CycleHistogram::default();
+        assert_eq!(h.mean(), 0.0);
+        let mut h2 = CycleHistogram::default();
+        h2.observe(10);
+        h2.observe(20);
+        assert_eq!(h2.mean(), 15.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural validation of the hand-rolled JSON emitters.
+//!
+//! The offline toolchain stubs out serde_json, so this harness carries its
+//! own minimal JSON syntax checker: a single-pass scanner that verifies
+//! string escaping plus brace/bracket balance — enough to guarantee the
+//! documents parse in any real JSON reader (Perfetto included).
+
+use tsm_trace::{chrome_trace_json, EventKind, Metrics, TraceEvent, RUNTIME_LANE};
+
+/// Returns `Err` with a position if `s` is not structurally valid JSON
+/// (balanced `{}`/`[]` outside strings, properly terminated strings, no
+/// trailing garbage).
+fn check_json_shape(s: &str) -> Result<(), String> {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut depth_hit_zero_at = None;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                if depth_hit_zero_at.is_some() {
+                    return Err(format!("content after document end at byte {i}"));
+                }
+                stack.push(c);
+            }
+            '}' => {
+                if stack.pop() != Some('{') {
+                    return Err(format!("unbalanced '}}' at byte {i}"));
+                }
+                if stack.is_empty() {
+                    depth_hit_zero_at = Some(i);
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return Err(format!("unbalanced ']' at byte {i}"));
+                }
+                if stack.is_empty() {
+                    depth_hit_zero_at = Some(i);
+                }
+            }
+            c if c.is_whitespace() || "0123456789.,:+-eE".contains(c) => {}
+            c if c.is_ascii_alphabetic() => {} // true/false/null tokens
+            c => return Err(format!("unexpected character {c:?} at byte {i}")),
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_string());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed scopes", stack.len()));
+    }
+    if depth_hit_zero_at.is_none() {
+        return Err("no top-level value".to_string());
+    }
+    Ok(())
+}
+
+fn every_kind() -> Vec<TraceEvent> {
+    let kinds = vec![
+        EventKind::ChipExec {
+            depth: 2,
+            instructions: 9,
+        },
+        EventKind::Deliveries { count: 4 },
+        EventKind::Emissions { count: 4 },
+        EventKind::LinkCorrected { link: 1, bit: 2047 },
+        EventKind::LinkUncorrectable { link: 1 },
+        EventKind::LinkDemoted { link: 1 },
+        EventKind::LaunchBegin { graph_fp: u64::MAX },
+        EventKind::Align,
+        EventKind::Compile { epoch: 0 },
+        EventKind::Reuse { epoch: 1 },
+        EventKind::ReplayEpoch { attempt: 3 },
+        EventKind::BlameVote { node: 1, votes: 2 },
+        EventKind::Failover { node: 1, epoch: 2 },
+        EventKind::LaunchEnd { attempts: 4 },
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| TraceEvent {
+            cycle: i as u64 * 10,
+            lane: if i % 3 == 0 { RUNTIME_LANE } else { i as u32 },
+            seq: i as u32,
+            dur: if i % 2 == 0 { 5 } else { 0 },
+            kind,
+        })
+        .collect()
+}
+
+#[test]
+fn validator_accepts_known_good_and_rejects_known_bad() {
+    check_json_shape(r#"{"a": [1, 2, {"b": "c\"d"}], "e": true}"#).unwrap();
+    assert!(check_json_shape(r#"{"a": [1, 2}"#).is_err());
+    assert!(check_json_shape(r#"{"a": "unterminated}"#).is_err());
+    assert!(check_json_shape(r#"{} trailing {"#).is_err());
+}
+
+#[test]
+fn chrome_trace_of_every_event_kind_is_valid_json() {
+    let json = chrome_trace_json(&every_kind());
+    check_json_shape(&json).unwrap_or_else(|e| panic!("invalid chrome trace: {e}\n{json}"));
+    // Every kind must appear with its own name.
+    for name in [
+        "chip.exec",
+        "chip.deliveries",
+        "chip.emissions",
+        "link.corrected",
+        "link.uncorrectable",
+        "link.demoted",
+        "launch.begin",
+        "launch.align",
+        "runtime.compile",
+        "runtime.reuse",
+        "runtime.replay_epoch",
+        "runtime.blame_vote",
+        "runtime.failover",
+        "launch.end",
+    ] {
+        assert!(json.contains(name), "missing event name {name}");
+    }
+}
+
+#[test]
+fn run_metrics_json_is_valid() {
+    use tsm_trace::names;
+    let m = Metrics::default();
+    m.inc(names::RT_COMPILES, 1);
+    m.inc_labeled(names::LINK_CORRECTED, 7, 3);
+    m.set_gauge(names::COSIM_CHIPS, 16);
+    m.observe_cycles(names::COSIM_RETIRE_CYCLES, 1234);
+    let json = m.snapshot().to_json();
+    check_json_shape(&json).unwrap_or_else(|e| panic!("invalid metrics json: {e}\n{json}"));
+}
+
+#[test]
+fn empty_metrics_json_is_valid() {
+    check_json_shape(&Metrics::default().snapshot().to_json()).unwrap();
+}

@@ -35,11 +35,11 @@ fn main() {
         let r = system.execute_with_graph(&program, &graph, 11);
         println!(
             "BER {ber:>8.0e}: {} packets — {} clean, {} corrected in situ, {} uncorrectable, {} replays, success={}",
-            r.fec.total(),
-            r.fec.clean,
-            r.fec.corrected,
-            r.fec.uncorrectable,
-            r.replays,
+            r.fec().total(),
+            r.fec().clean,
+            r.fec().corrected,
+            r.fec().uncorrectable,
+            r.replays(),
             r.succeeded
         );
     }

@@ -77,8 +77,8 @@ fn main() {
             seed,
             report.measured_cycles,
             report.estimate_error() * 100.0,
-            report.fec.clean,
-            report.fec.corrected,
+            report.fec().clean,
+            report.fec().corrected,
         );
         assert!(report.succeeded);
     }

@@ -51,7 +51,10 @@ fn main() {
         .expect("healthy launch");
     println!(
         "\nhealthy launch: {} attempt(s), alignment {} cycles, span {} cycles, fec {:?}",
-        out.attempts, out.alignment_cycles, out.span_cycles, out.fec
+        out.attempts(),
+        out.alignment_cycles,
+        out.span_cycles,
+        out.fec()
     );
 
     // --- a cable on node 1 goes marginal ------------------------------------
@@ -70,13 +73,14 @@ fn main() {
         .expect("recovers via spare");
     println!(
         "recovered launch: {} attempts, failovers {:?}",
-        out.attempts, out.failovers
+        out.attempts(),
+        out.failovers
     );
     println!(
         "logical TSP 8 now lives on physical {} (the spare node)",
         runtime.physical_tsp(TspId(8))
     );
-    println!("final run was clean: {}", out.fec.is_clean_run());
-    assert!(out.fec.is_clean_run());
+    println!("final run was clean: {}", out.fec().is_clean_run());
+    assert!(out.fec().is_clean_run());
     assert!(!out.failovers.is_empty());
 }

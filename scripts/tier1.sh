@@ -19,7 +19,12 @@ cargo test -p tsm-core --test plan_reuse -q
 # Likewise the fault path: datapath BER injection, FEC bit-for-bit
 # verification, and the replay/blame/failover recovery loop.
 cargo test -p tsm-core --test fault_path -q
+# The observability layer: the trace crate itself, the serial≡parallel
+# trace-identity contract, and the fault-path timeline assertions.
+cargo test -p tsm-trace -q
+cargo test -p tsm-core --test trace_identity -q
+cargo test -p tsm-core --test trace_fault -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check

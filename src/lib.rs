@@ -48,6 +48,7 @@ pub use tsm_mem as mem;
 pub use tsm_net as net;
 pub use tsm_sync as sync;
 pub use tsm_topology as topology;
+pub use tsm_trace as trace;
 pub use tsm_workloads as workloads;
 
 /// The names most programs need.
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use tsm_core::{ExecutionReport, Runtime, SparePolicy, System, SystemConfig};
     pub use tsm_isa::ElemType;
     pub use tsm_topology::{NodeId, RackId, Topology, TspId};
+    pub use tsm_trace::{NullSink, RingSink, RunMetrics, TraceSink};
     pub use tsm_workloads::bert::BertConfig;
     pub use tsm_workloads::cholesky::CholeskyPlan;
 }

@@ -30,13 +30,10 @@ fn clean_links_report_clean_runs() {
     let p = sys.compile(&g, CompileOptions::default()).unwrap();
     let r = sys.execute_with_graph(&p, &g, 0);
     assert!(r.succeeded);
-    assert_eq!(r.fec.corrected, 0);
-    assert_eq!(r.fec.uncorrectable, 0);
-    assert!(
-        r.fec.clean > 3000,
-        "1 MiB is ~3300 vectors: {}",
-        r.fec.clean
-    );
+    let fec = r.fec();
+    assert_eq!(fec.corrected, 0);
+    assert_eq!(fec.uncorrectable, 0);
+    assert!(fec.clean > 3000, "1 MiB is ~3300 vectors: {}", fec.clean);
 }
 
 #[test]
@@ -50,11 +47,11 @@ fn single_bit_errors_are_invisible_to_the_application() {
     let r = sys.execute_with_graph(&p, &g, 1);
     assert!(r.succeeded);
     assert!(
-        r.fec.corrected > 0,
+        r.fec().corrected > 0,
         "expected in-situ corrections: {:?}",
-        r.fec
+        r.fec()
     );
-    assert_eq!(r.replays, 0, "corrected errors must not trigger replay");
+    assert_eq!(r.replays(), 0, "corrected errors must not trigger replay");
     // and timing is untouched: FEC is constant-latency
     assert_eq!(r.measured_cycles, r.estimated_cycles);
 }
@@ -71,7 +68,7 @@ fn uncorrectable_errors_consume_replays() {
     let r = sys.execute_with_graph(&p, &g, 2);
     // At this BER every run sees multi-bit errors: the budget exhausts.
     assert!(!r.succeeded);
-    assert_eq!(r.replays, 2);
+    assert_eq!(r.replays(), 2);
 }
 
 #[test]

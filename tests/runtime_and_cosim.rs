@@ -54,7 +54,7 @@ fn runtime_survives_two_failovers_with_per_rack_spares() {
     let second = rt.launch(&logical, 2).unwrap();
     assert_eq!(second.failovers, vec![NodeId(0)]);
     assert_eq!(rt.spare_plan().spares_left(), 0);
-    assert!(second.fec.is_clean_run());
+    assert!(second.fec().is_clean_run());
 }
 
 #[test]
