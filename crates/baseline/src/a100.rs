@@ -1,7 +1,7 @@
 //! A100 GEMM utilization model: tile + wave quantization (Fig 13).
 //!
 //! Following Nvidia's matrix-multiplication background guide (paper ref
-//! [33]): the GEMM is tiled into thread-block tiles; full occupancy needs
+//! \[33\]): the GEMM is tiled into thread-block tiles; full occupancy needs
 //! the tile count to fill a whole number of "waves" across the 108 SMs.
 //! When `ceil(tiles / 108)` rounds up, the tail wave runs mostly idle —
 //! the sawtooth utilization dips of Fig 13 that the TSP's 320-wide

@@ -5,7 +5,7 @@
 //! the analytic model that produces its characteristic *shape*:
 //!
 //! * [`a100`] — GEMM utilization with **wave quantization** (the tile/SM
-//!   rounding of Nvidia's own GEMM guide [33]) for Fig 13, and pin
+//!   rounding of Nvidia's own GEMM guide \[33\]) for Fig 13, and pin
 //!   bandwidth for the normalized series of Fig 16;
 //! * [`nccl`] — a ring all-reduce with kernel-launch and shared-memory
 //!   fence overhead, the lock-based mailbox cost the paper contrasts with

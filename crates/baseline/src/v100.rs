@@ -1,6 +1,6 @@
-//! The V100 cluster reference of Fig 15 (paper ref [17], Herault et al.).
+//! The V100 cluster reference of Fig 15 (paper ref \[17\], Herault et al.).
 //!
-//! "When compared to [17] which uses a cluster of Nvidia V100s, we can
+//! "When compared to \[17\] which uses a cluster of Nvidia V100s, we can
 //! achieve over 100× more FP16 throughput compared to the peak
 //! performance on 432 GPUs achieving approximately 2800 (fp64) TFlops on
 //! matrix sizes of 650000×650000."

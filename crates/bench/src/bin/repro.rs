@@ -142,6 +142,11 @@ fn main() {
             "Bench — co-simulation engine throughput (writes BENCH_cosim.json)",
             Box::new(emit_bench_cosim),
         ),
+        (
+            "profile",
+            "Profile — plan-vs-actual conformance of a datapath launch (writes trace_profile.trace.json)",
+            Box::new(tsm_bench::profile_cli::lines),
+        ),
     ];
 
     let mut matched = false;

@@ -17,6 +17,7 @@ use tsm::core::cosim::{
 use tsm::fault::inject::FecStats;
 use tsm::isa::Vector;
 use tsm::topology::{Topology, TspId};
+use tsm::trace::profile::profile;
 use tsm::trace::{NullSink, RingSink, RunMetrics};
 
 /// Builds the canonical benchmark workload: 16 concurrent multi-hop
@@ -113,6 +114,24 @@ pub struct CosimBenchResult {
     /// Best-of-N warm per-invocation wall time with a recording
     /// [`RingSink`] attached — what full event capture actually costs.
     pub trace_ring_ns: u128,
+    /// Best-of-N warm per-invocation wall time with the conformance
+    /// profiler fully attached: a fresh lossless `RingSink` per
+    /// invocation plus the plan-vs-actual join over its events. The
+    /// profiled-vs-warm ratio is what always-on conformance checking
+    /// costs relative to a detached run.
+    pub profiled_ns: u128,
+    /// Whether every profiled invocation came back
+    /// [`Conformance::Certified`] — the canonical workload is fault-free,
+    /// so anything else is a conformance regression.
+    ///
+    /// [`Conformance::Certified`]: tsm::trace::Conformance::Certified
+    pub profile_certified: bool,
+    /// The last profiled invocation's bottleneck summary
+    /// ([`LaunchProfile::summary_json`]): verdict, per-link utilization,
+    /// critical path — embedded in `BENCH_cosim.json`.
+    ///
+    /// [`LaunchProfile::summary_json`]: tsm::trace::LaunchProfile::summary_json
+    pub profile_summary: String,
     /// Metrics snapshot of one warm invocation of the canonical workload
     /// (instruction/delivery counters, retire-cycle histogram), recorded
     /// PR-to-PR alongside the timings.
@@ -155,10 +174,16 @@ impl CosimBenchResult {
         self.trace_ring_ns as f64 / self.warm_ns as f64
     }
 
+    /// Conformance-profiler overhead: warm invocation with capture *and*
+    /// the plan-vs-actual join, relative to a detached warm run.
+    pub fn profile_overhead(&self) -> f64 {
+        self.profiled_ns as f64 / self.warm_ns as f64
+    }
+
     /// The JSON record written to `BENCH_cosim.json`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {},\n  \"trace_null_ns\": {},\n  \"trace_ring_ns\": {},\n  \"trace_null_overhead\": {:.3},\n  \"trace_ring_overhead\": {:.3},\n  \"metrics\": {}\n}}\n",
+            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {},\n  \"trace_null_ns\": {},\n  \"trace_ring_ns\": {},\n  \"trace_null_overhead\": {:.3},\n  \"trace_ring_overhead\": {:.3},\n  \"profiled_ns\": {},\n  \"profile_overhead\": {:.3},\n  \"profile_certified\": {},\n  \"profile\": {},\n  \"metrics\": {}\n}}\n",
             self.transfers,
             self.chips,
             self.instructions,
@@ -184,6 +209,10 @@ impl CosimBenchResult {
             self.trace_ring_ns,
             self.trace_null_overhead(),
             self.trace_ring_overhead(),
+            self.profiled_ns,
+            self.profile_overhead(),
+            self.profile_certified,
+            self.profile_summary,
             indent_block(&self.run_metrics.to_json(), 2),
         )
     }
@@ -235,6 +264,9 @@ pub fn measure(samples: usize) -> CosimBenchResult {
     let mut faulty_ns = u128::MAX;
     let mut trace_null_ns = u128::MAX;
     let mut trace_ring_ns = u128::MAX;
+    let mut profiled_ns = u128::MAX;
+    let mut profile_certified = true;
+    let mut profile_summary = String::new();
     let mut run_metrics = RunMetrics::default();
     let mut bit_identical = true;
     let mut fault_replays = 0u64;
@@ -299,6 +331,26 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         trace_ring_ns = trace_ring_ns.min(t6.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
         executor.clear_trace_sink();
 
+        // Profiler overhead, same warm loop: a fresh lossless RingSink per
+        // invocation plus the full plan-vs-actual conformance join over
+        // its events. The planned timeline is a compile-time artifact —
+        // derived once with the plan, outside the per-invocation cost.
+        let planned = plan.planned_timeline(&topo);
+        let t7 = Instant::now();
+        for _ in 0..WARM_INVOCATIONS {
+            let sink = Arc::new(RingSink::new(1 << 14));
+            executor.set_trace_sink(sink.clone());
+            executor
+                .execute_serial(&plan, &payloads)
+                .expect("profiled execute");
+            let prof = profile(&planned, &sink.sorted_events(), sink.dropped())
+                .expect("lossless ring profiles");
+            profile_certified &= prof.certified();
+            profile_summary = prof.summary_json();
+        }
+        profiled_ns = profiled_ns.min(t7.elapsed().as_nanos() / u128::from(WARM_INVOCATIONS));
+        executor.clear_trace_sink();
+
         // Faulty: the same plan and payloads with every delivery crossing
         // its link's BER channel. Uncorrectable attempts replay with a
         // fresh derived seed, mirroring the runtime's recovery loop; the
@@ -351,6 +403,9 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         fault_bit_identical,
         trace_null_ns,
         trace_ring_ns,
+        profiled_ns,
+        profile_certified,
+        profile_summary,
         run_metrics,
     }
 }
@@ -416,6 +471,16 @@ pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
             r.trace_ring_ns,
             r.trace_ring_overhead()
         ),
+        format!(
+            "profiler attached (capture + conformance join): {:>9} ns/invocation  ({:.3}x warm; every invocation {})",
+            r.profiled_ns,
+            r.profile_overhead(),
+            if r.profile_certified {
+                "CERTIFIED"
+            } else {
+                "DEVIANT — conformance regression"
+            }
+        ),
     ]
 }
 
@@ -450,6 +515,14 @@ mod tests {
         assert!(r.to_json().contains("\"trace_null_ns\""));
         assert!(r.to_json().contains("\"trace_ring_overhead\""));
         assert!(r.to_json().contains("\"cosim.instructions\""));
+        // The canonical fault-free workload certifies on every profiled
+        // invocation, and its bottleneck summary rides into the record.
+        assert!(r.profile_certified);
+        assert!(r.to_json().contains("\"profile_overhead\""));
+        assert!(r.to_json().contains("\"verdict\": \"certified\""));
+        assert!(r.to_json().contains("\"critical_path\""));
+        assert!(r.to_json().contains("\"top_links\""));
+        assert!(r.profiled_ns > 0);
         assert!(r.cold_ns > 0 && r.warm_ns > 0);
         assert!(r.trace_null_ns > 0 && r.trace_ring_ns > 0);
         // The metrics snapshot describes the canonical workload.

@@ -10,3 +10,4 @@
 pub mod ablations;
 pub mod cosim_bench;
 pub mod figures;
+pub mod profile_cli;

@@ -1,7 +1,7 @@
 //! Matrix execution module timing: the paper's GEMM decomposition model.
 //!
 //! "the compiler decomposes a matrix multiply into `[1×K]×[K×320]`
-//! sub-operations, where K=[160,320] i.e. the vector lengths of the
+//! sub-operations, where K=\[160,320\] i.e. the vector lengths of the
 //! hardware for FP16 and int8 respectively. Additionally, a TSP can run two
 //! FP16 or four int8 sub-operations each cycle." (paper §5.2)
 //!
@@ -104,7 +104,7 @@ pub fn gemm_seconds(shape: GemmShape, ty: ElemType) -> f64 {
 }
 
 /// The Fig 13 sweep: utilization of `[2304×4096]×[4096×N]` for a range of
-/// N values, as in the paper's comparison against an A100 (after [33]).
+/// N values, as in the paper's comparison against an A100 (after \[33\]).
 pub fn fig13_sweep(n_values: impl IntoIterator<Item = u64>) -> Vec<(u64, f64)> {
     n_values
         .into_iter()

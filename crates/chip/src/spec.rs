@@ -42,7 +42,7 @@ impl ChipSpec {
     }
 }
 
-/// The MXM inner dimension for an element type: "K=[160,320] i.e. the
+/// The MXM inner dimension for an element type: "K=\[160,320\] i.e. the
 /// vector lengths of the hardware for FP16 and int8 respectively"
 /// (paper §5.2).
 pub fn mxm_k(ty: ElemType) -> usize {

@@ -95,13 +95,227 @@ impl ScheduleDump {
     }
 
     /// Serializes to pretty JSON.
+    ///
+    /// Hand-rolled emitter (the offline toolchain stubs serde_json): the
+    /// output is deterministic — field order fixed, strings escaped via
+    /// [`tsm_trace::escape_json`] — so snapshots diff cleanly across
+    /// processes.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("dump is plain data")
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"span_cycles\": {},\n", self.span_cycles));
+        s.push_str("  \"ops\": [");
+        for (i, op) in self.ops.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"op\": {}, \"device\": {}, \"kind\": \"{}\", \"start\": {}, \"end\": {}}}",
+                op.op,
+                op.device,
+                tsm_trace::escape_json(&op.kind),
+                op.start,
+                op.end
+            ));
+        }
+        s.push_str(if self.ops.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"reservations\": [");
+        for (i, r) in self.reservations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"link\": {}, \"from\": {}, \"start\": {}, \"vectors\": {}, \
+                 \"transfer\": {}, \"hop\": {}}}",
+                r.link, r.from, r.start, r.vectors, r.transfer, r.hop
+            ));
+        }
+        s.push_str(if self.reservations.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push('}');
+        s
     }
 
-    /// Parses a JSON snapshot.
-    pub fn from_json(s: &str) -> Result<ScheduleDump, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parses a JSON snapshot previously produced by
+    /// [`ScheduleDump::to_json`]. Field order is not significant; unknown
+    /// keys are rejected with a descriptive error.
+    pub fn from_json(s: &str) -> Result<ScheduleDump, String> {
+        parse::schedule_dump(s)
+    }
+}
+
+/// A minimal recursive-descent parser for the dump's fixed schema. The
+/// offline toolchain stubs serde_json, so the round trip is hand-rolled
+/// against the same escaping rules ([`tsm_trace::unescape_json`]) the
+/// emitter uses.
+mod parse {
+    use super::{OpDump, ReservationDump, ScheduleDump};
+
+    pub(super) struct Cursor<'a> {
+        s: &'a str,
+        i: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        fn skip_ws(&mut self) {
+            while self.s[self.i..].starts_with([' ', '\n', '\r', '\t']) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            if self.s[self.i..].starts_with(c) {
+                self.i += c.len_utf8();
+                Ok(())
+            } else {
+                Err(format!("expected {c:?} at byte {}", self.i))
+            }
+        }
+
+        fn peek(&mut self) -> Option<char> {
+            self.skip_ws();
+            self.s[self.i..].chars().next()
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat('"')?;
+            let start = self.i;
+            let bytes = self.s.as_bytes();
+            let mut escaped = false;
+            while self.i < bytes.len() {
+                match bytes[self.i] {
+                    b'\\' if !escaped => escaped = true,
+                    b'"' if !escaped => {
+                        let raw = &self.s[start..self.i];
+                        self.i += 1;
+                        return tsm_trace::unescape_json(raw);
+                    }
+                    _ => escaped = false,
+                }
+                self.i += 1;
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn u64(&mut self) -> Result<u64, String> {
+            self.skip_ws();
+            let start = self.i;
+            let bytes = self.s.as_bytes();
+            while self.i < bytes.len() && bytes[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+            self.s[start..self.i]
+                .parse()
+                .map_err(|e| format!("bad integer at byte {start}: {e}"))
+        }
+
+        /// Parses `{"k": v, ...}`, handing each key to `field`.
+        fn object(
+            &mut self,
+            mut field: impl FnMut(&mut Cursor<'a>, &str) -> Result<(), String>,
+        ) -> Result<(), String> {
+            self.eat('{')?;
+            if self.peek() == Some('}') {
+                return self.eat('}');
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(':')?;
+                field(self, &key)?;
+                match self.peek() {
+                    Some(',') => self.eat(',')?,
+                    _ => return self.eat('}'),
+                }
+            }
+        }
+
+        /// Parses `[item, ...]`.
+        fn array(
+            &mut self,
+            mut item: impl FnMut(&mut Cursor<'a>) -> Result<(), String>,
+        ) -> Result<(), String> {
+            self.eat('[')?;
+            if self.peek() == Some(']') {
+                return self.eat(']');
+            }
+            loop {
+                item(self)?;
+                match self.peek() {
+                    Some(',') => self.eat(',')?,
+                    _ => return self.eat(']'),
+                }
+            }
+        }
+    }
+
+    pub(super) fn schedule_dump(s: &str) -> Result<ScheduleDump, String> {
+        let mut c = Cursor { s, i: 0 };
+        let mut dump = ScheduleDump {
+            span_cycles: 0,
+            ops: Vec::new(),
+            reservations: Vec::new(),
+        };
+        c.object(|c, key| match key {
+            "span_cycles" => {
+                dump.span_cycles = c.u64()?;
+                Ok(())
+            }
+            "ops" => c.array(|c| {
+                let mut op = OpDump {
+                    op: 0,
+                    device: 0,
+                    kind: String::new(),
+                    start: 0,
+                    end: 0,
+                };
+                c.object(|c, key| {
+                    match key {
+                        "op" => op.op = c.u64()? as u32,
+                        "device" => op.device = c.u64()? as u32,
+                        "kind" => op.kind = c.string()?,
+                        "start" => op.start = c.u64()?,
+                        "end" => op.end = c.u64()?,
+                        other => return Err(format!("unknown op field {other:?}")),
+                    }
+                    Ok(())
+                })?;
+                dump.ops.push(op);
+                Ok(())
+            }),
+            "reservations" => c.array(|c| {
+                let mut r = ReservationDump {
+                    link: 0,
+                    from: 0,
+                    start: 0,
+                    vectors: 0,
+                    transfer: 0,
+                    hop: 0,
+                };
+                c.object(|c, key| {
+                    match key {
+                        "link" => r.link = c.u64()? as u32,
+                        "from" => r.from = c.u64()? as u32,
+                        "start" => r.start = c.u64()?,
+                        "vectors" => r.vectors = c.u64()?,
+                        "transfer" => r.transfer = c.u64()? as u32,
+                        "hop" => r.hop = c.u64()? as u8,
+                        other => return Err(format!("unknown reservation field {other:?}")),
+                    }
+                    Ok(())
+                })?;
+                dump.reservations.push(r);
+                Ok(())
+            }),
+            other => Err(format!("unknown field {other:?}")),
+        })?;
+        c.skip_ws();
+        if c.i != s.len() {
+            return Err(format!("trailing garbage at byte {}", c.i));
+        }
+        Ok(dump)
     }
 }
 
@@ -150,6 +364,33 @@ mod tests {
         assert_eq!(dump.ops[1].kind, "transfer");
         assert_eq!(dump.ops[1].start, p.op_start[1]);
         assert!(!dump.reservations.is_empty());
+    }
+
+    /// The hand-rolled emitter/parser pair survives a kind string
+    /// carrying every structurally dangerous JSON character.
+    #[test]
+    fn dump_roundtrips_hostile_strings() {
+        let dump = ScheduleDump {
+            span_cycles: 7,
+            ops: vec![OpDump {
+                op: 0,
+                device: 3,
+                kind: "ev\"il\\kind\nwith\tnasties\u{0001}".to_string(),
+                start: 1,
+                end: 2,
+            }],
+            reservations: vec![],
+        };
+        let back = ScheduleDump::from_json(&dump.to_json()).unwrap();
+        assert_eq!(dump, back);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(ScheduleDump::from_json("").is_err());
+        assert!(ScheduleDump::from_json("{\"span_cycles\": 1").is_err());
+        assert!(ScheduleDump::from_json("{\"bogus\": 1}").is_err());
+        assert!(ScheduleDump::from_json("{\"span_cycles\": 1} trailing").is_err());
     }
 
     #[test]

@@ -313,6 +313,10 @@ impl PlanExecutor {
             for d in &chip.deliveries {
                 // Deliveries are stored sorted by (port, cycle), so each
                 // port queue is fed in order — no per-delivery re-sort.
+                // A vector struck uncorrectable never arrived, so it emits
+                // no Delivery event — the conformance profiler sees the
+                // aborted window's gap instead of a phantom arrival.
+                let mut landed = true;
                 let payload = match faults {
                     None => bind(&d.vec),
                     Some(fm) => {
@@ -340,6 +344,7 @@ impl PlanExecutor {
                                 };
                                 tracer.instant(d.cycle, lane, kind);
                                 culprits.push(d.link);
+                                landed = false;
                                 let key = (d.cycle, d.link, d.vec.transfer as usize);
                                 if lost.is_none_or(|worst| key < worst) {
                                     lost = Some(key);
@@ -349,6 +354,19 @@ impl PlanExecutor {
                         payload
                     }
                 };
+                if landed {
+                    // The cycle-coordinate ground truth the conformance
+                    // profiler joins against the plan's delivery manifest.
+                    tracer.instant(
+                        d.cycle,
+                        lane,
+                        EventKind::Delivery {
+                            link: d.link.0,
+                            transfer: d.vec.transfer,
+                            vector: d.vec.vector,
+                        },
+                    );
+                }
                 sim.deliver_in_order(d.port, d.cycle, payload);
             }
             if tracer.enabled() && !chip.deliveries.is_empty() {
@@ -444,6 +462,14 @@ impl PlanExecutor {
         metrics.inc(names::COSIM_DELIVERIES, delivered);
         metrics.set_gauge(names::COSIM_CHIPS, plan.chips.len() as u64);
         metrics.merge_histogram(names::COSIM_RETIRE_CYCLES, &retire_hist);
+        // Surface trace loss so downstream consumers (the conformance
+        // profiler refuses lossy traces) can see it without holding the
+        // sink. Only set when nonzero: a clean instrumented run must report
+        // metrics identical to a bare run.
+        let trace_dropped = self.sink.as_deref().map_or(0, TraceSink::dropped);
+        if trace_dropped > 0 {
+            metrics.set_gauge(names::TRACE_DROPPED, trace_dropped);
+        }
 
         Ok(CosimReport {
             retire_cycles,

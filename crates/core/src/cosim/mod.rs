@@ -22,7 +22,8 @@
 //! 2. **Bind + execute** ([`exec::PlanExecutor`]): each invocation binds a
 //!    concrete payload set to the plan by `Arc` handle and replays it;
 //!    chip simulators are reset, not rebuilt, between invocations.
-//! 3. **Verify** ([`verify`]): actual C2C emissions and destination SRAM
+//! 3. **Verify** (the private `verify` module): actual C2C emissions and
+//!    destination SRAM
 //!    are compared bit-for-bit against the plan's promises on every
 //!    execution.
 //!

@@ -156,6 +156,56 @@ impl CompiledPlan {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Flattens the plan's delivery manifest into the profiler's
+    /// [`tsm_trace::profile::PlannedTimeline`]: one
+    /// [`tsm_trace::profile::PlannedHop`] per
+    /// scheduled delivery, with its wire-occupancy window reconstructed
+    /// from the schedule's timing model (a delivery at cycle `c` over a
+    /// link of latency `L` occupied the wire over `[c - L - slot, c - L)`),
+    /// plus each chip's planned execution window.
+    ///
+    /// This is the compile-time half of the plan-vs-actual join — the
+    /// run-time half is the `Delivery` event stream the executor emits.
+    pub fn planned_timeline(&self, topo: &Topology) -> tsm_trace::profile::PlannedTimeline {
+        use tsm_trace::profile::{PlannedChip, PlannedHop, PlannedTimeline};
+        let slot = vector_slot_cycles();
+        let mut hops = Vec::new();
+        let mut chips = Vec::with_capacity(self.chips.len());
+        let mut span = self.arrivals.iter().copied().max().unwrap_or(0);
+        for chip in &self.chips {
+            for d in &chip.deliveries {
+                let latency = scheduled_link_latency(topo, d.link);
+                let wire_end = d.cycle.saturating_sub(latency);
+                hops.push(PlannedHop {
+                    link: d.link.0,
+                    transfer: d.vec.transfer,
+                    vector: d.vec.vector,
+                    cycle: d.cycle,
+                    wire_start: wire_end.saturating_sub(slot),
+                    wire_end,
+                    dest_lane: chip.tsp.0,
+                });
+            }
+            let instrs = chip.program.instrs();
+            let start = instrs.first().map_or(0, |i| i.cycle);
+            let end = instrs.last().map_or(0, |i| i.cycle);
+            span = span.max(end);
+            chips.push(PlannedChip {
+                lane: chip.tsp.0,
+                start,
+                end,
+                instructions: instrs.len() as u32,
+            });
+        }
+        hops.sort_by_key(|h| (h.link, h.wire_start, h.transfer, h.vector));
+        PlannedTimeline {
+            hops,
+            chips,
+            span,
+            arrivals: self.arrivals.clone(),
+        }
+    }
 }
 
 /// Allocates `vectors` scratch offsets on `tsp`.

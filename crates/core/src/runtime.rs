@@ -351,6 +351,20 @@ impl Runtime {
         &self.system
     }
 
+    /// The per-hop delivery schedule of the most recently compiled
+    /// datapath plan, in profiler coordinates — the compile-time half of
+    /// the plan-vs-actual join performed by [`tsm_trace::profile`].
+    ///
+    /// `None` until a datapath launch has compiled (statistical mode
+    /// carries no delivery manifest). Reflects the *current* topology, so
+    /// call it after the launch whose trace you intend to profile.
+    pub fn planned_timeline(&self) -> Option<tsm_trace::profile::PlannedTimeline> {
+        self.compiled
+            .as_ref()
+            .and_then(|c| c.datapath.as_ref())
+            .map(|a| a.plan.planned_timeline(self.system.topology()))
+    }
+
     /// Launches a logical-device program: align, compile against the
     /// current mapping, execute with health monitoring, and recover from
     /// faults by replay and failover.

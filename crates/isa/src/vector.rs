@@ -13,7 +13,7 @@ pub const MAX_STREAMS: usize = 32;
 /// Element type carried by a vector.
 ///
 /// The vector length in *elements* depends on the element width: 320 int8
-/// elements or 160 FP16 elements (paper §5.2: "K=[160,320] i.e. the vector
+/// elements or 160 FP16 elements (paper §5.2: "K=\[160,320\] i.e. the vector
 /// lengths of the hardware for FP16 and int8 respectively").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElemType {

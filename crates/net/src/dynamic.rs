@@ -93,7 +93,7 @@ pub enum Arbitration {
     #[default]
     Fifo,
     /// Oldest packet (earliest injection) first — the age-based global
-    /// fairness of paper ref [2].
+    /// fairness of paper ref \[2\].
     AgeBased,
 }
 

@@ -9,6 +9,14 @@
 //! and the format is simple enough not to miss it.
 
 use crate::event::{EventKind, TraceEvent, RUNTIME_LANE};
+use crate::profile::PlannedTimeline;
+
+/// Process id of the runtime lane in the exported document.
+const PID_RUNTIME: u32 = 0;
+/// Process id of the chip lanes.
+const PID_CHIPS: u32 = 1;
+/// Process id of the per-link planned-vs-actual overlay tracks.
+const PID_LINKS: u32 = 2;
 
 fn name_and_args(kind: &EventKind) -> (&'static str, String) {
     match *kind {
@@ -21,6 +29,14 @@ fn name_and_args(kind: &EventKind) -> (&'static str, String) {
         ),
         EventKind::Deliveries { count } => ("chip.deliveries", format!("\"count\":{count}")),
         EventKind::Emissions { count } => ("chip.emissions", format!("\"count\":{count}")),
+        EventKind::Delivery {
+            link,
+            transfer,
+            vector,
+        } => (
+            "link.delivery",
+            format!("\"link\":{link},\"transfer\":{transfer},\"vector\":{vector}"),
+        ),
         EventKind::LinkCorrected { link, bit } => {
             ("link.corrected", format!("\"link\":{link},\"bit\":{bit}"))
         }
@@ -47,8 +63,54 @@ fn name_and_args(kind: &EventKind) -> (&'static str, String) {
     }
 }
 
+fn push_span(out: &mut String, name: &str, pid: u32, tid: u32, ts: u64, dur: u64, args: &str) {
+    out.push_str(&format!(
+        ",\n{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts},\"dur\":{dur},\"args\":{{{args}}}}}",
+        crate::json::escape_json(name),
+    ));
+}
+
+fn push_instant(out: &mut String, name: &str, pid: u32, tid: u32, ts: u64, args: &str) {
+    out.push_str(&format!(
+        ",\n{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+         \"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}",
+        crate::json::escape_json(name),
+    ));
+}
+
+fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
+    out.push_str(&format!(
+        ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        crate::json::escape_json(name),
+    ));
+}
+
 /// Renders `events` as a complete Chrome-trace JSON document.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    render(events, 0, None)
+}
+
+/// [`chrome_trace_json`] plus a warning banner when `dropped > 0`: a lossy
+/// ring's timeline must never be read as complete.
+pub fn chrome_trace_json_with(events: &[TraceEvent], dropped: u64) -> String {
+    render(events, dropped, None)
+}
+
+/// [`chrome_trace_json_with`] plus the plan-vs-actual overlay: a `"links"`
+/// process with two tracks per link — the planned wire windows of
+/// `planned` above the observed [`EventKind::Delivery`] instants — so
+/// skew is visible as vertical misalignment in Perfetto.
+pub fn chrome_trace_json_overlay(
+    events: &[TraceEvent],
+    planned: &PlannedTimeline,
+    dropped: u64,
+) -> String {
+    render(events, dropped, Some(planned))
+}
+
+fn render(events: &[TraceEvent], dropped: u64, planned: Option<&PlannedTimeline>) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
@@ -58,27 +120,83 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
          \"args\":{\"name\":\"chips\"}}",
     );
+    if dropped > 0 {
+        push_instant(
+            &mut out,
+            &format!("WARNING: trace truncated — {dropped} event(s) dropped"),
+            PID_RUNTIME,
+            0,
+            0,
+            &format!("\"dropped\":{dropped}"),
+        );
+    }
     for e in events {
         let (name, args) = name_and_args(&e.kind);
         let (pid, tid) = if e.lane == RUNTIME_LANE {
-            (0, 0)
+            (PID_RUNTIME, 0)
         } else {
-            (1, e.lane)
+            (PID_CHIPS, e.lane)
         };
         let sep = if args.is_empty() { "" } else { "," };
-        out.push_str(",\n");
+        let args = format!("{args}{sep}\"seq\":{}", e.seq);
         if e.dur > 0 {
-            out.push_str(&format!(
-                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
-                 \"ts\":{},\"dur\":{},\"args\":{{{args}{sep}\"seq\":{}}}}}",
-                e.cycle, e.dur, e.seq
-            ));
+            push_span(&mut out, name, pid, tid, e.cycle, e.dur, &args);
         } else {
-            out.push_str(&format!(
-                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
-                 \"tid\":{tid},\"ts\":{},\"args\":{{{args}{sep}\"seq\":{}}}}}",
-                e.cycle, e.seq
-            ));
+            push_instant(&mut out, name, pid, tid, e.cycle, &args);
+        }
+    }
+    if let Some(planned) = planned {
+        out.push_str(
+            ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"links\"}}",
+        );
+        let mut links: Vec<u32> = planned.hops.iter().map(|h| h.link).collect();
+        links.sort_unstable();
+        links.dedup();
+        for &link in &links {
+            push_thread_name(
+                &mut out,
+                PID_LINKS,
+                link * 2,
+                &format!("link {link} planned"),
+            );
+            push_thread_name(
+                &mut out,
+                PID_LINKS,
+                link * 2 + 1,
+                &format!("link {link} observed"),
+            );
+        }
+        for h in &planned.hops {
+            push_span(
+                &mut out,
+                "link.slot",
+                PID_LINKS,
+                h.link * 2,
+                h.wire_start,
+                (h.wire_end.saturating_sub(h.wire_start)).max(1),
+                &format!(
+                    "\"transfer\":{},\"vector\":{},\"delivery\":{}",
+                    h.transfer, h.vector, h.cycle
+                ),
+            );
+        }
+        for e in events {
+            if let EventKind::Delivery {
+                link,
+                transfer,
+                vector,
+            } = e.kind
+            {
+                push_instant(
+                    &mut out,
+                    "link.delivery",
+                    PID_LINKS,
+                    link * 2 + 1,
+                    e.cycle,
+                    &format!("\"transfer\":{transfer},\"vector\":{vector}"),
+                );
+            }
         }
     }
     out.push_str("\n]}\n");
@@ -141,5 +259,52 @@ mod tests {
         let json = chrome_trace_json(&[]);
         assert!(json.contains("traceEvents"));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn dropped_events_render_a_warning_banner() {
+        let clean = chrome_trace_json_with(&sample(), 0);
+        assert!(!clean.contains("WARNING"));
+        let lossy = chrome_trace_json_with(&sample(), 17);
+        assert!(lossy.contains("WARNING: trace truncated — 17 event(s) dropped"));
+        assert!(lossy.contains("\"dropped\":17"));
+    }
+
+    #[test]
+    fn overlay_renders_two_tracks_per_link() {
+        use crate::profile::{PlannedHop, PlannedTimeline};
+        let planned = PlannedTimeline {
+            hops: vec![PlannedHop {
+                link: 3,
+                transfer: 0,
+                vector: 0,
+                cycle: 30,
+                wire_start: 10,
+                wire_end: 20,
+                dest_lane: 1,
+            }],
+            chips: vec![],
+            span: 40,
+            arrivals: vec![30],
+        };
+        let observed = vec![TraceEvent {
+            cycle: 30,
+            lane: 1,
+            seq: 0,
+            dur: 0,
+            kind: EventKind::Delivery {
+                link: 3,
+                transfer: 0,
+                vector: 0,
+            },
+        }];
+        let json = chrome_trace_json_overlay(&observed, &planned, 0);
+        assert!(json.contains("\"args\":{\"name\":\"links\"}"));
+        assert!(json.contains("link 3 planned"));
+        assert!(json.contains("link 3 observed"));
+        // Planned wire window on tid 6, observed instant on tid 7.
+        assert!(json.contains("\"name\":\"link.slot\",\"ph\":\"X\",\"pid\":2,\"tid\":6"));
+        assert!(json
+            .contains("\"name\":\"link.delivery\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\"tid\":7"));
     }
 }

@@ -24,6 +24,18 @@ pub enum EventKind {
         /// Deliveries bound into the chip this run.
         count: u32,
     },
+    /// One scheduled vector landed on its destination chip: the
+    /// cycle-coordinate ground truth the conformance profiler joins
+    /// against the compiled plan. Emitted only for vectors that actually
+    /// arrived (an uncorrectable packet produces no `Delivery`).
+    Delivery {
+        /// Index of the physical link the vector crossed.
+        link: u32,
+        /// Index of the transfer within the executing plan.
+        transfer: u32,
+        /// Vector index within that transfer.
+        vector: u32,
+    },
     /// The window of a chip's promised C2C emissions.
     Emissions {
         /// Emissions the chip's program promises.

@@ -1,0 +1,120 @@
+//! JSON string escaping for the workspace's hand-rolled emitters.
+//!
+//! The offline toolchain stubs out serde_json, so every serializer in this
+//! repo writes JSON by hand — and a hand-rolled emitter that interpolates
+//! a label containing `"` or `\` corrupts the whole document. Every
+//! emitter (chrome traces, metrics snapshots, schedule dumps, bench
+//! reports) routes its strings through [`escape_json`]; [`unescape_json`]
+//! is the exact inverse, used by the hand-rolled parsers and by the
+//! round-trip tests that pin the pair together.
+
+/// Escapes `s` for placement between double quotes in a JSON document.
+///
+/// Handles the two structurally dangerous characters (`"`, `\`), the
+/// named control escapes, and falls back to `\u00XX` for the remaining
+/// C0 control characters. Everything else (including non-ASCII) passes
+/// through unchanged — JSON strings are Unicode.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_json`]: decodes the escape sequences of a JSON string
+/// body (the text *between* the quotes). Errors on malformed escapes so a
+/// corrupted document is reported rather than silently misread.
+pub fn unescape_json(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('b') => out.push('\u{0008}'),
+            Some('f') => out.push('\u{000C}'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err(format!("truncated \\u escape: \\u{hex}"));
+                }
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
+                // Surrogates can't appear in this workspace's output
+                // (escape_json only \u-encodes C0 controls), so a lone
+                // surrogate is a corruption, not a case to paper over.
+                let c = char::from_u32(code).ok_or(format!("invalid code point U+{code:04X}"))?;
+                out.push(c);
+            }
+            Some(other) => return Err(format!("unknown escape: \\{other}")),
+            None => return Err("dangling backslash".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dangerous_characters_are_escaped() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json(r"a\b"), r"a\\b");
+        assert_eq!(escape_json("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(escape_json("\u{0001}"), "\\u0001");
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(escape_json("link.fec.corrected#5"), "link.fec.corrected#5");
+        assert_eq!(escape_json("héllo ↔ wörld"), "héllo ↔ wörld");
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        for s in [
+            "",
+            "plain",
+            r#"qu"ote"#,
+            r"back\slash",
+            "new\nline tab\t cr\r",
+            "ctrl \u{0002}\u{001f} bytes",
+            "unicode … ok",
+            r#"\" already-escaped-looking input \\ "#,
+        ] {
+            let escaped = escape_json(s);
+            assert_eq!(unescape_json(&escaped).unwrap(), s, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_input() {
+        assert!(unescape_json("\\").is_err());
+        assert!(unescape_json("\\q").is_err());
+        assert!(unescape_json("\\u12").is_err());
+        assert!(unescape_json("\\uzzzz").is_err());
+        assert!(unescape_json("\\ud800").is_err(), "lone surrogate");
+    }
+}

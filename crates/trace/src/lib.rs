@@ -14,6 +14,12 @@
 //!   cycle-bucketed histograms keyed by static `&str` names — snapshotted
 //!   into a serializable, order-independent [`RunMetrics`] that higher
 //!   layers attach to their reports as the single source of tally truth.
+//! - **Plan-vs-actual profiling** ([`profile::profile`]) — joins a
+//!   compiled plan's predicted per-hop schedule ([`PlannedTimeline`])
+//!   with the observed event stream into a [`LaunchProfile`]: link
+//!   utilization, chip busy/stall/idle, the critical path with
+//!   per-transfer slack, and a machine-checked [`Conformance`] verdict
+//!   (zero skew on fault-free runs; itemized per-link skew on replays).
 //!
 //! Determinism discipline: every emission point in the simulator sits on a
 //! serial code path (plan binding, the post-level merge loop, the runtime's
@@ -27,10 +33,16 @@
 
 pub mod chrome;
 pub mod event;
+pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_overlay, chrome_trace_json_with};
 pub use event::{EventKind, TraceEvent, Tracer, RUNTIME_LANE};
+pub use json::{escape_json, unescape_json};
 pub use metrics::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
+pub use profile::{
+    Conformance, LaunchProfile, PlannedChip, PlannedHop, PlannedTimeline, ProfileError,
+};
 pub use sink::{NullSink, RingSink, TraceSink};

@@ -50,6 +50,11 @@ pub mod names {
     pub const FINAL_CORRECTED: &str = "launch.final.fec.corrected";
     /// See [`FINAL_CLEAN`].
     pub const FINAL_UNCORRECTABLE: &str = "launch.final.fec.uncorrectable";
+
+    /// Events the attached trace sink evicted (gauge; set only when
+    /// nonzero). A nonzero value means the captured timeline is
+    /// incomplete — the conformance profiler refuses to certify from it.
+    pub const TRACE_DROPPED: &str = "trace.dropped";
 }
 
 /// Number of power-of-two histogram buckets: bucket 0 holds zero-cycle
@@ -329,8 +334,11 @@ impl RunMetrics {
 
     /// Hand-rolled JSON rendering (the offline toolchain stubs out
     /// serde_json, so every serializer in this workspace is explicit).
-    /// Deterministic: entries are already sorted.
+    /// Deterministic: entries are already sorted. Names are escaped via
+    /// [`crate::json::escape_json`], so a label containing quotes or
+    /// backslashes cannot corrupt the document.
     pub fn to_json(&self) -> String {
+        use crate::json::escape_json;
         let mut s = String::from("{\n  \"counters\": {");
         for (i, c) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -340,14 +348,14 @@ impl RunMetrics {
                 Some(l) => format!("{}#{}", c.name, l),
                 None => c.name.clone(),
             };
-            s.push_str(&format!("\n    \"{}\": {}", key, c.value));
+            s.push_str(&format!("\n    \"{}\": {}", escape_json(&key), c.value));
         }
         s.push_str("\n  },\n  \"gauges\": {");
         for (i, g) in self.gauges.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!("\n    \"{}\": {}", g.name, g.value));
+            s.push_str(&format!("\n    \"{}\": {}", escape_json(&g.name), g.value));
         }
         s.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
@@ -357,7 +365,7 @@ impl RunMetrics {
             let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
             s.push_str(&format!(
                 "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
-                name,
+                escape_json(name),
                 h.count,
                 h.sum,
                 buckets.join(",")

@@ -1,0 +1,945 @@
+//! Plan-vs-actual conformance profiling.
+//!
+//! The paper's core claim is that a software-scheduled network makes
+//! multi-TSP execution *cycle-deterministic*: the compiler's link
+//! reservations ARE the runtime behaviour. This module turns that claim
+//! into a checkable artifact. It joins the compile-time truth — a
+//! [`PlannedTimeline`] derived from a compiled plan's delivery manifest —
+//! with the run-time truth — the [`TraceEvent`] stream captured by a
+//! `RingSink` — and produces a [`LaunchProfile`]:
+//!
+//! - per-link wire occupancy and utilization ([`LinkUsage`]),
+//! - per-chip busy/stall/idle breakdowns ([`ChipUsage`]),
+//! - the critical path through the delivery dependency chains with
+//!   per-transfer slack ([`CriticalPath`], [`TransferSlack`]),
+//! - and a [`Conformance`] report diffing every observed delivery cycle
+//!   against its planned cycle. On a fault-free run every skew is zero
+//!   and the launch is *certified*; replayed attempts land whole epoch
+//!   windows late and show up as itemized, per-link deviations with exact
+//!   cycle coordinates.
+//!
+//! Observed delivery cycles are normalized by the launch's first replay
+//! epoch (the start of attempt 0 on the runtime's virtual timeline), so
+//! the same join works for a bare executor run (no runtime events, epoch
+//! starts at 0) and a full `Runtime::launch` timeline (attempt 0 starts
+//! after the alignment window).
+//!
+//! The profiler refuses a lossy trace ([`ProfileError::LossyTrace`]):
+//! certifying conformance from a ring that evicted events would read
+//! truncation as truth.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::escape_json;
+
+/// One planned hop: vector `vector` of transfer `transfer` crosses `link`,
+/// occupying the wire over `[wire_start, wire_end)` and landing on the
+/// destination chip (`dest_lane`) at `cycle`. Raw integer identifiers keep
+/// this crate a dependency leaf; the plan layer fills them from its typed
+/// ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedHop {
+    /// Physical link index.
+    pub link: u32,
+    /// Transfer index within the plan.
+    pub transfer: u32,
+    /// Vector index within the transfer.
+    pub vector: u32,
+    /// Scheduled delivery cycle at the receiving chip.
+    pub cycle: u64,
+    /// First cycle the vector occupies the wire.
+    pub wire_start: u64,
+    /// One past the last cycle the vector occupies the wire.
+    pub wire_end: u64,
+    /// Receiving chip lane (`TspId.0`).
+    pub dest_lane: u32,
+}
+
+/// One chip's planned execution window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedChip {
+    /// Chip lane (`TspId.0`).
+    pub lane: u32,
+    /// Scheduled issue cycle of the chip's first instruction.
+    pub start: u64,
+    /// Scheduled issue cycle of the chip's last instruction.
+    pub end: u64,
+    /// Instructions in the chip's program.
+    pub instructions: u32,
+}
+
+/// The compile-time half of the join: everything the profiler needs from a
+/// compiled plan, flattened to raw integers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlannedTimeline {
+    /// Every planned hop of every transfer.
+    pub hops: Vec<PlannedHop>,
+    /// Planned per-chip execution windows.
+    pub chips: Vec<PlannedChip>,
+    /// Scheduled span of the whole plan in cycles (its utilization
+    /// denominator).
+    pub span: u64,
+    /// Per-transfer scheduled arrival cycle of the last vector.
+    pub arrivals: Vec<u64>,
+}
+
+/// Wire occupancy of one link over the planned schedule, with the
+/// observed delivery count next to the planned one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Physical link index.
+    pub link: u32,
+    /// Cycles the link's wire is occupied (planned intervals, merged).
+    pub busy: u64,
+    /// `busy / span`.
+    pub utilization: f64,
+    /// Deliveries the plan schedules across this link.
+    pub planned: u32,
+    /// Delivery events observed on this link (all attempts).
+    pub observed: u32,
+}
+
+/// Busy/stall/idle breakdown of one chip's observed execution, taken from
+/// the final (successful) attempt's `ChipExec` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipUsage {
+    /// Chip lane (`TspId.0`).
+    pub lane: u32,
+    /// Cycles from its epoch's start until the chip issued its first
+    /// instruction (schedule-imposed wait).
+    pub stall: u64,
+    /// Cycles between the chip's first issue and last retirement.
+    pub busy: u64,
+    /// `span - stall - busy` (the chip was done early).
+    pub idle: u64,
+    /// `busy / span`.
+    pub utilization: f64,
+    /// Instructions the chip executed.
+    pub instructions: u32,
+}
+
+/// One hop of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Physical link index.
+    pub link: u32,
+    /// First wire cycle of the path-closing vector on this hop.
+    pub wire_start: u64,
+    /// Its delivery cycle at the hop's receiving chip.
+    pub delivery: u64,
+}
+
+/// The longest delivery dependency chain in the plan: the transfer whose
+/// last vector arrives latest, hop by hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The transfer that closes the schedule.
+    pub transfer: u32,
+    /// Arrival cycle of its last vector — the length of the path from
+    /// launch start.
+    pub length: u64,
+    /// The chain of hops its last vector traversed, in wire order.
+    pub hops: Vec<CriticalHop>,
+}
+
+/// How much later a transfer could have finished without extending the
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferSlack {
+    /// Transfer index.
+    pub transfer: u32,
+    /// Scheduled arrival of its last vector.
+    pub arrival: u64,
+    /// `critical_path.length - arrival` (zero on the critical path).
+    pub slack: u64,
+}
+
+/// One observed delivery whose cycle differs from the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deviation {
+    /// Physical link index.
+    pub link: u32,
+    /// Transfer index.
+    pub transfer: u32,
+    /// Vector index.
+    pub vector: u32,
+    /// The cycle the plan promised (relative to epoch start).
+    pub planned: u64,
+    /// The cycle observed (normalized to the first epoch's start).
+    pub observed: u64,
+    /// `observed - planned`. Replays skew by whole attempt windows.
+    pub skew: i64,
+}
+
+/// The machine-checked verdict on "did the run follow the plan?".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Conformance {
+    /// Every planned delivery was observed exactly once, at exactly its
+    /// planned cycle. The paper's determinism claim, checked.
+    Certified {
+        /// Deliveries matched (== the plan's delivery count).
+        deliveries: u64,
+    },
+    /// The run deviated from the plan: replayed attempts, missing
+    /// deliveries (aborted windows), duplicated observations, or
+    /// deliveries the plan never scheduled (a failover's recompiled
+    /// plan).
+    Deviant {
+        /// Observations that landed exactly on plan.
+        matched: u64,
+        /// Observations at the wrong cycle, itemized with coordinates.
+        deviations: Vec<Deviation>,
+        /// Planned `(link, transfer, vector)` keys never observed.
+        missing: Vec<(u32, u32, u32)>,
+        /// Planned keys observed more than once (replayed attempts).
+        duplicates: u64,
+        /// Observations with no planned counterpart at all.
+        unplanned: u64,
+    },
+}
+
+impl Conformance {
+    /// True only for [`Conformance::Certified`].
+    pub fn certified(&self) -> bool {
+        matches!(self, Conformance::Certified { .. })
+    }
+}
+
+/// Why a profile could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The sink evicted events; a truncated timeline cannot certify
+    /// anything.
+    LossyTrace {
+        /// Events the sink reported dropped.
+        dropped: u64,
+    },
+    /// No events at all — nothing was traced.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::LossyTrace { dropped } => write!(
+                f,
+                "refusing to profile a lossy trace: sink dropped {dropped} event(s); \
+                 raise the ring capacity and re-run"
+            ),
+            ProfileError::EmptyTrace => write!(f, "refusing to profile an empty trace"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// The joined plan-vs-actual picture of one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchProfile {
+    /// Planned schedule span in cycles.
+    pub span: u64,
+    /// Per-link usage, ascending link index.
+    pub links: Vec<LinkUsage>,
+    /// Per-chip breakdowns, ascending lane.
+    pub chips: Vec<ChipUsage>,
+    /// The longest delivery chain (absent for plans with no transfers).
+    pub critical_path: Option<CriticalPath>,
+    /// Per-transfer slack against the critical path, ascending transfer.
+    pub slack: Vec<TransferSlack>,
+    /// The conformance verdict.
+    pub conformance: Conformance,
+    /// Observed epoch-window start cycles (`ReplayEpoch` events), one per
+    /// attempt; empty for bare executor traces.
+    pub epochs: Vec<u64>,
+}
+
+/// Joins `planned` against `events` and renders the verdict.
+///
+/// `dropped` is the sink's eviction count ([`crate::TraceSink::dropped`]);
+/// any nonzero value is a typed refusal — certifying conformance from a
+/// lossy trace would read truncation as truth.
+pub fn profile(
+    planned: &PlannedTimeline,
+    events: &[TraceEvent],
+    dropped: u64,
+) -> Result<LaunchProfile, ProfileError> {
+    if dropped > 0 {
+        return Err(ProfileError::LossyTrace { dropped });
+    }
+    if events.is_empty() {
+        return Err(ProfileError::EmptyTrace);
+    }
+    let span = planned.span.max(1);
+
+    // Epoch windows: the runtime emits one ReplayEpoch span per attempt on
+    // its virtual timeline. Observed delivery cycles normalize against the
+    // FIRST epoch's start, so attempt 0 of a launch compares at the same
+    // coordinates as a bare executor run (which has no epochs: start 0).
+    let mut epochs: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ReplayEpoch { .. }))
+        .map(|e| e.cycle)
+        .collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    let epoch0 = epochs.first().copied().unwrap_or(0);
+    let final_epoch = epochs.last().copied().unwrap_or(0);
+
+    // --- Conformance: join observed deliveries against the manifest. ---
+    // Planned keys are unique: a minimal route crosses each link at most
+    // once, so (link, transfer, vector) identifies one hop.
+    let mut by_key: Vec<(&PlannedHop, u64)> = planned.hops.iter().map(|h| (h, 0u64)).collect();
+    by_key.sort_by_key(|(h, _)| (h.link, h.transfer, h.vector));
+    let find = |key: (u32, u32, u32), v: &[(&PlannedHop, u64)]| {
+        v.binary_search_by_key(&key, |(h, _)| (h.link, h.transfer, h.vector))
+            .ok()
+    };
+
+    let mut matched = 0u64;
+    let mut deviations = Vec::new();
+    let mut unplanned = 0u64;
+    let mut observed_per_link: Vec<(u32, u32)> = Vec::new();
+    for e in events {
+        let EventKind::Delivery {
+            link,
+            transfer,
+            vector,
+        } = e.kind
+        else {
+            continue;
+        };
+        match observed_per_link.iter_mut().find(|(l, _)| *l == link) {
+            Some((_, n)) => *n += 1,
+            None => observed_per_link.push((link, 1)),
+        }
+        let Some(i) = find((link, transfer, vector), &by_key) else {
+            unplanned += 1;
+            continue;
+        };
+        by_key[i].1 += 1;
+        let normalized = e.cycle.saturating_sub(epoch0);
+        let skew = normalized as i64 - by_key[i].0.cycle as i64;
+        if skew == 0 {
+            matched += 1;
+        } else {
+            deviations.push(Deviation {
+                link,
+                transfer,
+                vector,
+                planned: by_key[i].0.cycle,
+                observed: normalized,
+                skew,
+            });
+        }
+    }
+    deviations.sort_by_key(|d| (d.link, d.transfer, d.vector, d.observed));
+    let missing: Vec<(u32, u32, u32)> = by_key
+        .iter()
+        .filter(|(_, seen)| *seen == 0)
+        .map(|(h, _)| (h.link, h.transfer, h.vector))
+        .collect();
+    let duplicates: u64 = by_key.iter().map(|(_, seen)| seen.saturating_sub(1)).sum();
+    let conformance = if deviations.is_empty()
+        && missing.is_empty()
+        && duplicates == 0
+        && unplanned == 0
+        && matched == planned.hops.len() as u64
+    {
+        Conformance::Certified {
+            deliveries: matched,
+        }
+    } else {
+        Conformance::Deviant {
+            matched,
+            deviations,
+            missing,
+            duplicates,
+            unplanned,
+        }
+    };
+
+    // --- Per-link occupancy from the planned wire windows. ---
+    let mut links: Vec<LinkUsage> = Vec::new();
+    {
+        let mut hops: Vec<&PlannedHop> = planned.hops.iter().collect();
+        hops.sort_by_key(|h| (h.link, h.wire_start, h.wire_end));
+        let mut i = 0;
+        while i < hops.len() {
+            let link = hops[i].link;
+            let mut busy = 0u64;
+            let mut planned_count = 0u32;
+            // Merge overlapping/abutting wire intervals of this link.
+            let mut cur = (hops[i].wire_start, hops[i].wire_end);
+            while i < hops.len() && hops[i].link == link {
+                let h = hops[i];
+                planned_count += 1;
+                if h.wire_start > cur.1 {
+                    busy += cur.1 - cur.0;
+                    cur = (h.wire_start, h.wire_end);
+                } else {
+                    cur.1 = cur.1.max(h.wire_end);
+                }
+                i += 1;
+            }
+            busy += cur.1 - cur.0;
+            let observed = observed_per_link
+                .iter()
+                .find(|(l, _)| *l == link)
+                .map_or(0, |(_, n)| *n);
+            links.push(LinkUsage {
+                link,
+                busy,
+                utilization: busy as f64 / span as f64,
+                planned: planned_count,
+                observed,
+            });
+        }
+    }
+
+    // --- Per-chip breakdown from the final attempt's ChipExec spans. ---
+    let mut chips: Vec<ChipUsage> = Vec::new();
+    for e in events {
+        let EventKind::ChipExec { instructions, .. } = e.kind else {
+            continue;
+        };
+        if e.cycle < final_epoch {
+            continue; // an aborted attempt's pass
+        }
+        let stall = e.cycle - final_epoch;
+        let busy = e.dur;
+        chips.push(ChipUsage {
+            lane: e.lane,
+            stall,
+            busy,
+            idle: span.saturating_sub(stall + busy),
+            utilization: busy as f64 / span as f64,
+            instructions,
+        });
+    }
+    chips.sort_by_key(|c| c.lane);
+
+    // --- Critical path and slack over the scheduled arrivals. ---
+    let critical_path = planned
+        .arrivals
+        .iter()
+        .enumerate()
+        .max_by_key(|&(t, &a)| (a, std::cmp::Reverse(t)))
+        .map(|(transfer, &length)| {
+            let last_vector = planned
+                .hops
+                .iter()
+                .filter(|h| h.transfer == transfer as u32)
+                .map(|h| h.vector)
+                .max()
+                .unwrap_or(0);
+            let mut hops: Vec<CriticalHop> = planned
+                .hops
+                .iter()
+                .filter(|h| h.transfer == transfer as u32 && h.vector == last_vector)
+                .map(|h| CriticalHop {
+                    link: h.link,
+                    wire_start: h.wire_start,
+                    delivery: h.cycle,
+                })
+                .collect();
+            hops.sort_by_key(|h| h.wire_start);
+            CriticalPath {
+                transfer: transfer as u32,
+                length,
+                hops,
+            }
+        });
+    let critical_len = critical_path.as_ref().map_or(0, |c| c.length);
+    let slack: Vec<TransferSlack> = planned
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(t, &arrival)| TransferSlack {
+            transfer: t as u32,
+            arrival,
+            slack: critical_len.saturating_sub(arrival),
+        })
+        .collect();
+
+    Ok(LaunchProfile {
+        span: planned.span,
+        links,
+        chips,
+        critical_path,
+        slack,
+        conformance,
+        epochs,
+    })
+}
+
+impl LaunchProfile {
+    /// True when the run followed the plan cycle-exactly.
+    pub fn certified(&self) -> bool {
+        self.conformance.certified()
+    }
+
+    /// The `k` busiest links by planned wire occupancy, descending.
+    pub fn top_links(&self, k: usize) -> Vec<&LinkUsage> {
+        let mut v: Vec<&LinkUsage> = self.links.iter().collect();
+        v.sort_by_key(|l| (std::cmp::Reverse(l.busy), l.link));
+        v.truncate(k);
+        v
+    }
+
+    /// Renders the profile as a terminal report: conformance verdict,
+    /// link-utilization bars, chip breakdowns, critical path, slack.
+    pub fn render(&self) -> String {
+        const BAR: usize = 32;
+        let bar = |frac: f64| {
+            let filled = ((frac * BAR as f64).round() as usize).min(BAR);
+            let mut b = String::with_capacity(BAR);
+            for i in 0..BAR {
+                b.push(if i < filled { '#' } else { '.' });
+            }
+            b
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "launch profile — span {} cycles, {} link(s), {} chip(s), {} epoch(s)\n",
+            self.span,
+            self.links.len(),
+            self.chips.len(),
+            self.epochs.len().max(1),
+        ));
+        match &self.conformance {
+            Conformance::Certified { deliveries } => {
+                out.push_str(&format!(
+                    "conformance: CERTIFIED — all {deliveries} deliveries on their planned cycle (skew 0)\n"
+                ));
+            }
+            Conformance::Deviant {
+                matched,
+                deviations,
+                missing,
+                duplicates,
+                unplanned,
+            } => {
+                out.push_str(&format!(
+                    "conformance: DEVIANT — {matched} on plan, {} skewed, {} missing, \
+                     {duplicates} duplicated, {unplanned} unplanned\n",
+                    deviations.len(),
+                    missing.len(),
+                ));
+                for d in deviations.iter().take(16) {
+                    out.push_str(&format!(
+                        "  link {:>3}  transfer {} vector {:>3}  planned @{}  observed @{}  skew {:+}\n",
+                        d.link, d.transfer, d.vector, d.planned, d.observed, d.skew
+                    ));
+                }
+                if deviations.len() > 16 {
+                    out.push_str(&format!(
+                        "  … {} more deviation(s)\n",
+                        deviations.len() - 16
+                    ));
+                }
+            }
+        }
+        out.push_str("links by occupancy:\n");
+        for l in self.top_links(self.links.len()) {
+            out.push_str(&format!(
+                "  link {:>3} |{}| {:>5.1}%  busy={} deliveries={}/{}\n",
+                l.link,
+                bar(l.utilization),
+                l.utilization * 100.0,
+                l.busy,
+                l.observed,
+                l.planned,
+            ));
+        }
+        out.push_str("chips (final attempt):\n");
+        for c in &self.chips {
+            out.push_str(&format!(
+                "  chip {:>3} |{}| {:>5.1}%  stall={} busy={} idle={} instrs={}\n",
+                c.lane,
+                bar(c.utilization),
+                c.utilization * 100.0,
+                c.stall,
+                c.busy,
+                c.idle,
+                c.instructions,
+            ));
+        }
+        match &self.critical_path {
+            Some(cp) => {
+                out.push_str(&format!(
+                    "critical path: transfer {} — {} cycles over {} hop(s)\n",
+                    cp.transfer,
+                    cp.length,
+                    cp.hops.len()
+                ));
+                for h in &cp.hops {
+                    out.push_str(&format!(
+                        "  link {:>3}  wire @{}  delivered @{}\n",
+                        h.link, h.wire_start, h.delivery
+                    ));
+                }
+            }
+            None => out.push_str("critical path: (no transfers)\n"),
+        }
+        if self.slack.len() > 1 {
+            out.push_str("slack:\n");
+            for s in &self.slack {
+                out.push_str(&format!(
+                    "  transfer {:>3}  arrival @{}  slack {}\n",
+                    s.transfer, s.arrival, s.slack
+                ));
+            }
+        }
+        out
+    }
+
+    /// Compact hand-rolled JSON summary for embedding in bench reports
+    /// (`BENCH_cosim.json`): verdict, top links, critical path.
+    pub fn summary_json(&self) -> String {
+        let (verdict, matched, skewed, missing, unplanned) = match &self.conformance {
+            Conformance::Certified { deliveries } => ("certified", *deliveries, 0, 0, 0),
+            Conformance::Deviant {
+                matched,
+                deviations,
+                missing,
+                unplanned,
+                ..
+            } => (
+                "deviant",
+                *matched,
+                deviations.len() as u64,
+                missing.len() as u64,
+                *unplanned,
+            ),
+        };
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"verdict\": \"{}\", \"span_cycles\": {}, \"matched\": {matched}, \
+             \"skewed\": {skewed}, \"missing\": {missing}, \"unplanned\": {unplanned}",
+            escape_json(verdict),
+            self.span
+        ));
+        match &self.critical_path {
+            Some(cp) => s.push_str(&format!(
+                ", \"critical_path\": {{\"transfer\": {}, \"length_cycles\": {}, \"hops\": {}}}",
+                cp.transfer,
+                cp.length,
+                cp.hops.len()
+            )),
+            None => s.push_str(", \"critical_path\": null"),
+        }
+        s.push_str(", \"top_links\": [");
+        for (i, l) in self.top_links(4).iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"link\": {}, \"busy_cycles\": {}, \"utilization\": {:.4}, \
+                 \"deliveries\": {}}}",
+                l.link, l.busy, l.utilization, l.planned
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RUNTIME_LANE;
+
+    /// Two transfers: t0 over links 0→1 (two hops, 2 vectors), t1 over
+    /// link 2 (one hop, 1 vector). t0 arrives last → critical.
+    fn planned() -> PlannedTimeline {
+        let hop = |link, transfer, vector, wire_start: u64, latency: u64| PlannedHop {
+            link,
+            transfer,
+            vector,
+            cycle: wire_start + 10 + latency,
+            wire_start,
+            wire_end: wire_start + 10,
+            dest_lane: link + 1,
+        };
+        PlannedTimeline {
+            hops: vec![
+                hop(0, 0, 0, 5, 3),
+                hop(0, 0, 1, 15, 3),
+                hop(1, 0, 0, 40, 3),
+                hop(1, 0, 1, 50, 3),
+                hop(2, 1, 0, 5, 3),
+            ],
+            chips: vec![
+                PlannedChip {
+                    lane: 0,
+                    start: 0,
+                    end: 25,
+                    instructions: 4,
+                },
+                PlannedChip {
+                    lane: 1,
+                    start: 18,
+                    end: 60,
+                    instructions: 8,
+                },
+            ],
+            span: 100,
+            arrivals: vec![63, 18],
+        }
+    }
+
+    fn delivery(h: &PlannedHop, cycle: u64, seq: u32) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            lane: h.dest_lane,
+            seq,
+            dur: 0,
+            kind: EventKind::Delivery {
+                link: h.link,
+                transfer: h.transfer,
+                vector: h.vector,
+            },
+        }
+    }
+
+    fn exact_events(p: &PlannedTimeline) -> Vec<TraceEvent> {
+        p.hops
+            .iter()
+            .enumerate()
+            .map(|(i, h)| delivery(h, h.cycle, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn exact_replay_of_the_plan_is_certified() {
+        let p = planned();
+        let prof = profile(&p, &exact_events(&p), 0).unwrap();
+        assert_eq!(prof.conformance, Conformance::Certified { deliveries: 5 });
+        assert!(prof.certified());
+    }
+
+    #[test]
+    fn epoch_offset_normalizes_away() {
+        // Same deliveries, relocated 1000 cycles later with a ReplayEpoch
+        // marking the window start — still certified.
+        let p = planned();
+        let mut ev = vec![TraceEvent {
+            cycle: 1000,
+            lane: RUNTIME_LANE,
+            seq: 0,
+            dur: 90,
+            kind: EventKind::ReplayEpoch { attempt: 0 },
+        }];
+        ev.extend(
+            p.hops
+                .iter()
+                .enumerate()
+                .map(|(i, h)| delivery(h, h.cycle + 1000, i as u32 + 1)),
+        );
+        let prof = profile(&p, &ev, 0).unwrap();
+        assert!(prof.certified());
+        assert_eq!(prof.epochs, vec![1000]);
+    }
+
+    #[test]
+    fn skewed_delivery_is_itemized_with_cycle_coordinates() {
+        let p = planned();
+        let mut ev = exact_events(&p);
+        ev[2].cycle += 7; // link 1, t0 v0
+        let prof = profile(&p, &ev, 0).unwrap();
+        let Conformance::Deviant {
+            matched,
+            deviations,
+            missing,
+            duplicates,
+            unplanned,
+        } = &prof.conformance
+        else {
+            panic!("expected deviant, got {:?}", prof.conformance);
+        };
+        assert_eq!((*matched, *duplicates, *unplanned), (4, 0, 0));
+        assert!(missing.is_empty());
+        assert_eq!(
+            deviations,
+            &vec![Deviation {
+                link: 1,
+                transfer: 0,
+                vector: 0,
+                planned: 53,
+                observed: 60,
+                skew: 7,
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_and_unplanned_deliveries_break_certification() {
+        let p = planned();
+        let mut ev = exact_events(&p);
+        ev.pop(); // drop link 2's delivery
+        ev.push(TraceEvent {
+            cycle: 99,
+            lane: 9,
+            seq: 40,
+            dur: 0,
+            kind: EventKind::Delivery {
+                link: 7,
+                transfer: 5,
+                vector: 0,
+            },
+        });
+        let prof = profile(&p, &ev, 0).unwrap();
+        let Conformance::Deviant {
+            missing, unplanned, ..
+        } = &prof.conformance
+        else {
+            panic!("expected deviant");
+        };
+        assert_eq!(missing, &vec![(2, 1, 0)]);
+        assert_eq!(*unplanned, 1);
+    }
+
+    #[test]
+    fn duplicate_observation_of_one_key_is_counted() {
+        let p = planned();
+        let mut ev = exact_events(&p);
+        let dup = delivery(&p.hops[0], p.hops[0].cycle, 50);
+        ev.push(dup);
+        let prof = profile(&p, &ev, 0).unwrap();
+        let Conformance::Deviant { duplicates, .. } = &prof.conformance else {
+            panic!("expected deviant");
+        };
+        assert_eq!(*duplicates, 1);
+    }
+
+    #[test]
+    fn lossy_and_empty_traces_are_refused() {
+        let p = planned();
+        assert_eq!(
+            profile(&p, &exact_events(&p), 3),
+            Err(ProfileError::LossyTrace { dropped: 3 })
+        );
+        assert_eq!(profile(&p, &[], 0), Err(ProfileError::EmptyTrace));
+    }
+
+    #[test]
+    fn link_occupancy_merges_abutting_wire_windows() {
+        let p = planned();
+        let prof = profile(&p, &exact_events(&p), 0).unwrap();
+        // link 0: [5,15) and [15,25) abut → 20 busy cycles.
+        let l0 = prof.links.iter().find(|l| l.link == 0).unwrap();
+        assert_eq!(l0.busy, 20);
+        assert_eq!(l0.planned, 2);
+        assert_eq!(l0.observed, 2);
+        assert!((l0.utilization - 0.2).abs() < 1e-9);
+        // link 1: [40,50) and [50,60) → 20.
+        assert_eq!(prof.links.iter().find(|l| l.link == 1).unwrap().busy, 20);
+        // link 2: one 10-cycle window.
+        assert_eq!(prof.links.iter().find(|l| l.link == 2).unwrap().busy, 10);
+    }
+
+    #[test]
+    fn critical_path_is_the_latest_arrival_with_slack_against_it() {
+        let p = planned();
+        let prof = profile(&p, &exact_events(&p), 0).unwrap();
+        let cp = prof.critical_path.as_ref().unwrap();
+        assert_eq!(cp.transfer, 0);
+        assert_eq!(cp.length, 63);
+        // Last vector (v1) of t0: hops on links 0 then 1, wire order.
+        assert_eq!(
+            cp.hops,
+            vec![
+                CriticalHop {
+                    link: 0,
+                    wire_start: 15,
+                    delivery: 28
+                },
+                CriticalHop {
+                    link: 1,
+                    wire_start: 50,
+                    delivery: 63
+                },
+            ]
+        );
+        assert_eq!(
+            prof.slack,
+            vec![
+                TransferSlack {
+                    transfer: 0,
+                    arrival: 63,
+                    slack: 0
+                },
+                TransferSlack {
+                    transfer: 1,
+                    arrival: 18,
+                    slack: 45
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn chip_breakdown_reads_final_epoch_exec_spans() {
+        let p = planned();
+        let mut ev = exact_events(&p);
+        // Two attempts: a ChipExec in epoch 0 (aborted) and one in epoch 1.
+        ev.push(TraceEvent {
+            cycle: 0,
+            lane: RUNTIME_LANE,
+            seq: 30,
+            dur: 90,
+            kind: EventKind::ReplayEpoch { attempt: 0 },
+        });
+        ev.push(TraceEvent {
+            cycle: 200,
+            lane: RUNTIME_LANE,
+            seq: 31,
+            dur: 90,
+            kind: EventKind::ReplayEpoch { attempt: 1 },
+        });
+        ev.push(TraceEvent {
+            cycle: 10,
+            lane: 0,
+            seq: 32,
+            dur: 50,
+            kind: EventKind::ChipExec {
+                depth: 0,
+                instructions: 4,
+            },
+        });
+        ev.push(TraceEvent {
+            cycle: 218,
+            lane: 1,
+            seq: 33,
+            dur: 42,
+            kind: EventKind::ChipExec {
+                depth: 1,
+                instructions: 8,
+            },
+        });
+        let prof = profile(&p, &ev, 0).unwrap();
+        // Only the final epoch's span is profiled.
+        assert_eq!(prof.chips.len(), 1);
+        let c = &prof.chips[0];
+        assert_eq!((c.lane, c.stall, c.busy), (1, 18, 42));
+        assert_eq!(c.idle, 100 - 18 - 42);
+        assert_eq!(c.instructions, 8);
+    }
+
+    #[test]
+    fn render_and_summary_cover_the_verdict() {
+        let p = planned();
+        let prof = profile(&p, &exact_events(&p), 0).unwrap();
+        let text = prof.render();
+        assert!(text.contains("CERTIFIED"));
+        assert!(text.contains("critical path: transfer 0"));
+        let json = prof.summary_json();
+        assert!(json.contains("\"verdict\": \"certified\""));
+        assert!(json.contains("\"length_cycles\": 63"));
+
+        let mut ev = exact_events(&p);
+        ev[0].cycle += 3;
+        let bad = profile(&p, &ev, 0).unwrap();
+        assert!(bad.render().contains("DEVIANT"));
+        assert!(bad.summary_json().contains("\"verdict\": \"deviant\""));
+    }
+}

@@ -4,7 +4,6 @@ use std::collections::VecDeque;
 use std::fmt::Debug;
 use std::sync::Mutex;
 
-use crate::chrome::chrome_trace_json;
 use crate::event::TraceEvent;
 
 /// Receiver for trace events. Implementations must be `Send + Sync` because
@@ -21,6 +20,14 @@ pub trait TraceSink: Send + Sync + Debug {
     /// Accepts one event. Events arrive in emission order, which the
     /// simulator guarantees is deterministic.
     fn record(&self, event: TraceEvent);
+
+    /// Events this sink had to discard (bounded buffers evict, the rest
+    /// never drop). Consumers that interpret a timeline as *complete* —
+    /// the conformance profiler above all — must check this and refuse a
+    /// lossy trace rather than silently reading truncation as truth.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The zero-cost disabled sink: reports itself disabled, records nothing.
@@ -94,9 +101,10 @@ impl RingSink {
     }
 
     /// Renders the buffered events as Chrome-trace JSON (see
-    /// [`chrome_trace_json`]).
+    /// [`crate::chrome_trace_json`]). A lossy buffer gets a warning banner
+    /// at the head of the timeline so truncation is visible in the viewer.
     pub fn chrome_trace(&self) -> String {
-        chrome_trace_json(&self.events())
+        crate::chrome::chrome_trace_json_with(&self.events(), RingSink::dropped(self))
     }
 }
 
@@ -116,6 +124,10 @@ impl TraceSink for RingSink {
             g.dropped += 1;
         }
         g.events.push_back(event);
+    }
+
+    fn dropped(&self) -> u64 {
+        RingSink::dropped(self)
     }
 }
 

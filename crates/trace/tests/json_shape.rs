@@ -75,6 +75,11 @@ fn every_kind() -> Vec<TraceEvent> {
         },
         EventKind::Deliveries { count: 4 },
         EventKind::Emissions { count: 4 },
+        EventKind::Delivery {
+            link: 1,
+            transfer: 0,
+            vector: 3,
+        },
         EventKind::LinkCorrected { link: 1, bit: 2047 },
         EventKind::LinkUncorrectable { link: 1 },
         EventKind::LinkDemoted { link: 1 },
@@ -117,6 +122,7 @@ fn chrome_trace_of_every_event_kind_is_valid_json() {
         "chip.exec",
         "chip.deliveries",
         "chip.emissions",
+        "link.delivery",
         "link.corrected",
         "link.uncorrectable",
         "link.demoted",
@@ -148,4 +154,79 @@ fn run_metrics_json_is_valid() {
 #[test]
 fn empty_metrics_json_is_valid() {
     check_json_shape(&Metrics::default().snapshot().to_json()).unwrap();
+}
+
+/// A metric name carrying every structurally dangerous character must not
+/// corrupt the document — the emitter escapes through
+/// [`tsm_trace::escape_json`].
+#[test]
+fn hostile_metric_names_cannot_corrupt_the_document() {
+    use tsm_trace::{CounterEntry, CycleHistogram, GaugeEntry, RunMetrics};
+    let hostile = "evil\"name\\with\nnasties\t\u{0001}";
+    let mut hist = CycleHistogram::default();
+    hist.observe(42);
+    let snap = RunMetrics {
+        counters: vec![CounterEntry {
+            name: hostile.to_string(),
+            label: Some(7),
+            value: 1,
+        }],
+        gauges: vec![GaugeEntry {
+            name: hostile.to_string(),
+            value: 2,
+        }],
+        histograms: vec![(hostile.to_string(), hist)],
+    };
+    let json = snap.to_json();
+    check_json_shape(&json).unwrap_or_else(|e| panic!("hostile names broke the json: {e}\n{json}"));
+    assert!(json.contains("evil\\\"name\\\\with"), "escapes applied");
+}
+
+/// The escape/unescape pair is an exact inverse over the emitters' string
+/// space, so a parser reading the documents back recovers the labels
+/// byte-for-byte.
+#[test]
+fn escape_round_trip_recovers_hostile_labels() {
+    use tsm_trace::{escape_json, unescape_json};
+    for s in [
+        "plain.name",
+        "qu\"ote",
+        "back\\slash",
+        "multi\nline\tlabel",
+        "ctrl\u{0002}chars\u{001f}",
+    ] {
+        let escaped = escape_json(s);
+        check_json_shape(&format!("{{\"{escaped}\": 1}}")).unwrap();
+        assert_eq!(unescape_json(&escaped).unwrap(), s);
+    }
+}
+
+/// The lossy-trace banner and the plan overlay are valid JSON too.
+#[test]
+fn banner_and_overlay_documents_are_valid_json() {
+    use tsm_trace::{
+        chrome_trace_json_overlay, chrome_trace_json_with, PlannedHop, PlannedTimeline,
+    };
+    let events = every_kind();
+    let lossy = chrome_trace_json_with(&events, 123);
+    check_json_shape(&lossy).unwrap_or_else(|e| panic!("invalid lossy trace: {e}\n{lossy}"));
+    assert!(lossy.contains("WARNING"));
+    let planned = PlannedTimeline {
+        hops: vec![PlannedHop {
+            link: 1,
+            transfer: 0,
+            vector: 3,
+            cycle: 40,
+            wire_start: 20,
+            wire_end: 30,
+            dest_lane: 2,
+        }],
+        chips: vec![],
+        span: 50,
+        arrivals: vec![40],
+    };
+    let overlay = chrome_trace_json_overlay(&events, &planned, 0);
+    check_json_shape(&overlay).unwrap_or_else(|e| panic!("invalid overlay: {e}\n{overlay}"));
+    assert!(overlay.contains("link 1 planned"));
+    assert!(overlay.contains("link 1 observed"));
 }

@@ -1,0 +1,165 @@
+//! Algebraic laws of [`RunMetrics::absorb`]: merging snapshots is a
+//! commutative monoid over counters and histograms (with the empty
+//! snapshot as identity), so the order attempt metrics are folded in can
+//! never change a launch profile. Gauges are last-write-wins, which is
+//! associative but not commutative — the commutativity property therefore
+//! generates gauge names from disjoint pools, mirroring how the workspace
+//! actually uses gauges (each layer owns its own names).
+
+// In offline dev environments the proptest stub's `proptest!` macro
+// expands to nothing, which makes the generator helpers look dead to
+// lints; the real proptest uses all of them.
+#![allow(dead_code, unused_imports)]
+
+use tsm_trace::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
+
+use proptest::prelude::*;
+
+/// Raw generator output for one snapshot: counter cells as
+/// `(name_pick, label_pick, value)`, histogram observations, and gauge
+/// cells as `(name_pick, value)`.
+type RawSnapshot = (Vec<(u8, u8, u64)>, Vec<u64>, Vec<(u8, u64)>);
+
+const COUNTER_NAMES: [&str; 4] = [
+    names::LINK_CLEAN,
+    names::LINK_CORRECTED,
+    names::RT_ATTEMPTS,
+    names::COSIM_DELIVERIES,
+];
+
+const HIST_NAMES: [&str; 2] = [names::COSIM_RETIRE_CYCLES, names::LINK_CLEAN];
+
+/// Builds a snapshot from raw picks. `gauge_pool` selects which half of a
+/// disjoint gauge-name space this snapshot may write, so two snapshots
+/// built with different pools never race on a gauge.
+fn build(raw: &RawSnapshot, gauge_pool: &[&'static str]) -> RunMetrics {
+    let m = Metrics::default();
+    for &(name, label, value) in &raw.0 {
+        let name = COUNTER_NAMES[name as usize % COUNTER_NAMES.len()];
+        if label % 3 == 0 {
+            m.inc(name, value % 1000);
+        } else {
+            m.inc_labeled(name, (label % 8) as u32, value % 1000);
+        }
+    }
+    for (i, &v) in raw.1.iter().enumerate() {
+        m.observe_cycles(HIST_NAMES[i % HIST_NAMES.len()], v % 100_000);
+    }
+    for &(name, value) in &raw.2 {
+        m.set_gauge(gauge_pool[name as usize % gauge_pool.len()], value);
+    }
+    m.snapshot()
+}
+
+fn raw_snapshot() -> impl Strategy<Value = RawSnapshot> {
+    (
+        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..12),
+        prop::collection::vec(any::<u64>(), 0..12),
+        prop::collection::vec((any::<u8>(), any::<u64>()), 0..4),
+    )
+}
+
+const POOL_A: [&str; 2] = [names::COSIM_CHIPS, names::TRACE_DROPPED];
+const POOL_B: [&str; 2] = [names::RT_REUSES, names::RT_FAILOVERS];
+
+fn absorbed(mut a: RunMetrics, b: &RunMetrics) -> RunMetrics {
+    a.absorb(b);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identity: the empty snapshot absorbs to and from anything without
+    /// changing it.
+    #[test]
+    fn absorb_identity(raw in raw_snapshot()) {
+        let x = build(&raw, &POOL_A);
+        prop_assert_eq!(absorbed(x.clone(), &RunMetrics::default()), x.clone());
+        prop_assert_eq!(absorbed(RunMetrics::default(), &x), x);
+    }
+
+    /// Commutativity over counters, histograms, and disjoint gauges:
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn absorb_commutative(ra in raw_snapshot(), rb in raw_snapshot()) {
+        let a = build(&ra, &POOL_A);
+        let b = build(&rb, &POOL_B);
+        prop_assert_eq!(absorbed(a.clone(), &b), absorbed(b.clone(), &a));
+    }
+
+    /// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), gauges included
+    /// (last-write-wins is associative even when names collide).
+    #[test]
+    fn absorb_associative(ra in raw_snapshot(), rb in raw_snapshot(), rc in raw_snapshot()) {
+        let a = build(&ra, &POOL_A);
+        let b = build(&rb, &POOL_A);
+        let c = build(&rc, &POOL_B);
+        let left = absorbed(absorbed(a.clone(), &b), &c);
+        let right = absorbed(a, &absorbed(b, &c));
+        prop_assert_eq!(left, right);
+    }
+}
+
+// ---- Deterministic pins of the same laws, so the suite still exercises
+// them under the offline proptest stub. ----
+
+fn pinned(seed: u64, pool: &[&'static str]) -> RunMetrics {
+    let raw: RawSnapshot = (
+        (0..6)
+            .map(|i| {
+                let x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i * 7);
+                (x as u8, (x >> 8) as u8, x >> 16)
+            })
+            .collect(),
+        (0..5).map(|i| seed.rotate_left(i * 11) % 7919).collect(),
+        vec![(seed as u8, seed % 97), ((seed >> 3) as u8, seed % 89)],
+    );
+    build(&raw, pool)
+}
+
+#[test]
+fn absorb_identity_pinned() {
+    for seed in [1u64, 42, 0xdead_beef] {
+        let x = pinned(seed, &POOL_A);
+        assert!(!x.is_empty());
+        assert_eq!(absorbed(x.clone(), &RunMetrics::default()), x);
+        assert_eq!(absorbed(RunMetrics::default(), &x), x);
+    }
+}
+
+#[test]
+fn absorb_commutative_pinned() {
+    for (sa, sb) in [(1u64, 2u64), (7, 1000), (0xabc, 0xdef)] {
+        let a = pinned(sa, &POOL_A);
+        let b = pinned(sb, &POOL_B);
+        assert_eq!(absorbed(a.clone(), &b), absorbed(b, &a));
+    }
+}
+
+#[test]
+fn absorb_associative_pinned() {
+    for (sa, sb, sc) in [(1u64, 2u64, 3u64), (10, 20, 30), (0x123, 0x456, 0x789)] {
+        let a = pinned(sa, &POOL_A);
+        let b = pinned(sb, &POOL_A); // same pool: gauge collisions on purpose
+        let c = pinned(sc, &POOL_B);
+        let left = absorbed(absorbed(a.clone(), &b), &c);
+        let right = absorbed(a, &absorbed(b, &c));
+        assert_eq!(left, right);
+    }
+}
+
+/// The non-commutative corner, documented as a test: two snapshots writing
+/// the *same* gauge disagree under order reversal — which is exactly why
+/// the runtime folds attempts in chronological order and layers own
+/// disjoint gauge names.
+#[test]
+fn gauge_collisions_are_last_write_wins() {
+    let m1 = Metrics::default();
+    m1.set_gauge(names::COSIM_CHIPS, 1);
+    let m2 = Metrics::default();
+    m2.set_gauge(names::COSIM_CHIPS, 2);
+    let (a, b) = (m1.snapshot(), m2.snapshot());
+    assert_eq!(absorbed(a.clone(), &b).gauge(names::COSIM_CHIPS), Some(2));
+    assert_eq!(absorbed(b, &a).gauge(names::COSIM_CHIPS), Some(1));
+}

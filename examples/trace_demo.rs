@@ -14,6 +14,7 @@ use std::sync::Arc;
 use tsm::core::{ExecMode, Runtime, SparePolicy};
 use tsm::prelude::*;
 use tsm::topology::LinkId;
+use tsm::trace::profile::profile;
 use tsm::trace::{chrome_trace_json, RingSink};
 
 fn logical_pipeline() -> Graph {
@@ -65,7 +66,7 @@ fn main() {
     // Scan a few seeds for a launch that exercises the full recovery
     // story (replay + failover); any seed's trace is valid, this just
     // makes the demo timeline interesting.
-    let mut best: Option<(u64, Arc<RingSink>, tsm::core::LaunchOutcome)> = None;
+    let mut best: Option<(u64, Arc<RingSink>, tsm::core::LaunchOutcome, Runtime)> = None;
     for seed in 0..16u64 {
         let sink = Arc::new(RingSink::new(1 << 16));
         let mut rt = faulty_runtime(victim).with_trace_sink(sink.clone());
@@ -76,13 +77,13 @@ fn main() {
         let keep = full_story || best.is_none();
         if keep {
             let done = full_story;
-            best = Some((seed, sink, out));
+            best = Some((seed, sink, out, rt));
             if done {
                 break;
             }
         }
     }
-    let (seed, sink, out) = best.expect("some seed launches successfully");
+    let (seed, sink, out, rt) = best.expect("some seed launches successfully");
 
     let events = sink.sorted_events();
     let json = chrome_trace_json(&events);
@@ -104,4 +105,17 @@ fn main() {
     println!("  trace events:    {} (0 dropped)", events.len());
     println!("  metrics:         {}", out.metrics.to_json());
     println!("wrote {path} — open it at https://ui.perfetto.dev");
+
+    // Plan-vs-actual conformance: join the trace against the (final,
+    // post-failover) compiled plan's delivery schedule. A launch that
+    // replayed and failed over cannot certify — the profile itemizes how
+    // far each delivery landed from its planned cycle.
+    let planned = rt.planned_timeline().expect("datapath launch compiled");
+    match profile(&planned, &events, sink.dropped()) {
+        Ok(prof) => {
+            println!();
+            print!("{}", prof.render());
+        }
+        Err(e) => println!("profiler refused the trace: {e}"),
+    }
 }

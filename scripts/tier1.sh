@@ -24,7 +24,14 @@ cargo test -p tsm-core --test fault_path -q
 cargo test -p tsm-trace -q
 cargo test -p tsm-core --test trace_identity -q
 cargo test -p tsm-core --test trace_fault -q
+# The plan-vs-actual conformance invariant: fault-free runs certify with
+# zero skew (executor and full launch), replays itemize deterministic
+# skew, lossy traces are refused.
+cargo test -p tsm-core --test profile_conformance -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+# Rustdoc is part of the contract: broken intra-doc links and bad doc
+# syntax fail the gate, same as clippy.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
