@@ -7,11 +7,13 @@
 
 use tsm_bench::{cosim_bench, figures};
 
-/// Measures the canonical co-simulation workload and records the sample in
+/// Measures the canonical co-simulation workload plus the full scaling
+/// curve (16 → 72 → 288 → 10,440 chips) and records the sample in
 /// `BENCH_cosim.json` (current directory), the file tracked PR-to-PR for
 /// the engine's perf trajectory.
 fn emit_bench_cosim() -> Vec<String> {
-    let result = cosim_bench::measure(5);
+    let mut result = cosim_bench::measure(5);
+    result.scaling = cosim_bench::measure_scaling(3, usize::MAX);
     let mut out = cosim_bench::lines_for(&result);
     match std::fs::write("BENCH_cosim.json", result.to_json()) {
         Ok(()) => out.push("wrote BENCH_cosim.json".to_string()),
@@ -20,10 +22,29 @@ fn emit_bench_cosim() -> Vec<String> {
     out
 }
 
+/// Fast bench smoke for CI (`scripts/tier1.sh`): one sample of the
+/// canonical workload plus the small end of the scaling curve, with the
+/// same bit-identity and trace-identity assertions as the full sweep.
+/// Writes nothing, so a smoke pass can never clobber the tracked record.
+fn smoke_bench_cosim() -> Vec<String> {
+    let mut result = cosim_bench::measure(1);
+    result.scaling = cosim_bench::measure_scaling(1, 100);
+    assert!(result.bit_identical, "engines diverged on smoke workload");
+    for p in &result.scaling {
+        assert!(p.bit_identical, "{} chips: reports diverged", p.chips);
+        assert!(p.trace_identical, "{} chips: traces diverged", p.chips);
+    }
+    let mut out = cosim_bench::lines_for(&result);
+    out.push("smoke OK (no files written)".to_string());
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+    // The smoke section is a CI-only subset of bench-cosim; a full run
+    // already covers it, so it only fires when named explicitly.
+    let want = |name: &str| args.iter().any(|a| a == name) || (all && name != "bench-cosim-smoke");
 
     type Section<'a> = (&'a str, &'a str, Box<dyn Fn() -> Vec<String>>);
     let sections: Vec<Section> = vec![
@@ -139,8 +160,13 @@ fn main() {
         ),
         (
             "bench-cosim",
-            "Bench — co-simulation engine throughput (writes BENCH_cosim.json)",
+            "Bench — co-simulation engine throughput + scaling curve (writes BENCH_cosim.json)",
             Box::new(emit_bench_cosim),
+        ),
+        (
+            "bench-cosim-smoke",
+            "Bench — fast co-simulation smoke (identity asserts, no files)",
+            Box::new(smoke_bench_cosim),
         ),
         (
             "profile",

@@ -6,6 +6,11 @@
 //! shared by the `cosim_throughput` criterion bench and the `repro`
 //! binary's `BENCH_cosim.json` emitter, so the perf trajectory of the
 //! single-pass engine is tracked by one number series from PR to PR.
+//!
+//! [`measure_scaling`] sweeps the same engine up the paper's deployment
+//! ladder — 16, 72, 288, and 10,440 chips (§2.2's 145-rack system) —
+//! timing warm serial vs parallel execution at each size and asserting
+//! report bit-identity *and* trace identity at every point.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -16,9 +21,9 @@ use tsm::core::cosim::{
 };
 use tsm::fault::inject::FecStats;
 use tsm::isa::Vector;
-use tsm::topology::{Topology, TspId};
+use tsm::topology::{ScaleRegime, Topology, TspId, NODES_PER_RACK};
 use tsm::trace::profile::profile;
-use tsm::trace::{NullSink, RingSink, RunMetrics};
+use tsm::trace::{JsonWriter, NullSink, RingSink, RunMetrics};
 
 /// Builds the canonical benchmark workload: 16 concurrent multi-hop
 /// transfers on a 2-node fully-connected system. Destinations are chosen
@@ -60,9 +65,202 @@ pub fn workload() -> (Topology, Vec<CosimTransfer>) {
     (topo, transfers)
 }
 
+/// Derives the human-readable workload description from the actual system
+/// parameters, so the string recorded in `BENCH_cosim.json` can never
+/// drift from the topology and transfer count that were measured.
+pub fn workload_label(topo: &Topology, transfers: usize) -> String {
+    let system = match topo.regime() {
+        ScaleRegime::SingleNode => "single-node".to_string(),
+        ScaleRegime::TorusNode => "single-node torus".to_string(),
+        ScaleRegime::FullyConnectedNodes => {
+            format!("{}-node fully-connected", topo.num_nodes())
+        }
+        ScaleRegime::RackDragonfly => {
+            format!("{}-rack dragonfly", topo.num_nodes() / NODES_PER_RACK)
+        }
+    };
+    format!("{system}, {transfers} concurrent multi-hop transfers")
+}
+
+/// Chip counts swept by [`measure_scaling`]: the canonical 2-node system,
+/// a 9-node fully-connected group, a 4-rack Dragonfly, and the paper's
+/// full 145-rack deployment (§2.2: 145 × 9 × 8 = 10,440 TSPs).
+pub const SCALING_CHIPS: &[usize] = &[16, 72, 288, 10_440];
+
+/// Builds the half-stride scaling workload for `topo`: TSP `i` streams two
+/// vectors to TSP `i + N/2`, so every chip is an endpoint of exactly one
+/// transfer and every flow crosses nodes (the half-stride exceeds a node
+/// for every swept topology). Fully deterministic, so the measured
+/// schedule is identical on every run and every machine.
+fn paired_workload(topo: &Topology) -> Vec<CosimTransfer> {
+    let half = (topo.num_tsps() / 2) as u32;
+    (0..half)
+        .map(|i| CosimTransfer {
+            from: TspId(i),
+            to: TspId(i + half),
+            src_slice: 0,
+            src_offset: 0,
+            dst_slice: 2,
+            dst_offset: 0,
+            data: (0..2u8)
+                .map(|v| {
+                    Vector::from_fn(|b| (b as u8) ^ (i as u8).wrapping_mul(29).wrapping_add(v))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The system and workload for one point of the scaling sweep.
+fn scale_system(chips: usize) -> (Topology, Vec<CosimTransfer>) {
+    match chips {
+        16 => workload(),
+        72 => {
+            let topo = Topology::fully_connected_nodes(9).expect("nine nodes");
+            let transfers = paired_workload(&topo);
+            (topo, transfers)
+        }
+        288 => {
+            let topo = Topology::rack_dragonfly(4).expect("four racks");
+            let transfers = paired_workload(&topo);
+            (topo, transfers)
+        }
+        10_440 => {
+            let topo = Topology::rack_dragonfly(145).expect("145 racks");
+            let transfers = paired_workload(&topo);
+            (topo, transfers)
+        }
+        other => unreachable!("no scaling workload defined for {other} chips"),
+    }
+}
+
+/// One point on the engine's scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Chips in the system (the half-stride workload touches all of them).
+    pub chips: usize,
+    /// Workload description derived from the measured system parameters.
+    pub workload: String,
+    /// Concurrent transfers in flight.
+    pub transfers: usize,
+    /// Instructions lowered across all chips.
+    pub instructions: usize,
+    /// Worker threads the parallel engine resolved to.
+    pub threads: usize,
+    /// Samples actually timed (the largest system is timed once: a single
+    /// 10,440-chip pass already integrates over enough work that
+    /// best-of-N adds minutes, not precision).
+    pub samples: usize,
+    /// Best-of-N warm serial execution, nanoseconds.
+    pub serial_ns: u128,
+    /// Best-of-N warm parallel execution, nanoseconds.
+    pub parallel_ns: u128,
+    /// Whether every serial and parallel report matched the reference
+    /// bit for bit.
+    pub bit_identical: bool,
+    /// Whether the serial and parallel trace event streams were
+    /// byte-identical at this scale.
+    pub trace_identical: bool,
+}
+
+impl ScalePoint {
+    /// Serial-over-parallel wall-time ratio.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns as f64
+    }
+
+    /// Lowered instructions executed per second, serial engine.
+    pub fn serial_instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / (self.serial_ns as f64 / 1e9)
+    }
+
+    /// Lowered instructions executed per second, parallel engine.
+    pub fn parallel_instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / (self.parallel_ns as f64 / 1e9)
+    }
+}
+
+/// Sweeps the scaling curve up to `max_chips` (pass `usize::MAX` for the
+/// full 10,440-chip ladder, a smaller bound for a fast smoke pass). Each
+/// point compiles its plan once, times `samples` warm serial and parallel
+/// executions on the same executor, and then asserts both report
+/// bit-identity and serial≡parallel trace identity at that scale.
+pub fn measure_scaling(samples: usize, max_chips: usize) -> Vec<ScalePoint> {
+    SCALING_CHIPS
+        .iter()
+        .copied()
+        .filter(|&chips| chips <= max_chips)
+        .map(|chips| {
+            let (topo, transfers) = scale_system(chips);
+            assert_eq!(topo.num_tsps(), chips, "scale table out of sync");
+            let shapes: Vec<TransferShape> = transfers.iter().map(TransferShape::from).collect();
+            let plan = compile_plan(&topo, &shapes).expect("scaling workload compiles");
+            let payloads: Vec<_> = transfers.iter().map(CosimTransfer::payload).collect();
+
+            let mut exec = PlanExecutor::new();
+            let threads = exec.resolved_threads();
+            let reference = exec
+                .execute_serial(&plan, &payloads)
+                .expect("serial scale run");
+
+            let effective = if chips > 1_000 { 1 } else { samples.max(1) };
+            let mut serial_ns = u128::MAX;
+            let mut parallel_ns = u128::MAX;
+            let mut bit_identical = true;
+            for _ in 0..effective {
+                let t0 = Instant::now();
+                let s = exec
+                    .execute_serial(&plan, &payloads)
+                    .expect("serial scale run");
+                serial_ns = serial_ns.min(t0.elapsed().as_nanos());
+                let t1 = Instant::now();
+                let p = exec.execute(&plan, &payloads).expect("parallel scale run");
+                parallel_ns = parallel_ns.min(t1.elapsed().as_nanos());
+                bit_identical &= s == reference && p == reference;
+            }
+
+            // Trace identity at this scale, checked once outside the timed
+            // loop: both engines must record byte-identical event streams.
+            let capacity = (reference.instructions * 4 + chips * 8).next_power_of_two();
+            let mut traced = |parallel: bool| {
+                let sink = Arc::new(RingSink::new(capacity));
+                exec.set_trace_sink(sink.clone());
+                let run = if parallel {
+                    exec.execute(&plan, &payloads)
+                } else {
+                    exec.execute_serial(&plan, &payloads)
+                };
+                run.expect("traced scale run");
+                exec.clear_trace_sink();
+                assert_eq!(sink.dropped(), 0, "trace ring sized for the run");
+                sink.sorted_events()
+            };
+            let serial_events = traced(false);
+            let parallel_events = traced(true);
+            let trace_identical = !serial_events.is_empty() && serial_events == parallel_events;
+
+            ScalePoint {
+                chips,
+                workload: workload_label(&topo, transfers.len()),
+                transfers: transfers.len(),
+                instructions: reference.instructions,
+                threads,
+                samples: effective,
+                serial_ns,
+                parallel_ns,
+                bit_identical,
+                trace_identical,
+            }
+        })
+        .collect()
+}
+
 /// One measured sample of the canonical workload.
 #[derive(Debug, Clone)]
 pub struct CosimBenchResult {
+    /// Workload description, derived from the measured system by
+    /// [`workload_label`] rather than hard-coded prose.
+    pub workload: String,
     /// Transfers in the workload.
     pub transfers: usize,
     /// Chips that executed a program.
@@ -73,6 +271,9 @@ pub struct CosimBenchResult {
     pub serial_ns: u128,
     /// Best-of-N wall time for the parallel engine, nanoseconds.
     pub parallel_ns: u128,
+    /// Worker threads the parallel engine resolved to (explicit knob >
+    /// `TSM_THREADS` > available parallelism).
+    pub threads: usize,
     /// Best-of-N wall time for a *cold* invocation, nanoseconds: one full
     /// one-shot call from the transfer descriptors — shape extraction,
     /// payload materialization, [`CompiledPlan`] compile, fresh executor,
@@ -136,6 +337,9 @@ pub struct CosimBenchResult {
     /// (instruction/delivery counters, retire-cycle histogram), recorded
     /// PR-to-PR alongside the timings.
     pub run_metrics: RunMetrics,
+    /// The engine's scaling curve (empty unless [`measure_scaling`] was
+    /// run and its points attached, as `repro bench-cosim` does).
+    pub scaling: Vec<ScalePoint>,
 }
 
 impl CosimBenchResult {
@@ -147,6 +351,11 @@ impl CosimBenchResult {
     /// Lowered instructions executed per second, parallel engine.
     pub fn parallel_instr_per_sec(&self) -> f64 {
         self.instructions as f64 / (self.parallel_ns as f64 / 1e9)
+    }
+
+    /// Serial-over-parallel wall-time ratio on the canonical workload.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns as f64
     }
 
     /// How much cheaper a warm invocation is than a cold one — the payoff
@@ -180,41 +389,95 @@ impl CosimBenchResult {
         self.profiled_ns as f64 / self.warm_ns as f64
     }
 
-    /// The JSON record written to `BENCH_cosim.json`.
+    /// The JSON record written to `BENCH_cosim.json`, emitted through the
+    /// workspace's [`JsonWriter`] so escaping, separators, and balance are
+    /// owned by one serializer instead of a hand-maintained format string.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"bench\": \"cosim_throughput\",\n  \"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\",\n  \"transfers\": {},\n  \"chips\": {},\n  \"instructions\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"serial_instr_per_sec\": {:.0},\n  \"parallel_instr_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"invocations\": {},\n  \"plan_reuse_speedup\": {:.3},\n  \"bit_identical\": {},\n  \"fault_ber\": {:e},\n  \"faulty_ns\": {},\n  \"fault_invocations\": {},\n  \"fault_overhead\": {:.3},\n  \"fault_replays\": {},\n  \"fault_corrected\": {},\n  \"fault_uncorrectable\": {},\n  \"fault_bit_identical\": {},\n  \"trace_null_ns\": {},\n  \"trace_ring_ns\": {},\n  \"trace_null_overhead\": {:.3},\n  \"trace_ring_overhead\": {:.3},\n  \"profiled_ns\": {},\n  \"profile_overhead\": {:.3},\n  \"profile_certified\": {},\n  \"profile\": {},\n  \"metrics\": {}\n}}\n",
-            self.transfers,
-            self.chips,
-            self.instructions,
-            self.serial_ns,
-            self.parallel_ns,
-            self.serial_instr_per_sec(),
-            self.parallel_instr_per_sec(),
-            self.serial_ns as f64 / self.parallel_ns as f64,
-            self.cold_ns,
-            self.warm_ns,
-            self.invocations,
-            self.plan_reuse_speedup(),
-            self.bit_identical,
-            FAULT_BER,
-            self.faulty_ns,
-            self.fault_invocations,
-            self.fault_overhead(),
-            self.fault_replays,
-            self.fault_stats.corrected,
-            self.fault_stats.uncorrectable,
-            self.fault_bit_identical,
-            self.trace_null_ns,
-            self.trace_ring_ns,
-            self.trace_null_overhead(),
-            self.trace_ring_overhead(),
-            self.profiled_ns,
-            self.profile_overhead(),
-            self.profile_certified,
-            self.profile_summary,
-            indent_block(&self.run_metrics.to_json(), 2),
-        )
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_str("bench", "cosim_throughput")
+            .field_str("workload", &self.workload)
+            .field_u64("transfers", self.transfers as u64)
+            .field_u64("chips", self.chips as u64)
+            .field_u64("instructions", self.instructions as u64)
+            .field_u64("threads", self.threads as u64)
+            .field_raw("serial_ns", &self.serial_ns.to_string())
+            .field_raw("parallel_ns", &self.parallel_ns.to_string())
+            .field_raw(
+                "serial_instr_per_sec",
+                &format!("{:.0}", self.serial_instr_per_sec()),
+            )
+            .field_raw(
+                "parallel_instr_per_sec",
+                &format!("{:.0}", self.parallel_instr_per_sec()),
+            )
+            .field_raw(
+                "parallel_speedup",
+                &format!("{:.3}", self.parallel_speedup()),
+            )
+            .field_raw("cold_ns", &self.cold_ns.to_string())
+            .field_raw("warm_ns", &self.warm_ns.to_string())
+            .field_u64("invocations", u64::from(self.invocations))
+            .field_raw(
+                "plan_reuse_speedup",
+                &format!("{:.3}", self.plan_reuse_speedup()),
+            );
+        w.key("bit_identical").bool(self.bit_identical);
+        w.field_raw("fault_ber", &format!("{FAULT_BER:e}"))
+            .field_raw("faulty_ns", &self.faulty_ns.to_string())
+            .field_u64("fault_invocations", u64::from(self.fault_invocations))
+            .field_raw("fault_overhead", &format!("{:.3}", self.fault_overhead()))
+            .field_u64("fault_replays", self.fault_replays)
+            .field_u64("fault_corrected", self.fault_stats.corrected)
+            .field_u64("fault_uncorrectable", self.fault_stats.uncorrectable);
+        w.key("fault_bit_identical").bool(self.fault_bit_identical);
+        w.field_raw("trace_null_ns", &self.trace_null_ns.to_string())
+            .field_raw("trace_ring_ns", &self.trace_ring_ns.to_string())
+            .field_raw(
+                "trace_null_overhead",
+                &format!("{:.3}", self.trace_null_overhead()),
+            )
+            .field_raw(
+                "trace_ring_overhead",
+                &format!("{:.3}", self.trace_ring_overhead()),
+            )
+            .field_raw("profiled_ns", &self.profiled_ns.to_string())
+            .field_raw(
+                "profile_overhead",
+                &format!("{:.3}", self.profile_overhead()),
+            );
+        w.key("profile_certified").bool(self.profile_certified);
+        w.key("scaling").begin_array();
+        for p in &self.scaling {
+            w.begin_object()
+                .field_u64("chips", p.chips as u64)
+                .field_str("workload", &p.workload)
+                .field_u64("transfers", p.transfers as u64)
+                .field_u64("instructions", p.instructions as u64)
+                .field_u64("threads", p.threads as u64)
+                .field_u64("samples", p.samples as u64)
+                .field_raw("serial_ns", &p.serial_ns.to_string())
+                .field_raw("parallel_ns", &p.parallel_ns.to_string())
+                .field_raw("parallel_speedup", &format!("{:.3}", p.parallel_speedup()))
+                .field_raw(
+                    "serial_instr_per_sec",
+                    &format!("{:.0}", p.serial_instr_per_sec()),
+                )
+                .field_raw(
+                    "parallel_instr_per_sec",
+                    &format!("{:.0}", p.parallel_instr_per_sec()),
+                );
+            w.key("bit_identical").bool(p.bit_identical);
+            w.key("trace_identical").bool(p.trace_identical);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_raw("profile", &indent_block(&self.profile_summary, 2))
+            .field_raw("metrics", &indent_block(&self.run_metrics.to_json(), 2));
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
     }
 }
 
@@ -387,11 +650,13 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         fault_stats = stats;
     }
     CosimBenchResult {
+        workload: workload_label(&topo, transfers.len()),
         transfers: transfers.len(),
         chips: reference.retire_cycles.len(),
         instructions: reference.instructions,
         serial_ns,
         parallel_ns,
+        threads: PlanExecutor::new().resolved_threads(),
         cold_ns,
         warm_ns,
         invocations: WARM_INVOCATIONS,
@@ -407,6 +672,7 @@ pub fn measure(samples: usize) -> CosimBenchResult {
         profile_certified,
         profile_summary,
         run_metrics,
+        scaling: Vec::new(),
     }
 }
 
@@ -417,7 +683,8 @@ pub fn lines() -> Vec<String> {
 
 /// Formats an already-measured sample.
 pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
-    vec![
+    let mut out = vec![
+        format!("workload: {}", r.workload),
         format!(
             "{} transfers over {} chips, {} instructions lowered",
             r.transfers, r.chips, r.instructions
@@ -428,10 +695,11 @@ pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
             r.serial_instr_per_sec()
         ),
         format!(
-            "parallel: {:>10} ns  ({:>12.0} instr/s, {:.2}x)",
+            "parallel: {:>10} ns  ({:>12.0} instr/s, {:.2}x on {} threads)",
             r.parallel_ns,
             r.parallel_instr_per_sec(),
-            r.serial_ns as f64 / r.parallel_ns as f64
+            r.parallel_speedup(),
+            r.threads
         ),
         format!(
             "cold (one-shot: bind + compile plan + execute): {:>10} ns",
@@ -481,7 +749,33 @@ pub fn lines_for(r: &CosimBenchResult) -> Vec<String> {
                 "DEVIANT — conformance regression"
             }
         ),
-    ]
+    ];
+    out.extend(scaling_lines(&r.scaling));
+    out
+}
+
+/// Formats the scaling curve, one line per swept system size. Empty input
+/// (a result without an attached sweep) formats to nothing.
+pub fn scaling_lines(points: &[ScalePoint]) -> Vec<String> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec!["scaling curve (warm plan, best-of-N per point):".to_string()];
+    for p in points {
+        out.push(format!(
+            "  {:>6} chips ({}): serial {:>13} ns, parallel {:>13} ns — {:.2}x on {} threads, {:>12.0} instr/s, bit_identical={} trace_identical={}",
+            p.chips,
+            p.workload,
+            p.serial_ns,
+            p.parallel_ns,
+            p.parallel_speedup(),
+            p.threads,
+            p.parallel_instr_per_sec(),
+            p.bit_identical,
+            p.trace_identical
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -503,10 +797,63 @@ mod tests {
     }
 
     #[test]
+    fn workload_label_is_derived_from_system_parameters() {
+        let (topo, transfers) = workload();
+        // The derived label reproduces the exact string the bench record
+        // carried when it was hard-coded prose.
+        assert_eq!(
+            workload_label(&topo, transfers.len()),
+            "2-node fully-connected, 16 concurrent multi-hop transfers"
+        );
+        let rack = Topology::rack_dragonfly(4).expect("four racks");
+        assert_eq!(
+            workload_label(&rack, 144),
+            "4-rack dragonfly, 144 concurrent multi-hop transfers"
+        );
+    }
+
+    #[test]
+    fn scaling_workloads_pair_every_chip_across_nodes() {
+        for &chips in SCALING_CHIPS.iter().filter(|&&c| c <= 288) {
+            let (topo, transfers) = scale_system(chips);
+            assert_eq!(topo.num_tsps(), chips);
+            let mut endpoints: Vec<TspId> = Vec::new();
+            for tr in &transfers {
+                assert_ne!(tr.from.node(), tr.to.node(), "flow must cross nodes");
+                endpoints.push(tr.from);
+                endpoints.push(tr.to);
+            }
+            endpoints.sort_unstable();
+            endpoints.dedup();
+            assert_eq!(endpoints.len(), chips, "every chip is an endpoint once");
+        }
+    }
+
+    #[test]
+    fn scaling_smoke_points_are_identical_across_engines() {
+        let points = measure_scaling(1, 100);
+        assert_eq!(points.len(), 2, "smoke bound covers 16 and 72 chips");
+        assert_eq!(points[0].chips, 16);
+        assert_eq!(points[1].chips, 72);
+        for p in &points {
+            assert!(p.bit_identical, "{} chips: reports diverged", p.chips);
+            assert!(p.trace_identical, "{} chips: traces diverged", p.chips);
+            assert!(p.instructions > 0);
+            assert!(p.serial_ns > 0 && p.parallel_ns > 0);
+            assert!(p.threads >= 1);
+        }
+    }
+
+    #[test]
     fn measure_reports_bit_identical_engines() {
         let r = measure(1);
         assert!(r.bit_identical);
         assert!(r.instructions > 0);
+        assert!(r.to_json().contains(
+            "\"workload\": \"2-node fully-connected, 16 concurrent multi-hop transfers\""
+        ));
+        assert!(r.to_json().contains("\"threads\""));
+        assert!(r.to_json().contains("\"scaling\": []"));
         assert!(r.to_json().contains("\"bit_identical\": true"));
         assert!(r.to_json().contains("\"cold_ns\""));
         assert!(r.to_json().contains("\"warm_ns\""));

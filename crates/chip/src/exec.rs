@@ -453,8 +453,13 @@ impl ChipSim {
         }
     }
 
-    /// Executes instructions known to be in (cycle, unit) issue order.
-    fn run_sorted(&mut self, instrs: &[TimedInstruction]) -> Result<u64, ExecError> {
+    /// Executes instructions known to be in (cycle, unit) issue order —
+    /// the compile-once path: a [`CompiledPlan`] stores every chip's
+    /// stream pre-sorted in its instruction slab and runs the window
+    /// directly, no [`ChipProgram`] wrapper involved.
+    ///
+    /// [`CompiledPlan`]: ../../tsm_core/cosim/struct.CompiledPlan.html
+    pub fn run_sorted(&mut self, instrs: &[TimedInstruction]) -> Result<u64, ExecError> {
         let mut last_retire = 0;
         // Last write cycle per stream; exact duplicate detection because
         // instructions arrive in ascending cycle order.

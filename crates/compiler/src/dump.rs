@@ -146,113 +146,16 @@ impl ScheduleDump {
     }
 }
 
-/// A minimal recursive-descent parser for the dump's fixed schema. The
+/// A minimal recursive-descent parser for the dump's fixed schema,
+/// built on the workspace-shared [`tsm_trace::Cursor`] combinators (the
 /// offline toolchain stubs serde_json, so the round trip is hand-rolled
-/// against the same escaping rules ([`tsm_trace::unescape_json`]) the
-/// emitter uses.
+/// against the same escaping rules the emitter uses).
 mod parse {
     use super::{OpDump, ReservationDump, ScheduleDump};
-
-    pub(super) struct Cursor<'a> {
-        s: &'a str,
-        i: usize,
-    }
-
-    impl<'a> Cursor<'a> {
-        fn skip_ws(&mut self) {
-            while self.s[self.i..].starts_with([' ', '\n', '\r', '\t']) {
-                self.i += 1;
-            }
-        }
-
-        fn eat(&mut self, c: char) -> Result<(), String> {
-            self.skip_ws();
-            if self.s[self.i..].starts_with(c) {
-                self.i += c.len_utf8();
-                Ok(())
-            } else {
-                Err(format!("expected {c:?} at byte {}", self.i))
-            }
-        }
-
-        fn peek(&mut self) -> Option<char> {
-            self.skip_ws();
-            self.s[self.i..].chars().next()
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.eat('"')?;
-            let start = self.i;
-            let bytes = self.s.as_bytes();
-            let mut escaped = false;
-            while self.i < bytes.len() {
-                match bytes[self.i] {
-                    b'\\' if !escaped => escaped = true,
-                    b'"' if !escaped => {
-                        let raw = &self.s[start..self.i];
-                        self.i += 1;
-                        return tsm_trace::unescape_json(raw);
-                    }
-                    _ => escaped = false,
-                }
-                self.i += 1;
-            }
-            Err("unterminated string".to_string())
-        }
-
-        fn u64(&mut self) -> Result<u64, String> {
-            self.skip_ws();
-            let start = self.i;
-            let bytes = self.s.as_bytes();
-            while self.i < bytes.len() && bytes[self.i].is_ascii_digit() {
-                self.i += 1;
-            }
-            self.s[start..self.i]
-                .parse()
-                .map_err(|e| format!("bad integer at byte {start}: {e}"))
-        }
-
-        /// Parses `{"k": v, ...}`, handing each key to `field`.
-        fn object(
-            &mut self,
-            mut field: impl FnMut(&mut Cursor<'a>, &str) -> Result<(), String>,
-        ) -> Result<(), String> {
-            self.eat('{')?;
-            if self.peek() == Some('}') {
-                return self.eat('}');
-            }
-            loop {
-                let key = self.string()?;
-                self.eat(':')?;
-                field(self, &key)?;
-                match self.peek() {
-                    Some(',') => self.eat(',')?,
-                    _ => return self.eat('}'),
-                }
-            }
-        }
-
-        /// Parses `[item, ...]`.
-        fn array(
-            &mut self,
-            mut item: impl FnMut(&mut Cursor<'a>) -> Result<(), String>,
-        ) -> Result<(), String> {
-            self.eat('[')?;
-            if self.peek() == Some(']') {
-                return self.eat(']');
-            }
-            loop {
-                item(self)?;
-                match self.peek() {
-                    Some(',') => self.eat(',')?,
-                    _ => return self.eat(']'),
-                }
-            }
-        }
-    }
+    use tsm_trace::Cursor;
 
     pub(super) fn schedule_dump(s: &str) -> Result<ScheduleDump, String> {
-        let mut c = Cursor { s, i: 0 };
+        let mut c = Cursor::new(s);
         let mut dump = ScheduleDump {
             span_cycles: 0,
             ops: Vec::new(),
@@ -311,10 +214,7 @@ mod parse {
             }),
             other => Err(format!("unknown field {other:?}")),
         })?;
-        c.skip_ws();
-        if c.i != s.len() {
-            return Err(format!("trailing garbage at byte {}", c.i));
-        }
+        c.expect_end()?;
         Ok(dump)
     }
 }

@@ -6,12 +6,22 @@
 //! more execution is the chip passes themselves — no routing, scheduling,
 //! lowering or stream allocation happens here. This is the runtime half of
 //! the paper's compile-once / execute-many contract (§5, Fig 17).
+//!
+//! Parallelism comes from a persistent worker pool: workers are created
+//! once (lazily, at the first parallel execution) and each hop-depth level
+//! is a single epoch dispatch. Which worker runs which chip is fixed at
+//! plan-compile time by [`ChipPlan::shard`] — a hash of the TSP id — so
+//! the assignment depends on the plan alone, never on OS scheduling. Every
+//! observable (results, traces, metrics, the first error) is merged on the
+//! calling thread in ascending `(depth, TspId)` order, which is what makes
+//! serial and parallel execution bit-identical.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tsm_chip::exec::{ChipSim, ExecError, Payload};
+use tsm_chip::exec::{ChipSim, Payload};
 use tsm_fault::inject::FecStats;
 use tsm_isa::packet::WirePacket;
 use tsm_link::channel::Channel;
@@ -19,11 +29,17 @@ use tsm_link::fec::FecOutcome;
 use tsm_link::latency::LatencyModel;
 use tsm_link::meter::LinkMeter;
 use tsm_topology::LinkId;
-use tsm_trace::{names, CycleHistogram, EventKind, Metrics, TraceSink, Tracer};
+use tsm_trace::{names, EventKind, Metrics, TraceSink, Tracer};
 
 use super::plan::{ChipPlan, CompiledPlan, PlannedDelivery, VecRef};
+use super::pool::WorkerPool;
 use super::verify::{verify_destinations, verify_emissions};
 use super::{CosimError, CosimReport};
+
+/// Environment variable overriding the parallel worker count (a positive
+/// integer). An explicit [`PlanExecutor::set_threads`] wins over it; an
+/// unset/invalid value falls back to `available_parallelism`.
+pub const TSM_THREADS_ENV: &str = "TSM_THREADS";
 
 /// An exact, deterministic corruption: flip `bits` of the payload of
 /// vector `vector` of transfer `transfer` as it crosses `link`. Fault
@@ -159,13 +175,48 @@ fn transmit_delivery(
     }
 }
 
+/// One chip's pending level result. Workers write disjoint slots (the
+/// shard partition guarantees exclusivity); the calling thread reads them
+/// after the dispatch barrier.
+#[derive(Debug, Default)]
+struct SlotCell(UnsafeCell<Option<Result<u64, CosimError>>>);
+
+// Safety: slot `i` is written by exactly one worker per level (the one
+// owning `chips[i].shard % workers`) and only read on the calling thread
+// after the pool's dispatch barrier, which orders the accesses.
+unsafe impl Sync for SlotCell {}
+
+/// The simulator array as a raw base pointer, so workers can reach their
+/// own shard's simulators. Disjointness comes from the same shard
+/// partition that protects [`SlotCell`].
+#[derive(Clone, Copy)]
+struct SimsPtr(*mut ChipSim);
+
+unsafe impl Send for SimsPtr {}
+unsafe impl Sync for SimsPtr {}
+
+impl SimsPtr {
+    /// The simulator at index `i`.
+    ///
+    /// # Safety
+    /// `i` is in bounds and no other reference to this simulator exists
+    /// for the lifetime of the returned borrow (the executor's shard
+    /// partition guarantees this during a level dispatch).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn chip(&self, i: usize) -> &mut ChipSim {
+        &mut *self.0.add(i)
+    }
+}
+
 /// Reusable payload-binding executor.
 ///
 /// One `PlanExecutor` can run many plans and many payload sets; its chip
 /// simulators are reset (allocations retained) at the start of every
 /// execution, so no state leaks between invocations and no state is
-/// rebuilt. Serial and parallel execution are bit-identical — see the
-/// module docs of [`super`].
+/// rebuilt. Its worker pool and result slots persist the same way, so the
+/// warm path neither spawns threads nor allocates per launch. Serial and
+/// parallel execution are bit-identical — see the module docs of
+/// [`super`].
 #[derive(Debug, Default)]
 pub struct PlanExecutor {
     /// Per-chip simulators, aligned by index with the executing plan's
@@ -180,6 +231,15 @@ pub struct PlanExecutor {
     /// place each replay epoch after the previous one on the launch
     /// timeline. Metrics and reports are unaffected.
     trace_offset: u64,
+    /// Explicit worker-count override (the `set_threads` knob); `None`
+    /// defers to `TSM_THREADS`, then to `available_parallelism`.
+    threads: Option<usize>,
+    /// Persistent workers, built lazily at the first parallel execution
+    /// and rebuilt only when the resolved width changes.
+    pool: Option<WorkerPool>,
+    /// Per-chip result slots, grown on demand and reused across
+    /// executions (the allocation-free warm path).
+    slots: Vec<SlotCell>,
 }
 
 impl PlanExecutor {
@@ -204,8 +264,42 @@ impl PlanExecutor {
         self.trace_offset = offset;
     }
 
+    /// Pins the parallel worker count (clamped to at least 1). Overrides
+    /// the `TSM_THREADS` environment variable; the pool is rebuilt at the
+    /// next parallel execution if the width changed. Has no effect on the
+    /// serial entry points.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads.max(1));
+    }
+
+    /// Reverts to automatic worker-count resolution (`TSM_THREADS`, then
+    /// `available_parallelism`).
+    pub fn set_threads_auto(&mut self) {
+        self.threads = None;
+    }
+
+    /// The worker count a parallel execution would use right now:
+    /// explicit [`PlanExecutor::set_threads`] value, else a positive
+    /// integer in `TSM_THREADS`, else `available_parallelism`.
+    pub fn resolved_threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t;
+        }
+        if let Ok(v) = std::env::var(TSM_THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     /// Binds `payloads` to `plan` and executes it, chips within a hop
-    /// level in parallel on scoped threads.
+    /// level in parallel on the persistent worker pool (width per
+    /// [`PlanExecutor::resolved_threads`]).
     ///
     /// `payloads[t][v]` is vector `v` of transfer `t` and must match the
     /// plan's [`TransferShape`]s exactly.
@@ -392,42 +486,75 @@ impl PlanExecutor {
             });
         }
 
-        // Each chip runs exactly once, levels in topological order;
-        // results merge in ascending TspId order whether executed serially
-        // or on scoped threads, so the first error in (depth, TspId) order
-        // is the one reported in both modes.
+        // Each chip runs exactly once, levels in topological order. A
+        // level is one pool dispatch: worker `w` runs the chips whose
+        // compile-time shard lands on `w`, writing retire results into
+        // per-chip slots and tallies into its own metrics instance. The
+        // serial path runs the identical per-chip code inline into the
+        // same slots. Either way, the merge below walks the level in
+        // ascending TspId order on this thread, so the first error in
+        // (depth, TspId) order — and every trace event — is identical in
+        // both modes.
+        let threads = if parallel { self.resolved_threads() } else { 1 };
+        if threads > 1 && self.pool.as_ref().is_none_or(|p| p.workers() != threads) {
+            self.pool = Some(WorkerPool::new(threads));
+        }
+        if self.slots.len() < plan.chips.len() {
+            self.slots.resize_with(plan.chips.len(), SlotCell::default);
+        }
+        for slot in &mut self.slots {
+            *slot.0.get_mut() = None;
+        }
+        let worker_metrics: Vec<Metrics> = (0..threads).map(|_| Metrics::default()).collect();
         let mut retire_cycles = HashMap::new();
-        let mut retire_hist = CycleHistogram::default();
         for level in &plan.levels {
             if level.is_empty() {
                 continue;
             }
-            let work: Vec<(&ChipPlan, ChipSim)> = level
-                .iter()
-                .map(|&i| {
+            if threads <= 1 {
+                for &i in level {
                     let chip = &plan.chips[i as usize];
-                    // mem::take moves the sim out for the level run; the
-                    // slot gets it back below (run_level preserves order).
-                    (chip, std::mem::take(&mut self.sims[i as usize]))
-                })
-                .collect();
-            for (k, (chip, result, sim)) in run_level(work, parallel).into_iter().enumerate() {
-                self.sims[level[k] as usize] = sim;
-                let retire = result.map_err(|error| CosimError::Chip {
-                    tsp: chip.tsp,
-                    error,
-                })?;
-                verify_emissions(
-                    chip.tsp,
-                    &self.sims[level[k] as usize],
-                    &chip.emissions,
-                    payloads,
-                )?;
+                    let res = run_chip(
+                        plan,
+                        chip,
+                        &mut self.sims[i as usize],
+                        payloads,
+                        &worker_metrics[0],
+                    );
+                    *self.slots[i as usize].0.get_mut() = Some(res);
+                }
+            } else {
+                let pool = self.pool.as_ref().expect("pool built above");
+                let sims = SimsPtr(self.sims.as_mut_ptr());
+                let slots = &self.slots[..];
+                pool.dispatch(&|w| {
+                    for &i in level {
+                        let chip = &plan.chips[i as usize];
+                        if chip.shard as usize % threads != w {
+                            continue;
+                        }
+                        // Safety: the shard test above partitions the
+                        // level across workers, so index `i` is touched
+                        // by this worker alone; the dispatch barrier
+                        // publishes the writes to the merge loop.
+                        let sim = unsafe { sims.chip(i as usize) };
+                        let res = run_chip(plan, chip, sim, payloads, &worker_metrics[w]);
+                        unsafe { *slots[i as usize].0.get() = Some(res) };
+                    }
+                });
+            }
+            // Merge on the calling thread, ascending TspId order.
+            for &i in level {
+                let chip = &plan.chips[i as usize];
+                let retire = self.slots[i as usize]
+                    .0
+                    .get_mut()
+                    .take()
+                    .expect("every level chip is owned by exactly one worker")?;
                 retire_cycles.insert(chip.tsp, retire);
-                retire_hist.observe(retire);
                 if tracer.enabled() {
                     let lane = chip.tsp.0;
-                    let instrs = chip.program.instrs();
+                    let instrs = plan.program(chip);
                     let start = instrs.first().map_or(0, |i| i.cycle);
                     tracer.span(
                         start,
@@ -461,7 +588,6 @@ impl PlanExecutor {
         metrics.inc(names::COSIM_INSTRUCTIONS, plan.instructions as u64);
         metrics.inc(names::COSIM_DELIVERIES, delivered);
         metrics.set_gauge(names::COSIM_CHIPS, plan.chips.len() as u64);
-        metrics.merge_histogram(names::COSIM_RETIRE_CYCLES, &retire_hist);
         // Surface trace loss so downstream consumers (the conformance
         // profiler refuses lossy traces) can see it without holding the
         // sink. Only set when nonzero: a clean instrumented run must report
@@ -471,63 +597,48 @@ impl PlanExecutor {
             metrics.set_gauge(names::TRACE_DROPPED, trace_dropped);
         }
 
+        // Fold the workers' tallies into the spine's snapshot in
+        // worker-index order. `RunMetrics::absorb` is commutative for
+        // counters and histograms (entries re-sort to canonical order), so
+        // the result is independent of how the shard hash partitioned the
+        // chips — which is what keeps this snapshot bit-identical between
+        // serial and parallel execution. Workers never touch gauges (the
+        // one absorb channel that is order-sensitive).
+        let mut snapshot = metrics.snapshot();
+        for wm in &worker_metrics {
+            snapshot.absorb(&wm.snapshot());
+        }
+
         Ok(CosimReport {
             retire_cycles,
             instructions: plan.instructions,
             arrivals: plan.arrivals.clone(),
             dst_digests,
-            metrics: metrics.snapshot(),
+            metrics: snapshot,
         })
     }
 }
 
-/// Executes one depth level of chips, each exactly once.
+/// Runs one chip of one level: executes its slab window, verifies its
+/// emission manifest, and tallies its retire cycle into `metrics`.
 ///
-/// In parallel mode the level is split into contiguous chunks over scoped
-/// threads (`std::thread::scope`, no extra dependency); joining the chunks
-/// in spawn order restores ascending `TspId` order, so the merged result —
-/// and therefore every downstream observable — is bit-identical to the
-/// serial engine no matter how the OS schedules the workers.
-fn run_level(
-    work: Vec<(&ChipPlan, ChipSim)>,
-    parallel: bool,
-) -> Vec<(&ChipPlan, Result<u64, ExecError>, ChipSim)> {
-    fn exec_one(
-        (chip, mut sim): (&ChipPlan, ChipSim),
-    ) -> (&ChipPlan, Result<u64, ExecError>, ChipSim) {
-        let result = sim.run(&chip.program);
-        (chip, result, sim)
-    }
-
-    let threads = if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(work.len())
-    } else {
-        1
-    };
-    if threads <= 1 {
-        return work.into_iter().map(exec_one).collect();
-    }
-    let chunk_size = work.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<(&ChipPlan, ChipSim)>> = Vec::with_capacity(threads);
-    let mut it = work.into_iter();
-    loop {
-        let chunk: Vec<_> = it.by_ref().take(chunk_size).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(exec_one).collect::<Vec<_>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("chip worker panicked"))
-            .collect()
-    })
+/// This is the *entire* per-chip level body, shared verbatim by the
+/// serial path and the pool workers — the two modes differ only in which
+/// thread calls it, which is exactly the determinism argument.
+fn run_chip(
+    plan: &CompiledPlan,
+    chip: &ChipPlan,
+    sim: &mut ChipSim,
+    payloads: &[Vec<Payload>],
+    metrics: &Metrics,
+) -> Result<u64, CosimError> {
+    let retire = sim
+        .run_sorted(plan.program(chip))
+        .map_err(|error| CosimError::Chip {
+            tsp: chip.tsp,
+            error,
+        })?;
+    verify_emissions(chip.tsp, sim, &chip.emissions, payloads)?;
+    metrics.observe_cycles(names::COSIM_RETIRE_CYCLES, retire);
+    Ok(retire)
 }

@@ -55,15 +55,19 @@
 //! # Determinism contract
 //!
 //! Chips at the same hop depth are independent (their inputs come only
-//! from shallower depths), so each depth level executes in parallel on
-//! scoped threads. Parallel and serial runs are **bit-identical**: every
-//! chip's execution is a pure function of its program and materialized
-//! deliveries, and per-level results are merged in ascending [`TspId`]
-//! order regardless of thread completion order — the first error in
-//! (depth, TspId) order is the one reported, in both modes.
+//! from shallower depths), so each depth level executes in parallel on a
+//! persistent worker pool (one epoch dispatch per level; workers are
+//! created once per executor, and chips map to workers by a shard key
+//! fixed at plan-compile time). Parallel and serial runs are
+//! **bit-identical**: every chip's execution is a pure function of its
+//! program and materialized deliveries, and per-level results are merged
+//! in ascending [`TspId`] order regardless of thread completion order —
+//! the first error in (depth, TspId) order is the one reported, in both
+//! modes.
 
 pub mod exec;
 pub mod plan;
+mod pool;
 mod verify;
 
 pub use exec::{LinkFaultModel, PlanExecutor, TargetedFlip};
@@ -497,9 +501,8 @@ mod tests {
         let shapes = [TransferShape::from(&tr)];
         let plan = compile_plan(&topo, &shapes).unwrap();
         let src = plan.chips.iter().find(|c| c.tsp == tr.from).unwrap();
-        let first_read = src
-            .program
-            .instrs()
+        let first_read = plan
+            .program(src)
             .iter()
             .find(|ti| matches!(ti.instr, Instruction::Read { .. }))
             .expect("source program reads SRAM");

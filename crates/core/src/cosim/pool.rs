@@ -1,0 +1,258 @@
+//! Persistent deterministic worker pool for the parallel executor.
+//!
+//! The old engine spawned fresh scoped threads for every hop-depth level,
+//! paying thread creation and teardown on the execute-many warm path —
+//! the very path the compile-once split exists to keep cheap. This pool
+//! creates its workers once (lazily, on the first parallel execution) and
+//! reuses them for every subsequent level of every subsequent invocation.
+//!
+//! Dispatch is epoch/barrier signaling: the caller publishes a borrowed
+//! job, bumps the epoch, and blocks until every worker has run the job
+//! exactly once. Workers spin briefly on an atomic epoch mirror (a level
+//! dispatch is microsecond-scale work; parking would dominate it) before
+//! falling back to a condvar wait.
+//!
+//! Determinism is not the pool's job — it belongs to the callers'
+//! sharding contract: a job receives only the worker index, and the
+//! executor partitions chips by the plan's compile-time shard keys, so
+//! *which* worker runs *what* never depends on scheduling order. The pool
+//! guarantees only the barrier: when `dispatch` returns, every effect of
+//! the job is visible to the caller (the mutex round-trip orders it).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A borrowed job with its lifetime erased. Sound because the pointer is
+/// only dereferenced between `dispatch` entry and exit, and `dispatch`
+/// holds the real borrow for that whole window.
+type RawJob = *const (dyn Fn(usize) + Sync + 'static);
+
+struct Job(RawJob);
+
+// Safety: see `RawJob` — the pointee outlives every dereference, and the
+// pointee is `Sync`, so sharing the pointer across workers is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Mutex-protected dispatch state.
+struct State {
+    /// Bumped once per dispatch; workers run each epoch exactly once.
+    epoch: u64,
+    /// The current epoch's job; `None` between dispatches.
+    job: Option<Job>,
+    /// Workers still running the current epoch.
+    active: usize,
+    /// A worker's job panicked this epoch.
+    panicked: bool,
+    /// Pool is shutting down; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers for a new epoch or shutdown.
+    go: Condvar,
+    /// Wakes the dispatcher when the last worker finishes.
+    done: Condvar,
+    /// Lock-free mirror of `State::epoch` for the workers' pre-lock spin.
+    epoch_hint: AtomicU64,
+}
+
+/// Iterations a worker spins on the epoch mirror before parking. Bounded
+/// low: on an oversubscribed machine spinning steals cycles from the
+/// workers doing real work.
+const SPIN_LIMIT: u32 = 4096;
+
+/// A fixed-width pool of named worker threads, created once and reused
+/// across every level of every execution. Dropping the pool joins them.
+pub(super) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (at least one).
+    pub(super) fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            epoch_hint: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tsm-cosim-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn cosim worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub(super) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job(w)` once on every worker `w`, returning when all have
+    /// finished (the barrier). Re-raises a panic that escaped a job.
+    pub(super) fn dispatch(&self, job: &(dyn Fn(usize) + Sync)) {
+        let raw = job as *const (dyn Fn(usize) + Sync);
+        // Erase the borrow's lifetime; see `RawJob` for why this is sound.
+        let raw: RawJob = unsafe { std::mem::transmute(raw) };
+        let mut st = self.shared.state.lock().unwrap();
+        debug_assert_eq!(st.active, 0, "dispatch while a level is in flight");
+        st.job = Some(Job(raw));
+        st.active = self.handles.len();
+        st.epoch += 1;
+        self.shared.epoch_hint.store(st.epoch, Ordering::Release);
+        self.shared.go.notify_all();
+        while st.active > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let panicked = std::mem::take(&mut st.panicked);
+        drop(st);
+        if panicked {
+            panic!("cosim worker panicked during level execution");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Spin on the lock-free epoch mirror first; a dispatch typically
+        // lands well inside the spin window.
+        let mut spins = 0u32;
+        while shared.epoch_hint.load(Ordering::Acquire) == seen && spins < SPIN_LIMIT {
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.as_ref().expect("job published with epoch").0;
+                }
+                st = shared.go.wait(st).unwrap();
+            }
+        };
+        // Run outside the lock; contain panics so the barrier still
+        // resolves and the dispatcher can re-raise instead of deadlocking.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(w) })).is_ok();
+        let mut st = shared.state.lock().unwrap();
+        if !ok {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_each_dispatch_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.dispatch(&|w| {
+                counts[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn barrier_makes_worker_writes_visible() {
+        let pool = WorkerPool::new(3);
+        let mut slots = [0usize; 3];
+        // Workers write disjoint slots through a raw pointer, the same
+        // pattern the executor uses for its per-chip result slots.
+        struct Ptr(*mut usize);
+        unsafe impl Send for Ptr {}
+        unsafe impl Sync for Ptr {}
+        impl Ptr {
+            unsafe fn set(&self, i: usize, v: usize) {
+                *self.0.add(i) = v;
+            }
+        }
+        let p = Ptr(slots.as_mut_ptr());
+        pool.dispatch(&|w| unsafe { p.set(w, w + 7) });
+        drop(pool);
+        assert_eq!(slots, [7, 8, 9]);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.dispatch(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_dispatch() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicked job and keeps dispatching.
+        let hits = AtomicUsize::new(0);
+        pool.dispatch(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -92,7 +92,7 @@ proptest! {
     /// guarantee, fault-free and under uniform BER injection.
     #[test]
     fn serial_and_parallel_traces_are_identical(
-        nodes in 1usize..=2,
+        nodes in 2usize..=3,
         raw in prop::collection::vec(raw_transfer(), 1..=6),
         ber_seed in any::<u64>(),
     ) {
@@ -117,7 +117,7 @@ proptest! {
     /// never perturbs.
     #[test]
     fn sinks_never_perturb_the_simulation(
-        nodes in 1usize..=2,
+        nodes in 2usize..=3,
         raw in prop::collection::vec(raw_transfer(), 1..=6),
     ) {
         let (topo, transfers) = build_transfers(nodes, &raw);

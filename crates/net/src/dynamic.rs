@@ -485,8 +485,10 @@ mod tests {
                 })
             })
             .collect();
+        // The seed picks a representative congestion pattern; it is pinned
+        // against this workspace's deterministic RNG stream.
         let run_with = |pol| {
-            let mut rng = StdRng::seed_from_u64(3);
+            let mut rng = StdRng::seed_from_u64(17);
             simulate_with(&topo, &offered, pol, Arbitration::Fifo, &mut rng)
         };
         let minimal = run_with(RoutingPolicy::Minimal);

@@ -149,8 +149,25 @@ impl LinkOccupancy {
         vectors: u64,
         earliest: u64,
     ) -> Result<TransferSchedule, SsnError> {
+        let sched = self.plan_transfer(topo, path, vectors, earliest)?;
+        self.commit(path, &sched);
+        Ok(sched)
+    }
+
+    /// Computes the timing [`schedule_transfer`](Self::schedule_transfer)
+    /// would produce without
+    /// booking anything. A caller with constraints beyond link occupancy
+    /// (the plan compiler also reserves chip execution units) can trial a
+    /// start cycle, inspect the resulting hop starts, and either
+    /// [`commit`](Self::commit) the schedule or retry later.
+    pub fn plan_transfer(
+        &self,
+        topo: &Topology,
+        path: &Path,
+        vectors: u64,
+        earliest: u64,
+    ) -> Result<TransferSchedule, SsnError> {
         let transfer = self.next_transfer;
-        self.next_transfer += 1;
         let slot = vector_slot_cycles();
 
         if path.links.is_empty() {
@@ -188,18 +205,6 @@ impl LinkOccupancy {
             last_link_latency = scheduled_link_latency(topo, link);
             t = t + slot + last_link_latency;
         }
-        for (h, (&link, &start)) in path.links.iter().zip(hop_starts.iter()).enumerate() {
-            let from = path.tsps[h];
-            self.next_free.insert((link, from), start + vectors * slot);
-            self.reservations.push(Reservation {
-                link,
-                from,
-                start,
-                transfer,
-                vectors,
-                hop: h as u8,
-            });
-        }
         let last_hop_start = *hop_starts.last().expect("non-empty path");
         Ok(TransferSchedule {
             transfer,
@@ -211,6 +216,31 @@ impl LinkOccupancy {
             hops: path.hops(),
             hop_starts,
         })
+    }
+
+    /// Books a schedule produced by [`plan_transfer`](Self::plan_transfer)
+    /// for the same `path`: inserts one directed reservation per hop and
+    /// claims the transfer id the plan was numbered with.
+    pub fn commit(&mut self, path: &Path, sched: &TransferSchedule) {
+        debug_assert_eq!(
+            sched.transfer, self.next_transfer,
+            "commit out of order with plan_transfer"
+        );
+        self.next_transfer = sched.transfer + 1;
+        let slot = vector_slot_cycles();
+        for (h, (&link, &start)) in path.links.iter().zip(sched.hop_starts.iter()).enumerate() {
+            let from = path.tsps[h];
+            self.next_free
+                .insert((link, from), start + sched.vectors * slot);
+            self.reservations.push(Reservation {
+                link,
+                from,
+                start,
+                transfer: sched.transfer,
+                vectors: sched.vectors,
+                hop: h as u8,
+            });
+        }
     }
 
     /// Schedules a transfer of `vectors` flits spread across several

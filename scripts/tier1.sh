@@ -2,11 +2,10 @@
 # Tier-1 gate: everything must build, every test must pass, clippy must be
 # clean at -D warnings. Run from the repo root.
 #
-# Offline environments: the workspace pulls rand/serde/proptest/criterion
-# from crates.io, so a machine without network access needs a vendored
-# registry first —
-#   cargo vendor vendor/ && mkdir -p .cargo &&
-#   printf '[source.crates-io]\nreplace-with = "vendored-sources"\n\n[source.vendored-sources]\ndirectory = "vendor"\n' >> .cargo/config.toml
+# Offline environments: the workspace's external-looking deps
+# (rand/serde/proptest/criterion) resolve to the in-repo crates under
+# stubs/ via [patch.crates-io] in the root Cargo.toml, so no network or
+# vendored registry is needed — `cargo build --offline` just works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +15,10 @@ cargo test --workspace -q
 # serde round-trip) has its own integration suite; run it by name so a
 # filtered `cargo test` invocation can never silently skip it.
 cargo test -p tsm-core --test plan_reuse -q
+# The persistent worker pool behind the parallel engine: serial≡parallel
+# bit-identity and trace identity across randomized workloads and worker
+# counts, pool rebuilds on a live executor, TSM_THREADS resolution.
+cargo test -p tsm-core --test pool_determinism -q
 # Likewise the fault path: datapath BER injection, FEC bit-for-bit
 # verification, and the replay/blame/failover recovery loop.
 cargo test -p tsm-core --test fault_path -q
@@ -30,6 +33,10 @@ cargo test -p tsm-core --test trace_fault -q
 cargo test -p tsm-core --test profile_conformance -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
+# Fast bench smoke: one sample of the canonical workload plus the small
+# end of the scaling curve, with bit-identity and trace-identity asserted
+# at every point. Writes no files, so it cannot clobber BENCH_cosim.json.
+cargo run --release -p tsm-bench --bin repro bench-cosim-smoke
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 # Rustdoc is part of the contract: broken intra-doc links and bad doc

@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`, selected via `[patch.crates-io]`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`bench_function` surface
+//! the workspace's benches use, but replaces the statistics engine with a
+//! short timed loop: each bench closure runs `sample_size` iterations and
+//! the mean wall time is printed to stderr. That makes `cargo bench`
+//! (and `cargo build --benches`, which tier-1 clippy covers) work with no
+//! crates.io access; serious measurement lives in `repro bench-cosim`,
+//! which has its own best-of-N loop.
+
+use std::time::Instant;
+
+/// Opaque value barrier, same contract as criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing harness handed to bench closures.
+pub struct Bencher {
+    samples: u32,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` for this bench's sample budget, accumulating wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Top-level bench driver; collects groups and prints per-function means.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default iteration count per bench function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u32;
+        self
+    }
+
+    /// Starts a named group of bench functions.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single bench function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of bench functions sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u32);
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("{}/{}", self.name, id), samples, f);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly per function).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: u32, mut f: F) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        total_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        eprintln!(
+            "bench {id}: mean {} ns over {} iters",
+            b.total_ns / u128::from(b.iters),
+            b.iters
+        );
+    } else {
+        eprintln!("bench {id}: closure never called Bencher::iter");
+    }
+}
+
+/// Declares a bench group: a fn-list the [`criterion_main!`] entry runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_sample_size_times() {
+        let mut count = 0u32;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7);
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`, selected via `[patch.crates-io]`.
+//!
+//! The workspace's build environment has no crates.io access, so the
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attributes scattered
+//! through the ISA/topology/plan types resolve to the no-op derives in the
+//! sibling `serde_derive` stub, and these marker traits exist only so
+//! bounds and imports compile. Actual serialization in this workspace is
+//! hand-rolled JSON (`tsm_trace::json`, `CompiledPlan::to_json`,
+//! `ScheduleDump::to_json`) — by design, so the data formats are
+//! dependency-free and auditable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of serde's `Serialize`; implemented by nothing and
+/// required by nothing — present so `use`/bound sites compile.
+pub trait SerializeMarker {}
+
+/// Marker counterpart of serde's `Deserialize`.
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in: the attributes compile, generate nothing, and every
+//! serializer in the workspace writes its JSON by hand instead (see
+//! `tsm_trace::json`).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(serde::Serialize)]` (and `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(serde::Deserialize)]` (and `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
