@@ -5,7 +5,7 @@
 //! cargo run --release -p tsm-bench --bin repro fig16 fig17
 //! ```
 
-use tsm_bench::{cosim_bench, figures};
+use tsm_bench::{cosim_bench, figures, serving_bench};
 
 /// Measures the canonical co-simulation workload plus the full scaling
 /// curve (16 → 72 → 288 → 10,440 chips) and records the sample in
@@ -39,12 +39,53 @@ fn smoke_bench_cosim() -> Vec<String> {
     out
 }
 
+/// Full serving sweep over BERT-Large: offered load × batch window with
+/// certification on every launch, spliced into the `serving` block of
+/// `BENCH_cosim.json` without touching the cosim fields.
+fn emit_serve() -> Vec<String> {
+    let result = serving_bench::measure_serving(24, 120, 7);
+    assert!(
+        result.reproducible,
+        "serving sweep must reproduce from its seed"
+    );
+    let mut out = serving_bench::lines_for(&result);
+    let existing = std::fs::read_to_string("BENCH_cosim.json").unwrap_or_else(|_| "{}\n".into());
+    let spliced = serving_bench::splice_serving(&existing, &result.to_json());
+    match std::fs::write("BENCH_cosim.json", spliced) {
+        Ok(()) => out.push("spliced serving block into BENCH_cosim.json".to_string()),
+        Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
+    }
+    out
+}
+
+/// Fast serving smoke for CI (`scripts/tier1.sh`): a 4-encoder model over
+/// a short horizon with the same certification, backpressure, fairness,
+/// and bit-reproducibility assertions as the full sweep. Writes nothing.
+fn smoke_serve() -> Vec<String> {
+    let result = serving_bench::measure_serving(4, 12, 9);
+    assert!(
+        result.sweep.iter().all(|p| p.all_certified) && result.burst_certified,
+        "every serving launch must certify"
+    );
+    assert!(
+        result.overload.shed > 0,
+        "overload must exercise backpressure"
+    );
+    assert!(
+        result.reproducible,
+        "serving sweep must reproduce from its seed"
+    );
+    let mut out = serving_bench::lines_for(&result);
+    out.push("smoke OK (no files written)".to_string());
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
-    // The smoke section is a CI-only subset of bench-cosim; a full run
-    // already covers it, so it only fires when named explicitly.
-    let want = |name: &str| args.iter().any(|a| a == name) || (all && name != "bench-cosim-smoke");
+    // Smoke sections are CI-only subsets of their full runs; they only
+    // fire when named explicitly.
+    let want = |name: &str| args.iter().any(|a| a == name) || (all && !name.ends_with("-smoke"));
 
     type Section<'a> = (&'a str, &'a str, Box<dyn Fn() -> Vec<String>>);
     let sections: Vec<Section> = vec![
@@ -172,6 +213,16 @@ fn main() {
             "profile",
             "Profile — plan-vs-actual conformance of a datapath launch (writes trace_profile.trace.json)",
             Box::new(tsm_bench::profile_cli::lines),
+        ),
+        (
+            "serve",
+            "Serve — BERT tail latency vs offered load × batch window (updates the serving block of BENCH_cosim.json)",
+            Box::new(emit_serve),
+        ),
+        (
+            "serve-smoke",
+            "Serve — fast serving smoke (certification + reproducibility asserts, no files)",
+            Box::new(smoke_serve),
         ),
     ];
 

@@ -483,7 +483,7 @@ impl CosimBenchResult {
 
 /// Re-indents every line after the first by `n` extra spaces, so a
 /// pretty-printed sub-object nests readably inside the bench record.
-fn indent_block(s: &str, n: usize) -> String {
+pub(crate) fn indent_block(s: &str, n: usize) -> String {
     let pad = " ".repeat(n);
     let mut out = String::with_capacity(s.len());
     for (i, line) in s.lines().enumerate() {

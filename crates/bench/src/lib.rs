@@ -11,3 +11,4 @@ pub mod ablations;
 pub mod cosim_bench;
 pub mod figures;
 pub mod profile_cli;
+pub mod serving_bench;

@@ -22,14 +22,24 @@
 //! ```
 
 pub mod cosim;
+pub mod launch;
 pub mod report;
 pub mod runtime;
+pub mod serving;
 pub mod system;
 
 pub use cosim::{
     compile_plan, run_transfers, run_transfers_serial, CompiledPlan, CosimError, CosimReport,
     CosimTransfer, LinkFaultModel, PlanExecutor, TargetedFlip, TransferShape,
 };
+pub use launch::{
+    Admission, AlignmentWindow, AttemptSuccess, CompileDecision, ExecuteFailure, LaunchEngine,
+    Recovery,
+};
 pub use report::ExecutionReport;
 pub use runtime::{graph_fingerprint, ExecMode, LaunchOutcome, Runtime, RuntimeError, SparePolicy};
+pub use serving::{
+    AdmitError, BatchRecord, Request, RequestOutcome, ServeConfig, ServeReport, Server,
+    TenantStats, WorkQueue,
+};
 pub use system::{System, SystemConfig, SystemError};

@@ -24,28 +24,27 @@
 //!   crossing its link's BER channel. Single-bit flips are corrected in
 //!   situ by the receiver FEC and the delivered bytes are verified
 //!   bit-for-bit against the manifest; an uncorrectable error aborts the
-//!   attempt as [`CosimError::Uncorrectable`] and drives the same
+//!   attempt as [`CosimError::Uncorrectable`](crate::cosim::CosimError::Uncorrectable)
+//!   and drives the same
 //!   replay/blame/failover machinery. Any launch that completes — after
 //!   any number of replays and failovers — leaves destination SRAM
 //!   bit-identical to a fault-free run, because corrupted attempts never
 //!   contribute bytes and corrected ones are verified exact.
 
-use crate::cosim::{compile_plan, CompiledPlan, CosimError, LinkFaultModel, TransferShape};
+use crate::cosim::{compile_plan, CompiledPlan, TransferShape};
+use crate::launch::LaunchEngine;
 use crate::system::System;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tsm_chip::exec::Payload;
 use tsm_compiler::graph::{Graph, OpKind};
-use tsm_compiler::schedule::{CompileOptions, CompiledProgram};
-use tsm_fault::inject::{inject_schedule_with, FecStats};
-use tsm_fault::replay::{run_with_replay_fallible, FallibleReplayOutcome, ReplayPolicy};
-use tsm_fault::spare::{SpareError, SparePlan};
+use tsm_compiler::schedule::CompiledProgram;
+use tsm_fault::inject::FecStats;
+use tsm_fault::spare::SparePlan;
 use tsm_isa::vector::VECTOR_BYTES;
 use tsm_isa::Vector;
 use tsm_topology::{LinkId, NodeId, TspId};
-use tsm_trace::{names, EventKind, Metrics, RunMetrics, TraceSink, Tracer, RUNTIME_LANE};
+use tsm_trace::{names, RunMetrics, TraceSink};
 
 /// Which spare-provisioning policy the deployment uses (paper §4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,8 +129,9 @@ impl std::error::Error for RuntimeError {}
 ///
 /// All tallies live in [`LaunchOutcome::metrics`] — one source of truth —
 /// and the old standalone fields (`fec`, `fec_total`, `attempts`,
-/// `compiles`, `reuses`) are views over it.
-#[derive(Debug, Clone)]
+/// `compiles`, `reuses`) are views over it. `PartialEq` compares every
+/// field, which is what the launch-vs-serve identity tests lean on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchOutcome {
     /// The launch's full metrics snapshot: `runtime.*` counters
     /// (attempts/replays/compiles/reuses/blame votes/failovers),
@@ -152,6 +152,11 @@ pub struct LaunchOutcome {
     /// run of the same graph by the determinism guarantee. Empty in
     /// statistical mode.
     pub dst_digests: Vec<u64>,
+    /// Virtual width of the whole launch on the trace timeline: the
+    /// alignment window plus one `span+gap` window per attempt, measured
+    /// from the launch's base cycle to its `LaunchEnd` event. The serving
+    /// frontend uses this as the service time of a batch.
+    pub timeline_cycles: u64,
 }
 
 impl LaunchOutcome {
@@ -199,9 +204,9 @@ impl LaunchOutcome {
 /// fault-free and faulty launches move identical data — the basis of the
 /// bit-identical guarantee.
 #[derive(Debug)]
-struct DatapathArtifact {
-    plan: CompiledPlan,
-    payloads: Vec<Vec<Payload>>,
+pub(crate) struct DatapathArtifact {
+    pub(crate) plan: CompiledPlan,
+    pub(crate) payloads: Vec<Vec<Payload>>,
 }
 
 /// The compiled artifact of one logical graph against one
@@ -209,48 +214,48 @@ struct DatapathArtifact {
 /// relaunches without recompiling (the paper's deployments run one
 /// compiled schedule thousands of times, §5).
 #[derive(Debug)]
-struct CompiledCache {
+pub(crate) struct CompiledCache {
     /// Fingerprint of the logical graph the program was compiled from.
-    graph_fp: u64,
+    pub(crate) graph_fp: u64,
     /// Mapping epoch the compile was valid for.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// The compiled program.
-    program: CompiledProgram,
+    pub(crate) program: CompiledProgram,
     /// Present when the cache was filled in [`ExecMode::Datapath`].
-    datapath: Option<DatapathArtifact>,
+    pub(crate) datapath: Option<DatapathArtifact>,
 }
 
 /// The runtime: a system plus its spare plan, health state, and the
 /// physical-fault model the health monitor observes.
 #[derive(Debug)]
 pub struct Runtime {
-    system: System,
-    plan: SparePlan,
+    pub(crate) system: System,
+    pub(crate) plan: SparePlan,
     /// Links with a degraded BER (marginal cables, paper §4.5). Injected
     /// by tests/operators; discovered by the health monitor at runtime.
-    marginal_links: HashSet<LinkId>,
+    pub(crate) marginal_links: HashSet<LinkId>,
     /// BER of healthy links.
-    base_ber: f64,
+    pub(crate) base_ber: f64,
     /// BER of marginal links.
-    marginal_ber: f64,
+    pub(crate) marginal_ber: f64,
     /// Replays to attempt before declaring a fault persistent.
-    max_replays: u32,
+    pub(crate) max_replays: u32,
     /// How launches exercise the fabric.
-    mode: ExecMode,
+    pub(crate) mode: ExecMode,
     /// Bumped every time a failover changes the logical→physical mapping;
     /// invalidates [`CompiledCache`] entries from earlier epochs.
-    mapping_epoch: u64,
+    pub(crate) mapping_epoch: u64,
     /// The last compiled program, reused while graph and mapping are
     /// unchanged.
-    compiled: Option<CompiledCache>,
+    pub(crate) compiled: Option<CompiledCache>,
     /// The payload-binding executor (datapath mode); chip simulators are
     /// reset, not rebuilt, across attempts and launches.
-    executor: crate::cosim::PlanExecutor,
+    pub(crate) executor: crate::cosim::PlanExecutor,
     /// Where launch-lifecycle trace events go. Shared with the executor so
     /// one faulty launch renders as a single timeline: runtime lane events
     /// (compile, replay epochs, blame, failover) interleaved with the
     /// per-chip spans and link flips of each attempt.
-    sink: Option<Arc<dyn TraceSink>>,
+    pub(crate) sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Runtime {
@@ -368,322 +373,27 @@ impl Runtime {
     /// Launches a logical-device program: align, compile against the
     /// current mapping, execute with health monitoring, and recover from
     /// faults by replay and failover.
+    ///
+    /// Since the staged-pipeline refactor this is a thin compatibility
+    /// wrapper over [`LaunchEngine`] — admission → mapping/alignment →
+    /// compile-or-reuse → execute → recover, each stage a separately
+    /// callable (and separately tested) method. Outcomes are bit-identical
+    /// to the pre-refactor monolith.
     pub fn launch(&mut self, logical: &Graph, seed: u64) -> Result<LaunchOutcome, RuntimeError> {
-        let alignment_cycles = self.system.plan_alignment().overhead_cycles;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut attempts = 0u32;
-        let mut failovers = Vec::new();
-        let metrics = Metrics::default();
-        // Per-attempt executor snapshots (per-link FEC cells, cosim
-        // counters) absorbed across the launch; folded with `metrics` into
-        // the outcome at the end.
-        let mut attempt_metrics = RunMetrics::default();
-        let graph_fp = graph_fingerprint(logical);
-
-        // The launch timeline is virtual simulated time: the alignment
-        // window first, then one window of `span_cycles` (plus a fixed
-        // presentation gap) per attempt. The executor's trace offset is
-        // re-aimed at each window so a replay's chip spans land after the
-        // aborted attempt's — one faulty launch reads left-to-right as
-        // flip → blame → failover → recompile → bit-identical replay.
-        let sink = self.sink.clone();
-        let mut tracer = Tracer::new(sink.as_deref());
-        let mut clock = 0u64;
-        tracer.instant(0, RUNTIME_LANE, EventKind::LaunchBegin { graph_fp });
-        if alignment_cycles > 0 {
-            tracer.span(0, alignment_cycles, RUNTIME_LANE, EventKind::Align);
-            clock = alignment_cycles;
-        }
-
-        loop {
-            // Compile only when the graph or the logical→physical mapping
-            // changed since the cached compile (or the cache lacks the
-            // datapath artifacts this mode needs); a relaunch of an
-            // unchanged program reuses the artifact outright.
-            let cache_current = matches!(
-                &self.compiled,
-                Some(c) if c.graph_fp == graph_fp
-                    && c.epoch == self.mapping_epoch
-                    && (self.mode == ExecMode::Statistical || c.datapath.is_some())
-            );
-            if cache_current {
-                metrics.inc(names::RT_REUSES, 1);
-                tracer.instant(
-                    clock,
-                    RUNTIME_LANE,
-                    EventKind::Reuse {
-                        epoch: self.mapping_epoch,
-                    },
-                );
-            } else {
-                let physical = self.remap(logical);
-                let program = self
-                    .system
-                    .compile(&physical, CompileOptions::default())
-                    .map_err(|e| RuntimeError::Compile(e.to_string()))?;
-                let datapath = match self.mode {
-                    ExecMode::Statistical => None,
-                    ExecMode::Datapath => Some(self.compile_datapath(&physical)?),
-                };
-                metrics.inc(names::RT_COMPILES, 1);
-                tracer.instant(
-                    clock,
-                    RUNTIME_LANE,
-                    EventKind::Compile {
-                        epoch: self.mapping_epoch,
-                    },
-                );
-                self.compiled = Some(CompiledCache {
-                    graph_fp,
-                    epoch: self.mapping_epoch,
-                    program,
-                    datapath,
-                });
-            }
-
-            // Replay budget against the current hardware mapping. The
-            // scope confines the cache borrow so the blame/failover path
-            // below can take `&mut self`.
-            let attempt_outcome = {
-                let cache = self.compiled.as_ref().expect("compiled above");
-                let span_cycles = cache.program.span_cycles;
-                // Trace-timeline width of one attempt's window.
-                let window = span_cycles.max(1) + EPOCH_GAP_CYCLES;
-                match self.mode {
-                    ExecMode::Statistical => {
-                        let mut culprit_links: Vec<LinkId> = Vec::new();
-                        let mut success = None;
-                        for _ in 0..=self.max_replays {
-                            attempts += 1;
-                            metrics.inc(names::RT_ATTEMPTS, 1);
-                            if attempts > 1 {
-                                metrics.inc(names::RT_REPLAYS, 1);
-                            }
-                            tracer.span(
-                                clock,
-                                span_cycles.max(1),
-                                RUNTIME_LANE,
-                                EventKind::ReplayEpoch {
-                                    attempt: attempts - 1,
-                                },
-                            );
-                            let (stats, culprits) = inject_schedule_with(
-                                self.system.topology(),
-                                cache.program.occupancy.reservations(),
-                                |l| {
-                                    if self.marginal_links.contains(&l) {
-                                        self.marginal_ber
-                                    } else {
-                                        self.base_ber
-                                    }
-                                },
-                                &mut rng,
-                            );
-                            stats.record_into(&metrics);
-                            clock += window;
-                            if stats.is_clean_run() {
-                                success = Some((stats, Vec::new()));
-                                break;
-                            }
-                            culprit_links = culprits;
-                        }
-                        match success {
-                            Some((fec, digests)) => Ok((fec, digests, span_cycles)),
-                            None => Err(culprit_links),
-                        }
-                    }
-                    ExecMode::Datapath => {
-                        let art = cache
-                            .datapath
-                            .as_ref()
-                            .expect("datapath artifacts compiled above");
-                        let per_link: HashMap<LinkId, f64> = self
-                            .marginal_links
-                            .iter()
-                            .map(|&l| (l, self.marginal_ber))
-                            .collect();
-                        let base_ber = self.base_ber;
-                        let executor = &mut self.executor;
-                        let mut culprit_links: Vec<LinkId> = Vec::new();
-                        let mut fatal: Option<RuntimeError> = None;
-                        let outcome = run_with_replay_fallible(
-                            ReplayPolicy {
-                                max_replays: self.max_replays,
-                            },
-                            |_| {
-                                if fatal.is_some() {
-                                    return Err(());
-                                }
-                                attempts += 1;
-                                metrics.inc(names::RT_ATTEMPTS, 1);
-                                if attempts > 1 {
-                                    metrics.inc(names::RT_REPLAYS, 1);
-                                }
-                                tracer.span(
-                                    clock,
-                                    span_cycles.max(1),
-                                    RUNTIME_LANE,
-                                    EventKind::ReplayEpoch {
-                                        attempt: attempts - 1,
-                                    },
-                                );
-                                // The executor's events land inside this
-                                // attempt's window on the launch timeline.
-                                executor.set_trace_offset(clock);
-                                // Each attempt corrupts independently; the
-                                // flip pattern is a pure function of
-                                // (launch seed, attempt, link, vector).
-                                let faults = LinkFaultModel {
-                                    base_ber,
-                                    per_link: per_link.clone(),
-                                    seed: mix64(seed, attempts as u64),
-                                    targeted: Vec::new(),
-                                };
-                                let result =
-                                    executor.execute_with_faults(&art.plan, &art.payloads, &faults);
-                                clock += window;
-                                match result {
-                                    Ok(report) => {
-                                        let fec = report.fec();
-                                        attempt_metrics.absorb(&report.metrics);
-                                        Ok((fec, report.dst_digests))
-                                    }
-                                    Err(CosimError::Uncorrectable { fec, culprits, .. }) => {
-                                        fec.record_into(&metrics);
-                                        culprit_links.extend(culprits);
-                                        Err(())
-                                    }
-                                    Err(e) => {
-                                        fatal = Some(RuntimeError::Execution(e.to_string()));
-                                        Err(())
-                                    }
-                                }
-                            },
-                        );
-                        if let Some(e) = fatal {
-                            return Err(e);
-                        }
-                        match outcome {
-                            FallibleReplayOutcome::Recovered {
-                                value: (fec, digests),
-                                ..
-                            } => Ok((fec, digests, span_cycles)),
-                            FallibleReplayOutcome::Persistent { .. } => Err(culprit_links),
-                        }
-                    }
-                }
-            };
-
-            match attempt_outcome {
-                Ok((fec, dst_digests, span_cycles)) => {
-                    metrics.inc(names::FINAL_CLEAN, fec.clean);
-                    metrics.inc(names::FINAL_CORRECTED, fec.corrected);
-                    metrics.inc(names::FINAL_UNCORRECTABLE, fec.uncorrectable);
-                    tracer.instant(clock, RUNTIME_LANE, EventKind::LaunchEnd { attempts });
-                    let mut all = attempt_metrics;
-                    all.absorb(&metrics.snapshot());
-                    return Ok(LaunchOutcome {
-                        metrics: all,
-                        failovers,
-                        alignment_cycles,
-                        span_cycles,
-                        dst_digests,
-                    });
-                }
-                Err(culprit_links) => {
-                    // Persistent fault: vote, fail over, recompile, replay.
-                    self.blame_and_fail_over(
-                        &culprit_links,
-                        &mut failovers,
-                        &metrics,
-                        &mut tracer,
-                        clock,
-                    )?;
-                }
-            }
-        }
+        self.launch_at(logical, seed, 0)
     }
 
-    /// The health monitor's blame vote (paper §4.5): every culprit link
-    /// implicates both its endpoint nodes, and the most implicated
-    /// *replaceable* node is swapped for a spare ("replace a marginal
-    /// cable … or TSP card" — at runtime granularity, the node).
-    ///
-    /// Distinguishes two failure shapes the old code conflated into
-    /// `OutOfSpares`: spares genuinely exhausted vs. blame landing only on
-    /// nodes outside the logical mapping (spares, already-failed nodes) —
-    /// the latter is [`RuntimeError::BlameFailed`], so operators don't
-    /// burn healthy spares chasing it.
-    fn blame_and_fail_over(
+    /// [`Runtime::launch`] with the launch's trace timeline based at cycle
+    /// `base` instead of 0. The serving frontend uses this to place each
+    /// batch's launch at its dispatch cycle, so a whole serving run renders
+    /// as one coherent timeline; with `base == 0` it is exactly `launch`.
+    pub fn launch_at(
         &mut self,
-        culprit_links: &[LinkId],
-        failovers: &mut Vec<NodeId>,
-        metrics: &Metrics,
-        tracer: &mut Tracer<'_>,
-        at: u64,
-    ) -> Result<(), RuntimeError> {
-        let mut votes: HashMap<NodeId, usize> = HashMap::new();
-        for &l in culprit_links {
-            let link = self.system.topology().link(l);
-            *votes.entry(link.a.node()).or_insert(0) += 1;
-            *votes.entry(link.b.node()).or_insert(0) += 1;
-        }
-        let mut candidates: Vec<(NodeId, usize)> = votes.into_iter().collect();
-        candidates.sort_by_key(|&(n, count)| (std::cmp::Reverse(count), n));
-        for (blame, count) in candidates {
-            match self.plan.fail_over(self.system.topology_mut(), blame) {
-                Ok(_) => {
-                    failovers.push(blame);
-                    // The logical→physical mapping changed: cached
-                    // compiles are stale from here on.
-                    self.mapping_epoch += 1;
-                    // One blame event and one failover event per executed
-                    // failover — the candidates that were skipped above
-                    // never changed anything, so they don't trace.
-                    metrics.inc(names::RT_BLAME_VOTES, 1);
-                    metrics.inc(names::RT_FAILOVERS, 1);
-                    tracer.instant(
-                        at,
-                        RUNTIME_LANE,
-                        EventKind::BlameVote {
-                            node: blame.0,
-                            votes: count as u32,
-                        },
-                    );
-                    tracer.instant(
-                        at,
-                        RUNTIME_LANE,
-                        EventKind::Failover {
-                            node: blame.0,
-                            epoch: self.mapping_epoch,
-                        },
-                    );
-                    return Ok(());
-                }
-                // The spare pool is shared: once empty for one candidate,
-                // it is empty for all.
-                Err(SpareError::NoSpareAvailable) => {
-                    return Err(RuntimeError::OutOfSpares {
-                        nodes_failed: failovers.len(),
-                    })
-                }
-                // This candidate is not a mapped node (a spare's own
-                // cables, or an already-failed node): try the next.
-                Err(_) => continue,
-            }
-        }
-        // No candidate was replaceable. If spares remain, replacing one
-        // would not clear the fault — report the blame failure itself.
-        if self.plan.spares_left() == 0 {
-            Err(RuntimeError::OutOfSpares {
-                nodes_failed: failovers.len(),
-            })
-        } else {
-            Err(RuntimeError::BlameFailed {
-                spares_left: self.plan.spares_left(),
-                culprits: culprit_links.to_vec(),
-            })
-        }
+        logical: &Graph,
+        seed: u64,
+        base: u64,
+    ) -> Result<LaunchOutcome, RuntimeError> {
+        LaunchEngine::new(self, logical, seed).with_base(base).run()
     }
 
     /// The number of times a failover has changed the logical→physical
@@ -693,7 +403,7 @@ impl Runtime {
     }
 
     /// Rewrites a logical-device graph onto the current physical mapping.
-    fn remap(&self, logical: &Graph) -> Graph {
+    pub(crate) fn remap(&self, logical: &Graph) -> Graph {
         let mut g = Graph::new();
         for node in logical.nodes() {
             let device = self.plan.physical_tsp(node.device);
@@ -725,7 +435,10 @@ impl Runtime {
     /// the mapping — so every run of the same logical graph moves the
     /// same bits, which is what makes "bit-identical to a fault-free run"
     /// a checkable property rather than a tautology.
-    fn compile_datapath(&self, physical: &Graph) -> Result<DatapathArtifact, RuntimeError> {
+    pub(crate) fn compile_datapath(
+        &self,
+        physical: &Graph,
+    ) -> Result<DatapathArtifact, RuntimeError> {
         let mut shapes: Vec<TransferShape> = Vec::new();
         let mut src_next: HashMap<TspId, u32> = HashMap::new();
         let mut dst_next: HashMap<TspId, u32> = HashMap::new();
@@ -779,7 +492,7 @@ impl Runtime {
 /// Trace-timeline gap rendered between consecutive attempt windows so
 /// adjacent replay epochs don't visually abut in Perfetto. Purely
 /// presentational: no simulated quantity depends on it.
-const EPOCH_GAP_CYCLES: u64 = 64;
+pub(crate) const EPOCH_GAP_CYCLES: u64 = 64;
 
 /// SRAM slice holding datapath source vectors.
 const DATAPATH_SRC_SLICE: u8 = 0;
@@ -798,7 +511,7 @@ fn synthetic_vector(t: u32, v: u32) -> Vector {
 }
 
 /// Word-combining mix for deriving per-attempt fault seeds.
-fn mix64(a: u64, b: u64) -> u64 {
+pub(crate) fn mix64(a: u64, b: u64) -> u64 {
     (0xcbf2_9ce4_8422_2325u64 ^ a)
         .wrapping_mul(0x100_0000_01b3)
         .wrapping_add(b)
@@ -997,46 +710,6 @@ mod tests {
         let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerRack);
         assert_eq!(rt.spare_plan().spares_left(), 1);
         assert_eq!(rt.logical_tsps(), 24);
-    }
-
-    /// Blame voting that lands only on unmapped nodes (here: the spare's
-    /// own intra-node cables) is a distinct failure from spare
-    /// exhaustion: spares remain, and swapping one would not clear the
-    /// fault.
-    #[test]
-    fn blame_failure_with_spares_left_is_not_out_of_spares() {
-        let mut rt = runtime();
-        // Links internal to node 3 — the per-system spare, which is not in
-        // the logical mapping.
-        let spare_links: Vec<LinkId> = rt
-            .system
-            .topology()
-            .links()
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.a.node() == NodeId(3) && l.b.node() == NodeId(3))
-            .map(|(i, _)| LinkId(i as u32))
-            .collect();
-        assert!(!spare_links.is_empty());
-        let mut failovers = Vec::new();
-        let metrics = Metrics::default();
-        let mut tracer = Tracer::new(None);
-        let err = rt
-            .blame_and_fail_over(&spare_links, &mut failovers, &metrics, &mut tracer, 0)
-            .unwrap_err();
-        match err {
-            RuntimeError::BlameFailed {
-                spares_left,
-                culprits,
-            } => {
-                assert_eq!(spares_left, 1);
-                assert_eq!(culprits, spare_links);
-            }
-            other => panic!("expected BlameFailed, got {other:?}"),
-        }
-        assert!(failovers.is_empty());
-        // the spare was NOT consumed by the failed blame
-        assert_eq!(rt.spare_plan().spares_left(), 1);
     }
 
     /// Datapath mode on a healthy fabric: real payloads stream through the

@@ -1,0 +1,785 @@
+//! Deterministic multi-tenant serving frontend over the staged launch
+//! pipeline.
+//!
+//! The paper's deployments run one compiled schedule thousands of times
+//! under sustained traffic (§5); what matters there is tail latency under
+//! open-loop load, not peak throughput. This module puts a request queue
+//! in front of [`LaunchEngine`](crate::launch::LaunchEngine):
+//!
+//! - [`WorkQueue`] — totally ordered by `(priority, deadline,
+//!   insertion_seq)`, with [`WorkQueue::try_push`] backpressure and
+//!   admission control (queue capacity + per-tenant quota).
+//! - [`Server`] — a virtual-time discrete-event loop: seeded, no wall
+//!   clock anywhere, so a whole serving run is bit-reproducible from its
+//!   config. Requests batch into launches under a configurable batch
+//!   window; each batch dispatches through [`Runtime::launch_at`] at its
+//!   dispatch cycle and its service time is the launch's
+//!   [`LaunchOutcome::timeline_cycles`](crate::runtime::LaunchOutcome::timeline_cycles).
+//! - Per-request enqueue→complete latency lands in
+//!   [`CycleHistogram`]s (global and per-tenant) and as
+//!   `Request*`/`Batch*` events on [`SERVING_LANE`], kept off the chip
+//!   and runtime lanes so launch traces stay comparable with or without
+//!   a frontend.
+//!
+//! # Batch-window semantics
+//!
+//! The window opens when a request enters an *empty* queue at cycle `c`:
+//! the next dispatch happens at `max(server_free_at, c + batch_window)`.
+//! A dispatch pops the queue head and folds in successive same-model
+//! requests (up to `max_batch`), never reordering past a
+//! different-model entry — strict queue order is preserved.
+
+use crate::runtime::{mix64, ExecMode, Runtime, RuntimeError};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
+use tsm_compiler::graph::Graph;
+use tsm_trace::profile::profile;
+use tsm_trace::{
+    names, CycleHistogram, EventKind, Metrics, RingSink, RunMetrics, Tracer, SERVING_LANE,
+};
+
+/// Why admission control rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity.
+    QueueFull,
+    /// The tenant already holds its full quota of queued requests.
+    TenantOverQuota,
+}
+
+/// One queue entry; ordered by `(priority, deadline, seq)`. `seq` is
+/// unique, so the order is total.
+#[derive(Debug, Clone)]
+struct Queued<T> {
+    priority: u8,
+    deadline: u64,
+    seq: u64,
+    tenant: u32,
+    item: T,
+}
+
+impl<T> Queued<T> {
+    fn key(&self) -> (u8, u64, u64) {
+        (self.priority, self.deadline, self.seq)
+    }
+}
+
+impl<T> PartialEq for Queued<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Queued<T> {}
+impl<T> PartialOrd for Queued<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Queued<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A bounded priority queue totally ordered by
+/// `(priority, deadline, insertion_seq)` — lower priority value first,
+/// earlier deadline first, FIFO within ties. Admission control is
+/// explicit: [`WorkQueue::try_push`] refuses (backpressure) instead of
+/// growing without bound, and a per-tenant quota keeps one bursting
+/// tenant from squeezing everyone else out of the queue.
+#[derive(Debug, Clone)]
+pub struct WorkQueue<T> {
+    heap: BinaryHeap<Reverse<Queued<T>>>,
+    capacity: usize,
+    tenant_quota: usize,
+    per_tenant: HashMap<u32, usize>,
+    next_seq: u64,
+}
+
+impl<T> WorkQueue<T> {
+    /// An empty queue admitting at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        WorkQueue {
+            heap: BinaryHeap::new(),
+            capacity,
+            tenant_quota: usize::MAX,
+            per_tenant: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Caps any single tenant's queued entries (builder style).
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota;
+        self
+    }
+
+    /// Admits an entry, or refuses with the reason. Refused entries cost
+    /// nothing and leave the queue unchanged.
+    pub fn try_push(
+        &mut self,
+        priority: u8,
+        deadline: u64,
+        tenant: u32,
+        item: T,
+    ) -> Result<(), AdmitError> {
+        if self.heap.len() >= self.capacity {
+            return Err(AdmitError::QueueFull);
+        }
+        let count = self.per_tenant.entry(tenant).or_insert(0);
+        if *count >= self.tenant_quota {
+            return Err(AdmitError::TenantOverQuota);
+        }
+        *count += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Queued {
+            priority,
+            deadline,
+            seq,
+            tenant,
+            item,
+        }));
+        Ok(())
+    }
+
+    /// Removes and returns the least entry in the total order.
+    pub fn pop(&mut self) -> Option<T> {
+        let q = self.heap.pop()?.0;
+        *self
+            .per_tenant
+            .get_mut(&q.tenant)
+            .expect("tenant counted on push") -= 1;
+        Some(q.item)
+    }
+
+    /// The least entry, without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|r| &r.0.item)
+    }
+
+    /// Queued entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// One offered inference request, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival cycle.
+    pub at: u64,
+    /// Tenant the request belongs to (fairness accounting key).
+    pub tenant: u32,
+    /// Model id, as returned by [`Server::add_model`].
+    pub model: u32,
+    /// Priority class; lower is more urgent.
+    pub priority: u8,
+    /// Cycles after arrival by which the tenant wants the answer;
+    /// `deadline = at + deadline_slack` is the queue-ordering key after
+    /// priority. Purely an ordering input — nothing is cancelled at the
+    /// deadline.
+    pub deadline_slack: u64,
+}
+
+/// Serving knobs. Everything is virtual cycles and seeds — a
+/// [`Server::serve`] run is a pure function of `(config, offered
+/// requests, runtime state)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Cycles the dispatcher waits after a request enters an empty queue
+    /// before launching, hoping to batch followers. 0 = dispatch as soon
+    /// as the server is free.
+    pub batch_window: u64,
+    /// Most requests folded into one launch.
+    pub max_batch: usize,
+    /// Work-queue admission capacity.
+    pub queue_capacity: usize,
+    /// Per-tenant cap on queued requests ([`AdmitError::TenantOverQuota`]).
+    pub tenant_quota: usize,
+    /// Base seed; batch `i`'s launch seed is derived from it (recorded in
+    /// [`BatchRecord::seed`]).
+    pub seed: u64,
+    /// Certify every launch against the conformance profiler
+    /// ([`tsm_trace::profile`]). Requires [`ExecMode::Datapath`]. Each
+    /// launch then runs base-0 into a private scratch sink (the serving
+    /// timeline keeps only the `Request*`/`Batch*` events), and
+    /// [`BatchRecord::certified`] reports the verdict.
+    pub certify: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_window: 0,
+            max_batch: 8,
+            queue_capacity: 64,
+            tenant_quota: usize::MAX,
+            seed: 0,
+            certify: false,
+        }
+    }
+}
+
+/// What happened to one offered request, indexed as offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Admission control refused it.
+    Shed,
+    /// Served in `batch`, completing at `completion` with
+    /// enqueue→complete `latency` cycles.
+    Served {
+        /// Batch index that carried the request.
+        batch: u32,
+        /// Completion cycle.
+        completion: u64,
+        /// Enqueue→complete latency in cycles.
+        latency: u64,
+    },
+}
+
+/// One dispatched batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Monotone batch index within the serve run.
+    pub batch: u32,
+    /// Model the batch ran.
+    pub model: u32,
+    /// Requests folded in.
+    pub size: u32,
+    /// Dispatch cycle.
+    pub dispatch: u64,
+    /// Completion cycle (`dispatch + ` the launch's timeline width).
+    pub completion: u64,
+    /// The launch seed used — relaunching the model graph with this seed
+    /// reproduces the batch's [`LaunchOutcome`](crate::LaunchOutcome)
+    /// exactly (the launch-vs-serve identity tests do).
+    pub seed: u64,
+    /// Execution attempts the launch consumed (1 = clean first try).
+    pub attempts: u32,
+    /// Conformance verdict when [`ServeConfig::certify`] was on.
+    pub certified: Option<bool>,
+    /// The batch's full launch record — by the engine's determinism,
+    /// bit-identical to `Runtime::launch(graph, seed)` standalone (the
+    /// `serve_identity` suite asserts it).
+    pub outcome: crate::runtime::LaunchOutcome,
+}
+
+/// Per-tenant fairness accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests the tenant offered.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Enqueue→complete latency distribution of the served requests.
+    pub latency: CycleHistogram,
+}
+
+/// The complete, comparable record of one [`Server::serve`] run.
+/// `PartialEq` compares everything — two runs of the same config over the
+/// same offered load must be `==` (asserted by the reproducibility tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Per-request outcome, indexed as offered.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Global enqueue→complete latency distribution.
+    pub latency: CycleHistogram,
+    /// Per-tenant accounting, ascending tenant id.
+    pub tenants: Vec<TenantStats>,
+    /// Cycle of the last completion (0 when nothing was served).
+    pub makespan: u64,
+    /// `serve.*` counters/histograms plus the deepest queue depth seen.
+    pub metrics: RunMetrics,
+}
+
+/// A model registered with the server: a builder from batch size to the
+/// logical graph that serves it.
+type ModelBuilder = Box<dyn Fn(u32) -> Graph>;
+
+/// The deterministic serving frontend: a [`WorkQueue`] feeding batches
+/// into one [`Runtime`].
+pub struct Server {
+    rt: Runtime,
+    cfg: ServeConfig,
+    models: Vec<ModelBuilder>,
+}
+
+impl Server {
+    /// Wraps `rt` with serving config `cfg`. Register models with
+    /// [`Server::add_model`] before serving.
+    pub fn new(rt: Runtime, cfg: ServeConfig) -> Self {
+        Server {
+            rt,
+            cfg,
+            models: Vec::new(),
+        }
+    }
+
+    /// Registers a model: `builder(batch)` must return the logical graph
+    /// serving a batch of that size. Returns the model id requests name.
+    pub fn add_model(&mut self, builder: impl Fn(u32) -> Graph + 'static) -> u32 {
+        self.models.push(Box::new(builder));
+        (self.models.len() - 1) as u32
+    }
+
+    /// The serving config.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The wrapped runtime (inspection).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// The wrapped runtime, mutable (e.g. to degrade links mid-story).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// Unwraps the runtime.
+    pub fn into_runtime(self) -> Runtime {
+        self.rt
+    }
+
+    /// Serves an offered request timeline to completion and returns the
+    /// full run record. Requests are processed in arrival order (stable
+    /// for equal cycles); arrivals strictly before a pending dispatch
+    /// point are enqueued first, so a request can join a batch window
+    /// that is still open.
+    ///
+    /// Pure virtual time: the same `(config, offered, runtime)` always
+    /// produces the same report, bit for bit.
+    pub fn serve(&mut self, offered: &[Request]) -> Result<ServeReport, RuntimeError> {
+        if self.cfg.certify && self.rt.exec_mode() != ExecMode::Datapath {
+            return Err(RuntimeError::Execution(
+                "certify requires ExecMode::Datapath (statistical launches carry no delivery manifest)"
+                    .into(),
+            ));
+        }
+        // Arrival order, stable across equal cycles.
+        let mut order: Vec<usize> = (0..offered.len()).collect();
+        order.sort_by_key(|&i| offered[i].at);
+
+        let metrics = Metrics::default();
+        let user_sink = self.rt.sink.clone();
+        let mut stracer = Tracer::new(user_sink.as_deref());
+
+        #[derive(Debug, Clone, Copy)]
+        struct Pending {
+            id: u32,
+            model: u32,
+            tenant: u32,
+            arrival: u64,
+        }
+        let mut queue: WorkQueue<Pending> =
+            WorkQueue::new(self.cfg.queue_capacity).with_tenant_quota(self.cfg.tenant_quota);
+
+        let mut outcomes = vec![RequestOutcome::Shed; offered.len()];
+        let mut tenants: BTreeMap<u32, TenantStats> = BTreeMap::new();
+        fn tenant_entry(tenants: &mut BTreeMap<u32, TenantStats>, t: u32) -> &mut TenantStats {
+            tenants.entry(t).or_insert_with(|| TenantStats {
+                tenant: t,
+                offered: 0,
+                served: 0,
+                shed: 0,
+                latency: CycleHistogram::default(),
+            })
+        }
+
+        let mut latency = CycleHistogram::default();
+        let mut batches: Vec<BatchRecord> = Vec::new();
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut makespan = 0u64;
+        let mut max_depth = 0u64;
+        let mut server_free_at = 0u64;
+        // Opens when a request enters an empty queue; dispatch happens at
+        // `max(server_free_at, window_deadline)`.
+        let mut window_deadline = 0u64;
+        let mut next = 0usize; // cursor into `order`
+
+        loop {
+            let dispatch_at = if queue.is_empty() {
+                None
+            } else {
+                Some(server_free_at.max(window_deadline))
+            };
+            let arrival_now = match (next < order.len(), dispatch_at) {
+                (false, None) => break,
+                (true, None) => true,
+                (false, Some(_)) => false,
+                // A request arriving strictly before the dispatch point
+                // still joins the open window; at a tie the window closes
+                // first.
+                (true, Some(d)) => offered[order[next]].at < d,
+            };
+
+            if arrival_now {
+                let id = order[next];
+                next += 1;
+                let r = offered[id];
+                let stats = tenant_entry(&mut tenants, r.tenant);
+                stats.offered += 1;
+                let was_empty = queue.is_empty();
+                let deadline = r.at.saturating_add(r.deadline_slack);
+                let pending = Pending {
+                    id: id as u32,
+                    model: r.model,
+                    tenant: r.tenant,
+                    arrival: r.at,
+                };
+                match queue.try_push(r.priority, deadline, r.tenant, pending) {
+                    Ok(()) => {
+                        if was_empty {
+                            window_deadline = r.at + self.cfg.batch_window;
+                        }
+                        metrics.inc(names::SERVE_ENQUEUED, 1);
+                        max_depth = max_depth.max(queue.len() as u64);
+                        stracer.instant(
+                            r.at,
+                            SERVING_LANE,
+                            EventKind::RequestEnqueue {
+                                tenant: r.tenant,
+                                request: id as u32,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        shed += 1;
+                        stats.shed += 1;
+                        outcomes[id] = RequestOutcome::Shed;
+                        metrics.inc(names::SERVE_SHED, 1);
+                        stracer.instant(
+                            r.at,
+                            SERVING_LANE,
+                            EventKind::RequestShed {
+                                tenant: r.tenant,
+                                request: id as u32,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+
+            // Dispatch: head plus successive same-model followers, in
+            // strict queue order, up to max_batch.
+            let t = dispatch_at.expect("queue nonempty");
+            let head = queue.pop().expect("queue nonempty");
+            let mut batch = vec![head];
+            while batch.len() < self.cfg.max_batch.max(1)
+                && queue.peek().is_some_and(|p| p.model == head.model)
+            {
+                batch.push(queue.pop().expect("peeked"));
+            }
+            let batch_idx = batches.len() as u32;
+            let size = batch.len() as u32;
+            let launch_seed = mix64(self.cfg.seed, batch_idx as u64);
+            stracer.instant(
+                t,
+                SERVING_LANE,
+                EventKind::BatchBegin {
+                    batch: batch_idx,
+                    size,
+                },
+            );
+            let graph = (self.models[head.model as usize])(size);
+            let (out, certified) = if self.cfg.certify {
+                // Certified launches run base-0 into a private scratch
+                // ring so the profiler's plan-vs-actual join sees exactly
+                // one launch at its planned coordinates.
+                let scratch = Arc::new(RingSink::new(1 << 18));
+                self.rt
+                    .set_trace_sink(Arc::clone(&scratch) as Arc<dyn tsm_trace::TraceSink>);
+                let out = self.rt.launch_at(&graph, launch_seed, 0);
+                match &user_sink {
+                    Some(s) => self.rt.set_trace_sink(Arc::clone(s)),
+                    None => self.rt.clear_trace_sink(),
+                }
+                let out = out?;
+                let planned = self
+                    .rt
+                    .planned_timeline()
+                    .expect("datapath launch has a planned timeline");
+                let certified = profile(&planned, &scratch.sorted_events(), scratch.dropped())
+                    .map(|p| p.conformance.certified())
+                    .unwrap_or(false);
+                (out, Some(certified))
+            } else {
+                (self.rt.launch_at(&graph, launch_seed, t)?, None)
+            };
+            let completion = t + out.timeline_cycles;
+            server_free_at = completion;
+            makespan = makespan.max(completion);
+            metrics.inc(names::SERVE_BATCHES, 1);
+            metrics.observe_cycles(names::SERVE_BATCH_SIZE, size as u64);
+            for p in &batch {
+                let lat = completion - p.arrival;
+                outcomes[p.id as usize] = RequestOutcome::Served {
+                    batch: batch_idx,
+                    completion,
+                    latency: lat,
+                };
+                served += 1;
+                latency.observe(lat);
+                metrics.inc(names::SERVE_SERVED, 1);
+                metrics.observe_cycles(names::SERVE_LATENCY, lat);
+                let stats = tenant_entry(&mut tenants, p.tenant);
+                stats.served += 1;
+                stats.latency.observe(lat);
+                stracer.instant(
+                    completion,
+                    SERVING_LANE,
+                    EventKind::RequestComplete {
+                        tenant: p.tenant,
+                        request: p.id,
+                        latency: lat,
+                    },
+                );
+            }
+            stracer.instant(
+                completion,
+                SERVING_LANE,
+                EventKind::BatchEnd {
+                    batch: batch_idx,
+                    attempts: out.attempts(),
+                },
+            );
+            batches.push(BatchRecord {
+                batch: batch_idx,
+                model: head.model,
+                size,
+                dispatch: t,
+                completion,
+                seed: launch_seed,
+                attempts: out.attempts(),
+                certified,
+                outcome: out,
+            });
+        }
+
+        metrics.set_gauge(names::SERVE_QUEUE_DEPTH, max_depth);
+        Ok(ServeReport {
+            offered: offered.len() as u64,
+            served,
+            shed,
+            batches,
+            outcomes,
+            latency,
+            tenants: tenants.into_values().collect(),
+            makespan,
+            metrics: metrics.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::SparePolicy;
+    use crate::system::System;
+    use tsm_compiler::graph::OpKind;
+    use tsm_topology::TspId;
+
+    #[test]
+    fn queue_orders_by_priority_then_deadline_then_seq() {
+        let mut q: WorkQueue<u32> = WorkQueue::new(16);
+        q.try_push(1, 50, 0, 0).unwrap();
+        q.try_push(0, 90, 0, 1).unwrap();
+        q.try_push(0, 90, 0, 2).unwrap(); // FIFO tie with the previous
+        q.try_push(0, 10, 0, 3).unwrap();
+        q.try_push(2, 0, 0, 4).unwrap();
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![3, 1, 2, 0, 4]);
+    }
+
+    #[test]
+    fn queue_capacity_and_tenant_quota_refuse() {
+        let mut q: WorkQueue<()> = WorkQueue::new(2).with_tenant_quota(1);
+        q.try_push(0, 0, 7, ()).unwrap();
+        assert_eq!(q.try_push(0, 0, 7, ()), Err(AdmitError::TenantOverQuota));
+        q.try_push(0, 0, 8, ()).unwrap();
+        assert_eq!(q.try_push(0, 0, 9, ()), Err(AdmitError::QueueFull));
+        // popping frees both the slot and the quota
+        q.pop().unwrap();
+        q.try_push(0, 0, 7, ()).unwrap();
+    }
+
+    fn tiny_model(batch: u32) -> Graph {
+        let mut g = Graph::new();
+        // Span scales with batch so batching visibly changes service time.
+        g.add(
+            TspId(0),
+            OpKind::Compute {
+                cycles: 1_000 * batch as u64,
+            },
+            vec![],
+        )
+        .unwrap();
+        g
+    }
+
+    fn server(cfg: ServeConfig) -> Server {
+        let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem);
+        let mut s = Server::new(rt, cfg);
+        let id = s.add_model(tiny_model);
+        assert_eq!(id, 0);
+        s
+    }
+
+    fn req(at: u64, tenant: u32) -> Request {
+        Request {
+            at,
+            tenant,
+            model: 0,
+            priority: 1,
+            deadline_slack: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn serve_batches_within_window_and_accounts_tenants() {
+        let mut s = server(ServeConfig {
+            batch_window: 500,
+            max_batch: 8,
+            ..ServeConfig::default()
+        });
+        // Three requests inside one window, one straggler far later.
+        let offered = [req(0, 0), req(10, 1), req(20, 0), req(900_000, 1)];
+        let report = s.serve(&offered).unwrap();
+        assert_eq!(report.served, 4);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.batches.len(), 2);
+        assert_eq!(report.batches[0].size, 3);
+        assert_eq!(report.batches[0].dispatch, 500);
+        assert_eq!(report.batches[1].size, 1);
+        let t0 = &report.tenants[0];
+        let t1 = &report.tenants[1];
+        assert_eq!((t0.tenant, t0.offered, t0.served), (0, 2, 2));
+        assert_eq!((t1.tenant, t1.offered, t1.served), (1, 2, 2));
+        assert_eq!(report.latency.count, 4);
+        assert_eq!(report.metrics.counter(names::SERVE_BATCHES), 2);
+    }
+
+    #[test]
+    fn overload_sheds_and_reports_backpressure() {
+        let mut s = server(ServeConfig {
+            queue_capacity: 2,
+            batch_window: 1_000_000, // hold everything in the queue
+            ..ServeConfig::default()
+        });
+        let offered: Vec<Request> = (0..5).map(|i| req(i, 0)).collect();
+        let report = s.serve(&offered).unwrap();
+        assert_eq!(report.shed, 3);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.metrics.counter(names::SERVE_SHED), 3);
+        assert_eq!(
+            report
+                .outcomes
+                .iter()
+                .filter(|o| **o == RequestOutcome::Shed)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn tenant_quota_protects_the_other_tenant() {
+        let mut s = server(ServeConfig {
+            queue_capacity: 64,
+            tenant_quota: 2,
+            batch_window: 1_000_000,
+            ..ServeConfig::default()
+        });
+        // Tenant 0 bursts 6 requests at cycle 0; tenant 1 arrives later.
+        let mut offered: Vec<Request> = (0..6).map(|_| req(0, 0)).collect();
+        offered.push(req(5, 1));
+        let report = s.serve(&offered).unwrap();
+        let t0 = report.tenants.iter().find(|t| t.tenant == 0).unwrap();
+        let t1 = report.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!(t0.shed, 4, "burst capped at the quota");
+        assert_eq!(t1.shed, 0, "quota kept room for the quiet tenant");
+    }
+
+    #[test]
+    fn serve_is_bit_reproducible() {
+        let offered: Vec<Request> = (0..7).map(|i| req(i * 100, i as u32 % 2)).collect();
+        let cfg = ServeConfig {
+            batch_window: 250,
+            seed: 42,
+            ..ServeConfig::default()
+        };
+        let a = server(cfg).serve(&offered).unwrap();
+        let b = server(cfg).serve(&offered).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn certify_requires_datapath() {
+        let mut s = server(ServeConfig {
+            certify: true,
+            ..ServeConfig::default()
+        });
+        let err = s.serve(&[req(0, 0)]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Execution(ref m) if m.contains("certify")));
+    }
+
+    #[test]
+    fn different_models_never_share_a_batch() {
+        let mut s = server(ServeConfig {
+            batch_window: 1_000,
+            ..ServeConfig::default()
+        });
+        let other = s.add_model(|b| {
+            let mut g = Graph::new();
+            g.add(
+                TspId(8),
+                OpKind::Compute {
+                    cycles: 500 * b as u64,
+                },
+                vec![],
+            )
+            .unwrap();
+            g
+        });
+        let offered = [
+            req(0, 0),
+            Request {
+                model: other,
+                ..req(1, 0)
+            },
+            req(2, 0),
+        ];
+        let report = s.serve(&offered).unwrap();
+        // Queue order is FIFO here (same priority/deadline-slack shape up
+        // to arrival): model 0, model 1, model 0 — no cross-model folding,
+        // and no reordering past the model-1 entry.
+        assert_eq!(report.batches.len(), 3);
+        assert!(report.batches.iter().all(|b| b.size == 1));
+    }
+}

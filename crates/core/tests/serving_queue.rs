@@ -1,0 +1,150 @@
+//! Property coverage for the serving frontend: the `WorkQueue` really is
+//! a total order over `(priority, deadline, insertion_seq)` under
+//! arbitrary push/pop interleavings, and serving results are independent
+//! of batch width — identical per-request outcomes, only latency (and
+//! batching) differs.
+
+use proptest::prelude::*;
+use tsm_compiler::graph::{Graph, OpKind};
+use tsm_core::runtime::{Runtime, SparePolicy};
+use tsm_core::serving::{Request, RequestOutcome, ServeConfig, Server, WorkQueue};
+use tsm_core::system::System;
+use tsm_topology::TspId;
+
+/// Reference model: a flat list of `(priority, deadline, seq)` keys; pop
+/// removes the minimum. `Vec::swap_remove` + full scan — obviously
+/// correct, nothing shared with the heap implementation.
+#[derive(Default)]
+struct ModelQueue {
+    entries: Vec<(u8, u64, u64)>,
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, priority: u8, deadline: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((priority, deadline, seq));
+        seq
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        let min = self.entries.iter().copied().min()?;
+        self.entries.retain(|e| *e != min);
+        Some(min.2)
+    }
+}
+
+/// One compute-only model so statistical-mode launches stay cheap inside
+/// the proptest loop.
+fn tiny_model(batch: u32) -> Graph {
+    let mut g = Graph::new();
+    g.add(
+        TspId(0),
+        OpKind::Compute {
+            cycles: 1_000 * batch as u64,
+        },
+        vec![],
+    )
+    .unwrap();
+    g
+}
+
+fn server(cfg: ServeConfig) -> Server {
+    let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem);
+    let mut s = Server::new(rt, cfg);
+    s.add_model(tiny_model);
+    s
+}
+
+/// Classifies an outcome without its width-dependent fields.
+fn kind(o: &RequestOutcome) -> &'static str {
+    match o {
+        RequestOutcome::Shed => "shed",
+        RequestOutcome::Served { .. } => "served",
+    }
+}
+
+proptest! {
+    /// Under any interleaving of pushes and pops, the queue dequeues
+    /// exactly the reference model's sorted-key order — i.e. the order is
+    /// total (the unique `seq` breaks every tie) and matches
+    /// `(priority, deadline, insertion_seq)`.
+    #[test]
+    fn work_queue_total_order_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..3, 0u64..4), 1..64)
+    ) {
+        let mut queue: WorkQueue<u64> = WorkQueue::new(usize::MAX);
+        let mut model = ModelQueue::default();
+        for (op, priority, deadline) in ops {
+            if op == 3 {
+                // Pops must agree at every point, not just at the end.
+                prop_assert_eq!(queue.pop(), model.pop());
+            } else {
+                let seq = model.push(priority, deadline);
+                queue.try_push(priority, deadline, 0, seq).unwrap();
+            }
+            prop_assert_eq!(queue.len(), model.entries.len());
+        }
+        // Drain: the tail must come out in the total order too.
+        while let Some(got) = queue.pop() {
+            prop_assert_eq!(Some(got), model.pop());
+        }
+        prop_assert_eq!(model.pop(), None);
+    }
+
+    /// Serving the same offered timeline at batch width 1 and width 8
+    /// yields identical per-request outcomes (served vs shed, per-tenant
+    /// tallies) — batching only moves latency around. And each width is
+    /// bit-reproducible: rerunning the same config gives the same report.
+    #[test]
+    fn serving_outcomes_are_independent_of_batch_width(
+        seed in 0u64..1_000,
+        arrivals in proptest::collection::vec((0u64..50_000, 0u32..3, 0u8..2), 1..10)
+    ) {
+        let offered: Vec<Request> = arrivals
+            .iter()
+            .map(|&(at, tenant, priority)| Request {
+                at,
+                tenant,
+                model: 0,
+                priority,
+                deadline_slack: 10_000,
+            })
+            .collect();
+        let cfg = |max_batch| ServeConfig {
+            batch_window: 2_000,
+            max_batch,
+            queue_capacity: 1 << 16, // ample: no timing-dependent shedding
+            seed,
+            ..ServeConfig::default()
+        };
+
+        let narrow = server(cfg(1)).serve(&offered).unwrap();
+        let wide = server(cfg(8)).serve(&offered).unwrap();
+
+        // Identical per-request outcomes, only latency differs.
+        prop_assert_eq!(narrow.outcomes.len(), wide.outcomes.len());
+        for (n, w) in narrow.outcomes.iter().zip(wide.outcomes.iter()) {
+            prop_assert_eq!(kind(n), kind(w));
+        }
+        prop_assert_eq!(narrow.served, wide.served);
+        prop_assert_eq!(narrow.shed, wide.shed);
+        prop_assert_eq!(narrow.tenants.len(), wide.tenants.len());
+        for (n, w) in narrow.tenants.iter().zip(wide.tenants.iter()) {
+            prop_assert_eq!(n.tenant, w.tenant);
+            prop_assert_eq!((n.offered, n.served, n.shed), (w.offered, w.served, w.shed));
+        }
+        // Width 1 never folds; width 8 never splits below demand.
+        prop_assert!(narrow.batches.iter().all(|b| b.size == 1));
+        prop_assert!(wide.batches.len() <= narrow.batches.len());
+        prop_assert_eq!(
+            wide.batches.iter().map(|b| u64::from(b.size)).sum::<u64>(),
+            wide.served
+        );
+
+        // Bit-reproducibility of a whole serve run from its config.
+        let again = server(cfg(8)).serve(&offered).unwrap();
+        prop_assert_eq!(again, wide);
+    }
+}

@@ -8,7 +8,7 @@
 //! chip. Hand-rolled because the offline toolchain stubs out serde_json —
 //! and the format is simple enough not to miss it.
 
-use crate::event::{EventKind, TraceEvent, RUNTIME_LANE};
+use crate::event::{EventKind, TraceEvent, RUNTIME_LANE, SERVING_LANE};
 use crate::profile::PlannedTimeline;
 
 /// Process id of the runtime lane in the exported document.
@@ -17,6 +17,8 @@ const PID_RUNTIME: u32 = 0;
 const PID_CHIPS: u32 = 1;
 /// Process id of the per-link planned-vs-actual overlay tracks.
 const PID_LINKS: u32 = 2;
+/// Process id of the serving-frontend lane.
+const PID_SERVING: u32 = 3;
 
 fn name_and_args(kind: &EventKind) -> (&'static str, String) {
     match *kind {
@@ -60,6 +62,29 @@ fn name_and_args(kind: &EventKind) -> (&'static str, String) {
             format!("\"node\":{node},\"epoch\":{epoch}"),
         ),
         EventKind::LaunchEnd { attempts } => ("launch.end", format!("\"attempts\":{attempts}")),
+        EventKind::RequestEnqueue { tenant, request } => (
+            "serve.enqueue",
+            format!("\"tenant\":{tenant},\"request\":{request}"),
+        ),
+        EventKind::RequestShed { tenant, request } => (
+            "serve.shed",
+            format!("\"tenant\":{tenant},\"request\":{request}"),
+        ),
+        EventKind::RequestComplete {
+            tenant,
+            request,
+            latency,
+        } => (
+            "serve.complete",
+            format!("\"tenant\":{tenant},\"request\":{request},\"latency\":{latency}"),
+        ),
+        EventKind::BatchBegin { batch, size } => {
+            ("serve.batch", format!("\"batch\":{batch},\"size\":{size}"))
+        }
+        EventKind::BatchEnd { batch, attempts } => (
+            "serve.batch_end",
+            format!("\"batch\":{batch},\"attempts\":{attempts}"),
+        ),
     }
 }
 
@@ -120,6 +145,12 @@ fn render(events: &[TraceEvent], dropped: u64, planned: Option<&PlannedTimeline>
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
          \"args\":{\"name\":\"chips\"}}",
     );
+    if events.iter().any(|e| e.lane == SERVING_LANE) {
+        out.push_str(
+            ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\
+             \"args\":{\"name\":\"serving\"}}",
+        );
+    }
     if dropped > 0 {
         push_instant(
             &mut out,
@@ -134,6 +165,8 @@ fn render(events: &[TraceEvent], dropped: u64, planned: Option<&PlannedTimeline>
         let (name, args) = name_and_args(&e.kind);
         let (pid, tid) = if e.lane == RUNTIME_LANE {
             (PID_RUNTIME, 0)
+        } else if e.lane == SERVING_LANE {
+            (PID_SERVING, 0)
         } else {
             (PID_CHIPS, e.lane)
         };
@@ -259,6 +292,29 @@ mod tests {
         let json = chrome_trace_json(&[]);
         assert!(json.contains("traceEvents"));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn serving_lane_gets_its_own_process() {
+        let without = chrome_trace_json(&sample());
+        assert!(!without.contains("\"name\":\"serving\""));
+        let mut events = sample();
+        events.push(TraceEvent {
+            cycle: 42,
+            lane: SERVING_LANE,
+            seq: 3,
+            dur: 0,
+            kind: EventKind::RequestComplete {
+                tenant: 1,
+                request: 9,
+                latency: 1234,
+            },
+        });
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"args\":{\"name\":\"serving\"}"));
+        assert!(json
+            .contains("\"name\":\"serve.complete\",\"ph\":\"i\",\"s\":\"t\",\"pid\":3,\"tid\":0"));
+        assert!(json.contains("\"latency\":1234"));
     }
 
     #[test]

@@ -7,6 +7,12 @@ use crate::sink::TraceSink;
 /// is always far below this sentinel.
 pub const RUNTIME_LANE: u32 = u32::MAX;
 
+/// Lane carrying serving-frontend events (request enqueue/shed/complete,
+/// batch windows). Kept distinct from [`RUNTIME_LANE`] so launch-level
+/// traces can be compared exactly with or without a serving frontend by
+/// filtering this lane out.
+pub const SERVING_LANE: u32 = u32::MAX - 1;
+
 /// What happened. Identifiers are raw integers (`TspId.0`, `LinkId.0`,
 /// `NodeId.0`) so this crate stays a dependency leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,6 +105,45 @@ pub enum EventKind {
     /// The launch concluded (successfully).
     LaunchEnd {
         /// Total execution attempts consumed.
+        attempts: u32,
+    },
+    /// A serving request entered the work queue.
+    RequestEnqueue {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Serving-frontend request id (monotone per run).
+        request: u32,
+    },
+    /// Admission control rejected a request (queue full or tenant over
+    /// quota); the request never entered the queue.
+    RequestShed {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Serving-frontend request id (monotone per run).
+        request: u32,
+    },
+    /// A request's batch finished executing; `latency` is the full
+    /// enqueue→complete distance in virtual cycles.
+    RequestComplete {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Serving-frontend request id (monotone per run).
+        request: u32,
+        /// Enqueue→complete latency in virtual cycles.
+        latency: u64,
+    },
+    /// A batch of queued requests was dispatched into a launch.
+    BatchBegin {
+        /// Monotone batch index within the serving run.
+        batch: u32,
+        /// Requests folded into the batch.
+        size: u32,
+    },
+    /// The batch's launch returned.
+    BatchEnd {
+        /// Monotone batch index within the serving run.
+        batch: u32,
+        /// Execution attempts the underlying launch consumed.
         attempts: u32,
     },
 }

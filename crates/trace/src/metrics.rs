@@ -55,6 +55,23 @@ pub mod names {
     /// nonzero). A nonzero value means the captured timeline is
     /// incomplete — the conformance profiler refuses to certify from it.
     pub const TRACE_DROPPED: &str = "trace.dropped";
+
+    /// Requests admitted into the serving work queue (per-tenant cells use
+    /// the tenant id as the label).
+    pub const SERVE_ENQUEUED: &str = "serve.enqueued";
+    /// Requests rejected by admission control (backpressure or tenant
+    /// quota), labeled by tenant.
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests served to completion, labeled by tenant.
+    pub const SERVE_SERVED: &str = "serve.served";
+    /// Batches dispatched as launches.
+    pub const SERVE_BATCHES: &str = "serve.batches";
+    /// Per-request enqueue→complete latency in virtual cycles (histogram).
+    pub const SERVE_LATENCY: &str = "serve.latency_cycles";
+    /// Requests per dispatched batch (histogram).
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// Queue depth observed at each batch dispatch (histogram).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 }
 
 /// Number of power-of-two histogram buckets: bucket 0 holds zero-cycle
@@ -111,6 +128,56 @@ impl CycleHistogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Value range covered by bucket `i`: bucket 0 holds exactly the value
+    /// 0, bucket `k ≥ 1` holds `[2^(k-1), 2^k)`. The returned pair is
+    /// `(lo, hi)` with `hi` exclusive.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), 1u64 << i)
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) with linear interpolation inside
+    /// the power-of-two bucket that contains it: the smallest value `v`
+    /// such that `q · count` observations fall at or below `v`, assuming
+    /// observations spread uniformly within their bucket.
+    ///
+    /// `percentile(0.5)` is the median estimate, `percentile(0.999)` the
+    /// p999; `q` outside `[0, 1]` is clamped and an empty histogram
+    /// reports `0.0`. The estimate is exact for buckets holding a single
+    /// representable value (0 and 1) and never exceeds the containing
+    /// bucket's upper bound, so `percentile` is monotone in `q` and
+    /// stays monotone across [`CycleHistogram::merge`].
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c;
+            if through as f64 >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                if hi - lo <= 1 {
+                    // Single-value bucket: no interpolation possible.
+                    return lo as f64;
+                }
+                let into = (target - below as f64).max(0.0);
+                return lo as f64 + (hi - lo) as f64 * (into / c as f64);
+            }
+            below = through;
+        }
+        // Unreachable while count > 0 (the cumulative walk covers every
+        // observation), but the compiler cannot know that.
+        0.0
     }
 }
 
@@ -474,6 +541,56 @@ mod tests {
         assert!(json.contains("\"link.fec.corrected#5\": 1"));
         assert!(json.contains("\"cosim.chips\": 3"));
         assert!(json.contains("\"cosim.retire_cycles\""));
+    }
+
+    #[test]
+    fn percentile_pins_exact_interpolated_values() {
+        // {1, 2, 3, 4}: buckets [_, {1}, {2,3}, {4}, ...].
+        let mut h = CycleHistogram::default();
+        for v in [1u64, 2, 3, 4] {
+            h.observe(v);
+        }
+        // Bucket 1 holds the single representable value 1 — exact.
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(0.25), 1.0);
+        // target 2.0 lands halfway through bucket [2, 4) of count 2.
+        assert_eq!(h.percentile(0.5), 3.0);
+        // target 3.0 exhausts bucket [2, 4): its upper bound.
+        assert_eq!(h.percentile(0.75), 4.0);
+        // target 4.0 exhausts bucket [4, 8): its upper bound.
+        assert_eq!(h.percentile(1.0), 8.0);
+        // out-of-range q clamps
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(7.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_handles_zero_and_empty() {
+        let empty = CycleHistogram::default();
+        assert_eq!(empty.percentile(0.5), 0.0);
+        let mut zeros = CycleHistogram::default();
+        for _ in 0..3 {
+            zeros.observe(0);
+        }
+        assert_eq!(zeros.percentile(0.5), 0.0);
+        assert_eq!(zeros.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_spread_tail_is_ordered() {
+        // 990 fast observations at 100 cycles, 10 slow ones at ~1e6: the
+        // p50 sits in the fast bucket, p999 in the slow one.
+        let mut h = CycleHistogram::default();
+        for _ in 0..990 {
+            h.observe(100);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        let (p50, p99, p999) = (h.percentile(0.5), h.percentile(0.99), h.percentile(0.999));
+        assert!((64.0..128.0).contains(&p50), "p50 {p50}");
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!((524_288.0..2_097_152.0).contains(&p999), "p999 {p999}");
     }
 
     #[test]

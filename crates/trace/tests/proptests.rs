@@ -67,8 +67,51 @@ fn absorbed(mut a: RunMetrics, b: &RunMetrics) -> RunMetrics {
     a
 }
 
+/// Builds a histogram from raw observations (capped so buckets stay in a
+/// sane range but still cross many powers of two).
+fn hist_of(obs: &[u64]) -> CycleHistogram {
+    let mut h = CycleHistogram::default();
+    for &v in obs {
+        h.observe(v % 5_000_000);
+    }
+    h
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Percentiles are monotone non-decreasing in `q`.
+    #[test]
+    fn percentile_monotone_in_q(obs in prop::collection::vec(any::<u64>(), 1..64)) {
+        let h = hist_of(&obs);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                h.percentile(w[0]) <= h.percentile(w[1]),
+                "p({}) > p({})", w[0], w[1]
+            );
+        }
+    }
+
+    /// Percentiles of a merged histogram are bracketed by the two halves'
+    /// percentiles, and merging with an empty histogram changes nothing.
+    #[test]
+    fn percentile_survives_merge(
+        oa in prop::collection::vec(any::<u64>(), 1..48),
+        ob in prop::collection::vec(any::<u64>(), 1..48),
+        q in 0.0f64..=1.0,
+    ) {
+        let (a, b) = (hist_of(&oa), hist_of(&ob));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let (pa, pb) = (a.percentile(q), b.percentile(q));
+        let pm = merged.percentile(q);
+        prop_assert!(pm >= pa.min(pb) && pm <= pa.max(pb),
+            "merged p({q}) = {pm} outside [{}, {}]", pa.min(pb), pa.max(pb));
+        let mut with_empty = a.clone();
+        with_empty.merge(&CycleHistogram::default());
+        prop_assert_eq!(with_empty.percentile(q), pa);
+    }
 
     /// Identity: the empty snapshot absorbs to and from anything without
     /// changing it.

@@ -9,6 +9,7 @@
 //! 2. a *numerical reference* (in [`linalg`]) so data-path correctness can
 //!    be asserted, not just timing.
 
+pub mod arrivals;
 pub mod bert;
 pub mod cholesky;
 pub mod linalg;
@@ -16,5 +17,6 @@ pub mod lstm;
 pub mod traffic;
 pub mod training;
 
+pub use arrivals::{merge as merge_arrivals, poisson_arrivals, poisson_arrivals_in, ArrivalEvent};
 pub use bert::{BertConfig, BertVariant};
 pub use cholesky::CholeskyPlan;

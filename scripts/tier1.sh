@@ -31,12 +31,21 @@ cargo test -p tsm-core --test trace_fault -q
 # zero skew (executor and full launch), replays itemize deterministic
 # skew, lossy traces are refused.
 cargo test -p tsm-core --test profile_conformance -q
+# The serving runtime: launch-vs-serve-of-one bit/trace identity (both
+# exec modes, fault-free and replay paths), WorkQueue total-order
+# proptests, and batch-width independence of serving outcomes.
+cargo test -p tsm-core --test serve_identity -q
+cargo test -p tsm-core --test serving_queue -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
 # Fast bench smoke: one sample of the canonical workload plus the small
 # end of the scaling curve, with bit-identity and trace-identity asserted
 # at every point. Writes no files, so it cannot clobber BENCH_cosim.json.
 cargo run --release -p tsm-bench --bin repro bench-cosim-smoke
+# Fast serving smoke: a small load×window sweep with certification on
+# every launch, overload backpressure, and bit-reproducibility asserted.
+# Writes no files.
+cargo run --release -p tsm-bench --bin repro serve-smoke
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 # Rustdoc is part of the contract: broken intra-doc links and bad doc

@@ -56,10 +56,14 @@ pub mod prelude {
     pub use tsm_chip::mxm::GemmShape;
     pub use tsm_compiler::graph::{Graph, OpId, OpKind};
     pub use tsm_compiler::schedule::{CompileOptions, CompiledProgram, OptLevel};
-    pub use tsm_core::{ExecutionReport, Runtime, SparePolicy, System, SystemConfig};
+    pub use tsm_core::{
+        ExecMode, ExecutionReport, Request, Runtime, ServeConfig, Server, SparePolicy, System,
+        SystemConfig, WorkQueue,
+    };
     pub use tsm_isa::ElemType;
     pub use tsm_topology::{NodeId, RackId, Topology, TspId};
     pub use tsm_trace::{NullSink, RingSink, RunMetrics, TraceSink};
     pub use tsm_workloads::bert::BertConfig;
     pub use tsm_workloads::cholesky::CholeskyPlan;
+    pub use tsm_workloads::{merge_arrivals, poisson_arrivals, poisson_arrivals_in};
 }
