@@ -5,7 +5,7 @@
 //! cargo run --release -p tsm-bench --bin repro fig16 fig17
 //! ```
 
-use tsm_bench::{cosim_bench, figures, serving_bench};
+use tsm_bench::{cosim_bench, figures, residency_bench, serving_bench};
 
 /// Measures the canonical co-simulation workload plus the full scaling
 /// curve (16 → 72 → 288 → 10,440 chips) and records the sample in
@@ -60,7 +60,9 @@ fn emit_serve() -> Vec<String> {
 
 /// Fast serving smoke for CI (`scripts/tier1.sh`): a 4-encoder model over
 /// a short horizon with the same certification, backpressure, fairness,
-/// and bit-reproducibility assertions as the full sweep. Writes nothing.
+/// and bit-reproducibility assertions as the full sweep, plus a
+/// multi-model alternation that must hit the plan-residency cache.
+/// Writes nothing.
 fn smoke_serve() -> Vec<String> {
     let result = serving_bench::measure_serving(4, 12, 9);
     assert!(
@@ -76,6 +78,118 @@ fn smoke_serve() -> Vec<String> {
         "serving sweep must reproduce from its seed"
     );
     let mut out = serving_bench::lines_for(&result);
+    out.push(residency_smoke_line());
+    out.push("smoke OK (no files written)".to_string());
+    out
+}
+
+/// Two statistical-mode models alternating through one server: the
+/// revisits must come out of the plan-residency cache, not recompile.
+fn residency_smoke_line() -> String {
+    use tsm::compiler::graph::{Graph, OpKind};
+    use tsm::core::runtime::{Runtime, SparePolicy};
+    use tsm::core::serving::{Request, ServeConfig, Server};
+    use tsm::core::system::System;
+    use tsm::topology::TspId;
+    use tsm::trace::names;
+
+    let model = |cycles: u64| {
+        move |batch: u32| {
+            let mut g = Graph::new();
+            g.add(
+                TspId(0),
+                OpKind::Compute {
+                    cycles: cycles * u64::from(batch),
+                },
+                vec![],
+            )
+            .unwrap();
+            g
+        }
+    };
+    let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem);
+    let mut server = Server::new(
+        rt,
+        ServeConfig {
+            max_batch: 1,
+            queue_capacity: usize::MAX,
+            ..ServeConfig::default()
+        },
+    );
+    server.add_model(model(1_000));
+    server.add_model(model(2_000));
+    let offered: Vec<Request> = (0..6)
+        .map(|i| Request {
+            at: i * 100_000,
+            tenant: 0,
+            model: (i % 2) as u32,
+            priority: 0,
+            deadline_slack: 1 << 40,
+        })
+        .collect();
+    let report = server.serve(&offered).expect("multi-model smoke");
+    let hits = report.metrics.counter(names::RES_HITS);
+    assert!(
+        hits >= 1,
+        "alternating models must hit the residency cache (got {hits} hits)"
+    );
+    format!(
+        "multi-model residency: 2 models x 3 rounds -> {hits} cache hits, {} misses",
+        report.metrics.counter(names::RES_MISSES)
+    )
+}
+
+/// Full residency bench: 3 BERT models round-robin under warm, thrash,
+/// and single-entry plan budgets, plus the warm-start tier round trip;
+/// spliced into the `residency` block of `BENCH_cosim.json`.
+fn emit_residency() -> Vec<String> {
+    let result = residency_bench::measure_residency(3, 8, 11);
+    assert!(
+        result.warm.hit_rate >= result.expected_warm_hit_rate,
+        "warm budget must reach the (N-K)/N hit rate"
+    );
+    assert!(
+        result.reproducible,
+        "residency bench must reproduce from its seed"
+    );
+    let mut out = residency_bench::lines_for(&result);
+    let existing = std::fs::read_to_string("BENCH_cosim.json").unwrap_or_else(|_| "{}\n".into());
+    let spliced = serving_bench::splice_block(&existing, "residency", &result.to_json());
+    match std::fs::write("BENCH_cosim.json", spliced) {
+        Ok(()) => out.push("spliced residency block into BENCH_cosim.json".to_string()),
+        Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
+    }
+    out
+}
+
+/// Fast residency smoke for CI (`scripts/tier1.sh`): 2 models × 3 rounds
+/// with the same hit-rate, thrash, warm-tier, and reproducibility
+/// assertions as the full bench, minus the wall-clock claims. Writes
+/// nothing.
+fn smoke_residency() -> Vec<String> {
+    let result = residency_bench::measure_residency(2, 3, 11);
+    assert!(
+        (result.warm.hit_rate - result.expected_warm_hit_rate).abs() < 1e-9,
+        "warm budget must hit exactly (N-K)/N"
+    );
+    assert_eq!(
+        result.thrash.hits, 0,
+        "thrash budget must evict every round"
+    );
+    assert_eq!(result.single.hits, 0, "single-entry budget must recompile");
+    assert_eq!(
+        result.warm_starts, result.models as u64,
+        "every model must warm-start from the imported tier"
+    );
+    assert!(
+        result.warm_tier_identical,
+        "warm starts must be bit-identical"
+    );
+    assert!(
+        result.reproducible,
+        "residency bench must reproduce from its seed"
+    );
+    let mut out = residency_bench::lines_for(&result);
     out.push("smoke OK (no files written)".to_string());
     out
 }
@@ -223,6 +337,16 @@ fn main() {
             "serve-smoke",
             "Serve — fast serving smoke (certification + reproducibility asserts, no files)",
             Box::new(smoke_serve),
+        ),
+        (
+            "residency",
+            "Residency — multi-model plan-cache thrash + warm-start tier (updates the residency block of BENCH_cosim.json)",
+            Box::new(emit_residency),
+        ),
+        (
+            "residency-smoke",
+            "Residency — fast cache-thrash smoke (hit-rate + warm-tier asserts, no files)",
+            Box::new(smoke_residency),
         ),
     ];
 

@@ -11,4 +11,5 @@ pub mod ablations;
 pub mod cosim_bench;
 pub mod figures;
 pub mod profile_cli;
+pub mod residency_bench;
 pub mod serving_bench;

@@ -1,0 +1,369 @@
+//! Plan-residency benchmark: the multi-model cache-thrash scenario.
+//!
+//! K BERT models of different depths round-robin through one
+//! [`Server`] in datapath mode, so every request needs a full compiled
+//! plan. Three budget variants run the identical offered timeline:
+//!
+//! - **warm**   — budget = Σ per-model plan bytes: every model stays
+//!   resident, so after the K cold compiles every request is a cache
+//!   hit (hit rate exactly `(N-K)/N`).
+//! - **thrash** — budget = Σ − 1 byte: the LRU victim is always the
+//!   model the round-robin needs next, so every request recompiles.
+//! - **single** — budget = 0: the pre-residency single-entry cache,
+//!   same pathology.
+//!
+//! The warm-over-thrash wall-clock ratio is the bench's headline
+//! (`warm_speedup_*`). A second scenario round-trips the warm-start
+//! tier: the warm run's resident plans are exported, imported into a
+//! fresh runtime, and served again — every model must warm-start and
+//! the launch records must be bit-identical to a cold runtime's. The
+//! `"residency"` block of `BENCH_cosim.json` records all of it.
+
+use std::time::Instant;
+
+use tsm::core::runtime::{ExecMode, Runtime, SparePolicy};
+use tsm::core::serving::{Request, ServeConfig, ServeReport, Server};
+use tsm::core::system::System;
+use tsm::trace::{names, JsonWriter};
+use tsm::workloads::BertConfig;
+
+/// One budget variant of the round-robin scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidencyVariant {
+    /// Variant name: `warm`, `thrash`, or `single`.
+    pub name: &'static str,
+    /// Plan-cache budget, bytes.
+    pub budget_bytes: u64,
+    /// Cache hits over the serve run (`residency.hits` delta).
+    pub hits: u64,
+    /// Cache misses (each one is a full recompile).
+    pub misses: u64,
+    /// Evictions forced by the budget.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Wall-clock time of the serve run, nanoseconds (host-dependent;
+    /// the deterministic fields above are the comparable record).
+    pub serve_ns: u64,
+}
+
+/// The full residency benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidencyBenchResult {
+    /// Model count K.
+    pub models: usize,
+    /// Round-robin rounds; N = `models × rounds` requests.
+    pub rounds: u64,
+    /// Requests offered per variant.
+    pub requests: u64,
+    /// Per-model compiled-plan bytes (ascending), learned from an
+    /// unbounded probe run; the warm budget is their sum.
+    pub model_bytes: Vec<u64>,
+    /// `(N - K) / N` — what the warm variant must achieve.
+    pub expected_warm_hit_rate: f64,
+    /// Budget = Σ bytes: everything resident.
+    pub warm: ResidencyVariant,
+    /// Budget = Σ − 1: LRU always evicts the next model needed.
+    pub thrash: ResidencyVariant,
+    /// Budget = 0: the pre-residency single-entry cache.
+    pub single: ResidencyVariant,
+    /// Wall-clock `thrash.serve_ns / warm.serve_ns`.
+    pub warm_speedup_vs_thrash: f64,
+    /// Wall-clock `single.serve_ns / warm.serve_ns`.
+    pub warm_speedup_vs_single: f64,
+    /// Warm-start tier: plans imported into a fresh runtime that
+    /// short-circuited a compile (`residency.warm_starts` delta; must
+    /// equal K).
+    pub warm_starts: u64,
+    /// Whether the warm-started run's launch records are bit-identical
+    /// to a cold runtime's (outcomes, batches, latency, makespan).
+    pub warm_tier_identical: bool,
+    /// Whether rerunning the warm variant reproduced its report bit for
+    /// bit.
+    pub reproducible: bool,
+}
+
+/// Model `m` is a BERT pipeline `4 × (m + 1)` encoders deep over 4 TSPs
+/// (the stage balancer needs the depth to split evenly), so every model
+/// has a distinct graph fingerprint and plan size.
+fn model_graph(m: usize, batch: u32) -> tsm::compiler::graph::Graph {
+    BertConfig {
+        batch: u64::from(batch),
+        ..BertConfig::with_encoders(4 * (m + 1))
+    }
+    .build_pipeline_graph(4)
+}
+
+/// A fresh datapath runtime with the given plan budget.
+fn runtime(budget_bytes: u64) -> Runtime {
+    Runtime::new(
+        System::with_nodes(4).expect("4 nodes"),
+        SparePolicy::PerSystem,
+    )
+    .with_exec_mode(ExecMode::Datapath)
+    .with_plan_budget(budget_bytes)
+}
+
+/// A server with `models` registered, wrapping `rt`.
+fn server(rt: Runtime, models: usize, seed: u64) -> Server {
+    let mut s = Server::new(
+        rt,
+        ServeConfig {
+            batch_window: 0,
+            max_batch: 1,
+            queue_capacity: usize::MAX,
+            tenant_quota: usize::MAX,
+            seed,
+            certify: false,
+        },
+    );
+    for m in 0..models {
+        s.add_model(move |b| model_graph(m, b));
+    }
+    s
+}
+
+/// The round-robin offered timeline: request `i` wants model `i mod K`.
+fn round_robin(models: usize, rounds: u64) -> Vec<Request> {
+    (0..rounds * models as u64)
+        .map(|i| Request {
+            at: i * 1_000,
+            tenant: 0,
+            model: (i % models as u64) as u32,
+            priority: 0,
+            deadline_slack: 1 << 40,
+        })
+        .collect()
+}
+
+/// Serves `offered` under `budget_bytes` and folds the run's residency
+/// counters into a [`ResidencyVariant`]. Also returns the report and the
+/// finished runtime (for warm-tier export).
+fn run_variant(
+    name: &'static str,
+    budget_bytes: u64,
+    models: usize,
+    offered: &[Request],
+    seed: u64,
+) -> (ResidencyVariant, ServeReport, Runtime) {
+    let mut server = server(runtime(budget_bytes), models, seed);
+    let start = Instant::now();
+    let report = server.serve(offered).expect("residency serve run");
+    let serve_ns = start.elapsed().as_nanos() as u64;
+    let hits = report.metrics.counter(names::RES_HITS);
+    let misses = report.metrics.counter(names::RES_MISSES);
+    let variant = ResidencyVariant {
+        name,
+        budget_bytes,
+        hits,
+        misses,
+        evictions: report.metrics.counter(names::RES_EVICTIONS),
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        serve_ns,
+    };
+    (variant, report, server.into_runtime())
+}
+
+/// The launch-record fields of two reports, compared without the
+/// run-metrics (which legitimately differ between a cold run and a
+/// warm-started one: only the latter counts `residency.warm_starts`).
+fn launches_identical(a: &ServeReport, b: &ServeReport) -> bool {
+    a.outcomes == b.outcomes
+        && a.batches == b.batches
+        && a.latency == b.latency
+        && a.makespan == b.makespan
+}
+
+/// Measures the full residency record: the three budget variants over
+/// the same round-robin timeline, the warm-start tier round trip, and
+/// the reproducibility check.
+pub fn measure_residency(models: usize, rounds: u64, seed: u64) -> ResidencyBenchResult {
+    let requests = rounds * models as u64;
+    let offered = round_robin(models, rounds);
+
+    // Probe: one unbounded pass over each model learns the per-model
+    // plan bytes the budgets are expressed in.
+    let (_, _, probe_rt) = run_variant("probe", u64::MAX, models, &round_robin(models, 1), seed);
+    let mut model_bytes: Vec<u64> = probe_rt
+        .residency()
+        .resident()
+        .iter()
+        .map(|r| r.bytes)
+        .collect();
+    model_bytes.sort_unstable();
+    assert_eq!(
+        model_bytes.len(),
+        models,
+        "every model left a resident plan"
+    );
+    let warm_budget: u64 = model_bytes.iter().sum();
+
+    let (warm, warm_report, warm_rt) = run_variant("warm", warm_budget, models, &offered, seed);
+    let (thrash, _, _) = run_variant("thrash", warm_budget - 1, models, &offered, seed);
+    let (single, _, _) = run_variant("single", 0, models, &offered, seed);
+
+    // Warm-start tier: export the warm run's resident plans, import them
+    // into a fresh runtime, and serve one request per model. Every model
+    // must warm-start, and the launch records must be bit-identical to a
+    // cold runtime's (the plans really are the same plans).
+    let exported = warm_rt.residency().export_warm();
+    let mut warm_tier_rt = runtime(warm_budget);
+    let imported = warm_tier_rt
+        .residency_mut()
+        .import_warm(&exported)
+        .expect("warm tier round-trips");
+    assert_eq!(imported, models, "one exported plan per model");
+    let one_each = round_robin(models, 1);
+    let warm_tier_report = server(warm_tier_rt, models, seed)
+        .serve(&one_each)
+        .expect("warm-started serve run");
+    let warm_starts = warm_tier_report.metrics.counter(names::RES_WARM_STARTS);
+    let cold_report = server(runtime(warm_budget), models, seed)
+        .serve(&one_each)
+        .expect("cold serve run");
+    let warm_tier_identical = launches_identical(&warm_tier_report, &cold_report);
+
+    // Bit-reproducibility: the warm variant, rerun from scratch, must
+    // reproduce its entire report.
+    let (_, again, _) = run_variant("warm", warm_budget, models, &offered, seed);
+    let reproducible = again == warm_report;
+
+    let speedup = |other: &ResidencyVariant| other.serve_ns as f64 / warm.serve_ns.max(1) as f64;
+    ResidencyBenchResult {
+        models,
+        rounds,
+        requests,
+        model_bytes,
+        expected_warm_hit_rate: (requests - models as u64) as f64 / requests as f64,
+        warm_speedup_vs_thrash: speedup(&thrash),
+        warm_speedup_vs_single: speedup(&single),
+        warm,
+        thrash,
+        single,
+        warm_starts,
+        warm_tier_identical,
+        reproducible,
+    }
+}
+
+fn variant_fields(w: &mut JsonWriter, v: &ResidencyVariant) {
+    w.key(v.name).begin_object();
+    w.field_u64("budget_bytes", v.budget_bytes)
+        .field_u64("hits", v.hits)
+        .field_u64("misses", v.misses)
+        .field_u64("evictions", v.evictions)
+        .field_raw("hit_rate", &format!("{:.4}", v.hit_rate))
+        .field_u64("serve_ns", v.serve_ns)
+        .end_object();
+}
+
+impl ResidencyBenchResult {
+    /// The `"residency"` JSON block spliced into `BENCH_cosim.json`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_u64("models", self.models as u64)
+            .field_u64("rounds", self.rounds)
+            .field_u64("requests", self.requests);
+        w.key("model_bytes").begin_array();
+        for &b in &self.model_bytes {
+            w.u64(b);
+        }
+        w.end_array();
+        w.field_raw(
+            "expected_warm_hit_rate",
+            &format!("{:.4}", self.expected_warm_hit_rate),
+        );
+        variant_fields(&mut w, &self.warm);
+        variant_fields(&mut w, &self.thrash);
+        variant_fields(&mut w, &self.single);
+        w.field_raw(
+            "warm_speedup_vs_thrash",
+            &format!("{:.2}", self.warm_speedup_vs_thrash),
+        )
+        .field_raw(
+            "warm_speedup_vs_single",
+            &format!("{:.2}", self.warm_speedup_vs_single),
+        );
+        w.key("warm_tier").begin_object();
+        w.field_u64("warm_starts", self.warm_starts);
+        w.key("identical_to_cold").bool(self.warm_tier_identical);
+        w.end_object();
+        w.key("reproducible").bool(self.reproducible);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Printable report lines for the `repro` binary.
+pub fn lines_for(r: &ResidencyBenchResult) -> Vec<String> {
+    let mut out = vec![
+        format!(
+            "{} BERT models (plan bytes {:?}), {} rounds round-robin = {} requests per variant",
+            r.models, r.model_bytes, r.rounds, r.requests
+        ),
+        format!(
+            "expected warm hit rate (N-K)/N = {:.4}",
+            r.expected_warm_hit_rate
+        ),
+    ];
+    for v in [&r.warm, &r.thrash, &r.single] {
+        out.push(format!(
+            "  {:<6} budget {:>8} B: {:>3} hits, {:>3} misses, {:>3} evictions, hit rate {:.4}, {:>12} ns",
+            v.name, v.budget_bytes, v.hits, v.misses, v.evictions, v.hit_rate, v.serve_ns
+        ));
+    }
+    out.push(format!(
+        "warm speedup: {:.2}x vs thrash, {:.2}x vs single (wall clock)",
+        r.warm_speedup_vs_thrash, r.warm_speedup_vs_single
+    ));
+    out.push(format!(
+        "warm-start tier: {} of {} launches warm-started, bit-identical to cold: {}",
+        r.warm_starts, r.models, r.warm_tier_identical
+    ));
+    out.push(format!(
+        "warm variant bit-reproducible from seed: {}",
+        r.reproducible
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny end-to-end measure: 2 shallow models, 3 rounds. Asserts the
+    /// acceptance shape — warm hit rate is exactly (N-K)/N, both starved
+    /// budgets thrash to zero hits, the warm tier warm-starts every
+    /// model bit-identically, and the warm variant reproduces.
+    #[test]
+    fn tiny_measure_hits_warm_and_thrashes_starved() {
+        let r = measure_residency(2, 3, 11);
+        assert_eq!(r.requests, 6);
+        assert_eq!(r.model_bytes.len(), 2);
+        assert_eq!(r.warm.hits + r.warm.misses, r.requests);
+        assert_eq!(r.warm.misses, 2, "one cold compile per model");
+        assert!(
+            (r.warm.hit_rate - r.expected_warm_hit_rate).abs() < 1e-9,
+            "warm hit rate {} != expected {}",
+            r.warm.hit_rate,
+            r.expected_warm_hit_rate
+        );
+        assert_eq!(r.warm.evictions, 0, "full budget never evicts");
+        assert_eq!(r.thrash.hits, 0, "LRU always evicts the next model");
+        assert!(r.thrash.evictions > 0);
+        assert_eq!(r.single.hits, 0, "single-entry cache can't alternate");
+        assert_eq!(r.warm_starts, 2, "every model warm-starts");
+        assert!(r.warm_tier_identical, "warm-started launches == cold");
+        assert!(r.reproducible, "warm variant must reproduce bit-for-bit");
+        let json = r.to_json();
+        assert!(json.contains("\"warm\""));
+        assert!(json.contains("\"thrash\""));
+        assert!(json.contains("\"warm_starts\": 2"));
+        assert!(json.contains("\"reproducible\": true"));
+    }
+}

@@ -44,6 +44,8 @@ pub struct ServePoint {
     pub served: u64,
     /// Requests refused by admission control.
     pub shed: u64,
+    /// Requests dropped at dispatch time (deadline already passed).
+    pub expired: u64,
     /// Launches dispatched.
     pub batches: u64,
     /// Mean requests per launch.
@@ -72,6 +74,11 @@ pub struct TenantPoint {
     pub served: u64,
     /// Requests shed.
     pub shed: u64,
+    /// Sheds caused by queue backpressure.
+    pub shed_queue_full: u64,
+    /// Sheds caused by the tenant quota — the burst scenario asserts the
+    /// bursting tenant is stopped by its quota, not by backpressure.
+    pub shed_over_quota: u64,
     /// Median latency, cycles.
     pub p50: f64,
     /// 99th percentile latency, cycles.
@@ -140,6 +147,7 @@ fn run_point(
         offered: report.offered,
         served: report.served,
         shed: report.shed,
+        expired: report.expired,
         batches: report.batches.len() as u64,
         mean_batch: if report.batches.is_empty() {
             0.0
@@ -275,6 +283,8 @@ pub fn measure_serving(encoders: usize, horizon_services: u64, seed: u64) -> Ser
             offered: t.offered,
             served: t.served,
             shed: t.shed,
+            shed_queue_full: t.shed_queue_full,
+            shed_over_quota: t.shed_over_quota,
             p50: t.latency.percentile(0.50),
             p99: t.latency.percentile(0.99),
         })
@@ -308,6 +318,7 @@ fn point_fields(w: &mut JsonWriter, p: &ServePoint) {
         .field_u64("offered", p.offered)
         .field_u64("served", p.served)
         .field_u64("shed", p.shed)
+        .field_u64("expired", p.expired)
         .field_u64("batches", p.batches)
         .field_raw("mean_batch", &format!("{:.3}", p.mean_batch))
         .field_raw("p50_cycles", &format!("{:.0}", p.p50))
@@ -343,6 +354,8 @@ impl ServingBenchResult {
                 .field_u64("offered", t.offered)
                 .field_u64("served", t.served)
                 .field_u64("shed", t.shed)
+                .field_u64("shed_queue_full", t.shed_queue_full)
+                .field_u64("shed_over_quota", t.shed_over_quota)
                 .field_raw("p50_cycles", &format!("{:.0}", t.p50))
                 .field_raw("p99_cycles", &format!("{:.0}", t.p99))
                 .end_object();
@@ -380,8 +393,8 @@ pub fn lines_for(r: &ServingBenchResult) -> Vec<String> {
     out.push("tenant burst (0 = steady 0.4μ prio 0; 1 = burst 2.5μ prio 1, quota 16):".to_string());
     for t in &r.burst_tenants {
         out.push(format!(
-            "  tenant {}: {:>3} offered, {:>3} served, {} shed, p50 {:>9.0} p99 {:>9.0} cycles",
-            t.tenant, t.offered, t.served, t.shed, t.p50, t.p99
+            "  tenant {}: {:>3} offered, {:>3} served, {} shed ({} backpressure, {} quota), p50 {:>9.0} p99 {:>9.0} cycles",
+            t.tenant, t.offered, t.served, t.shed, t.shed_queue_full, t.shed_over_quota, t.p50, t.p99
         ));
     }
     out.push(format!(
@@ -396,12 +409,20 @@ pub fn lines_for(r: &ServingBenchResult) -> Vec<String> {
 /// byte-identical — so `repro serve` can update its section without
 /// re-running the co-simulation bench.
 pub fn splice_serving(existing: &str, block: &str) -> String {
-    let without = remove_top_level_key(existing, "serving");
+    splice_block(existing, "serving", block)
+}
+
+/// Replaces (or appends) the top-level `"key"` of an existing
+/// `BENCH_cosim.json` document with `block`, leaving every other field
+/// byte-identical — each bench section owns one top-level key and can
+/// refresh it without re-running the others.
+pub fn splice_block(existing: &str, key: &str, block: &str) -> String {
+    let without = remove_top_level_key(existing, key);
     let trimmed = without.trim_end();
     let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
     let sep = if body.ends_with('{') { "\n" } else { ",\n" };
     format!(
-        "{body}{sep}  \"serving\": {}\n}}\n",
+        "{body}{sep}  \"{key}\": {}\n}}\n",
         crate::cosim_bench::indent_block(block, 2)
     )
 }
@@ -585,6 +606,18 @@ mod tests {
         assert!(r.burst_certified);
         assert_eq!(r.burst_tenants.len(), 2);
         assert_eq!(r.burst_tenants[0].shed, 0, "steady tenant is protected");
+        let burst = &r.burst_tenants[1];
+        assert_eq!(
+            burst.shed,
+            burst.shed_queue_full + burst.shed_over_quota,
+            "shed splits exactly into its two causes"
+        );
+        if burst.shed > 0 {
+            assert_eq!(
+                burst.shed_queue_full, 0,
+                "a 64-deep queue never backpressures the burst; its quota does"
+            );
+        }
         let json = r.to_json();
         assert!(json.contains("\"sweep\""));
         assert!(json.contains("\"p999_cycles\""));

@@ -212,21 +212,22 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
         }
     }
 
-    /// **Stage: compile-or-reuse.** Compiles only when the graph or the
-    /// logical→physical mapping changed since the cached compile (or the
-    /// cache lacks the datapath artifacts this mode needs); a relaunch of
-    /// an unchanged program reuses the artifact outright.
+    /// **Stage: compile-or-reuse.** Asks the residency layer for the
+    /// `(graph fingerprint, mapping epoch)` entry; a relaunch of an
+    /// unchanged program reuses the resident artifact outright, and any
+    /// resident model — not just the last one launched — hits, so
+    /// multi-model streams stop thrashing. Compiles only when no entry is
+    /// resident (or the resident entry lacks the datapath artifacts this
+    /// mode needs), possibly adopting a plan from the warm-start tier.
     pub fn compile_or_reuse(
         &mut self,
         tracer: &mut Tracer<'_>,
     ) -> Result<CompileDecision, RuntimeError> {
         let rt = &mut *self.rt;
-        let cache_current = matches!(
-            &rt.compiled,
-            Some(c) if c.graph_fp == self.graph_fp
-                && c.epoch == rt.mapping_epoch
-                && (rt.mode == ExecMode::Statistical || c.datapath.is_some())
-        );
+        let need_datapath = rt.mode == ExecMode::Datapath;
+        let cache_current = rt
+            .residency
+            .touch(self.graph_fp, rt.mapping_epoch, need_datapath);
         if cache_current {
             self.metrics.inc(names::RT_REUSES, 1);
             tracer.instant(
@@ -244,7 +245,7 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
                 .map_err(|e| RuntimeError::Compile(e.to_string()))?;
             let datapath = match rt.mode {
                 ExecMode::Statistical => None,
-                ExecMode::Datapath => Some(rt.compile_datapath(&physical)?),
+                ExecMode::Datapath => Some(rt.compile_datapath(self.graph_fp, &physical)?),
             };
             self.metrics.inc(names::RT_COMPILES, 1);
             tracer.instant(
@@ -254,14 +255,14 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
                     epoch: rt.mapping_epoch,
                 },
             );
-            rt.compiled = Some(CompiledCache {
+            rt.residency.insert(CompiledCache {
                 graph_fp: self.graph_fp,
                 epoch: rt.mapping_epoch,
                 program,
                 datapath,
             });
         }
-        let cache = rt.compiled.as_ref().expect("compiled above");
+        let cache = rt.residency.current().expect("inserted or touched above");
         Ok(CompileDecision {
             reused: cache_current,
             epoch: cache.epoch,
@@ -282,7 +283,7 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
         let clock = &mut self.clock;
         let rng = &mut self.rng;
         let rt = &mut *self.rt;
-        let cache = rt.compiled.as_ref().expect("compile_or_reuse runs first");
+        let cache = rt.residency.current().expect("compile_or_reuse runs first");
         let span_cycles = cache.program.span_cycles;
         // Trace-timeline width of one attempt's window.
         let window = span_cycles.max(1) + EPOCH_GAP_CYCLES;
@@ -446,9 +447,10 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
             match rt.plan.fail_over(rt.system.topology_mut(), blame) {
                 Ok(_) => {
                     self.failovers.push(blame);
-                    // The logical→physical mapping changed: cached
-                    // compiles are stale from here on.
+                    // The logical→physical mapping changed: every
+                    // resident compile is stale from here on.
                     rt.mapping_epoch += 1;
+                    rt.residency.drop_stale(rt.mapping_epoch);
                     // One blame event and one failover event per executed
                     // failover — the candidates that were skipped above
                     // never changed anything, so they don't trace.

@@ -24,6 +24,7 @@
 pub mod cosim;
 pub mod launch;
 pub mod report;
+pub mod residency;
 pub mod runtime;
 pub mod serving;
 pub mod system;
@@ -37,6 +38,7 @@ pub use launch::{
     Recovery,
 };
 pub use report::ExecutionReport;
+pub use residency::{ResidencyManager, ResidencyStats, ResidentInfo};
 pub use runtime::{graph_fingerprint, ExecMode, LaunchOutcome, Runtime, RuntimeError, SparePolicy};
 pub use serving::{
     AdmitError, BatchRecord, Request, RequestOutcome, ServeConfig, ServeReport, Server,

@@ -31,12 +31,14 @@
 
 use crate::runtime::{mix64, ExecMode, Runtime, RuntimeError};
 use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 use tsm_compiler::graph::Graph;
 use tsm_trace::profile::profile;
 use tsm_trace::{
-    names, CycleHistogram, EventKind, Metrics, RingSink, RunMetrics, Tracer, SERVING_LANE,
+    names, CycleHistogram, EventKind, Metrics, RingSink, RunMetrics, ShedReason, Tracer,
+    SERVING_LANE,
 };
 
 /// Why admission control rejected a request.
@@ -147,10 +149,18 @@ impl<T> WorkQueue<T> {
     /// Removes and returns the least entry in the total order.
     pub fn pop(&mut self) -> Option<T> {
         let q = self.heap.pop()?.0;
-        *self
-            .per_tenant
-            .get_mut(&q.tenant)
-            .expect("tenant counted on push") -= 1;
+        match self.per_tenant.entry(q.tenant) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                // Remove exhausted tenants outright: a long-running server
+                // must stay bounded by the tenants currently queued, not
+                // by every tenant id ever seen.
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(_) => unreachable!("tenant counted on push"),
+        }
         Some(q.item)
     }
 
@@ -173,6 +183,13 @@ impl<T> WorkQueue<T> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Tenants with at least one queued entry — the size of the
+    /// per-tenant accounting map, which [`WorkQueue::pop`] keeps bounded
+    /// by removing entries that reach zero.
+    pub fn tracked_tenants(&self) -> usize {
+        self.per_tenant.len()
+    }
 }
 
 /// One offered inference request, in virtual time.
@@ -188,8 +205,10 @@ pub struct Request {
     pub priority: u8,
     /// Cycles after arrival by which the tenant wants the answer;
     /// `deadline = at + deadline_slack` is the queue-ordering key after
-    /// priority. Purely an ordering input — nothing is cancelled at the
-    /// deadline.
+    /// priority, and it is enforced at dispatch time: a request whose
+    /// deadline has already passed when the dispatcher reaches it is
+    /// dropped as [`RequestOutcome::Expired`] instead of being launched.
+    /// (Expiry is checked in virtual time, so it is deterministic.)
     pub deadline_slack: u64,
 }
 
@@ -237,6 +256,14 @@ impl Default for ServeConfig {
 pub enum RequestOutcome {
     /// Admission control refused it.
     Shed,
+    /// Its deadline had already passed when the dispatcher reached it
+    /// (in virtual time), so it was dropped unlaunched.
+    Expired {
+        /// The deadline that had passed.
+        deadline: u64,
+        /// Dispatch cycle at which the expiry was detected.
+        at: u64,
+    },
     /// Served in `batch`, completing at `completion` with
     /// enqueue→complete `latency` cycles.
     Served {
@@ -285,8 +312,17 @@ pub struct TenantStats {
     pub offered: u64,
     /// Requests served to completion.
     pub served: u64,
-    /// Requests shed by admission control.
+    /// Requests shed by admission control
+    /// (`shed_queue_full + shed_over_quota`).
     pub shed: u64,
+    /// Sheds caused by queue backpressure ([`AdmitError::QueueFull`]).
+    pub shed_queue_full: u64,
+    /// Sheds caused by the tenant quota
+    /// ([`AdmitError::TenantOverQuota`]).
+    pub shed_over_quota: u64,
+    /// Requests dropped at dispatch time because their deadline had
+    /// passed.
+    pub expired: u64,
     /// Enqueue→complete latency distribution of the served requests.
     pub latency: CycleHistogram,
 }
@@ -302,6 +338,9 @@ pub struct ServeReport {
     pub served: u64,
     /// Requests shed by admission control.
     pub shed: u64,
+    /// Requests dropped at dispatch time because their deadline had
+    /// passed.
+    pub expired: u64,
     /// Every dispatched batch, in dispatch order.
     pub batches: Vec<BatchRecord>,
     /// Per-request outcome, indexed as offered.
@@ -312,7 +351,9 @@ pub struct ServeReport {
     pub tenants: Vec<TenantStats>,
     /// Cycle of the last completion (0 when nothing was served).
     pub makespan: u64,
-    /// `serve.*` counters/histograms plus the deepest queue depth seen.
+    /// `serve.*` counters/histograms plus the deepest queue depth seen,
+    /// and the run's `residency.*` delta (plan-cache hits/misses/
+    /// evictions accrued by this serve run, with the resident gauges).
     pub metrics: RunMetrics,
 }
 
@@ -395,6 +436,7 @@ impl Server {
             model: u32,
             tenant: u32,
             arrival: u64,
+            deadline: u64,
         }
         let mut queue: WorkQueue<Pending> =
             WorkQueue::new(self.cfg.queue_capacity).with_tenant_quota(self.cfg.tenant_quota);
@@ -407,14 +449,19 @@ impl Server {
                 offered: 0,
                 served: 0,
                 shed: 0,
+                shed_queue_full: 0,
+                shed_over_quota: 0,
+                expired: 0,
                 latency: CycleHistogram::default(),
             })
         }
 
+        let res_before = self.rt.residency.stats();
         let mut latency = CycleHistogram::default();
         let mut batches: Vec<BatchRecord> = Vec::new();
         let mut served = 0u64;
         let mut shed = 0u64;
+        let mut expired = 0u64;
         let mut makespan = 0u64;
         let mut max_depth = 0u64;
         let mut server_free_at = 0u64;
@@ -452,6 +499,7 @@ impl Server {
                     model: r.model,
                     tenant: r.tenant,
                     arrival: r.at,
+                    deadline,
                 };
                 match queue.try_push(r.priority, deadline, r.tenant, pending) {
                     Ok(()) => {
@@ -469,17 +517,33 @@ impl Server {
                             },
                         );
                     }
-                    Err(_) => {
+                    Err(why) => {
                         shed += 1;
                         stats.shed += 1;
                         outcomes[id] = RequestOutcome::Shed;
                         metrics.inc(names::SERVE_SHED, 1);
+                        // Record *which* limit fired — backpressure and
+                        // quota enforcement are different operator
+                        // problems (grow the queue vs re-tier a tenant).
+                        let reason = match why {
+                            AdmitError::QueueFull => {
+                                stats.shed_queue_full += 1;
+                                metrics.inc(names::SERVE_SHED_QUEUE_FULL, 1);
+                                ShedReason::QueueFull
+                            }
+                            AdmitError::TenantOverQuota => {
+                                stats.shed_over_quota += 1;
+                                metrics.inc(names::SERVE_SHED_QUOTA, 1);
+                                ShedReason::TenantOverQuota
+                            }
+                        };
                         stracer.instant(
                             r.at,
                             SERVING_LANE,
                             EventKind::RequestShed {
                                 tenant: r.tenant,
                                 request: id as u32,
+                                reason,
                             },
                         );
                     }
@@ -488,14 +552,81 @@ impl Server {
             }
 
             // Dispatch: head plus successive same-model followers, in
-            // strict queue order, up to max_batch.
+            // strict queue order, up to max_batch. Deadlines are enforced
+            // here, in virtual time: a popped request whose deadline has
+            // already passed is dropped as Expired instead of launched —
+            // its answer could only arrive uselessly late, and launching
+            // it would delay every live request behind it.
             let t = dispatch_at.expect("queue nonempty");
-            let head = queue.pop().expect("queue nonempty");
+            #[allow(clippy::too_many_arguments)]
+            fn expire_one(
+                p: Pending,
+                t: u64,
+                outcomes: &mut [RequestOutcome],
+                tenants: &mut BTreeMap<u32, TenantStats>,
+                metrics: &Metrics,
+                stracer: &mut Tracer<'_>,
+                expired: &mut u64,
+            ) {
+                *expired += 1;
+                outcomes[p.id as usize] = RequestOutcome::Expired {
+                    deadline: p.deadline,
+                    at: t,
+                };
+                metrics.inc(names::SERVE_EXPIRED, 1);
+                tenant_entry(tenants, p.tenant).expired += 1;
+                stracer.instant(
+                    t,
+                    SERVING_LANE,
+                    EventKind::RequestExpired {
+                        tenant: p.tenant,
+                        request: p.id,
+                        late: t - p.deadline,
+                    },
+                );
+            }
+            let mut head = None;
+            while let Some(p) = queue.pop() {
+                if p.deadline < t {
+                    expire_one(
+                        p,
+                        t,
+                        &mut outcomes,
+                        &mut tenants,
+                        &metrics,
+                        &mut stracer,
+                        &mut expired,
+                    );
+                } else {
+                    head = Some(p);
+                    break;
+                }
+            }
+            let Some(head) = head else {
+                // Every queued request had expired; the next arrival (if
+                // any) reopens the batch window on an empty queue.
+                continue;
+            };
             let mut batch = vec![head];
             while batch.len() < self.cfg.max_batch.max(1)
                 && queue.peek().is_some_and(|p| p.model == head.model)
             {
-                batch.push(queue.pop().expect("peeked"));
+                let p = queue.pop().expect("peeked");
+                if p.deadline < t {
+                    // An expired follower is dropped without consuming a
+                    // batch slot.
+                    expire_one(
+                        p,
+                        t,
+                        &mut outcomes,
+                        &mut tenants,
+                        &metrics,
+                        &mut stracer,
+                        &mut expired,
+                    );
+                } else {
+                    batch.push(p);
+                }
             }
             let batch_idx = batches.len() as u32;
             let size = batch.len() as u32;
@@ -584,10 +715,16 @@ impl Server {
         }
 
         metrics.set_gauge(names::SERVE_QUEUE_DEPTH, max_depth);
+        // The run's residency behavior, as a delta over the manager's
+        // lifetime counters — per-launch metrics stay untouched, so
+        // single-model launch records remain bit-identical to the
+        // pre-residency runtime.
+        self.rt.residency.record_delta(&res_before, &metrics);
         Ok(ServeReport {
             offered: offered.len() as u64,
             served,
             shed,
+            expired,
             batches,
             outcomes,
             latency,
@@ -724,6 +861,147 @@ mod tests {
         let t1 = report.tenants.iter().find(|t| t.tenant == 1).unwrap();
         assert_eq!(t0.shed, 4, "burst capped at the quota");
         assert_eq!(t1.shed, 0, "quota kept room for the quiet tenant");
+    }
+
+    #[test]
+    fn pop_removes_exhausted_tenants_so_the_map_stays_bounded() {
+        let mut q: WorkQueue<u32> = WorkQueue::new(4);
+        // Churn many distinct tenant ids through a small queue: the
+        // per-tenant map must track only tenants currently queued, not
+        // every id ever seen.
+        for tenant in 0..1_000u32 {
+            q.try_push(0, tenant as u64, tenant, tenant).unwrap();
+            if q.len() == 4 {
+                q.pop().unwrap();
+                q.pop().unwrap();
+            }
+            assert!(
+                q.tracked_tenants() <= q.len(),
+                "tenant map leaked: {} tracked, {} queued",
+                q.tracked_tenants(),
+                q.len()
+            );
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.tracked_tenants(), 0, "drained queue tracks no tenants");
+    }
+
+    #[test]
+    fn shed_reasons_split_backpressure_from_quota() {
+        let mut s = server(ServeConfig {
+            queue_capacity: 3,
+            tenant_quota: 2,
+            batch_window: 1_000_000, // hold everything in the queue
+            ..ServeConfig::default()
+        });
+        // Tenant 0 bursts four requests: 2 admitted, 2 over quota. Then
+        // tenants 1 and 2 fill the last slot and hit backpressure.
+        let offered = [
+            req(0, 0),
+            req(1, 0),
+            req(2, 0),
+            req(3, 0),
+            req(4, 1),
+            req(5, 2),
+        ];
+        let report = s.serve(&offered).unwrap();
+        assert_eq!(report.shed, 3);
+        let t0 = report.tenants.iter().find(|t| t.tenant == 0).unwrap();
+        let t2 = report.tenants.iter().find(|t| t.tenant == 2).unwrap();
+        assert_eq!((t0.shed_queue_full, t0.shed_over_quota), (0, 2));
+        assert_eq!((t2.shed_queue_full, t2.shed_over_quota), (1, 0));
+        for t in &report.tenants {
+            assert_eq!(t.shed, t.shed_queue_full + t.shed_over_quota);
+        }
+        assert_eq!(report.metrics.counter(names::SERVE_SHED_QUOTA), 2);
+        assert_eq!(report.metrics.counter(names::SERVE_SHED_QUEUE_FULL), 1);
+        assert_eq!(report.metrics.counter(names::SERVE_SHED), 3);
+    }
+
+    #[test]
+    fn stale_head_expires_at_dispatch_instead_of_launching() {
+        let mut s = server(ServeConfig {
+            batch_window: 5_000, // the head goes stale while the window is open
+            ..ServeConfig::default()
+        });
+        let offered = [
+            Request {
+                deadline_slack: 100,
+                ..req(0, 0)
+            },
+            req(10, 1), // ample slack: served
+        ];
+        let report = s.serve(&offered).unwrap();
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.served, 1);
+        assert_eq!(report.shed, 0);
+        assert_eq!(
+            report.outcomes[0],
+            RequestOutcome::Expired {
+                deadline: 100,
+                at: 5_000
+            }
+        );
+        assert!(matches!(report.outcomes[1], RequestOutcome::Served { .. }));
+        let t0 = report.tenants.iter().find(|t| t.tenant == 0).unwrap();
+        assert_eq!((t0.expired, t0.served, t0.shed), (1, 0, 0));
+        assert_eq!(report.metrics.counter(names::SERVE_EXPIRED), 1);
+        // Only the live request launched.
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].size, 1);
+    }
+
+    #[test]
+    fn all_expired_queue_drains_without_launching() {
+        let mut s = server(ServeConfig {
+            batch_window: 10_000,
+            ..ServeConfig::default()
+        });
+        let offered = [
+            Request {
+                deadline_slack: 1,
+                ..req(0, 0)
+            },
+            Request {
+                deadline_slack: 2,
+                ..req(5, 0)
+            },
+        ];
+        let report = s.serve(&offered).unwrap();
+        assert_eq!((report.expired, report.served), (2, 0));
+        assert!(report.batches.is_empty(), "nothing launched");
+        assert_eq!(report.makespan, 0);
+    }
+
+    #[test]
+    fn multi_model_round_robin_hits_the_residency_layer() {
+        let mut s = server(ServeConfig::default());
+        let other = s.add_model(|b| {
+            let mut g = Graph::new();
+            g.add(
+                TspId(8),
+                OpKind::Compute {
+                    cycles: 700 * b as u64,
+                },
+                vec![],
+            )
+            .unwrap();
+            g
+        });
+        // A,B,A,B,A,B with spaced arrivals: 2 compiles, then 4 hits — the
+        // alternation that thrashed the old single-entry cache.
+        let offered: Vec<Request> = (0..6)
+            .map(|i| Request {
+                model: if i % 2 == 0 { 0 } else { other },
+                ..req(i * 100_000, 0)
+            })
+            .collect();
+        let report = s.serve(&offered).unwrap();
+        assert_eq!(report.served, 6);
+        assert_eq!(report.metrics.counter(names::RES_MISSES), 2);
+        assert_eq!(report.metrics.counter(names::RES_HITS), 4);
+        assert_eq!(report.metrics.counter(names::RES_EVICTIONS), 0);
+        assert_eq!(report.metrics.gauge(names::RES_RESIDENT_PLANS), Some(2));
     }
 
     #[test]

@@ -66,9 +66,21 @@ fn name_and_args(kind: &EventKind) -> (&'static str, String) {
             "serve.enqueue",
             format!("\"tenant\":{tenant},\"request\":{request}"),
         ),
-        EventKind::RequestShed { tenant, request } => (
+        EventKind::RequestShed {
+            tenant,
+            request,
+            reason,
+        } => (
             "serve.shed",
-            format!("\"tenant\":{tenant},\"request\":{request}"),
+            format!("\"tenant\":{tenant},\"request\":{request},\"reason\":\"{reason:?}\""),
+        ),
+        EventKind::RequestExpired {
+            tenant,
+            request,
+            late,
+        } => (
+            "serve.expired",
+            format!("\"tenant\":{tenant},\"request\":{request},\"late\":{late}"),
         ),
         EventKind::RequestComplete {
             tenant,

@@ -13,6 +13,17 @@ pub const RUNTIME_LANE: u32 = u32::MAX;
 /// filtering this lane out.
 pub const SERVING_LANE: u32 = u32::MAX - 1;
 
+/// Which admission limit rejected a request. Recorded on
+/// [`EventKind::RequestShed`] so traces distinguish backpressure from
+/// quota enforcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShedReason {
+    /// The bounded work queue was at capacity.
+    QueueFull,
+    /// The request's tenant was at its in-queue quota.
+    TenantOverQuota,
+}
+
 /// What happened. Identifiers are raw integers (`TspId.0`, `LinkId.0`,
 /// `NodeId.0`) so this crate stays a dependency leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -121,6 +132,18 @@ pub enum EventKind {
         tenant: u32,
         /// Serving-frontend request id (monotone per run).
         request: u32,
+        /// Which admission limit fired.
+        reason: ShedReason,
+    },
+    /// A queued request reached the dispatcher after its deadline had
+    /// already passed (in virtual time) and was dropped unlaunched.
+    RequestExpired {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Serving-frontend request id (monotone per run).
+        request: u32,
+        /// Cycles between the deadline and the dispatch that found it.
+        late: u64,
     },
     /// A request's batch finished executing; `latency` is the full
     /// enqueue→complete distance in virtual cycles.

@@ -372,6 +372,62 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Skips one complete JSON value — scalar, object, or array — and
+    /// returns its exact source slice, for nested documents that a
+    /// different parser owns (e.g. an embedded compiled-plan dump).
+    pub fn raw_value(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.i;
+        let bytes = self.s.as_bytes();
+        let mut i = self.i;
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escape = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == b'\\' {
+                    escape = true;
+                } else if c == b'"' {
+                    in_str = false;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            match c {
+                b'"' => {
+                    in_str = true;
+                    i += 1;
+                }
+                b'{' | b'[' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' | b']' if depth == 0 => break,
+                b'}' | b']' => {
+                    depth -= 1;
+                    i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b',' if depth == 0 => break,
+                _ => i += 1,
+            }
+        }
+        if i == start || depth != 0 || in_str {
+            return Err(format!("malformed value at byte {start}"));
+        }
+        self.i = i;
+        Ok(&self.s[start..i])
+    }
+
     /// Errors unless only whitespace remains.
     pub fn expect_end(&mut self) -> Result<(), String> {
         self.skip_ws();

@@ -39,7 +39,7 @@ pub mod profile;
 pub mod sink;
 
 pub use chrome::{chrome_trace_json, chrome_trace_json_overlay, chrome_trace_json_with};
-pub use event::{EventKind, TraceEvent, Tracer, RUNTIME_LANE, SERVING_LANE};
+pub use event::{EventKind, ShedReason, TraceEvent, Tracer, RUNTIME_LANE, SERVING_LANE};
 pub use json::{escape_json, unescape_json, Cursor, JsonWriter};
 pub use metrics::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
 pub use profile::{

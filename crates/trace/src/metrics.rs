@@ -72,6 +72,30 @@ pub mod names {
     pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
     /// Queue depth observed at each batch dispatch (histogram).
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Sheds whose admission failure was queue backpressure.
+    pub const SERVE_SHED_QUEUE_FULL: &str = "serve.shed_queue_full";
+    /// Sheds whose admission failure was the tenant quota.
+    pub const SERVE_SHED_QUOTA: &str = "serve.shed_over_quota";
+    /// Requests dropped at dispatch time because their deadline had
+    /// already passed in virtual time.
+    pub const SERVE_EXPIRED: &str = "serve.expired";
+
+    /// Compiled-plan residency: launches that found their plan resident.
+    pub const RES_HITS: &str = "residency.hits";
+    /// Launches that had to compile (no resident plan for the key).
+    pub const RES_MISSES: &str = "residency.misses";
+    /// Resident plans evicted by the byte budget (LRU order).
+    pub const RES_EVICTIONS: &str = "residency.evictions";
+    /// Resident plans dropped because their mapping epoch went stale
+    /// after a spare failover.
+    pub const RES_STALE_DROPS: &str = "residency.stale_drops";
+    /// Datapath plans adopted from the serde warm-start tier instead of
+    /// being recompiled.
+    pub const RES_WARM_STARTS: &str = "residency.warm_starts";
+    /// Estimated bytes held by resident plans (gauge).
+    pub const RES_RESIDENT_BYTES: &str = "residency.resident_bytes";
+    /// Number of resident plans (gauge).
+    pub const RES_RESIDENT_PLANS: &str = "residency.resident_plans";
 }
 
 /// Number of power-of-two histogram buckets: bucket 0 holds zero-cycle

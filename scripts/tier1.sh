@@ -36,6 +36,10 @@ cargo test -p tsm-core --test profile_conformance -q
 # proptests, and batch-width independence of serving outcomes.
 cargo test -p tsm-core --test serve_identity -q
 cargo test -p tsm-core --test serving_queue -q
+# The plan-residency layer: multi-model reuse, budget-0 single-entry
+# equivalence, pre-residency trace-shape pinning, failover epoch drops,
+# the warm-start tier round trip, and the LRU-vs-reference proptest.
+cargo test -p tsm-core --test residency -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
 # Fast bench smoke: one sample of the canonical workload plus the small
@@ -43,9 +47,14 @@ cargo test -p tsm-link -q
 # at every point. Writes no files, so it cannot clobber BENCH_cosim.json.
 cargo run --release -p tsm-bench --bin repro bench-cosim-smoke
 # Fast serving smoke: a small load×window sweep with certification on
-# every launch, overload backpressure, and bit-reproducibility asserted.
+# every launch, overload backpressure, bit-reproducibility, and a
+# multi-model alternation that must report residency-cache hits.
 # Writes no files.
 cargo run --release -p tsm-bench --bin repro serve-smoke
+# Fast residency smoke: the cache-thrash scenario at warm/thrash/single
+# budgets with exact hit-rate and warm-start-tier assertions. Writes no
+# files.
+cargo run --release -p tsm-bench --bin repro residency-smoke
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 # Rustdoc is part of the contract: broken intra-doc links and bad doc
