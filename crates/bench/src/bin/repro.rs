@@ -55,6 +55,10 @@ fn emit_serve() -> Vec<String> {
         Ok(()) => out.push("spliced serving block into BENCH_cosim.json".to_string()),
         Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
     }
+    // The serve sweep also refreshes the windowed-telemetry record: SLO
+    // series per tenant plus link/chip heatmaps, sampled over a serve run.
+    out.push(String::new());
+    out.extend(emit_telemetry());
     out
 }
 
@@ -79,6 +83,57 @@ fn smoke_serve() -> Vec<String> {
     );
     let mut out = serving_bench::lines_for(&result);
     out.push(residency_smoke_line());
+    out.push("smoke OK (no files written)".to_string());
+    out
+}
+
+/// Full telemetry bench: a two-tenant serve run with windowed sampling
+/// on, per-tenant SLO series, link/chip heatmaps, and the sampler's
+/// measured overhead; spliced into the `telemetry` block of
+/// `BENCH_cosim.json`.
+fn emit_telemetry() -> Vec<String> {
+    let result = serving_bench::measure_telemetry(8, 24, 7);
+    assert!(
+        result.reproducible,
+        "telemetry must reproduce byte-for-byte from its seed"
+    );
+    assert!(
+        result.off_identical,
+        "sampling off must be bit-identical to sampling on minus telemetry"
+    );
+    let mut out = serving_bench::telemetry_lines(&result);
+    let existing = std::fs::read_to_string("BENCH_cosim.json").unwrap_or_else(|_| "{}\n".into());
+    let spliced = serving_bench::splice_telemetry(&existing, &result.to_json());
+    match std::fs::write("BENCH_cosim.json", spliced) {
+        Ok(()) => out.push("spliced telemetry block into BENCH_cosim.json".to_string()),
+        Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
+    }
+    out
+}
+
+/// Fast telemetry smoke for CI (`scripts/tier1.sh`): asserts windowed
+/// sampling is bit-reproducible from its seed and that sampling off is
+/// bit-identical to the pre-feature behaviour, with link/chip heatmaps
+/// and per-tenant SLO series present. Writes nothing.
+fn smoke_telemetry() -> Vec<String> {
+    let result = serving_bench::measure_telemetry(4, 8, 9);
+    assert!(
+        result.reproducible,
+        "telemetry must reproduce byte-for-byte from its seed"
+    );
+    assert!(
+        result.off_identical,
+        "sampling off must be bit-identical to sampling on minus telemetry"
+    );
+    assert!(
+        result.link_labels > 0 && result.chip_labels > 0,
+        "serve heatmaps must cover links and chips"
+    );
+    assert!(
+        !result.tenants.is_empty(),
+        "per-tenant SLO series must be present"
+    );
+    let mut out = serving_bench::telemetry_lines(&result);
     out.push("smoke OK (no files written)".to_string());
     out
 }
@@ -337,6 +392,16 @@ fn main() {
             "serve-smoke",
             "Serve — fast serving smoke (certification + reproducibility asserts, no files)",
             Box::new(smoke_serve),
+        ),
+        (
+            "telemetry",
+            "Telemetry — windowed SLO series + utilization heatmaps (updates the telemetry block of BENCH_cosim.json)",
+            Box::new(emit_telemetry),
+        ),
+        (
+            "telemetry-smoke",
+            "Telemetry — fast sampling smoke (bit-reproducibility + off-identity asserts, no files)",
+            Box::new(smoke_telemetry),
         ),
         (
             "residency",

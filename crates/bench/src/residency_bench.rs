@@ -115,6 +115,7 @@ fn server(rt: Runtime, models: usize, seed: u64) -> Server {
             tenant_quota: usize::MAX,
             seed,
             certify: false,
+            telemetry: None,
         },
     );
     for m in 0..models {

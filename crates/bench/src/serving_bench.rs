@@ -13,10 +13,12 @@
 //!
 //! [`CycleHistogram`]: tsm::trace::CycleHistogram
 
+use std::time::Instant;
 use tsm::core::runtime::{ExecMode, Runtime, SparePolicy};
 use tsm::core::serving::{Request, ServeConfig, ServeReport, Server};
 use tsm::core::system::System;
-use tsm::trace::{names, JsonWriter};
+use tsm::trace::telemetry::series;
+use tsm::trace::{names, sparkline, JsonWriter, Telemetry, TelemetryConfig};
 use tsm::workloads::{
     merge_arrivals, poisson_arrivals, poisson_arrivals_in, ArrivalEvent, BertConfig,
 };
@@ -198,6 +200,7 @@ pub fn measure_serving(encoders: usize, horizon_services: u64, seed: u64) -> Ser
         tenant_quota,
         seed,
         certify: true,
+        telemetry: None,
     };
 
     let mut sweep = Vec::new();
@@ -309,6 +312,284 @@ pub fn measure_serving(encoders: usize, horizon_services: u64, seed: u64) -> Ser
         burst_certified,
         reproducible,
     }
+}
+
+/// Wall-clock samples taken (best-of) when measuring sampler overhead.
+pub const OVERHEAD_SAMPLES: u32 = 3;
+
+/// Per-tenant SLO summary of the telemetry bench point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSlo {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests served / expired for this tenant.
+    pub served: u64,
+    /// Requests expired at dispatch.
+    pub expired: u64,
+    /// Whole-run SLO attainment: `met / (met + missed)` summed over every
+    /// window (1.0 when the tenant saw no terminal requests).
+    pub attainment: f64,
+}
+
+/// The `"telemetry"` bench record: one non-certified serve run with
+/// windowed sampling on, the identity and reproducibility verdicts the
+/// feature promises, and the sampler's measured wall-clock overhead —
+/// the observational analogue of the NullSink/RingSink trace baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryBenchResult {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Measured batch-1 service time, cycles.
+    pub service_cycles: u64,
+    /// Sampling window, cycles.
+    pub window: u64,
+    /// Requests offered / served / expired / shed.
+    pub offered: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Requests expired at dispatch.
+    pub expired: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Windows the run spanned (`last_window + 1`).
+    pub sampled_windows: u64,
+    /// Distinct `(name, label)` series recorded.
+    pub series_count: u64,
+    /// Links with a delivery heatmap.
+    pub link_labels: u64,
+    /// Chips with a busy-cycles heatmap.
+    pub chip_labels: u64,
+    /// Per-tenant SLO summaries, ascending tenant id.
+    pub tenants: Vec<TenantSlo>,
+    /// Whether a rerun reproduced the report and its telemetry JSON byte
+    /// for byte.
+    pub reproducible: bool,
+    /// Whether a sampling-off run was bit-identical to the sampling-on
+    /// run minus the telemetry fields.
+    pub off_identical: bool,
+    /// Best-of-[`OVERHEAD_SAMPLES`] wall ratio of a sampling-on serve to
+    /// a sampling-off serve.
+    pub sampler_overhead: f64,
+    /// The run's full telemetry record (embedded in the JSON block).
+    pub telemetry: Telemetry,
+}
+
+/// Measures the telemetry bench point: a two-tenant serve run — one
+/// comfortable, one with deadlines tight enough to miss — with windowed
+/// sampling on, in datapath mode without certification so the launches'
+/// link/chip heatmaps land on the serving timeline.
+pub fn measure_telemetry(
+    encoders: usize,
+    horizon_services: u64,
+    seed: u64,
+) -> TelemetryBenchResult {
+    let service_cycles = runtime()
+        .launch(&bert_graph(encoders, 1), seed)
+        .expect("calibration launch")
+        .timeline_cycles;
+    let horizon = service_cycles * horizon_services;
+    // Tenant 0 offers steady 0.5μ with ample deadlines; tenant 1 offers
+    // 0.3μ with half-a-service slack, so some of its requests miss their
+    // SLO and some expire unlaunched — the attainment series has to show
+    // real misses, not a flat 100%.
+    let steady = poisson_arrivals(
+        seed.wrapping_add(301),
+        0.5 / service_cycles as f64,
+        horizon,
+        0,
+        0,
+        8 * service_cycles,
+    );
+    let tight = poisson_arrivals(
+        seed.wrapping_add(302),
+        0.3 / service_cycles as f64,
+        horizon,
+        1,
+        1,
+        service_cycles / 2,
+    );
+    let offered = to_requests(&merge_arrivals(&[steady, tight]));
+    let tel_cfg = TelemetryConfig {
+        window: (service_cycles / 2).max(1),
+        slo_permille: 990,
+    };
+    let cfg = |telemetry| ServeConfig {
+        batch_window: service_cycles / 2,
+        max_batch: MAX_BATCH,
+        queue_capacity: 256,
+        tenant_quota: usize::MAX,
+        seed,
+        certify: false,
+        telemetry,
+    };
+    let serve_once = |telemetry: Option<TelemetryConfig>| {
+        let mut server = Server::new(runtime(), cfg(telemetry));
+        server.add_model(move |b| bert_graph(encoders, b));
+        server.serve(&offered).expect("serving run")
+    };
+
+    let on = serve_once(Some(tel_cfg));
+    let telemetry = on.telemetry.clone().expect("sampling was on");
+
+    // Bit-reproducibility: a rerun from scratch must reproduce the whole
+    // report, and its telemetry must serialize byte-identically.
+    let again = serve_once(Some(tel_cfg));
+    let reproducible = again == on
+        && again
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.to_json() == telemetry.to_json());
+
+    // Off-identity: sampling off must be bit-identical to sampling on
+    // minus the telemetry fields themselves.
+    let off = serve_once(None);
+    let mut stripped = on.clone();
+    stripped.telemetry = None;
+    for b in &mut stripped.batches {
+        b.outcome.telemetry = None;
+    }
+    let off_identical = off.telemetry.is_none() && stripped == off;
+
+    // Sampler overhead, best-of-N: identical serve runs, sampling off vs
+    // on — reported alongside the trace layer's NullSink/RingSink
+    // baselines in BENCH_cosim.json.
+    let (mut off_ns, mut on_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..OVERHEAD_SAMPLES {
+        let t = Instant::now();
+        let _ = serve_once(None);
+        off_ns = off_ns.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        let _ = serve_once(Some(tel_cfg));
+        on_ns = on_ns.min(t.elapsed().as_nanos());
+    }
+    let sampler_overhead = on_ns as f64 / off_ns as f64;
+
+    let total = |name: &str, label: &str| telemetry.get(name, label).map_or(0, |s| s.total());
+    let tenants = on
+        .tenants
+        .iter()
+        .map(|t| {
+            let label = format!("tenant{}", t.tenant);
+            let met = total(series::SLO_MET, &label);
+            let missed = total(series::SLO_MISSED, &label);
+            TenantSlo {
+                tenant: t.tenant,
+                served: t.served,
+                expired: t.expired,
+                attainment: if met + missed == 0 {
+                    1.0
+                } else {
+                    met as f64 / (met + missed) as f64
+                },
+            }
+        })
+        .collect();
+
+    TelemetryBenchResult {
+        seed,
+        service_cycles,
+        window: tel_cfg.window,
+        offered: on.offered,
+        served: on.served,
+        expired: on.expired,
+        shed: on.shed,
+        sampled_windows: telemetry.last_window().map_or(0, |w| w + 1),
+        series_count: telemetry.series.len() as u64,
+        link_labels: telemetry.labels(series::LINK_DELIVERIES).len() as u64,
+        chip_labels: telemetry.labels(series::CHIP_BUSY).len() as u64,
+        tenants,
+        reproducible,
+        off_identical,
+        sampler_overhead,
+        telemetry,
+    }
+}
+
+impl TelemetryBenchResult {
+    /// The `"telemetry"` JSON block spliced into `BENCH_cosim.json`. The
+    /// embedded `series` object is [`Telemetry::to_json`] verbatim, so
+    /// the same seed reproduces it byte for byte (only the wall-clock
+    /// `sampler_overhead` field varies across machines).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_u64("seed", self.seed)
+            .field_u64("service_cycles", self.service_cycles)
+            .field_u64("window_cycles", self.window)
+            .field_u64("offered", self.offered)
+            .field_u64("served", self.served)
+            .field_u64("expired", self.expired)
+            .field_u64("shed", self.shed)
+            .field_u64("sampled_windows", self.sampled_windows)
+            .field_u64("series_count", self.series_count)
+            .field_u64("link_labels", self.link_labels)
+            .field_u64("chip_labels", self.chip_labels);
+        w.key("tenants").begin_array();
+        for t in &self.tenants {
+            w.begin_object()
+                .field_u64("tenant", u64::from(t.tenant))
+                .field_u64("served", t.served)
+                .field_u64("expired", t.expired)
+                .field_raw("slo_attainment", &format!("{:.4}", t.attainment))
+                .end_object();
+        }
+        w.end_array();
+        w.key("reproducible").bool(self.reproducible);
+        w.key("off_identical").bool(self.off_identical);
+        w.field_raw("sampler_overhead", &format!("{:.3}", self.sampler_overhead));
+        w.field_raw(
+            "series",
+            &crate::cosim_bench::indent_block(&self.telemetry.to_json(), 2),
+        );
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Printable report lines for `repro telemetry` output, with ASCII
+/// sparklines over the sampled windows.
+pub fn telemetry_lines(r: &TelemetryBenchResult) -> Vec<String> {
+    let t = &r.telemetry;
+    let last = t.last_window().unwrap_or(0);
+    let mut out = vec![
+        format!(
+            "window {} cycles x {} sampled; {} series over {} links, {} chips; seed {}",
+            r.window, r.sampled_windows, r.series_count, r.link_labels, r.chip_labels, r.seed
+        ),
+        format!(
+            "offered {}, served {}, expired {}, shed {}",
+            r.offered, r.served, r.expired, r.shed
+        ),
+    ];
+    for ten in &r.tenants {
+        let label = format!("tenant{}", ten.tenant);
+        let tp = t
+            .get(series::SERVE_THROUGHPUT, &label)
+            .map(|s| s.dense(0, last))
+            .unwrap_or_default();
+        out.push(format!(
+            "  {label}: throughput |{}| slo attainment {:5.1}%",
+            sparkline(&tp),
+            ten.attainment * 100.0
+        ));
+    }
+    if let Some(depth) = t.get(series::SERVE_QUEUE_DEPTH, "") {
+        out.push(format!(
+            "  queue depth |{}|",
+            sparkline(&depth.dense(0, last))
+        ));
+    }
+    out.push(format!(
+        "bit-reproducible: {}; sampling-off identical: {}; sampler overhead {:.3}x (best of {})",
+        r.reproducible, r.off_identical, r.sampler_overhead, OVERHEAD_SAMPLES
+    ));
+    out
+}
+
+/// Replaces (or appends) the top-level `"telemetry"` key of an existing
+/// `BENCH_cosim.json` document with `block`.
+pub fn splice_telemetry(existing: &str, block: &str) -> String {
+    splice_block(existing, "telemetry", block)
 }
 
 fn point_fields(w: &mut JsonWriter, p: &ServePoint) {
@@ -622,5 +903,48 @@ mod tests {
         assert!(json.contains("\"sweep\""));
         assert!(json.contains("\"p999_cycles\""));
         assert!(json.contains("\"reproducible\": true"));
+    }
+
+    /// Tiny telemetry measure: sampling must change nothing but the
+    /// telemetry fields, reproduce bit-for-bit, and carry per-tenant SLO
+    /// series plus link/chip heatmaps into the JSON block.
+    #[test]
+    fn tiny_telemetry_measure_is_identical_off_and_reproducible_on() {
+        let r = measure_telemetry(4, 8, 9);
+        assert!(r.reproducible, "same seed, same bytes");
+        assert!(r.off_identical, "sampling off is bit-identical");
+        assert!(r.offered > 0 && r.served > 0);
+        assert!(r.sampled_windows > 1, "run spans multiple windows");
+        assert!(r.series_count > 0);
+        assert!(
+            r.link_labels > 0 && r.chip_labels > 0,
+            "non-certified datapath launches put heatmaps on the timeline"
+        );
+        assert_eq!(r.tenants.len(), 2);
+        assert!(
+            r.tenants.iter().any(|t| t.attainment < 1.0) || r.expired > 0,
+            "the tight tenant must show real SLO pressure"
+        );
+        for t in &r.tenants {
+            assert!((0.0..=1.0).contains(&t.attainment));
+        }
+        let json = r.to_json();
+        for key in [
+            "\"window_cycles\"",
+            "\"sampled_windows\"",
+            "\"tenants\"",
+            "\"slo_attainment\"",
+            "\"sampler_overhead\"",
+            "\"series\"",
+            "\"off_identical\": true",
+            "\"reproducible\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains(series::LINK_DELIVERIES));
+        assert!(json.contains(series::CHIP_BUSY));
+        let lines = telemetry_lines(&r);
+        assert!(lines.iter().any(|l| l.contains("throughput")));
+        assert!(lines.iter().any(|l| l.contains("sampler overhead")));
     }
 }

@@ -521,6 +521,9 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
         );
         let mut all = self.attempt_metrics;
         all.absorb(&self.metrics.snapshot());
+        // Drain the executor's windowed samples so each outcome carries
+        // exactly its own launch's heatmaps (None when telemetry is off).
+        let telemetry = self.rt.executor.take_telemetry();
         LaunchOutcome {
             metrics: all,
             failovers: self.failovers,
@@ -528,6 +531,7 @@ impl<'rt, 'g> LaunchEngine<'rt, 'g> {
             span_cycles: success.span_cycles,
             dst_digests: success.dst_digests,
             timeline_cycles: self.clock - self.base,
+            telemetry,
         }
     }
 

@@ -45,6 +45,7 @@ use tsm_fault::spare::SparePlan;
 use tsm_isa::vector::VECTOR_BYTES;
 use tsm_isa::Vector;
 use tsm_topology::{LinkId, NodeId, TspId};
+use tsm_trace::telemetry::{Telemetry, TelemetryConfig};
 use tsm_trace::{names, RunMetrics, TraceSink};
 
 /// Which spare-provisioning policy the deployment uses (paper §4.5).
@@ -158,6 +159,14 @@ pub struct LaunchOutcome {
     /// from the launch's base cycle to its `LaunchEnd` event. The serving
     /// frontend uses this as the service time of a batch.
     pub timeline_cycles: u64,
+    /// Windowed utilization heatmaps of this launch when telemetry is
+    /// enabled ([`Runtime::set_telemetry`]): per-link delivery counts
+    /// (`link.deliveries[linkN]`) and per-chip busy cycles
+    /// (`chip.busy_cycles[chipN]`), sampled over every attempt — aborted
+    /// ones included, exactly matching the trace. `None` when telemetry
+    /// is off, so pre-feature outcomes compare bit-identically; present
+    /// but empty in statistical mode, which moves no payloads.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl LaunchOutcome {
@@ -303,6 +312,34 @@ impl Runtime {
     pub fn clear_trace_sink(&mut self) {
         self.sink = None;
         self.executor.clear_trace_sink();
+    }
+
+    /// Enables windowed telemetry sampling for subsequent launches
+    /// (builder style). See [`Runtime::set_telemetry`].
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.set_telemetry(cfg);
+        self
+    }
+
+    /// Enables windowed telemetry for subsequent launches: the executor
+    /// samples per-link delivery counts and per-chip busy cycles onto
+    /// `cfg.window`-cycle windows, and each [`LaunchOutcome`] carries the
+    /// resulting [`Telemetry`]. Sampling is observation-only — event
+    /// sequences and every other outcome field are bit-identical with
+    /// telemetry on or off.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.executor.set_telemetry(cfg);
+    }
+
+    /// Disables telemetry sampling (back to the pre-feature single
+    /// branch; subsequent outcomes carry `telemetry: None`).
+    pub fn clear_telemetry(&mut self) {
+        self.executor.clear_telemetry();
+    }
+
+    /// The telemetry configuration in effect, if any.
+    pub fn telemetry_cfg(&self) -> Option<TelemetryConfig> {
+        self.executor.telemetry_cfg()
     }
 
     /// Selects the execution mode for subsequent launches (builder style).

@@ -36,6 +36,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 use tsm_compiler::graph::Graph;
 use tsm_trace::profile::profile;
+use tsm_trace::telemetry::{self, Sampler, Telemetry, TelemetryConfig};
 use tsm_trace::{
     names, CycleHistogram, EventKind, Metrics, RingSink, RunMetrics, ShedReason, Tracer,
     SERVING_LANE,
@@ -236,6 +237,15 @@ pub struct ServeConfig {
     /// timeline keeps only the `Request*`/`Batch*` events), and
     /// [`BatchRecord::certified`] reports the verdict.
     pub certify: bool,
+    /// Windowed telemetry sampling ([`tsm_trace::telemetry`]). `Some`
+    /// makes [`ServeReport::telemetry`] carry per-tenant throughput,
+    /// queue-depth, shed/expired and SLO-attainment series plus the
+    /// launches' link/chip heatmaps, all on `window`-cycle windows of the
+    /// serving timeline. `None` (the default) is the pre-feature single
+    /// branch: the report is bit-identical to a build without the
+    /// feature. Sampling never changes event sequences or any other
+    /// report field — it only observes.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -247,6 +257,7 @@ impl Default for ServeConfig {
             tenant_quota: usize::MAX,
             seed: 0,
             certify: false,
+            telemetry: None,
         }
     }
 }
@@ -355,6 +366,15 @@ pub struct ServeReport {
     /// and the run's `residency.*` delta (plan-cache hits/misses/
     /// evictions accrued by this serve run, with the resident gauges).
     pub metrics: RunMetrics,
+    /// Windowed time series of the run when [`ServeConfig::telemetry`]
+    /// was set: per-tenant `serve.throughput`/`serve.enqueued`/
+    /// `serve.shed`/`serve.expired` counters, `serve.slo.met`/
+    /// `serve.slo.missed` (a request meets its SLO when it completes by
+    /// its deadline), the `serve.queue_depth` gauge, and — in
+    /// non-certify runs — the launches' `link.deliveries`/
+    /// `chip.busy_cycles` heatmaps merged onto the serving timeline.
+    /// `None` when telemetry is off.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// A model registered with the server: a builder from batch size to the
@@ -367,6 +387,9 @@ pub struct Server {
     rt: Runtime,
     cfg: ServeConfig,
     models: Vec<ModelBuilder>,
+    /// Display names for telemetry series labels, keyed by tenant id.
+    /// Unnamed tenants label as `tenant{id}`.
+    tenant_names: BTreeMap<u32, String>,
 }
 
 impl Server {
@@ -377,7 +400,25 @@ impl Server {
             rt,
             cfg,
             models: Vec::new(),
+            tenant_names: BTreeMap::new(),
         }
+    }
+
+    /// Gives tenant `id` a display name, used as the label of its
+    /// telemetry series (`serve.throughput[name]`, …). Purely
+    /// presentational: accounting and ordering key on the id, and names
+    /// pass through the JSON/Perfetto escapers, so hostile strings are
+    /// safe. Unnamed tenants label as `tenant{id}`.
+    pub fn name_tenant(&mut self, id: u32, name: &str) {
+        self.tenant_names.insert(id, name.to_string());
+    }
+
+    /// The telemetry label of tenant `id`.
+    pub fn tenant_label(&self, id: u32) -> String {
+        self.tenant_names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("tenant{id}"))
     }
 
     /// Registers a model: `builder(batch)` must return the logical graph
@@ -429,6 +470,24 @@ impl Server {
         let metrics = Metrics::default();
         let user_sink = self.rt.sink.clone();
         let mut stracer = Tracer::new(user_sink.as_deref());
+
+        // Telemetry is observation-only: every branch below that touches
+        // the sampler does nothing else, so a `telemetry: None` run is
+        // bit-identical to a pre-feature build (pinned by the
+        // `telemetry` integration suite). Enabling it also arms the
+        // runtime's executor, so each batch's launch carries link/chip
+        // heatmaps for the serving sampler to merge.
+        let mut sampler = self.cfg.telemetry.map(Sampler::new);
+        if let Some(tc) = self.cfg.telemetry {
+            self.rt.set_telemetry(tc);
+        }
+        let tenant_names = self.tenant_names.clone();
+        let label_of = |t: u32| -> String {
+            tenant_names
+                .get(&t)
+                .cloned()
+                .unwrap_or_else(|| format!("tenant{t}"))
+        };
 
         #[derive(Debug, Clone, Copy)]
         struct Pending {
@@ -508,6 +567,20 @@ impl Server {
                         }
                         metrics.inc(names::SERVE_ENQUEUED, 1);
                         max_depth = max_depth.max(queue.len() as u64);
+                        if let Some(s) = sampler.as_mut() {
+                            s.count(
+                                telemetry::series::SERVE_ENQUEUED,
+                                &label_of(r.tenant),
+                                r.at,
+                                1,
+                            );
+                            s.level(
+                                telemetry::series::SERVE_QUEUE_DEPTH,
+                                "",
+                                r.at,
+                                queue.len() as u64,
+                            );
+                        }
                         stracer.instant(
                             r.at,
                             SERVING_LANE,
@@ -522,6 +595,9 @@ impl Server {
                         stats.shed += 1;
                         outcomes[id] = RequestOutcome::Shed;
                         metrics.inc(names::SERVE_SHED, 1);
+                        if let Some(s) = sampler.as_mut() {
+                            s.count(telemetry::series::SERVE_SHED, &label_of(r.tenant), r.at, 1);
+                        }
                         // Record *which* limit fired — backpressure and
                         // quota enforcement are different operator
                         // problems (grow the queue vs re-tier a tenant).
@@ -567,6 +643,8 @@ impl Server {
                 metrics: &Metrics,
                 stracer: &mut Tracer<'_>,
                 expired: &mut u64,
+                sampler: &mut Option<Sampler>,
+                label: &str,
             ) {
                 *expired += 1;
                 outcomes[p.id as usize] = RequestOutcome::Expired {
@@ -575,6 +653,12 @@ impl Server {
                 };
                 metrics.inc(names::SERVE_EXPIRED, 1);
                 tenant_entry(tenants, p.tenant).expired += 1;
+                // An expired request is by definition an SLO miss: it was
+                // never answered at all.
+                if let Some(s) = sampler.as_mut() {
+                    s.count(telemetry::series::SERVE_EXPIRED, label, t, 1);
+                    s.count(telemetry::series::SLO_MISSED, label, t, 1);
+                }
                 stracer.instant(
                     t,
                     SERVING_LANE,
@@ -596,6 +680,8 @@ impl Server {
                         &metrics,
                         &mut stracer,
                         &mut expired,
+                        &mut sampler,
+                        &label_of(p.tenant),
                     );
                 } else {
                     head = Some(p);
@@ -623,6 +709,8 @@ impl Server {
                         &metrics,
                         &mut stracer,
                         &mut expired,
+                        &mut sampler,
+                        &label_of(p.tenant),
                     );
                 } else {
                     batch.push(p);
@@ -631,6 +719,15 @@ impl Server {
             let batch_idx = batches.len() as u32;
             let size = batch.len() as u32;
             let launch_seed = mix64(self.cfg.seed, batch_idx as u64);
+            if let Some(s) = sampler.as_mut() {
+                // Post-dispatch depth: how much work the batch left behind.
+                s.level(
+                    telemetry::series::SERVE_QUEUE_DEPTH,
+                    "",
+                    t,
+                    queue.len() as u64,
+                );
+            }
             stracer.instant(
                 t,
                 SERVING_LANE,
@@ -667,6 +764,15 @@ impl Server {
             let completion = t + out.timeline_cycles;
             server_free_at = completion;
             makespan = makespan.max(completion);
+            // Merge the launch's link/chip heatmaps onto the serving
+            // timeline. Certified launches run base-0 into a scratch sink,
+            // so their window coordinates are not on this timeline — their
+            // heatmaps stay on the batch's own outcome record instead.
+            if !self.cfg.certify {
+                if let (Some(s), Some(lt)) = (sampler.as_mut(), out.telemetry.as_ref()) {
+                    s.absorb(lt);
+                }
+            }
             metrics.inc(names::SERVE_BATCHES, 1);
             metrics.observe_cycles(names::SERVE_BATCH_SIZE, size as u64);
             for p in &batch {
@@ -683,6 +789,18 @@ impl Server {
                 let stats = tenant_entry(&mut tenants, p.tenant);
                 stats.served += 1;
                 stats.latency.observe(lat);
+                if let Some(s) = sampler.as_mut() {
+                    let lbl = label_of(p.tenant);
+                    s.count(telemetry::series::SERVE_THROUGHPUT, &lbl, completion, 1);
+                    // A served request meets its SLO when its answer
+                    // arrives by its deadline (virtual time, so exact).
+                    let slo = if completion <= p.deadline {
+                        telemetry::series::SLO_MET
+                    } else {
+                        telemetry::series::SLO_MISSED
+                    };
+                    s.count(slo, &lbl, completion, 1);
+                }
                 stracer.instant(
                     completion,
                     SERVING_LANE,
@@ -731,6 +849,7 @@ impl Server {
             tenants: tenants.into_values().collect(),
             makespan,
             metrics: metrics.snapshot(),
+            telemetry: sampler.map(Sampler::finish),
         })
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::event::{EventKind, TraceEvent, RUNTIME_LANE, SERVING_LANE};
 use crate::profile::PlannedTimeline;
+use crate::telemetry::{SeriesKind, Telemetry};
 
 /// Process id of the runtime lane in the exported document.
 const PID_RUNTIME: u32 = 0;
@@ -19,6 +20,8 @@ const PID_CHIPS: u32 = 1;
 const PID_LINKS: u32 = 2;
 /// Process id of the serving-frontend lane.
 const PID_SERVING: u32 = 3;
+/// Process id of the windowed-telemetry counter tracks.
+const PID_TELEMETRY: u32 = 4;
 
 fn name_and_args(kind: &EventKind) -> (&'static str, String) {
     match *kind {
@@ -116,6 +119,14 @@ fn push_instant(out: &mut String, name: &str, pid: u32, tid: u32, ts: u64, args:
     ));
 }
 
+fn push_counter(out: &mut String, track: &str, ts: u64, value: u64) {
+    out.push_str(&format!(
+        ",\n{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{PID_TELEMETRY},\"tid\":0,\
+         \"ts\":{ts},\"args\":{{\"value\":{value}}}}}",
+        crate::json::escape_json(track),
+    ));
+}
+
 fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
     out.push_str(&format!(
         ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
@@ -126,13 +137,13 @@ fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
 
 /// Renders `events` as a complete Chrome-trace JSON document.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    render(events, 0, None)
+    render(events, 0, None, None)
 }
 
 /// [`chrome_trace_json`] plus a warning banner when `dropped > 0`: a lossy
 /// ring's timeline must never be read as complete.
 pub fn chrome_trace_json_with(events: &[TraceEvent], dropped: u64) -> String {
-    render(events, dropped, None)
+    render(events, dropped, None, None)
 }
 
 /// [`chrome_trace_json_with`] plus the plan-vs-actual overlay: a `"links"`
@@ -144,10 +155,29 @@ pub fn chrome_trace_json_overlay(
     planned: &PlannedTimeline,
     dropped: u64,
 ) -> String {
-    render(events, dropped, Some(planned))
+    render(events, dropped, Some(planned), None)
 }
 
-fn render(events: &[TraceEvent], dropped: u64, planned: Option<&PlannedTimeline>) -> String {
+/// [`chrome_trace_json_with`] plus Perfetto counter tracks (`ph:"C"`)
+/// under a dedicated `"telemetry"` process: one track per recorded time
+/// series (named `series[label]`), sampled at each window boundary in
+/// simulated cycles. Counter tracks are dropped back to zero after a gap
+/// so per-window deltas read as pulses, not plateaus; gauge tracks hold
+/// their level.
+pub fn chrome_trace_json_telemetry(
+    events: &[TraceEvent],
+    dropped: u64,
+    telemetry: &Telemetry,
+) -> String {
+    render(events, dropped, None, Some(telemetry))
+}
+
+fn render(
+    events: &[TraceEvent],
+    dropped: u64,
+    planned: Option<&PlannedTimeline>,
+    telemetry: Option<&Telemetry>,
+) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
@@ -244,6 +274,35 @@ fn render(events: &[TraceEvent], dropped: u64, planned: Option<&PlannedTimeline>
             }
         }
     }
+    if let Some(t) = telemetry {
+        if !t.series.is_empty() {
+            out.push_str(&format!(
+                ",\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_TELEMETRY},\"tid\":0,\
+                 \"args\":{{\"name\":\"telemetry\"}}}}"
+            ));
+            for s in &t.series {
+                let track = if s.label.is_empty() {
+                    s.name.clone()
+                } else {
+                    format!("{}[{}]", s.name, s.label)
+                };
+                for (i, &(win, v)) in s.points.iter().enumerate() {
+                    push_counter(&mut out, &track, win.saturating_mul(t.window), v);
+                    if s.kind == SeriesKind::Counter {
+                        let next = s.points.get(i + 1).map(|p| p.0);
+                        if next != Some(win + 1) {
+                            push_counter(
+                                &mut out,
+                                &track,
+                                win.saturating_add(1).saturating_mul(t.window),
+                                0,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
     out.push_str("\n]}\n");
     out
 }
@@ -336,6 +395,69 @@ mod tests {
         let lossy = chrome_trace_json_with(&sample(), 17);
         assert!(lossy.contains("WARNING: trace truncated — 17 event(s) dropped"));
         assert!(lossy.contains("\"dropped\":17"));
+    }
+
+    #[test]
+    fn telemetry_renders_counter_tracks_under_their_own_process() {
+        use crate::telemetry::{Sampler, TelemetryConfig};
+        let mut s = Sampler::new(TelemetryConfig {
+            window: 100,
+            slo_permille: 990,
+        });
+        s.count("serve.throughput", "tenant0", 5, 3);
+        s.count("serve.throughput", "tenant0", 310, 1);
+        s.level("serve.queue_depth", "", 150, 7);
+        let t = s.finish();
+        let json = chrome_trace_json_telemetry(&sample(), 0, &t);
+        assert!(json.contains("\"args\":{\"name\":\"telemetry\"}"));
+        // Counter pulse at window 0 with a zero-return before the gap.
+        assert!(json.contains(
+            "\"name\":\"serve.throughput[tenant0]\",\"ph\":\"C\",\"pid\":4,\"tid\":0,\
+             \"ts\":0,\"args\":{\"value\":3}"
+        ));
+        assert!(json.contains("\"ts\":100,\"args\":{\"value\":0}"));
+        assert!(json.contains("\"ts\":300,\"args\":{\"value\":1}"));
+        // Gauge holds its level: no zero-return after its point.
+        assert!(json.contains(
+            "\"name\":\"serve.queue_depth\",\"ph\":\"C\",\"pid\":4,\"tid\":0,\
+             \"ts\":100,\"args\":{\"value\":7}"
+        ));
+        assert!(!json.contains(
+            "\"name\":\"serve.queue_depth\",\"ph\":\"C\",\"pid\":4,\"tid\":0,\"ts\":200"
+        ));
+    }
+
+    #[test]
+    fn telemetry_off_exports_stay_byte_identical() {
+        use crate::telemetry::{Telemetry, TelemetryConfig};
+        let events = sample();
+        let base = chrome_trace_json_with(&events, 2);
+        let with_empty =
+            chrome_trace_json_telemetry(&events, 2, &Telemetry::empty(TelemetryConfig::default()));
+        assert_eq!(
+            base, with_empty,
+            "an empty telemetry record adds nothing to the document"
+        );
+    }
+
+    #[test]
+    fn hostile_track_names_are_escaped_in_counter_tracks() {
+        use crate::telemetry::{Sampler, TelemetryConfig};
+        let mut s = Sampler::new(TelemetryConfig {
+            window: 10,
+            slo_permille: 990,
+        });
+        s.count("serve.throughput", "ten\"ant\\zero\n", 0, 1);
+        let json = chrome_trace_json_telemetry(&[], 0, &s.finish());
+        assert!(
+            json.contains(r#"serve.throughput[ten\"ant\\zero\n]"#),
+            "quote, backslash, and newline all escape: {json}"
+        );
+        // The document stays structurally valid: every quote inside the
+        // track name is escaped, so raw_value can skim the whole thing.
+        let mut c = crate::json::Cursor::new(&json);
+        assert!(c.raw_value().is_ok());
+        c.expect_end().unwrap();
     }
 
     #[test]

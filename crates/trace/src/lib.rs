@@ -14,6 +14,12 @@
 //!   cycle-bucketed histograms keyed by static `&str` names — snapshotted
 //!   into a serializable, order-independent [`RunMetrics`] that higher
 //!   layers attach to their reports as the single source of tally truth.
+//! - **Windowed telemetry** ([`telemetry`]) — a [`Sampler`] buckets
+//!   counter deltas and gauge levels into fixed virtual-cycle windows,
+//!   sealing them into mergeable [`Telemetry`] time series (per-tenant
+//!   SLO attainment, per-link/per-chip occupancy heatmaps) that export as
+//!   Perfetto counter tracks ([`chrome_trace_json_telemetry`]) and a
+//!   deterministic JSON block.
 //! - **Plan-vs-actual profiling** ([`profile::profile`]) — joins a
 //!   compiled plan's predicted per-hop schedule ([`PlannedTimeline`])
 //!   with the observed event stream into a [`LaunchProfile`]: link
@@ -37,8 +43,12 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod telemetry;
 
-pub use chrome::{chrome_trace_json, chrome_trace_json_overlay, chrome_trace_json_with};
+pub use chrome::{
+    chrome_trace_json, chrome_trace_json_overlay, chrome_trace_json_telemetry,
+    chrome_trace_json_with,
+};
 pub use event::{EventKind, ShedReason, TraceEvent, Tracer, RUNTIME_LANE, SERVING_LANE};
 pub use json::{escape_json, unescape_json, Cursor, JsonWriter};
 pub use metrics::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
@@ -46,3 +56,4 @@ pub use profile::{
     Conformance, LaunchProfile, PlannedChip, PlannedHop, PlannedTimeline, ProfileError,
 };
 pub use sink::{NullSink, RingSink, TraceSink};
+pub use telemetry::{sparkline, Sampler, SeriesKind, Telemetry, TelemetryConfig, TimeSeries};

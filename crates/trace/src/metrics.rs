@@ -601,6 +601,34 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_bucket_interpolates_within_its_bounds() {
+        // Every observation in one multi-value bucket [64, 128): the
+        // boundaries pin to the bucket bounds and q interpolates linearly
+        // (and therefore monotonically) between them.
+        let mut h = CycleHistogram::default();
+        for _ in 0..5 {
+            h.observe(100);
+        }
+        assert_eq!(h.percentile(0.0), 64.0, "q=0 is the bucket's lower bound");
+        assert_eq!(h.percentile(1.0), 128.0, "q=1 is the bucket's upper bound");
+        let mut prev = h.percentile(0.0);
+        for i in 1..=10 {
+            let p = h.percentile(i as f64 / 10.0);
+            assert!(p >= prev, "monotone in q: {p} >= {prev}");
+            assert!((64.0..=128.0).contains(&p), "inside the bucket: {p}");
+            prev = p;
+        }
+
+        // A single observation in a single-value bucket is exact at every
+        // q — bucket 1 holds only the value 1.
+        let mut one = CycleHistogram::default();
+        one.observe(1);
+        assert_eq!(one.percentile(0.0), 1.0);
+        assert_eq!(one.percentile(0.5), 1.0);
+        assert_eq!(one.percentile(1.0), 1.0);
+    }
+
+    #[test]
     fn percentile_spread_tail_is_ordered() {
         // 990 fast observations at 100 cycles, 10 slow ones at ~1e6: the
         // p50 sits in the fast bucket, p999 in the slow one.

@@ -59,9 +59,11 @@ pub struct RingSink {
 
 impl RingSink {
     /// A sink retaining at most `capacity` events (oldest evicted first).
+    /// Capacity 0 is honored literally: every record is counted as
+    /// dropped and nothing is buffered — a pure drop counter.
     pub fn new(capacity: usize) -> Self {
         RingSink {
-            capacity: capacity.max(1),
+            capacity,
             inner: Mutex::new(Ring::default()),
         }
     }
@@ -119,6 +121,10 @@ impl Default for RingSink {
 impl TraceSink for RingSink {
     fn record(&self, event: TraceEvent) {
         let mut g = self.inner.lock().unwrap();
+        if self.capacity == 0 {
+            g.dropped += 1;
+            return;
+        }
         if g.events.len() == self.capacity {
             g.events.pop_front();
             g.dropped += 1;
@@ -155,6 +161,39 @@ mod tests {
         assert_eq!(ring.dropped(), 2);
         let seqs: Vec<u32> = ring.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_zero_drops_everything_and_buffers_nothing() {
+        let ring = RingSink::new(0);
+        for s in 0..4 {
+            ring.record(ev(s));
+        }
+        assert!(ring.is_empty(), "capacity 0 never buffers");
+        assert_eq!(ring.dropped(), 4, "every record is accounted as dropped");
+        // The exporter banner must agree with the drop counter.
+        let json = ring.chrome_trace();
+        assert!(json.contains("WARNING: trace truncated — 4 event(s) dropped"));
+        assert!(json.contains("\"dropped\":4"));
+    }
+
+    #[test]
+    fn exactly_at_capacity_drops_nothing_one_past_drops_one() {
+        let ring = RingSink::new(3);
+        for s in 0..3 {
+            ring.record(ev(s));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0, "filling to capacity exactly is lossless");
+        assert!(!ring.chrome_trace().contains("WARNING"));
+        ring.record(ev(3));
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 1, "one past capacity evicts exactly one");
+        let seqs: Vec<u32> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "oldest event is the one evicted");
+        assert!(ring
+            .chrome_trace()
+            .contains("WARNING: trace truncated — 1 event(s) dropped"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 // lints; the real proptest uses all of them.
 #![allow(dead_code, unused_imports)]
 
+use tsm_trace::telemetry::{Sampler, SeriesKind, Telemetry, TelemetryConfig, TimeSeries};
 use tsm_trace::{names, CounterEntry, CycleHistogram, GaugeEntry, Metrics, RunMetrics};
 
 use proptest::prelude::*;
@@ -77,8 +78,105 @@ fn hist_of(obs: &[u64]) -> CycleHistogram {
     h
 }
 
+// ---- TimeSeries::merge laws, mirroring the absorb suite above. A
+// telemetry record merges counter windows by sum and gauge windows by
+// max — both commutative and associative with the empty record as
+// identity, so the order per-batch launch telemetry is folded into a
+// serving run can never change the sealed time series. ----
+
+const TS_CFG: TelemetryConfig = TelemetryConfig {
+    window: 64,
+    slo_permille: 990,
+};
+
+const TS_NAMES: [&str; 3] = ["serve.throughput", "link.deliveries", "chip.busy_cycles"];
+const TS_LABELS: [&str; 3] = ["tenant0", "link3", ""];
+
+/// Raw generator output for one telemetry record: counter samples as
+/// `(series_pick, cycle, by)` and gauge samples as `(cycle, level)`.
+type RawTelemetry = (Vec<(u8, u64, u64)>, Vec<(u64, u64)>);
+
+/// Builds a sealed record from raw picks. Cycles wrap into a few windows
+/// so samples actually collide; `by` wraps small so sums stay far from
+/// saturation.
+fn build_telemetry(raw: &RawTelemetry) -> Telemetry {
+    let mut s = Sampler::new(TS_CFG);
+    for &(pick, cycle, by) in &raw.0 {
+        let name = TS_NAMES[pick as usize % TS_NAMES.len()];
+        let label = TS_LABELS[(pick as usize / TS_NAMES.len()) % TS_LABELS.len()];
+        s.count(name, label, cycle % 1024, by % 1000);
+    }
+    for &(cycle, level) in &raw.1 {
+        s.level("serve.queue_depth", "", cycle % 1024, level % 1000);
+    }
+    s.finish()
+}
+
+fn raw_telemetry() -> impl Strategy<Value = RawTelemetry> {
+    (
+        prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..16),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+    )
+}
+
+fn merged(mut a: Telemetry, b: &Telemetry) -> Telemetry {
+    a.merge(b);
+    a
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identity: the empty record merges to and from anything without
+    /// changing it.
+    #[test]
+    fn timeseries_merge_identity(raw in raw_telemetry()) {
+        let x = build_telemetry(&raw);
+        prop_assert_eq!(merged(x.clone(), &Telemetry::empty(TS_CFG)), x.clone());
+        prop_assert_eq!(merged(Telemetry::empty(TS_CFG), &x), x);
+    }
+
+    /// Commutativity: a ⊕ b == b ⊕ a. Unlike RunMetrics gauges
+    /// (last-write-wins), telemetry gauges merge by per-window max, so no
+    /// disjoint-pool carve-out is needed — the law holds on collisions.
+    #[test]
+    fn timeseries_merge_commutative(ra in raw_telemetry(), rb in raw_telemetry()) {
+        let a = build_telemetry(&ra);
+        let b = build_telemetry(&rb);
+        prop_assert_eq!(merged(a.clone(), &b), merged(b.clone(), &a));
+    }
+
+    /// Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn timeseries_merge_associative(
+        ra in raw_telemetry(),
+        rb in raw_telemetry(),
+        rc in raw_telemetry(),
+    ) {
+        let a = build_telemetry(&ra);
+        let b = build_telemetry(&rb);
+        let c = build_telemetry(&rc);
+        let left = merged(merged(a.clone(), &b), &c);
+        let right = merged(a, &merged(b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging conserves counter mass: every series total in a ⊕ b is the
+    /// sum of its totals in a and b (gauges take the max instead).
+    #[test]
+    fn timeseries_merge_conserves_counter_totals(ra in raw_telemetry(), rb in raw_telemetry()) {
+        let a = build_telemetry(&ra);
+        let b = build_telemetry(&rb);
+        let m = merged(a.clone(), &b);
+        for s in &m.series {
+            let ta = a.get(&s.name, &s.label).map_or(0, TimeSeries::total);
+            let tb = b.get(&s.name, &s.label).map_or(0, TimeSeries::total);
+            match s.kind {
+                SeriesKind::Counter => prop_assert_eq!(s.total(), ta + tb),
+                SeriesKind::Gauge => prop_assert_eq!(s.total(), ta.max(tb)),
+            }
+        }
+    }
 
     /// Percentiles are monotone non-decreasing in `q`.
     #[test]
@@ -189,6 +287,70 @@ fn absorb_associative_pinned() {
         let left = absorbed(absorbed(a.clone(), &b), &c);
         let right = absorbed(a, &absorbed(b, &c));
         assert_eq!(left, right);
+    }
+}
+
+fn pinned_telemetry(seed: u64) -> Telemetry {
+    let raw: RawTelemetry = (
+        (0..8)
+            .map(|i| {
+                let x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i * 5);
+                (x as u8, x >> 8, x >> 40)
+            })
+            .collect(),
+        (0..4)
+            .map(|i| (seed.rotate_left(i * 13) % 1024, seed % 31))
+            .collect(),
+    );
+    build_telemetry(&raw)
+}
+
+#[test]
+fn timeseries_merge_identity_pinned() {
+    for seed in [1u64, 42, 0xdead_beef] {
+        let x = pinned_telemetry(seed);
+        assert!(!x.is_empty());
+        assert_eq!(merged(x.clone(), &Telemetry::empty(TS_CFG)), x);
+        assert_eq!(merged(Telemetry::empty(TS_CFG), &x), x);
+    }
+}
+
+#[test]
+fn timeseries_merge_commutative_pinned() {
+    for (sa, sb) in [(1u64, 2u64), (7, 1000), (0xabc, 0xdef)] {
+        let a = pinned_telemetry(sa);
+        let b = pinned_telemetry(sb);
+        assert_eq!(merged(a.clone(), &b), merged(b, &a));
+    }
+}
+
+#[test]
+fn timeseries_merge_associative_pinned() {
+    for (sa, sb, sc) in [(1u64, 2u64, 3u64), (10, 20, 30), (0x123, 0x456, 0x789)] {
+        let a = pinned_telemetry(sa);
+        let b = pinned_telemetry(sb);
+        let c = pinned_telemetry(sc);
+        let left = merged(merged(a.clone(), &b), &c);
+        let right = merged(a, &merged(b, &c));
+        assert_eq!(left, right);
+    }
+}
+
+#[test]
+fn timeseries_merge_conserves_counter_totals_pinned() {
+    for (sa, sb) in [(3u64, 5u64), (0x111, 0x222)] {
+        let a = pinned_telemetry(sa);
+        let b = pinned_telemetry(sb);
+        let m = merged(a.clone(), &b);
+        assert!(!m.is_empty());
+        for s in &m.series {
+            let ta = a.get(&s.name, &s.label).map_or(0, TimeSeries::total);
+            let tb = b.get(&s.name, &s.label).map_or(0, TimeSeries::total);
+            match s.kind {
+                SeriesKind::Counter => assert_eq!(s.total(), ta + tb),
+                SeriesKind::Gauge => assert_eq!(s.total(), ta.max(tb)),
+            }
+        }
     }
 }
 

@@ -15,7 +15,8 @@
 use tsm::core::serving::{Request, ServeConfig, Server};
 use tsm::core::{ExecMode, Runtime, SparePolicy};
 use tsm::prelude::*;
-use tsm::trace::CycleHistogram;
+use tsm::trace::telemetry::series;
+use tsm::trace::{sparkline, CycleHistogram, Telemetry, TelemetryConfig};
 use tsm::workloads::{merge_arrivals, poisson_arrivals, poisson_arrivals_in};
 
 /// A 4-encoder BERT-shaped pipeline across 4 TSPs; the serving frontend
@@ -42,6 +43,57 @@ fn render(h: &CycleHistogram) -> Vec<String> {
             format!("    [{lo:>9}, {hi:>9}) {n:>4} {bar}")
         })
         .collect()
+}
+
+/// ASCII sparkline dashboard over the run's windowed telemetry:
+/// per-tenant throughput and whole-run SLO attainment, the queue-depth
+/// gauge, and the per-link / per-chip utilization heatmaps.
+fn dashboard(tel: &Telemetry, server: &Server, tenants: &[tsm::core::serving::TenantStats]) {
+    let last = tel.last_window().unwrap_or(0);
+    println!();
+    println!(
+        "telemetry: {} windows of {} cycles each",
+        last + 1,
+        tel.window
+    );
+    for t in tenants {
+        let label = server.tenant_label(t.tenant);
+        let tp = tel
+            .get(series::SERVE_THROUGHPUT, &label)
+            .map(|s| s.dense(0, last))
+            .unwrap_or_default();
+        let met = tel.get(series::SLO_MET, &label).map_or(0, |s| s.total());
+        let missed = tel.get(series::SLO_MISSED, &label).map_or(0, |s| s.total());
+        let slo = if met + missed == 0 {
+            1.0
+        } else {
+            met as f64 / (met + missed) as f64
+        };
+        println!(
+            "  {label:>8} throughput |{}| slo {:5.1}%",
+            sparkline(&tp),
+            slo * 100.0
+        );
+    }
+    if let Some(depth) = tel.get(series::SERVE_QUEUE_DEPTH, "") {
+        println!(
+            "  {:>8} gauge      |{}| peak {}",
+            "queue",
+            sparkline(&depth.dense(0, last)),
+            depth.total()
+        );
+    }
+    for name in [series::LINK_DELIVERIES, series::CHIP_BUSY] {
+        for label in tel.labels(name) {
+            let s = tel.get(name, label).expect("listed label");
+            println!(
+                "  {label:>8} {:<10} |{}| total {}",
+                name.split_once('.').map_or(name, |(_, tail)| tail),
+                sparkline(&s.dense(0, last)),
+                s.total()
+            );
+        }
+    }
 }
 
 fn main() {
@@ -80,12 +132,20 @@ fn main() {
         queue_capacity: 32,
         tenant_quota: 12, // the burst cannot squeeze tenant 0 out
         seed: 7,
-        certify: true, // every launch checked against its compiled plan
+        // Non-certified launches put their link/chip heatmaps on the
+        // serving timeline; certify-mode replays run off-timeline.
+        certify: false,
+        telemetry: Some(TelemetryConfig {
+            window: service / 2,
+            slo_permille: 990,
+        }),
     };
     let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem)
         .with_exec_mode(ExecMode::Datapath);
     let mut server = Server::new(rt, cfg);
     server.add_model(bert);
+    server.name_tenant(0, "steady");
+    server.name_tenant(1, "burst");
     let report = server.serve(&offered).expect("serving run");
 
     println!(
@@ -96,10 +156,6 @@ fn main() {
         report.served,
         report.shed,
         report.batches.len()
-    );
-    println!(
-        "every launch certified: {}",
-        report.batches.iter().all(|b| b.certified == Some(true))
     );
     println!(
         "global latency: p50 {:.0}  p99 {:.0}  p999 {:.0} cycles",
@@ -124,12 +180,19 @@ fn main() {
         }
     }
 
+    // The telemetry dashboard: every series below is sampled in virtual
+    // time, so it is as reproducible as the report itself.
+    let tel = report.telemetry.as_ref().expect("telemetry is on");
+    dashboard(tel, &server, &report.tenants);
+
     // Virtual time means this whole story is a pure function of its
     // seeds: rerun it and the report is bit-identical.
     let rt2 = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem)
         .with_exec_mode(ExecMode::Datapath);
     let mut again = Server::new(rt2, cfg);
     again.add_model(bert);
+    again.name_tenant(0, "steady");
+    again.name_tenant(1, "burst");
     assert_eq!(again.serve(&offered).unwrap(), report);
     println!();
     println!("rerun reproduced the report bit-for-bit");

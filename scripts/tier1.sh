@@ -40,6 +40,11 @@ cargo test -p tsm-core --test serving_queue -q
 # equivalence, pre-residency trace-shape pinning, failover epoch drops,
 # the warm-start tier round trip, and the LRU-vs-reference proptest.
 cargo test -p tsm-core --test residency -q
+# The windowed telemetry layer: launch/serve off-identity (sampling off is
+# bit-identical to pre-feature behaviour), heatmap-vs-trace agreement,
+# SLO-series accounting, JSON bit-reproducibility, and hostile-label
+# escaping through both exporters.
+cargo test -p tsm-core --test telemetry -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
 # Fast bench smoke: one sample of the canonical workload plus the small
@@ -55,6 +60,10 @@ cargo run --release -p tsm-bench --bin repro serve-smoke
 # budgets with exact hit-rate and warm-start-tier assertions. Writes no
 # files.
 cargo run --release -p tsm-bench --bin repro residency-smoke
+# Fast telemetry smoke: windowed sampling must reproduce byte-for-byte
+# from its seed and, when off, be bit-identical to the pre-feature
+# event sequences and reports. Writes no files.
+cargo run --release -p tsm-bench --bin repro telemetry-smoke
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 # Rustdoc is part of the contract: broken intra-doc links and bad doc
