@@ -5,7 +5,7 @@
 //! cargo run --release -p tsm-bench --bin repro fig16 fig17
 //! ```
 
-use tsm_bench::{cosim_bench, figures, residency_bench, serving_bench};
+use tsm_bench::{attribution_bench, cosim_bench, figures, residency_bench, serving_bench};
 
 /// Measures the canonical co-simulation workload plus the full scaling
 /// curve (16 → 72 → 288 → 10,440 chips) and records the sample in
@@ -55,10 +55,13 @@ fn emit_serve() -> Vec<String> {
         Ok(()) => out.push("spliced serving block into BENCH_cosim.json".to_string()),
         Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
     }
-    // The serve sweep also refreshes the windowed-telemetry record: SLO
-    // series per tenant plus link/chip heatmaps, sampled over a serve run.
+    // The serve sweep also refreshes the windowed-telemetry record (SLO
+    // series per tenant plus link/chip heatmaps) and the attribution
+    // record (per-stage latency breakdown plus flight-recorder capture).
     out.push(String::new());
     out.extend(emit_telemetry());
+    out.push(String::new());
+    out.extend(emit_attribution());
     out
 }
 
@@ -135,6 +138,79 @@ fn smoke_telemetry() -> Vec<String> {
     );
     let mut out = serving_bench::telemetry_lines(&result);
     out.push("smoke OK (no files written)".to_string());
+    out
+}
+
+/// Full attribution bench: a fault-injected serve run with causal
+/// latency breakdowns on every request and the flight recorder armed;
+/// spliced into the `attribution` block of `BENCH_cosim.json`.
+fn emit_attribution() -> Vec<String> {
+    let result = attribution_bench::measure_attribution(8, 20, 7);
+    assert!(
+        result.sums_exact,
+        "every breakdown must sum exactly to its latency"
+    );
+    assert!(
+        result.reproducible,
+        "attribution must reproduce byte-for-byte from its seed"
+    );
+    let mut out = attribution_bench::attribution_lines(&result);
+    let existing = std::fs::read_to_string("BENCH_cosim.json").unwrap_or_else(|_| "{}\n".into());
+    let spliced = serving_bench::splice_block(&existing, "attribution", &result.to_json());
+    match std::fs::write("BENCH_cosim.json", spliced) {
+        Ok(()) => out.push("spliced attribution block into BENCH_cosim.json".to_string()),
+        Err(e) => out.push(format!("could not write BENCH_cosim.json: {e}")),
+    }
+    out
+}
+
+/// Fast attribution smoke for CI (`scripts/tier1.sh`): a fault-injected
+/// serve over a small model, asserting the sums-to-total identity on
+/// every request, byte-reproducible incident capture, and the off-is-off
+/// identity for both features. Writes nothing.
+fn smoke_attribution() -> Vec<String> {
+    let result = attribution_bench::measure_attribution(4, 10, 9);
+    assert!(
+        result.sums_exact,
+        "every breakdown must sum exactly to its latency"
+    );
+    assert!(
+        result.replayed_requests > 0,
+        "the fault search must surface replay cycles"
+    );
+    assert!(
+        result.incident_kinds.iter().any(|(k, _)| k == "fault"),
+        "replaying batches must fire fault incidents"
+    );
+    assert!(
+        result.reproducible,
+        "breakdowns and incidents must reproduce byte-for-byte"
+    );
+    assert!(
+        result.off_identical,
+        "attribution and the recorder off must be bit-identical"
+    );
+    let mut out = attribution_bench::attribution_lines(&result);
+    out.push("smoke OK (no files written)".to_string());
+    out
+}
+
+/// Renders every incident the fault-injected serve captured — the
+/// flight recorder's bounded deviant/fault/shed/expiry/SLO snapshots —
+/// in firing order. Writes nothing.
+fn emit_incidents() -> Vec<String> {
+    let result = attribution_bench::measure_attribution(4, 12, 9);
+    assert!(
+        !result.incidents.is_empty(),
+        "the hostile serve must capture at least one incident"
+    );
+    assert!(
+        result.reproducible,
+        "incidents must reproduce byte-for-byte from their seed"
+    );
+    let mut out = attribution_bench::incident_lines(&result);
+    out.push(String::new());
+    out.push("no files written".to_string());
     out
 }
 
@@ -402,6 +478,21 @@ fn main() {
             "telemetry-smoke",
             "Telemetry — fast sampling smoke (bit-reproducibility + off-identity asserts, no files)",
             Box::new(smoke_telemetry),
+        ),
+        (
+            "attribution",
+            "Attribution — causal latency breakdown + flight recorder (updates the attribution block of BENCH_cosim.json)",
+            Box::new(emit_attribution),
+        ),
+        (
+            "attribution-smoke",
+            "Attribution — fast sums-to-total + incident-reproducibility smoke (no files)",
+            Box::new(smoke_attribution),
+        ),
+        (
+            "incidents",
+            "Incidents — render the flight recorder's captured incident reports (no files)",
+            Box::new(emit_incidents),
         ),
         (
             "residency",

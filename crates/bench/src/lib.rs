@@ -8,6 +8,7 @@
 //! paper-vs-measured record in its log).
 
 pub mod ablations;
+pub mod attribution_bench;
 pub mod cosim_bench;
 pub mod figures;
 pub mod profile_cli;

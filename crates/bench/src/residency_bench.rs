@@ -116,6 +116,8 @@ fn server(rt: Runtime, models: usize, seed: u64) -> Server {
             seed,
             certify: false,
             telemetry: None,
+            attribution: false,
+            flight: None,
         },
     );
     for m in 0..models {

@@ -201,6 +201,8 @@ pub fn measure_serving(encoders: usize, horizon_services: u64, seed: u64) -> Ser
         seed,
         certify: true,
         telemetry: None,
+        attribution: false,
+        flight: None,
     };
 
     let mut sweep = Vec::new();
@@ -421,6 +423,8 @@ pub fn measure_telemetry(
         seed,
         certify: false,
         telemetry,
+        attribution: false,
+        flight: None,
     };
     let serve_once = |telemetry: Option<TelemetryConfig>| {
         let mut server = Server::new(runtime(), cfg(telemetry));

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod cosim;
+pub mod flight;
 pub mod launch;
 pub mod report;
 pub mod residency;
@@ -33,6 +34,7 @@ pub use cosim::{
     compile_plan, run_transfers, run_transfers_serial, CompiledPlan, CosimError, CosimReport,
     CosimTransfer, LinkFaultModel, PlanExecutor, TargetedFlip, TransferShape,
 };
+pub use flight::{FlightConfig, FlightRecorder, IncidentReport, IncidentTrigger};
 pub use launch::{
     Admission, AlignmentWindow, AttemptSuccess, CompileDecision, ExecuteFailure, LaunchEngine,
     Recovery,

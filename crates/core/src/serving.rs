@@ -29,7 +29,8 @@
 //! requests (up to `max_batch`), never reordering past a
 //! different-model entry — strict queue order is preserved.
 
-use crate::runtime::{mix64, ExecMode, Runtime, RuntimeError};
+use crate::flight::{FlightConfig, FlightRecorder, IncidentReport, IncidentTrigger};
+use crate::runtime::{mix64, ExecMode, Runtime, RuntimeError, EPOCH_GAP_CYCLES};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -38,8 +39,8 @@ use tsm_compiler::graph::Graph;
 use tsm_trace::profile::profile;
 use tsm_trace::telemetry::{self, Sampler, Telemetry, TelemetryConfig};
 use tsm_trace::{
-    names, CycleHistogram, EventKind, Metrics, RingSink, RunMetrics, ShedReason, Tracer,
-    SERVING_LANE,
+    names, AttributionReport, CycleHistogram, EventKind, LatencyBreakdown, Metrics, RingSink,
+    RunMetrics, ShedReason, Tracer, SERVING_LANE,
 };
 
 /// Why admission control rejected a request.
@@ -246,6 +247,25 @@ pub struct ServeConfig {
     /// feature. Sampling never changes event sequences or any other
     /// report field — it only observes.
     pub telemetry: Option<TelemetryConfig>,
+    /// Per-request causal latency attribution
+    /// ([`tsm_trace::attribution`]). `true` makes
+    /// [`ServeReport::attribution`] carry one
+    /// [`LatencyBreakdown`] per served request — stage components
+    /// summing *exactly* to the measured enqueue→complete latency,
+    /// verified for every request — aggregated into per-tenant/per-stage
+    /// metrics with a critical-stage verdict. `false` (the default) is
+    /// the pre-feature single branch: outcomes, traces and exporter
+    /// bytes stay bit-identical to a build without the feature.
+    pub attribution: bool,
+    /// Bounded incident capture ([`crate::flight`]). `Some` arms a
+    /// [`FlightRecorder`] for the run: sheds, in-queue expiries, SLO
+    /// misses, faulted launches (replays/failovers) and Deviant
+    /// certified batches snapshot the serving trace tail, the residency
+    /// manager, and the queue state into [`ServeReport::incidents`],
+    /// with the telemetry windows bracketing each incident attached at
+    /// finish. `None` (the default) records nothing and changes
+    /// nothing.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for ServeConfig {
@@ -258,6 +278,8 @@ impl Default for ServeConfig {
             seed: 0,
             certify: false,
             telemetry: None,
+            attribution: false,
+            flight: None,
         }
     }
 }
@@ -375,6 +397,15 @@ pub struct ServeReport {
     /// `chip.busy_cycles` heatmaps merged onto the serving timeline.
     /// `None` when telemetry is off.
     pub telemetry: Option<Telemetry>,
+    /// Per-request latency breakdowns plus their per-tenant/per-stage
+    /// aggregation when [`ServeConfig::attribution`] was on. Every
+    /// breakdown has been verified: its stage components sum exactly to
+    /// the request's measured latency. `None` when attribution is off.
+    pub attribution: Option<AttributionReport>,
+    /// Incidents captured by the [`FlightRecorder`] when
+    /// [`ServeConfig::flight`] was set, in trigger order. `None` when
+    /// the recorder was off.
+    pub incidents: Option<Vec<IncidentReport>>,
 }
 
 /// A model registered with the server: a builder from batch size to the
@@ -481,6 +512,15 @@ impl Server {
         if let Some(tc) = self.cfg.telemetry {
             self.rt.set_telemetry(tc);
         }
+        // Attribution and the flight recorder are observation-only too:
+        // both collect into their own side structures (`ServeReport::
+        // attribution` / `ServeReport::incidents`), never into the serve
+        // metrics or the trace, so disabling either is bit-identical to a
+        // pre-feature build (pinned by the attribution/flight suites).
+        let mut breakdowns: Option<Vec<LatencyBreakdown>> = self.cfg.attribution.then(Vec::new);
+        let mut flight = self.cfg.flight.map(FlightRecorder::new);
+        let queue_capacity = self.cfg.queue_capacity as u64;
+        let tenant_quota = self.cfg.tenant_quota as u64;
         let tenant_names = self.tenant_names.clone();
         let label_of = |t: u32| -> String {
             tenant_names
@@ -589,6 +629,15 @@ impl Server {
                                 request: id as u32,
                             },
                         );
+                        if let Some(f) = flight.as_mut() {
+                            f.observe(
+                                r.at,
+                                EventKind::RequestEnqueue {
+                                    tenant: r.tenant,
+                                    request: id as u32,
+                                },
+                            );
+                        }
                     }
                     Err(why) => {
                         shed += 1;
@@ -622,6 +671,29 @@ impl Server {
                                 reason,
                             },
                         );
+                        if let Some(f) = flight.as_mut() {
+                            f.observe(
+                                r.at,
+                                EventKind::RequestShed {
+                                    tenant: r.tenant,
+                                    request: id as u32,
+                                    reason,
+                                },
+                            );
+                            f.trigger(
+                                IncidentTrigger::Shed {
+                                    request: id as u32,
+                                    tenant: r.tenant,
+                                    reason,
+                                },
+                                r.at,
+                                &self.rt.residency,
+                                queue.len() as u64,
+                                queue_capacity,
+                                queue.tracked_tenants() as u64,
+                                tenant_quota,
+                            );
+                        }
                     }
                 }
                 continue;
@@ -683,6 +755,29 @@ impl Server {
                         &mut sampler,
                         &label_of(p.tenant),
                     );
+                    if let Some(f) = flight.as_mut() {
+                        f.observe(
+                            t,
+                            EventKind::RequestExpired {
+                                tenant: p.tenant,
+                                request: p.id,
+                                late: t - p.deadline,
+                            },
+                        );
+                        f.trigger(
+                            IncidentTrigger::Expired {
+                                request: p.id,
+                                tenant: p.tenant,
+                                late: t - p.deadline,
+                            },
+                            t,
+                            &self.rt.residency,
+                            queue.len() as u64,
+                            queue_capacity,
+                            queue.tracked_tenants() as u64,
+                            tenant_quota,
+                        );
+                    }
                 } else {
                     head = Some(p);
                     break;
@@ -712,6 +807,29 @@ impl Server {
                         &mut sampler,
                         &label_of(p.tenant),
                     );
+                    if let Some(f) = flight.as_mut() {
+                        f.observe(
+                            t,
+                            EventKind::RequestExpired {
+                                tenant: p.tenant,
+                                request: p.id,
+                                late: t - p.deadline,
+                            },
+                        );
+                        f.trigger(
+                            IncidentTrigger::Expired {
+                                request: p.id,
+                                tenant: p.tenant,
+                                late: t - p.deadline,
+                            },
+                            t,
+                            &self.rt.residency,
+                            queue.len() as u64,
+                            queue_capacity,
+                            queue.tracked_tenants() as u64,
+                            tenant_quota,
+                        );
+                    }
                 } else {
                     batch.push(p);
                 }
@@ -736,6 +854,15 @@ impl Server {
                     size,
                 },
             );
+            if let Some(f) = flight.as_mut() {
+                f.observe(
+                    t,
+                    EventKind::BatchBegin {
+                        batch: batch_idx,
+                        size,
+                    },
+                );
+            }
             let graph = (self.models[head.model as usize])(size);
             let (out, certified) = if self.cfg.certify {
                 // Certified launches run base-0 into a private scratch
@@ -810,6 +937,55 @@ impl Server {
                         latency: lat,
                     },
                 );
+                if let Some(f) = flight.as_mut() {
+                    f.observe(
+                        completion,
+                        EventKind::RequestComplete {
+                            tenant: p.tenant,
+                            request: p.id,
+                            latency: lat,
+                        },
+                    );
+                    if completion > p.deadline {
+                        f.trigger(
+                            IncidentTrigger::SloMiss {
+                                request: p.id,
+                                tenant: p.tenant,
+                                late: completion - p.deadline,
+                            },
+                            completion,
+                            &self.rt.residency,
+                            queue.len() as u64,
+                            queue_capacity,
+                            queue.tracked_tenants() as u64,
+                            tenant_quota,
+                        );
+                    }
+                }
+                if let Some(bd) = breakdowns.as_mut() {
+                    // The causal join: the dispatch point, the window the
+                    // batch waited on, and the launch's own timeline
+                    // decomposition. `from_dispatch` verifies the sum
+                    // identity, so every served request either carries an
+                    // exact breakdown or the serve run fails loudly.
+                    let b = LatencyBreakdown::from_dispatch(
+                        p.id,
+                        p.tenant,
+                        batch_idx,
+                        p.arrival,
+                        t,
+                        window_deadline,
+                        completion,
+                        out.alignment_cycles,
+                        out.span_cycles,
+                        out.attempts(),
+                        EPOCH_GAP_CYCLES,
+                        out.compiles(),
+                        out.reuses(),
+                    )
+                    .map_err(|e| RuntimeError::Execution(format!("attribution: {e}")))?;
+                    bd.push(b);
+                }
             }
             stracer.instant(
                 completion,
@@ -819,6 +995,41 @@ impl Server {
                     attempts: out.attempts(),
                 },
             );
+            if let Some(f) = flight.as_mut() {
+                f.observe(
+                    completion,
+                    EventKind::BatchEnd {
+                        batch: batch_idx,
+                        attempts: out.attempts(),
+                    },
+                );
+                if certified == Some(false) {
+                    f.trigger(
+                        IncidentTrigger::Deviant { batch: batch_idx },
+                        completion,
+                        &self.rt.residency,
+                        queue.len() as u64,
+                        queue_capacity,
+                        queue.tracked_tenants() as u64,
+                        tenant_quota,
+                    );
+                }
+                if !out.failovers.is_empty() || out.fec_total().uncorrectable > 0 {
+                    f.trigger(
+                        IncidentTrigger::Fault {
+                            batch: batch_idx,
+                            replays: u64::from(out.replays()),
+                            failovers: out.failovers.len() as u64,
+                        },
+                        completion,
+                        &self.rt.residency,
+                        queue.len() as u64,
+                        queue_capacity,
+                        queue.tracked_tenants() as u64,
+                        tenant_quota,
+                    );
+                }
+            }
             batches.push(BatchRecord {
                 batch: batch_idx,
                 model: head.model,
@@ -838,6 +1049,17 @@ impl Server {
         // single-model launch records remain bit-identical to the
         // pre-residency runtime.
         self.rt.residency.record_delta(&res_before, &metrics);
+        let telemetry = sampler.map(Sampler::finish);
+        let incidents = flight.map(|f| f.finish(telemetry.as_ref()));
+        let attribution = match breakdowns {
+            Some(b) => Some(
+                // Re-verifies every breakdown while aggregating — the
+                // per-request sums-to-total assertion of the serve run.
+                AttributionReport::from_breakdowns(b)
+                    .map_err(|e| RuntimeError::Execution(format!("attribution: {e}")))?,
+            ),
+            None => None,
+        };
         Ok(ServeReport {
             offered: offered.len() as u64,
             served,
@@ -849,7 +1071,9 @@ impl Server {
             tenants: tenants.into_values().collect(),
             makespan,
             metrics: metrics.snapshot(),
-            telemetry: sampler.map(Sampler::finish),
+            telemetry,
+            attribution,
+            incidents,
         })
     }
 }

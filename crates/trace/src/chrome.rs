@@ -8,6 +8,7 @@
 //! chip. Hand-rolled because the offline toolchain stubs out serde_json —
 //! and the format is simple enough not to miss it.
 
+use crate::attribution::{LatencyBreakdown, Stage};
 use crate::event::{EventKind, TraceEvent, RUNTIME_LANE, SERVING_LANE};
 use crate::profile::PlannedTimeline;
 use crate::telemetry::{SeriesKind, Telemetry};
@@ -22,85 +23,58 @@ const PID_LINKS: u32 = 2;
 const PID_SERVING: u32 = 3;
 /// Process id of the windowed-telemetry counter tracks.
 const PID_TELEMETRY: u32 = 4;
+/// Process id of the per-request attribution span tracks.
+const PID_REQUESTS: u32 = 5;
 
 fn name_and_args(kind: &EventKind) -> (&'static str, String) {
-    match *kind {
+    let args = match *kind {
         EventKind::ChipExec {
             depth,
             instructions,
-        } => (
-            "chip.exec",
-            format!("\"depth\":{depth},\"instructions\":{instructions}"),
-        ),
-        EventKind::Deliveries { count } => ("chip.deliveries", format!("\"count\":{count}")),
-        EventKind::Emissions { count } => ("chip.emissions", format!("\"count\":{count}")),
+        } => format!("\"depth\":{depth},\"instructions\":{instructions}"),
+        EventKind::Deliveries { count } | EventKind::Emissions { count } => {
+            format!("\"count\":{count}")
+        }
         EventKind::Delivery {
             link,
             transfer,
             vector,
-        } => (
-            "link.delivery",
-            format!("\"link\":{link},\"transfer\":{transfer},\"vector\":{vector}"),
-        ),
-        EventKind::LinkCorrected { link, bit } => {
-            ("link.corrected", format!("\"link\":{link},\"bit\":{bit}"))
+        } => format!("\"link\":{link},\"transfer\":{transfer},\"vector\":{vector}"),
+        EventKind::LinkCorrected { link, bit } => format!("\"link\":{link},\"bit\":{bit}"),
+        EventKind::LinkUncorrectable { link } | EventKind::LinkDemoted { link } => {
+            format!("\"link\":{link}")
         }
-        EventKind::LinkUncorrectable { link } => ("link.uncorrectable", format!("\"link\":{link}")),
-        EventKind::LinkDemoted { link } => ("link.demoted", format!("\"link\":{link}")),
-        EventKind::LaunchBegin { graph_fp } => {
-            ("launch.begin", format!("\"graph_fp\":\"{graph_fp:016x}\""))
+        EventKind::LaunchBegin { graph_fp } => format!("\"graph_fp\":\"{graph_fp:016x}\""),
+        EventKind::Align => String::new(),
+        EventKind::Compile { epoch } | EventKind::Reuse { epoch } => format!("\"epoch\":{epoch}"),
+        EventKind::ReplayEpoch { attempt } => format!("\"attempt\":{attempt}"),
+        EventKind::BlameVote { node, votes } => format!("\"node\":{node},\"votes\":{votes}"),
+        EventKind::Failover { node, epoch } => format!("\"node\":{node},\"epoch\":{epoch}"),
+        EventKind::LaunchEnd { attempts } => format!("\"attempts\":{attempts}"),
+        EventKind::RequestEnqueue { tenant, request } => {
+            format!("\"tenant\":{tenant},\"request\":{request}")
         }
-        EventKind::Align => ("launch.align", String::new()),
-        EventKind::Compile { epoch } => ("runtime.compile", format!("\"epoch\":{epoch}")),
-        EventKind::Reuse { epoch } => ("runtime.reuse", format!("\"epoch\":{epoch}")),
-        EventKind::ReplayEpoch { attempt } => {
-            ("runtime.replay_epoch", format!("\"attempt\":{attempt}"))
-        }
-        EventKind::BlameVote { node, votes } => (
-            "runtime.blame_vote",
-            format!("\"node\":{node},\"votes\":{votes}"),
-        ),
-        EventKind::Failover { node, epoch } => (
-            "runtime.failover",
-            format!("\"node\":{node},\"epoch\":{epoch}"),
-        ),
-        EventKind::LaunchEnd { attempts } => ("launch.end", format!("\"attempts\":{attempts}")),
-        EventKind::RequestEnqueue { tenant, request } => (
-            "serve.enqueue",
-            format!("\"tenant\":{tenant},\"request\":{request}"),
-        ),
         EventKind::RequestShed {
             tenant,
             request,
             reason,
-        } => (
-            "serve.shed",
-            format!("\"tenant\":{tenant},\"request\":{request},\"reason\":\"{reason:?}\""),
-        ),
+        } => format!("\"tenant\":{tenant},\"request\":{request},\"reason\":\"{reason:?}\""),
         EventKind::RequestExpired {
             tenant,
             request,
             late,
-        } => (
-            "serve.expired",
-            format!("\"tenant\":{tenant},\"request\":{request},\"late\":{late}"),
-        ),
+        } => format!("\"tenant\":{tenant},\"request\":{request},\"late\":{late}"),
         EventKind::RequestComplete {
             tenant,
             request,
             latency,
-        } => (
-            "serve.complete",
-            format!("\"tenant\":{tenant},\"request\":{request},\"latency\":{latency}"),
-        ),
-        EventKind::BatchBegin { batch, size } => {
-            ("serve.batch", format!("\"batch\":{batch},\"size\":{size}"))
+        } => format!("\"tenant\":{tenant},\"request\":{request},\"latency\":{latency}"),
+        EventKind::BatchBegin { batch, size } => format!("\"batch\":{batch},\"size\":{size}"),
+        EventKind::BatchEnd { batch, attempts } => {
+            format!("\"batch\":{batch},\"attempts\":{attempts}")
         }
-        EventKind::BatchEnd { batch, attempts } => (
-            "serve.batch_end",
-            format!("\"batch\":{batch},\"attempts\":{attempts}"),
-        ),
-    }
+    };
+    (kind.name(), args)
 }
 
 fn push_span(out: &mut String, name: &str, pid: u32, tid: u32, ts: u64, dur: u64, args: &str) {
@@ -137,13 +111,13 @@ fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
 
 /// Renders `events` as a complete Chrome-trace JSON document.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    render(events, 0, None, None)
+    render(events, 0, None, None, &[])
 }
 
 /// [`chrome_trace_json`] plus a warning banner when `dropped > 0`: a lossy
 /// ring's timeline must never be read as complete.
 pub fn chrome_trace_json_with(events: &[TraceEvent], dropped: u64) -> String {
-    render(events, dropped, None, None)
+    render(events, dropped, None, None, &[])
 }
 
 /// [`chrome_trace_json_with`] plus the plan-vs-actual overlay: a `"links"`
@@ -155,7 +129,7 @@ pub fn chrome_trace_json_overlay(
     planned: &PlannedTimeline,
     dropped: u64,
 ) -> String {
-    render(events, dropped, Some(planned), None)
+    render(events, dropped, Some(planned), None, &[])
 }
 
 /// [`chrome_trace_json_with`] plus Perfetto counter tracks (`ph:"C"`)
@@ -169,7 +143,24 @@ pub fn chrome_trace_json_telemetry(
     dropped: u64,
     telemetry: &Telemetry,
 ) -> String {
-    render(events, dropped, None, Some(telemetry))
+    render(events, dropped, None, Some(telemetry), &[])
+}
+
+/// The combined observability export: [`chrome_trace_json_with`] plus the
+/// optional telemetry counter tracks plus per-request attribution span
+/// tracks under a dedicated `"requests"` process — one thread row per
+/// request, its stage spans laid out in stitched-timeline order from
+/// arrival to completion (each span exactly as wide as the stage's
+/// component, so the row ends at the request's completion cycle). An
+/// empty `requests` slice adds nothing: the document is byte-identical to
+/// the plain export, which is what keeps attribution-off runs comparable.
+pub fn chrome_trace_json_attribution(
+    events: &[TraceEvent],
+    dropped: u64,
+    telemetry: Option<&Telemetry>,
+    requests: &[LatencyBreakdown],
+) -> String {
+    render(events, dropped, None, telemetry, requests)
 }
 
 fn render(
@@ -177,6 +168,7 @@ fn render(
     dropped: u64,
     planned: Option<&PlannedTimeline>,
     telemetry: Option<&Telemetry>,
+    requests: &[LatencyBreakdown],
 ) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(
@@ -300,6 +292,43 @@ fn render(
                         }
                     }
                 }
+            }
+        }
+    }
+    if !requests.is_empty() {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_REQUESTS},\"tid\":0,\
+             \"args\":{{\"name\":\"requests\"}}}}"
+        ));
+        for b in requests {
+            push_thread_name(
+                &mut out,
+                PID_REQUESTS,
+                b.request,
+                &format!("req {} (tenant {})", b.request, b.tenant),
+            );
+            // Stage spans tile [arrival, completion] exactly — the sum
+            // identity LatencyBreakdown::verify pins is what makes this
+            // rendering gap-free.
+            let mut ts = b.arrival;
+            for stage in Stage::ALL {
+                let dur = b.component(stage);
+                if dur == 0 {
+                    continue;
+                }
+                push_span(
+                    &mut out,
+                    &format!("attr.{}", stage.as_str()),
+                    PID_REQUESTS,
+                    b.request,
+                    ts,
+                    dur,
+                    &format!(
+                        "\"batch\":{},\"compiles\":{},\"reuses\":{}",
+                        b.batch, b.compiles, b.reuses
+                    ),
+                );
+                ts += dur;
             }
         }
     }
@@ -458,6 +487,102 @@ mod tests {
         let mut c = crate::json::Cursor::new(&json);
         assert!(c.raw_value().is_ok());
         c.expect_end().unwrap();
+    }
+
+    fn breakdown(request: u32, tenant: u32) -> crate::attribution::LatencyBreakdown {
+        crate::attribution::LatencyBreakdown::from_dispatch(
+            request,
+            tenant,
+            0,
+            1_000,
+            1_150,
+            1_100,
+            1_150 + 30 + 400 + 64,
+            30,
+            400,
+            1,
+            64,
+            1,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attribution_spans_render_under_their_own_process() {
+        let json = chrome_trace_json_attribution(&sample(), 0, None, &[breakdown(5, 1)]);
+        assert!(json.contains("\"args\":{\"name\":\"requests\"}"));
+        assert!(json.contains("req 5 (tenant 1)"));
+        // The stage spans tile the request's lifetime on tid 5: window
+        // wait starts at arrival, execute follows alignment, and the last
+        // span ends exactly at completion.
+        assert!(json.contains("\"name\":\"attr.window_wait\",\"ph\":\"X\",\"pid\":5,\"tid\":5,\"ts\":1000,\"dur\":100"));
+        assert!(json.contains(
+            "\"name\":\"attr.queue_wait\",\"ph\":\"X\",\"pid\":5,\"tid\":5,\"ts\":1100,\"dur\":50"
+        ));
+        assert!(json.contains(
+            "\"name\":\"attr.execute\",\"ph\":\"X\",\"pid\":5,\"tid\":5,\"ts\":1180,\"dur\":400"
+        ));
+        assert!(json.contains(
+            "\"name\":\"attr.drain\",\"ph\":\"X\",\"pid\":5,\"tid\":5,\"ts\":1580,\"dur\":64"
+        ));
+        // Zero-width stages (replay on a clean launch) render nothing.
+        assert!(!json.contains("attr.replay"));
+    }
+
+    #[test]
+    fn attribution_absent_is_byte_identical() {
+        let events = sample();
+        assert_eq!(
+            chrome_trace_json_attribution(&events, 3, None, &[]),
+            chrome_trace_json_with(&events, 3),
+            "no requests, no telemetry: plain export bytes"
+        );
+        use crate::telemetry::{Sampler, TelemetryConfig};
+        let mut s = Sampler::new(TelemetryConfig::default());
+        s.count("serve.throughput", "t0", 5, 1);
+        let t = s.finish();
+        assert_eq!(
+            chrome_trace_json_attribution(&events, 0, Some(&t), &[]),
+            chrome_trace_json_telemetry(&events, 0, &t),
+            "no requests: telemetry export bytes"
+        );
+    }
+
+    #[test]
+    fn combined_export_joins_serving_telemetry_and_requests() {
+        use crate::telemetry::{Sampler, TelemetryConfig};
+        let mut events = sample();
+        events.push(TraceEvent {
+            cycle: 1_000,
+            lane: SERVING_LANE,
+            seq: 3,
+            dur: 0,
+            kind: EventKind::RequestEnqueue {
+                tenant: 0,
+                request: 5,
+            },
+        });
+        let mut s = Sampler::new(TelemetryConfig {
+            window: 100,
+            slo_permille: 990,
+        });
+        s.count("serve.throughput", "ten\"ant\\zero\n", 5, 3);
+        let t = s.finish();
+        let render = || chrome_trace_json_attribution(&events, 0, Some(&t), &[breakdown(5, 0)]);
+        let json = render();
+        // All three observability surfaces share one document.
+        assert!(json.contains("\"args\":{\"name\":\"serving\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"telemetry\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"requests\"}"));
+        // The hostile tenant label is escaped, not interpolated raw.
+        assert!(json.contains(r#"serve.throughput[ten\"ant\\zero\n]"#));
+        // Structurally valid despite the hostile label, and byte-stable
+        // across reruns.
+        let mut c = crate::json::Cursor::new(&json);
+        assert!(c.raw_value().is_ok());
+        c.expect_end().unwrap();
+        assert_eq!(render(), json, "rerun is byte-identical");
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   SLO attainment, per-link/per-chip occupancy heatmaps) that export as
 //!   Perfetto counter tracks ([`chrome_trace_json_telemetry`]) and a
 //!   deterministic JSON block.
+//! - **Causal latency attribution** ([`attribution`]) — joins each served
+//!   request's lifetime into a [`LatencyBreakdown`] whose stage components
+//!   (window wait, queue wait, alignment, replay, execute, drain) sum
+//!   *exactly* to its end-to-end latency — a typed [`AttributionError`] on
+//!   any gap or overlap — aggregated into per-tenant/per-stage
+//!   [`RunMetrics`] by [`AttributionReport`] and rendered as per-request
+//!   span tracks by [`chrome_trace_json_attribution`].
 //! - **Plan-vs-actual profiling** ([`profile::profile`]) — joins a
 //!   compiled plan's predicted per-hop schedule ([`PlannedTimeline`])
 //!   with the observed event stream into a [`LaunchProfile`]: link
@@ -37,6 +44,7 @@
 //! identifiers so every other crate in the workspace can depend on it
 //! without cycles.
 
+pub mod attribution;
 pub mod chrome;
 pub mod event;
 pub mod json;
@@ -45,9 +53,10 @@ pub mod profile;
 pub mod sink;
 pub mod telemetry;
 
+pub use attribution::{AttributionError, AttributionReport, LatencyBreakdown, Stage};
 pub use chrome::{
-    chrome_trace_json, chrome_trace_json_overlay, chrome_trace_json_telemetry,
-    chrome_trace_json_with,
+    chrome_trace_json, chrome_trace_json_attribution, chrome_trace_json_overlay,
+    chrome_trace_json_telemetry, chrome_trace_json_with,
 };
 pub use event::{EventKind, ShedReason, TraceEvent, Tracer, RUNTIME_LANE, SERVING_LANE};
 pub use json::{escape_json, unescape_json, Cursor, JsonWriter};

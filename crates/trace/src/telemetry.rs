@@ -260,23 +260,35 @@ impl Telemetry {
 
     /// Per-window SLO attainment for `label`: `met / (met + missed)` over
     /// windows where either series recorded, as `(window, fraction)`.
+    ///
+    /// Windows with zero terminal requests (both series present but zero,
+    /// e.g. after a merge or a JSON round-trip that materialized empty
+    /// points) are skipped rather than reported as a `0/0` NaN.
     pub fn attainment(&self, label: &str) -> Vec<(u64, f64)> {
         self.met_missed(label)
             .into_iter()
-            .map(|(w, met, missed)| (w, met as f64 / (met + missed) as f64))
+            .filter_map(|(w, met, missed)| {
+                let total = met + missed;
+                (total > 0).then(|| (w, met as f64 / total as f64))
+            })
             .collect()
     }
 
     /// Per-window SLO burn rate for `label`: the miss fraction divided by
     /// the error budget `(1000 - slo_permille) / 1000`. A burn rate of
     /// 1.0 consumes the budget exactly; above it the SLO is burning down.
+    /// Windows with zero terminal requests are skipped, mirroring
+    /// [`Telemetry::attainment`].
     pub fn burn_rate(&self, label: &str) -> Vec<(u64, f64)> {
         let budget = f64::from((1000 - self.slo_permille.min(999)).max(1)) / 1000.0;
         self.met_missed(label)
             .into_iter()
-            .map(|(w, met, missed)| {
-                let miss = missed as f64 / (met + missed) as f64;
-                (w, miss / budget)
+            .filter_map(|(w, met, missed)| {
+                let total = met + missed;
+                (total > 0).then(|| {
+                    let miss = missed as f64 / total as f64;
+                    (w, miss / budget)
+                })
             })
             .collect()
     }
@@ -666,6 +678,32 @@ mod tests {
         assert!((burn[0].1 - 10.0).abs() < 1e-9);
         assert_eq!(burn[1], (2, 0.0));
         assert!(t.attainment("absent").is_empty());
+    }
+
+    #[test]
+    fn zero_terminal_windows_are_skipped_not_nan() {
+        // A merge or JSON round-trip can materialize explicit zero points:
+        // both SLO series carry a window in which no request terminated.
+        // That window must vanish from the derived ratios instead of
+        // surfacing as a 0/0 NaN.
+        let mut met = TimeSeries::new(series::SLO_MET, "t0", SeriesKind::Counter);
+        met.points = vec![(0, 4), (1, 0)];
+        let mut missed = TimeSeries::new(series::SLO_MISSED, "t0", SeriesKind::Counter);
+        missed.points = vec![(1, 0), (2, 1)];
+        let t = Telemetry {
+            window: 10,
+            slo_permille: 990,
+            series: vec![met, missed],
+        };
+        let att = t.attainment("t0");
+        assert_eq!(att, vec![(0, 1.0), (2, 0.0)], "window 1 (0/0) is skipped");
+        let burn = t.burn_rate("t0");
+        assert_eq!(burn.len(), 2);
+        assert_eq!(burn[0], (0, 0.0));
+        assert!((burn[1].1 - 100.0).abs() < 1e-9, "all-missed burns 100x");
+        for (_, v) in att.iter().chain(burn.iter()) {
+            assert!(v.is_finite(), "no NaN or inf leaks through the guard");
+        }
     }
 
     #[test]

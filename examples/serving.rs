@@ -139,6 +139,10 @@ fn main() {
             window: service / 2,
             slo_permille: 990,
         }),
+        // Attribution joins every served request to the stages that
+        // consumed its cycles; the breakdowns sum exactly to latency.
+        attribution: true,
+        flight: None,
     };
     let rt = Runtime::new(System::with_nodes(4).unwrap(), SparePolicy::PerSystem)
         .with_exec_mode(ExecMode::Datapath);
@@ -184,6 +188,33 @@ fn main() {
     // time, so it is as reproducible as the report itself.
     let tel = report.telemetry.as_ref().expect("telemetry is on");
     dashboard(tel, &server, &report.tenants);
+
+    // Causal attribution: the three slowest requests, decomposed into
+    // the stages that consumed their cycles. The components sum exactly
+    // to each latency (verified by the serve run itself).
+    let attr = report.attribution.as_ref().expect("attribution is on");
+    let mut slowest: Vec<&tsm::trace::LatencyBreakdown> = attr.breakdowns.iter().collect();
+    slowest.sort_by_key(|b| std::cmp::Reverse((b.latency(), b.request)));
+    println!();
+    println!("slowest requests (stage breakdown, cycles):");
+    for b in slowest.iter().take(3) {
+        let stages: Vec<String> = tsm::trace::Stage::ALL
+            .iter()
+            .filter_map(|&s| {
+                let c = b.component(s);
+                (c > 0).then(|| format!("{} {}", s.as_str(), c))
+            })
+            .collect();
+        println!(
+            "  req {:>3} ({}) batch {:>2}: {:>8} = {}  [critical: {}]",
+            b.request,
+            server.tenant_label(b.tenant),
+            b.batch,
+            b.latency(),
+            stages.join(" + "),
+            b.critical_stage().as_str()
+        );
+    }
 
     // Virtual time means this whole story is a pure function of its
     // seeds: rerun it and the report is bit-identical.

@@ -45,6 +45,15 @@ cargo test -p tsm-core --test residency -q
 # SLO-series accounting, JSON bit-reproducibility, and hostile-label
 # escaping through both exporters.
 cargo test -p tsm-core --test telemetry -q
+# The causal attribution layer: every served request's stage breakdown
+# sums exactly to its latency (clean, replaying, and certified paths),
+# aggregation is the exact fold of the breakdowns, off-identity holds,
+# and the JSON round trip is byte-stable.
+cargo test -p tsm-core --test attribution -q
+# The incident flight recorder: trigger coverage (shed/expiry/SLO-miss/
+# fault), bounded capture, off-identity, byte-reproducible incidents,
+# and telemetry-window bracketing.
+cargo test -p tsm-core --test flight -q
 cargo test -p tsm-fault -q
 cargo test -p tsm-link -q
 # Fast bench smoke: one sample of the canonical workload plus the small
@@ -64,6 +73,10 @@ cargo run --release -p tsm-bench --bin repro residency-smoke
 # from its seed and, when off, be bit-identical to the pre-feature
 # event sequences and reports. Writes no files.
 cargo run --release -p tsm-bench --bin repro telemetry-smoke
+# Fast attribution smoke: a fault-injected serve whose every breakdown
+# must sum exactly to its latency, with byte-reproducible incident
+# capture and the off-is-off identity for both features. Writes no files.
+cargo run --release -p tsm-bench --bin repro attribution-smoke
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 # Rustdoc is part of the contract: broken intra-doc links and bad doc
